@@ -1,0 +1,39 @@
+//! Criterion bench backing Figure 10b: threshold auto-tuning time.
+
+use capsys_core::{AutoTuneConfig, AutoTuner, CapsSearch, SearchConfig};
+use capsys_model::{Cluster, WorkerSpec};
+use capsys_queries::q2_join;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_autotune(c: &mut Criterion) {
+    let mut group = c.benchmark_group("autotune");
+    group.sample_size(10);
+    for (workers, slots) in [(8usize, 4usize), (8, 8), (16, 4)] {
+        let scale = workers * slots / 16;
+        let query = q2_join().scaled(scale).expect("scaling");
+        let cluster =
+            Cluster::homogeneous(workers, WorkerSpec::r5d_xlarge(slots)).expect("cluster");
+        let physical = query.physical();
+        let loads = query.load_model(&physical).expect("loads");
+        let search = CapsSearch::new(query.logical(), &physical, &cluster, &loads).expect("search");
+        let tasks = physical.num_tasks();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{workers}w_{slots}s_{tasks}t")),
+            &tasks,
+            |b, _| {
+                let cfg = AutoTuneConfig::default();
+                let base = SearchConfig::auto_tuned();
+                b.iter(|| {
+                    AutoTuner::new(&cfg)
+                        .tune(&search, &base)
+                        .expect("tuning succeeds")
+                        .iterations
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_autotune);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench backing Figure 10a: CAPS first-feasible search time
+//! as the problem scales from 16 to 128 tasks, per threshold tightness.
+
+use capsys_core::{CapsSearch, SearchConfig, Thresholds};
+use capsys_model::{Cluster, WorkerSpec};
+use capsys_queries::q2_join;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_caps_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("caps_first_feasible");
+    group.sample_size(10);
+    let alphas = [
+        ("alpha1", Thresholds::new(0.08, 0.15, 0.6)),
+        ("alpha3", Thresholds::new(0.25, 0.3, 0.9)),
+    ];
+    for scale in [1usize, 2, 4, 8] {
+        let query = q2_join().scaled(scale).expect("scaling");
+        let tasks = query.logical().total_tasks();
+        let cluster = Cluster::homogeneous(tasks / 4, WorkerSpec::r5d_xlarge(4)).expect("cluster");
+        let physical = query.physical();
+        let loads = query.load_model(&physical).expect("loads");
+        let search = CapsSearch::new(query.logical(), &physical, &cluster, &loads).expect("search");
+        for (name, th) in &alphas {
+            group.bench_with_input(BenchmarkId::new(*name, tasks), &tasks, |b, _| {
+                let config = SearchConfig::with_thresholds(*th).first_feasible();
+                b.iter(|| search.run(&config).expect("search runs").stats.plans_found)
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_parallel_threads(c: &mut Criterion) {
+    // Thread-count ablation of the parallel search (§5.1).
+    let mut group = c.benchmark_group("caps_threads");
+    group.sample_size(10);
+    let query = q2_join().scaled(2).expect("scaling");
+    let cluster = Cluster::homogeneous(8, WorkerSpec::r5d_xlarge(4)).expect("cluster");
+    let physical = query.physical();
+    let loads = query.load_model(&physical).expect("loads");
+    let search = CapsSearch::new(query.logical(), &physical, &cluster, &loads).expect("search");
+    let th = Thresholds::new(0.15, 0.25, 0.8);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let config = SearchConfig::with_thresholds(th)
+                .with_threads(t)
+                .first_feasible();
+            b.iter(|| search.run(&config).expect("search runs").stats.plans_found)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_caps_search, bench_parallel_threads);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Microbench: evaluating the CAPS cost model (Eqs. 4-8) on a full plan.
+
+use capsys_core::CostModel;
+use capsys_model::{enumerate_plans, Cluster, WorkerSpec};
+use capsys_queries::{q1_sliding, q2_join};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_cost_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_model");
+    for query in [q1_sliding(), q2_join()] {
+        let cluster = Cluster::homogeneous(4, WorkerSpec::r5d_xlarge(4)).expect("cluster");
+        let physical = query.physical();
+        let loads = query.load_model(&physical).expect("loads");
+        let model = CostModel::new(&physical, &cluster, &loads).expect("model");
+        let plan = enumerate_plans(&physical, &cluster, 1)
+            .expect("plans")
+            .remove(0);
+        group.bench_function(query.name(), |b| {
+            b.iter(|| black_box(model.cost(&physical, black_box(&plan))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_build(c: &mut Criterion) {
+    let query = q2_join().scaled(4).expect("scaling");
+    let cluster = Cluster::homogeneous(16, WorkerSpec::r5d_xlarge(4)).expect("cluster");
+    let physical = query.physical();
+    let loads = query.load_model(&physical).expect("loads");
+    c.bench_function("cost_model_build_64_tasks", |b| {
+        b.iter(|| CostModel::new(black_box(&physical), &cluster, &loads).expect("model"))
+    });
+}
+
+criterion_group!(benches, bench_cost_eval, bench_model_build);
+criterion_main!(benches);

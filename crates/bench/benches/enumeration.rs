@@ -1,0 +1,47 @@
+//! Microbench: plan-space enumeration, with and without symmetric-worker
+//! duplicate elimination (§4.3 ablation).
+
+use capsys_model::{Cluster, PlanEnumerator, PlanVisitor, WorkerSpec};
+use capsys_queries::{q1_sliding, q3_inf};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+struct CountOnly;
+impl PlanVisitor for CountOnly {
+    fn place(&mut self, _: usize, _: capsys_model::OperatorId, _: usize) -> bool {
+        true
+    }
+    fn unplace(&mut self, _: usize, _: capsys_model::OperatorId, _: usize) {}
+    fn leaf(&mut self, _: &[Vec<usize>]) -> bool {
+        true
+    }
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration");
+    group.sample_size(10);
+    let cluster = Cluster::homogeneous(4, WorkerSpec::r5d_xlarge(4)).expect("cluster");
+    for query in [q1_sliding(), q3_inf()] {
+        let physical = query.physical();
+        group.bench_function(format!("{}_symmetric", query.name()), |b| {
+            b.iter(|| {
+                PlanEnumerator::new(&physical, &cluster)
+                    .expect("enumerator")
+                    .explore(&mut CountOnly)
+                    .plans
+            })
+        });
+        group.bench_function(format!("{}_labelled", query.name()), |b| {
+            b.iter(|| {
+                PlanEnumerator::new(&physical, &cluster)
+                    .expect("enumerator")
+                    .with_symmetry(false)
+                    .explore(&mut CountOnly)
+                    .plans
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

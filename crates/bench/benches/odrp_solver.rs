@@ -1,0 +1,42 @@
+//! Microbench backing Table 3's decision-time column: ODRP solve time on
+//! small instances (the full-size instance is measured by `exp_table3`).
+
+use capsys_model::{Cluster, WorkerSpec};
+use capsys_odrp::{OdrpConfig, OdrpSolver, OdrpWeights};
+use capsys_queries::q3_inf;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_odrp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("odrp_solve");
+    group.sample_size(10);
+    let query = q3_inf();
+    for workers in [2usize, 3] {
+        let cluster = Cluster::homogeneous(workers, WorkerSpec::c5d_4xlarge(4)).expect("cluster");
+        let rates = query.source_rates(1000.0);
+        group.bench_with_input(
+            BenchmarkId::new("default_weights", workers),
+            &workers,
+            |b, _| {
+                let solver = OdrpSolver::new(OdrpConfig {
+                    weights: OdrpWeights::default_config(),
+                    max_parallelism: 3,
+                    time_budget: Duration::from_secs(30),
+                    inner_node_budget: 20_000,
+                    ..OdrpConfig::default()
+                });
+                b.iter(|| {
+                    solver
+                        .solve(query.logical(), &cluster, &rates)
+                        .expect("solution")
+                        .breakdown
+                        .slots_used
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_odrp);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation bench: monolithic vs. partitioned CAPS (§6.5.2 extension) —
+//! nodes explored and wall time per partition count.
+
+use capsys_core::{CapsSearch, SearchConfig, Thresholds};
+use capsys_model::{Cluster, WorkerSpec};
+use capsys_queries::q2_join;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_partitioned(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioned_caps");
+    group.sample_size(10);
+    let query = q2_join().scaled(4).expect("scaling");
+    let cluster = Cluster::homogeneous(16, WorkerSpec::r5d_xlarge(4)).expect("cluster");
+    let physical = query.physical();
+    let rate = query.capacity_rate(&cluster, 0.9).expect("rate");
+    let loads = query.load_model_at(&physical, rate).expect("loads");
+    let search = CapsSearch::new(query.logical(), &physical, &cluster, &loads).expect("search");
+    let th = Thresholds::new(0.3, 0.35, 0.9);
+
+    group.bench_function("monolithic_first_feasible", |b| {
+        let config = SearchConfig::with_thresholds(th).first_feasible();
+        b.iter(|| search.run(&config).expect("search").stats.nodes)
+    });
+    for k in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("partitions", k), &k, |b, &k| {
+            let config = SearchConfig::with_thresholds(th).first_feasible();
+            b.iter(|| {
+                search
+                    .run_partitioned(k, &config)
+                    .expect("partitioned")
+                    .stats
+                    .nodes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioned);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Microbench: time to compute one placement per strategy.
+
+use capsys_model::{Cluster, WorkerSpec};
+use capsys_placement::{
+    CapsStrategy, FlinkDefault, FlinkEvenly, PlacementContext, PlacementStrategy,
+};
+use capsys_queries::q1_sliding;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_strategy");
+    group.sample_size(10);
+    let query = q1_sliding();
+    let cluster = Cluster::homogeneous(4, WorkerSpec::r5d_xlarge(4)).expect("cluster");
+    let physical = query.physical();
+    let loads = query.load_model(&physical).expect("loads");
+    let ctx = PlacementContext {
+        logical: query.logical(),
+        physical: &physical,
+        cluster: &cluster,
+        loads: &loads,
+    };
+    let caps = CapsStrategy::default();
+    let strategies: [(&str, &dyn PlacementStrategy); 3] = [
+        ("default", &FlinkDefault),
+        ("evenly", &FlinkEvenly),
+        ("caps_autotuned", &caps),
+    ];
+    for (name, strategy) in strategies {
+        group.bench_function(name, |b| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| strategy.place(&ctx, &mut rng).expect("placement"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Microbench backing Table 2: search cost under threshold pruning,
+//! operator reordering on/off (the full-size sweep is `exp_table2`).
+
+use capsys_core::{CapsSearch, SearchConfig, Thresholds};
+use capsys_model::{Cluster, WorkerSpec};
+use capsys_queries::q3_inf;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pruning_sweep");
+    group.sample_size(10);
+    let query = q3_inf();
+    let cluster = Cluster::homogeneous(4, WorkerSpec::r5d_xlarge(4)).expect("cluster");
+    let physical = query.physical();
+    let loads = query.load_model(&physical).expect("loads");
+    let search = CapsSearch::new(query.logical(), &physical, &cluster, &loads).expect("search");
+
+    for alpha in [f64::INFINITY, 0.5, 0.1] {
+        let label = if alpha.is_finite() {
+            format!("{alpha}")
+        } else {
+            "inf".into()
+        };
+        for reorder in [false, true] {
+            let id = format!("{}_{}", label, if reorder { "reordered" } else { "plain" });
+            group.bench_with_input(BenchmarkId::from_parameter(id), &alpha, |b, &a| {
+                let config = SearchConfig {
+                    reorder,
+                    max_plans: 1,
+                    ..SearchConfig::with_thresholds(Thresholds::new(
+                        a,
+                        f64::INFINITY,
+                        f64::INFINITY,
+                    ))
+                };
+                b.iter(|| search.run(&config).expect("search").stats.nodes)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

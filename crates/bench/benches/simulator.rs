@@ -1,0 +1,41 @@
+//! Microbench: simulator tick throughput (simulated seconds per wall
+//! second) on the evaluation queries.
+
+use capsys_bench::run_plan;
+use capsys_model::{enumerate_plans, Cluster, WorkerSpec};
+use capsys_queries::{q1_sliding, q3_inf};
+use capsys_sim::SimConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_60s_run");
+    group.sample_size(10);
+    let cluster = Cluster::homogeneous(4, WorkerSpec::r5d_xlarge(4)).expect("cluster");
+    for query in [q1_sliding(), q3_inf()] {
+        let physical = query.physical();
+        let plan = enumerate_plans(&physical, &cluster, 1)
+            .expect("plans")
+            .remove(0);
+        let rate = query.capacity_rate(&cluster, 0.8).expect("rate");
+        group.bench_function(query.name(), |b| {
+            b.iter(|| {
+                run_plan(
+                    &query,
+                    &cluster,
+                    &plan,
+                    rate,
+                    SimConfig {
+                        duration: 60.0,
+                        warmup: 10.0,
+                        ..SimConfig::default()
+                    },
+                )
+                .avg_throughput
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Ablation study over the search's design choices.
+//!
+//! Not a paper table — this quantifies the techniques DESIGN.md §5
+//! calls out, on Q3-inf (4 workers x 4 slots, 950 plans) and its x2
+//! scaling (8 workers x 4 slots, ~1.8M plans):
+//!
+//! * symmetric-worker duplicate elimination (§4.3),
+//! * threshold pruning (§4.4.1),
+//! * operator exploration reordering (§4.4.2),
+//! * pressure-weighted plan selection (DESIGN.md §5a).
+
+use std::time::Instant;
+
+use capsys_bench::{banner, fmt_pct};
+use capsys_core::{CapsSearch, CostModel, SearchConfig, Thresholds};
+use capsys_model::{Cluster, PlanEnumerator, PlanVisitor, WorkerSpec};
+use capsys_queries::q3_inf;
+
+struct CountOnly;
+impl PlanVisitor for CountOnly {
+    fn place(&mut self, _: usize, _: capsys_model::OperatorId, _: usize) -> bool {
+        true
+    }
+    fn unplace(&mut self, _: usize, _: capsys_model::OperatorId, _: usize) {}
+    fn leaf(&mut self, _: &[Vec<usize>]) -> bool {
+        true
+    }
+}
+
+fn main() {
+    banner(
+        "Ablation",
+        "search design choices on Q3-inf",
+        "DESIGN.md §5",
+    );
+
+    // 1. Duplicate elimination: symmetric vs. labelled enumeration.
+    println!("--- duplicate elimination (§4.3) ---");
+    let query = q3_inf();
+    let cluster = Cluster::homogeneous(4, WorkerSpec::r5d_xlarge(4)).expect("cluster");
+    let physical = query.physical();
+    for (label, symmetry) in [("with dedup", true), ("without", false)] {
+        let start = Instant::now();
+        let stats = PlanEnumerator::new(&physical, &cluster)
+            .expect("enumerator")
+            .with_symmetry(symmetry)
+            .explore(&mut CountOnly);
+        println!(
+            "{label:<12} {:>10} plans {:>12} nodes {:>10.1}ms",
+            stats.plans,
+            stats.nodes,
+            start.elapsed().as_secs_f64() * 1e3
+        );
+    }
+
+    // 2. Threshold pruning and reordering on the scaled problem.
+    println!("\n--- pruning x reordering (§4.4), Q3-inf x2 on 8x4 ---");
+    let big = q3_inf().scaled(2).expect("scaling");
+    let big_cluster = Cluster::homogeneous(8, WorkerSpec::r5d_xlarge(4)).expect("cluster");
+    let big_physical = big.physical();
+    let big_rate = big.capacity_rate(&big_cluster, 0.9).expect("rate");
+    let big_loads = big.load_model_at(&big_physical, big_rate).expect("loads");
+    let search =
+        CapsSearch::new(big.logical(), &big_physical, &big_cluster, &big_loads).expect("search");
+    let header = format!(
+        "{:<26} {:>12} {:>14} {:>10}",
+        "variant", "plans", "nodes", "time"
+    );
+    println!("{header}");
+    capsys_bench::rule(&header);
+    for (label, alpha, reorder) in [
+        ("unpruned", f64::INFINITY, false),
+        ("alpha_cpu=0.2", 0.2, false),
+        ("alpha_cpu=0.2 + reorder", 0.2, true),
+    ] {
+        let th = Thresholds::new(alpha, f64::INFINITY, f64::INFINITY);
+        let config = SearchConfig {
+            reorder,
+            max_plans: 1,
+            ..SearchConfig::with_thresholds(th)
+        };
+        let start = Instant::now();
+        let out = search.run(&config).expect("search");
+        println!(
+            "{label:<26} {:>12} {:>14} {:>9.2}s",
+            out.stats.plans_found,
+            out.stats.nodes,
+            start.elapsed().as_secs_f64()
+        );
+    }
+
+    // 3. Pressure-weighted selection: does the chosen plan balance the
+    //    dimension that actually matters?
+    println!("\n--- pressure-weighted selection (DESIGN.md §5a) ---");
+    let rate = query.capacity_rate(&cluster, 0.9).expect("rate");
+    let loads = query.load_model_at(&physical, rate).expect("loads");
+    let model = CostModel::new(&physical, &cluster, &loads).expect("model");
+    let pressure = model.pressure();
+    println!(
+        "dimension pressure: cpu {} io {} net {}",
+        fmt_pct(pressure[0]),
+        fmt_pct(pressure[1]),
+        fmt_pct(pressure[2])
+    );
+    let search = CapsSearch::new(query.logical(), &physical, &cluster, &loads).expect("search");
+    let out = search
+        .run(&SearchConfig {
+            max_plans: 2048,
+            ..SearchConfig::exhaustive()
+        })
+        .expect("search");
+    let weighted = out.best_scored().expect("plans exist");
+    // The naive rule the weighting replaces: minimize the raw max
+    // component, treating all dimensions as equally important.
+    let naive = out
+        .pareto
+        .iter()
+        .min_by(|a, b| {
+            a.cost
+                .max_component()
+                .partial_cmp(&b.cost.max_component())
+                .expect("finite")
+        })
+        .expect("plans exist");
+    println!(
+        "pressure-weighted pick: C_cpu {:.3} C_io {:.3} C_net {:.3}",
+        weighted.cost.cpu, weighted.cost.io, weighted.cost.net
+    );
+    println!(
+        "naive max-component:    C_cpu {:.3} C_io {:.3} C_net {:.3}",
+        naive.cost.cpu, naive.cost.io, naive.cost.net
+    );
+    println!("(lower C_cpu wins here: CPU is the only pressured dimension)");
+}

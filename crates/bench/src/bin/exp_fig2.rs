@@ -1,0 +1,95 @@
+//! Figure 2: exhaustive placement-plan search for Q1-sliding.
+//!
+//! Enumerates all 80 distinct placement plans of Q1-sliding on the
+//! 4-worker, 16-slot `r5d.xlarge` cluster, simulates every plan, and
+//! reports the 3 best and 3 worst plans by throughput — the paper's
+//! P1-P3 and P4-P6. Paper reference values: best ≈ 14 k rec/s at 6.8 %
+//! backpressure, worst ≈ 9 k rec/s at 86.4 % backpressure.
+
+use capsys_bench::{banner, box_stats, colocation_degree, fmt_pct, fmt_rate, measure_config};
+use capsys_model::{enumerate_plans, Cluster, WorkerSpec};
+use capsys_queries::q1_sliding;
+
+fn main() {
+    banner(
+        "Figure 2",
+        "best and worst of all 80 plans for Q1-sliding",
+        "§3.2",
+    );
+
+    let query = q1_sliding();
+    let cluster = Cluster::homogeneous(4, WorkerSpec::r5d_xlarge(4)).expect("valid cluster");
+    let physical = query.physical();
+    let plans = enumerate_plans(&physical, &cluster, usize::MAX).expect("enumeration fits");
+    println!("distinct plans enumerated: {} (paper: 80)", plans.len());
+
+    let rate = query.capacity_rate(&cluster, 0.92).expect("capacity rate");
+    println!(
+        "target input rate: {} rec/s (paper: ~14k)\n",
+        fmt_rate(rate)
+    );
+
+    let win = query
+        .logical()
+        .operator_by_name("sliding-window")
+        .expect("window exists");
+    let mut results: Vec<(usize, f64, f64, usize)> = Vec::with_capacity(plans.len());
+    for (i, plan) in plans.iter().enumerate() {
+        let report = capsys_bench::run_plan(&query, &cluster, plan, rate, measure_config(7));
+        let degree = colocation_degree(plan, &physical, win, cluster.num_workers());
+        results.push((i, report.avg_throughput, report.avg_backpressure, degree));
+    }
+    results.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+
+    let header = format!(
+        "{:<6} {:>12} {:>14} {:>18}",
+        "plan", "throughput", "backpressure", "win co-location"
+    );
+    println!("Top 3 plans (paper P1-P3):");
+    println!("{header}");
+    capsys_bench::rule(&header);
+    for (rank, (i, tp, bp, deg)) in results.iter().take(3).enumerate() {
+        println!(
+            "P{:<5} {:>12} {:>14} {:>18}   (plan #{i})",
+            rank + 1,
+            fmt_rate(*tp),
+            fmt_pct(*bp),
+            deg
+        );
+    }
+    println!("\nBottom 3 plans (paper P4-P6):");
+    println!("{header}");
+    capsys_bench::rule(&header);
+    for (rank, (i, tp, bp, deg)) in results.iter().rev().take(3).rev().enumerate() {
+        println!(
+            "P{:<5} {:>12} {:>14} {:>18}   (plan #{i})",
+            rank + 4,
+            fmt_rate(*tp),
+            fmt_pct(*bp),
+            deg
+        );
+    }
+
+    let throughputs: Vec<f64> = results.iter().map(|r| r.1).collect();
+    let stats = box_stats(&throughputs);
+    let meeting = results.iter().filter(|r| r.1 >= 0.95 * rate).count();
+    println!("\nAcross all {} plans:", results.len());
+    println!(
+        "  throughput min/median/max: {} / {} / {}",
+        fmt_rate(stats.min),
+        fmt_rate(stats.median),
+        fmt_rate(stats.max)
+    );
+    println!("  plans meeting >=95% of target: {meeting} (paper: 3 of 80)");
+    println!(
+        "  best/worst throughput ratio: {:.2}x (paper: 14k/9k = 1.56x)",
+        stats.max / stats.min
+    );
+
+    // Shape check the paper's core observation: high window co-location
+    // hurts.
+    let best_deg = results[0].3;
+    let worst_deg = results.last().expect("non-empty").3;
+    println!("\nwindow co-location degree of best plan: {best_deg}, of worst plan: {worst_deg}");
+    println!("(paper: best plans balance window tasks; worst plans co-locate them)");
+}

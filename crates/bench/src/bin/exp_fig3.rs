@@ -1,0 +1,203 @@
+//! Figure 3: effect of co-locating resource-intensive tasks.
+//!
+//! Three sub-experiments (§3.3), selected with `a`, `b`, or `c` as the
+//! first argument (default: all):
+//!
+//! * `a` — compute contention: co-locating Q3-inf's *inference* tasks;
+//! * `b` — disk contention: co-locating Q2-join's *tumbling join* tasks;
+//! * `c` — network contention: Q3-inf with worker NICs capped at 1 Gbps,
+//!   co-locating the traffic-intensive source/decode tasks.
+//!
+//! For each sub-experiment, nine plans are selected from the full plan
+//! space by contention degree: P1-P3 low, P4-P6 medium, P7-P9 high.
+
+use capsys_bench::{
+    banner, colocation_degree, fmt_pct, fmt_rate, max_worker_weight, measure_config, run_plan,
+};
+use capsys_core::CostModel;
+use capsys_model::{enumerate_plans, Cluster, Placement, TaskId, WorkerId, WorkerSpec};
+use capsys_queries::{q2_join, q3_inf, Query};
+
+/// Selects three plans each with the lowest, median, and highest value of
+/// a contention metric.
+///
+/// `tiebreak` orders plans with equal contention; the paper manually
+/// selected plans that vary only in the contention dimension, and the
+/// tiebreak (lowest value first) plays that role here.
+fn pick_plans(
+    plans: Vec<Placement>,
+    metric: impl Fn(&Placement) -> f64,
+    tiebreak: impl Fn(&Placement) -> f64,
+) -> Vec<(String, Placement, f64)> {
+    let mut scored: Vec<(Placement, f64, f64)> = plans
+        .into_iter()
+        .map(|p| {
+            let m = metric(&p).max(0.0);
+            let t = tiebreak(&p);
+            (p, m, t)
+        })
+        .collect();
+    scored.sort_by(|a, b| (a.1, a.2).partial_cmp(&(b.1, b.2)).expect("finite metric"));
+    let n = scored.len();
+    let mut picked = Vec::new();
+    for (label, base) in [("low", 0), ("med", n / 2 - 1), ("high", n - 3)] {
+        for k in 0..3 {
+            let idx = (base + k).min(n - 1);
+            let (p, m, _) = &scored[idx];
+            picked.push((format!("P{} ({label})", picked.len() + 1), p.clone(), *m));
+        }
+    }
+    picked
+}
+
+fn run_group(
+    name: &str,
+    query: &Query,
+    cluster: &Cluster,
+    rate: f64,
+    picked: Vec<(String, Placement, f64)>,
+    metric_name: &str,
+) {
+    println!("--- {name} ---");
+    println!("target rate: {} rec/s", fmt_rate(rate));
+    let header = format!(
+        "{:<12} {:>16} {:>12} {:>14}",
+        "plan", metric_name, "throughput", "backpressure"
+    );
+    println!("{header}");
+    capsys_bench::rule(&header);
+    let mut lows = Vec::new();
+    let mut highs = Vec::new();
+    for (i, (label, plan, metric)) in picked.iter().enumerate() {
+        let report = run_plan(query, cluster, plan, rate, measure_config(11 + i as u64));
+        println!(
+            "{:<12} {:>16.2} {:>12} {:>14}",
+            label,
+            metric,
+            fmt_rate(report.avg_throughput),
+            fmt_pct(report.avg_backpressure)
+        );
+        if i < 3 {
+            lows.push(report.avg_throughput);
+        }
+        if i >= 6 {
+            highs.push(report.avg_throughput);
+        }
+    }
+    let low_avg: f64 = lows.iter().sum::<f64>() / lows.len() as f64;
+    let high_avg: f64 = highs.iter().sum::<f64>() / highs.len() as f64;
+    println!(
+        "low-contention avg {} vs high-contention avg {} ({:.2}x)\n",
+        fmt_rate(low_avg),
+        fmt_rate(high_avg),
+        low_avg / high_avg.max(1.0)
+    );
+}
+
+fn exp_a() {
+    let query = q3_inf();
+    let cluster = Cluster::homogeneous(4, WorkerSpec::r5d_xlarge(4)).expect("cluster");
+    let physical = query.physical();
+    let inf = query
+        .logical()
+        .operator_by_name("inference")
+        .expect("inference");
+    let plans = enumerate_plans(&physical, &cluster, usize::MAX).expect("plan space");
+    println!("plan space: {} plans (paper: 950)", plans.len());
+    let rate = query.capacity_rate(&cluster, 0.9).expect("rate");
+    let loads = query.load_model(&physical).expect("loads");
+    let picked = pick_plans(
+        plans,
+        |p| colocation_degree(p, &physical, inf, cluster.num_workers()) as f64,
+        |p| max_worker_weight(p, cluster.num_workers(), |t| loads.load(TaskId(t)).cpu),
+    );
+    run_group(
+        "Figure 3a: co-locating compute-intensive (inference) tasks",
+        &query,
+        &cluster,
+        rate,
+        picked,
+        "inference/worker",
+    );
+}
+
+fn exp_b() {
+    let query = q2_join();
+    let cluster = Cluster::homogeneous(4, WorkerSpec::r5d_xlarge(4)).expect("cluster");
+    let physical = query.physical();
+    let join = query
+        .logical()
+        .operator_by_name("tumbling-join")
+        .expect("join");
+    let plans = enumerate_plans(&physical, &cluster, usize::MAX).expect("plan space");
+    println!("plan space: {} plans (paper: 665)", plans.len());
+    let rate = query.capacity_rate(&cluster, 0.92).expect("rate");
+    let loads = query.load_model(&physical).expect("loads");
+    let picked = pick_plans(
+        plans,
+        |p| colocation_degree(p, &physical, join, cluster.num_workers()) as f64,
+        |p| max_worker_weight(p, cluster.num_workers(), |t| loads.load(TaskId(t)).cpu),
+    );
+    run_group(
+        "Figure 3b: co-locating I/O-intensive (tumbling join) tasks",
+        &query,
+        &cluster,
+        rate,
+        picked,
+        "join/worker",
+    );
+}
+
+fn exp_c() {
+    let query = q3_inf();
+    // The paper caps outbound bandwidth at 1 Gbps for this experiment.
+    let spec = WorkerSpec::r5d_xlarge(4).with_network_cap(125e6);
+    let cluster = Cluster::homogeneous(4, spec).expect("cluster");
+    let physical = query.physical();
+    let loads = query.load_model(&physical).expect("loads");
+    let rate = query.capacity_rate(&cluster, 0.9).expect("rate");
+    let plans = enumerate_plans(&physical, &cluster, usize::MAX).expect("plan space");
+    // Rank by the heaviest per-worker outbound byte rate (traffic-heavy
+    // source and decode tasks from multiple operators, as in the paper).
+    // Rank by the bottleneck worker's *effective* outbound rate (Eq. 8:
+    // only cross-worker channels count), breaking ties by CPU balance so
+    // the selected plans differ mainly in network contention.
+    let model = CostModel::new(&physical, &cluster, &loads).expect("cost model");
+    let max_net = |p: &Placement| {
+        (0..cluster.num_workers())
+            .map(|w| model.worker_load(&physical, p, WorkerId(w))[2])
+            .fold(0.0f64, f64::max)
+    };
+    let picked = pick_plans(
+        plans,
+        |p| max_net(p) / 1e6,
+        |p| max_worker_weight(p, cluster.num_workers(), |t| loads.load(TaskId(t)).cpu),
+    );
+    run_group(
+        "Figure 3c: co-locating network-intensive tasks (1 Gbps NICs)",
+        &query,
+        &cluster,
+        rate,
+        picked,
+        "max MB/s/worker",
+    );
+}
+
+fn main() {
+    banner(
+        "Figure 3",
+        "co-location contention by resource type",
+        "§3.3",
+    );
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match which.as_str() {
+        "a" => exp_a(),
+        "b" => exp_b(),
+        "c" => exp_c(),
+        _ => {
+            exp_a();
+            exp_b();
+            exp_c();
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Figure 5: plan costs vs. achieved throughput for Q1-sliding.
+//!
+//! Evaluates the CAPS cost model (§4.2) on every one of Q1-sliding's 80
+//! plans and prints `C_cpu`, `C_io`, `C_net` next to the simulated
+//! throughput — the data behind the paper's scatter plot showing that
+//! high-performing plans separate cleanly below a cost threshold. Also
+//! reports the rank correlation between each cost dimension and
+//! throughput, and the threshold-separation check the paper draws as
+//! dashed lines.
+
+use capsys_bench::{banner, fmt_rate, measure_config, run_plan};
+use capsys_core::CostModel;
+use capsys_model::{enumerate_plans, Cluster, WorkerSpec};
+use capsys_queries::q1_sliding;
+
+/// Spearman rank correlation between two equally long samples.
+fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    let rank = |v: &[f64]| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&x, &y| v[x].partial_cmp(&v[y]).expect("finite"));
+        let mut r = vec![0.0; v.len()];
+        for (pos, &i) in idx.iter().enumerate() {
+            r[i] = pos as f64;
+        }
+        r
+    };
+    let ra = rank(a);
+    let rb = rank(b);
+    let n = a.len() as f64;
+    let mean = (n - 1.0) / 2.0;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..a.len() {
+        cov += (ra[i] - mean) * (rb[i] - mean);
+        va += (ra[i] - mean).powi(2);
+        vb += (rb[i] - mean).powi(2);
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+fn main() {
+    banner(
+        "Figure 5",
+        "plan cost vs. throughput for Q1-sliding",
+        "§4.4.1, Figure 5",
+    );
+
+    let query = q1_sliding();
+    let cluster = Cluster::homogeneous(4, WorkerSpec::r5d_xlarge(4)).expect("cluster");
+    let physical = query.physical();
+    let rate = query.capacity_rate(&cluster, 0.92).expect("rate");
+    let loads = query.load_model_at(&physical, rate).expect("loads");
+    let model = CostModel::new(&physical, &cluster, &loads).expect("cost model");
+    let plans = enumerate_plans(&physical, &cluster, usize::MAX).expect("plan space");
+
+    let header = format!(
+        "{:<6} {:>8} {:>8} {:>8} {:>12}",
+        "plan", "C_cpu", "C_io", "C_net", "throughput"
+    );
+    println!("{header}");
+    capsys_bench::rule(&header);
+
+    let mut c_cpu = Vec::new();
+    let mut c_io = Vec::new();
+    let mut c_net = Vec::new();
+    let mut tps = Vec::new();
+    for (i, plan) in plans.iter().enumerate() {
+        let cost = model.cost(&physical, plan);
+        let report = run_plan(&query, &cluster, plan, rate, measure_config(5));
+        println!(
+            "{:<6} {:>8.3} {:>8.3} {:>8.3} {:>12}",
+            i,
+            cost.cpu,
+            cost.io,
+            cost.net,
+            fmt_rate(report.avg_throughput)
+        );
+        c_cpu.push(cost.cpu);
+        c_io.push(cost.io);
+        c_net.push(cost.net);
+        tps.push(report.avg_throughput);
+    }
+
+    println!(
+        "\nSpearman rank correlation with throughput (negative = higher cost, lower throughput):"
+    );
+    println!("  C_cpu: {:+.3}", spearman(&c_cpu, &tps));
+    println!("  C_io : {:+.3}", spearman(&c_io, &tps));
+    println!("  C_net: {:+.3}", spearman(&c_net, &tps));
+
+    // The paper's dashed-line check: a cost threshold separates the
+    // plans that meet the target from those that do not.
+    let target = 0.95 * rate;
+    let meets: Vec<bool> = tps.iter().map(|&t| t >= target).collect();
+    let best_threshold = |costs: &[f64]| -> (f64, usize) {
+        // Choose the threshold minimizing misclassifications.
+        let mut best = (f64::INFINITY, usize::MAX);
+        for &cut in costs {
+            let errors = costs
+                .iter()
+                .zip(&meets)
+                .filter(|&(&c, &m)| (c <= cut) != m)
+                .count();
+            if errors < best.1 {
+                best = (cut, errors);
+            }
+        }
+        best
+    };
+    let (cut_cpu, err_cpu) = best_threshold(&c_cpu);
+    let (cut_io, err_io) = best_threshold(&c_io);
+    println!(
+        "\nThreshold separation of target-meeting plans ({} of {}):",
+        meets.iter().filter(|&&m| m).count(),
+        meets.len()
+    );
+    println!("  alpha_cpu = {cut_cpu:.3} misclassifies {err_cpu} plans");
+    println!("  alpha_io  = {cut_io:.3} misclassifies {err_io} plans");
+    println!("(paper: high-performing plans separate by cost thresholds; C_net is");
+    println!(" not a dominant factor for Q1-sliding, which is not network-intensive)");
+}

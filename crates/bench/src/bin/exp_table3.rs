@@ -1,0 +1,130 @@
+//! Table 3: comparison with the ODRP placement algorithm.
+//!
+//! Uses Q3-inf (ODRP handles single-source queries only) on a 4-worker
+//! `c5d.4xlarge` cluster with 8 slots each (§6.3). CAPSys runs its full
+//! pipeline — profiling unit costs, DS2 parallelism, CAPS placement with
+//! auto-tuned thresholds — while ODRP jointly decides parallelism and
+//! placement under its three weight configurations. Every resulting
+//! deployment is then simulated at the same target rate.
+//!
+//! Paper reference (Table 3):
+//!
+//! | policy        | bp   | tput | latency | slots | decision time |
+//! |---------------|------|------|---------|-------|---------------|
+//! | CAPSys        | 0.5% | 4236 | 0.292 s | 27    | 0.2 s         |
+//! | ODRP-Default  | 90%  | 680  | 0.255 s | 14    | 1636 s        |
+//! | ODRP-Weighted | 48%  | 3396 | 0.268 s | 26    | 4037 s        |
+//! | ODRP-Latency  | 15%  | 4043 | 0.157 s | 32    | 1607 s        |
+
+use std::time::{Duration, Instant};
+
+use capsys_bench::{banner, fast_mode, fmt_pct, fmt_rate, measure_config, run_plan};
+use capsys_controller::CapsysController;
+use capsys_model::{Cluster, WorkerSpec};
+use capsys_odrp::{OdrpConfig, OdrpSolver, OdrpWeights};
+use capsys_queries::q3_inf;
+
+fn main() {
+    banner("Table 3", "CAPSys vs. ODRP on Q3-inf", "§6.3, Table 3");
+
+    let query = q3_inf();
+    let cluster = Cluster::homogeneous(4, WorkerSpec::c5d_4xlarge(8)).expect("cluster");
+    // Target rate sized so a well-provisioned deployment needs most of
+    // the cluster (the paper's CAPSys deployment used 27 of 32 slots).
+    let target = 6500.0;
+    println!(
+        "cluster: 4x c5d.4xlarge (8 cores, 8 slots), target rate {} rec/s\n",
+        fmt_rate(target)
+    );
+
+    let header = format!(
+        "{:<15} {:>13} {:>11} {:>10} {:>7} {:>15}",
+        "policy", "backpressure", "throughput", "latency", "slots", "decision time"
+    );
+    println!("{header}");
+    capsys_bench::rule(&header);
+
+    // CAPSys: full pipeline, timed end to end (profiling excluded as in
+    // the paper — it runs once, offline).
+    {
+        let controller = CapsysController::default();
+        let profile = capsys_controller::profile_query(&query, &controller.config.profiler)
+            .expect("profiling");
+        let start = Instant::now();
+        let deployment = controller
+            .plan_with_profiles(&query, &cluster, target, profile)
+            .expect("CAPSys plan");
+        let decision_time = start.elapsed();
+        let planned = query
+            .with_parallelism(&deployment.logical.parallelism_vector())
+            .expect("parallelism");
+        let report = run_plan(
+            &planned,
+            &cluster,
+            &deployment.placement,
+            target,
+            measure_config(3),
+        );
+        println!(
+            "{:<15} {:>13} {:>11} {:>9.3}s {:>7} {:>14.2}s",
+            "CAPSys",
+            fmt_pct(report.avg_backpressure),
+            fmt_rate(report.avg_throughput),
+            report.avg_latency,
+            deployment.slots_used,
+            decision_time.as_secs_f64()
+        );
+    }
+
+    // ODRP configurations.
+    let budget = if fast_mode() {
+        Duration::from_secs(20)
+    } else {
+        Duration::from_secs(120)
+    };
+    let configs = [
+        ("ODRP-Default", OdrpWeights::default_config()),
+        ("ODRP-Weighted", OdrpWeights::weighted()),
+        ("ODRP-Latency", OdrpWeights::latency()),
+    ];
+    for (name, weights) in configs {
+        let solver = OdrpSolver::new(OdrpConfig {
+            weights,
+            max_parallelism: 16,
+            time_budget: budget,
+            ..OdrpConfig::default()
+        });
+        let start = Instant::now();
+        let solution = solver
+            .solve(query.logical(), &cluster, &query.source_rates(target))
+            .expect("ODRP finds a solution");
+        let decision_time = start.elapsed();
+        let planned = query
+            .with_parallelism(&solution.parallelism)
+            .expect("parallelism");
+        let report = run_plan(
+            &planned,
+            &cluster,
+            &solution.placement,
+            target,
+            measure_config(4),
+        );
+        println!(
+            "{:<15} {:>13} {:>11} {:>9.3}s {:>7} {:>13.2}s{}",
+            name,
+            fmt_pct(report.avg_backpressure),
+            fmt_rate(report.avg_throughput),
+            report.avg_latency,
+            solution.breakdown.slots_used,
+            decision_time.as_secs_f64(),
+            if solution.proven_optimal { "" } else { "+" }
+        );
+    }
+
+    println!(
+        "\n('+' marks ODRP runs cut off by the {:.0}s budget before proving",
+        budget.as_secs_f64()
+    );
+    println!(" optimality; the paper's CPLEX runs took 27-67 minutes on this query,");
+    println!(" while CAPSys decided in 0.2s — the orders-of-magnitude gap is the point)");
+}

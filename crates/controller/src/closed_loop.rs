@@ -1,0 +1,473 @@
+//! Closed-loop auto-scaling: DS2 + a placement strategy + the simulator.
+//!
+//! Drives the experiments of §6.4: the simulation runs under a variable
+//! rate schedule; every policy interval DS2 re-evaluates the optimal
+//! parallelism from live task metrics, and when the recommendation
+//! changes (and the activation period has elapsed since the last action),
+//! the job is reconfigured — a new physical graph is expanded and the
+//! configured placement strategy computes a new plan.
+
+use std::collections::{HashMap, VecDeque};
+
+use capsys_ds2::{Ds2Config, Ds2Controller};
+use capsys_model::{Cluster, OperatorId, PhysicalGraph, Placement, RateSchedule};
+use capsys_placement::{PlacementContext, PlacementStrategy};
+use capsys_queries::Query;
+use capsys_sim::{MetricPoint, SimConfig, Simulation, TaskRateStats};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::ControllerError;
+
+/// One reconfiguration event in a closed-loop run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingEvent {
+    /// Simulated time of the action, seconds.
+    pub time: f64,
+    /// New per-operator parallelism.
+    pub parallelism: Vec<usize>,
+    /// Total slots after the action.
+    pub slots: usize,
+}
+
+/// The trace of a closed-loop run.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopTrace {
+    /// All metric samples, in time order across reconfigurations.
+    pub points: Vec<MetricPoint>,
+    /// Scaling actions DS2 took.
+    pub events: Vec<ScalingEvent>,
+    /// Final per-operator parallelism.
+    pub final_parallelism: Vec<usize>,
+}
+
+impl ClosedLoopTrace {
+    /// Number of scaling actions taken.
+    pub fn num_scalings(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Average throughput over samples in `[from, to)` seconds.
+    pub fn avg_throughput(&self, from: f64, to: f64) -> f64 {
+        let pts: Vec<&MetricPoint> = self
+            .points
+            .iter()
+            .filter(|p| p.time >= from && p.time < to)
+            .collect();
+        if pts.is_empty() {
+            return 0.0;
+        }
+        pts.iter().map(|p| p.source_throughput).sum::<f64>() / pts.len() as f64
+    }
+
+    /// Average target rate over samples in `[from, to)` seconds.
+    pub fn avg_target(&self, from: f64, to: f64) -> f64 {
+        let pts: Vec<&MetricPoint> = self
+            .points
+            .iter()
+            .filter(|p| p.time >= from && p.time < to)
+            .collect();
+        if pts.is_empty() {
+            return 0.0;
+        }
+        pts.iter().map(|p| p.target_rate).sum::<f64>() / pts.len() as f64
+    }
+
+    /// Maximum slots occupied at any point in `[from, to)`.
+    pub fn max_slots(&self, from: f64, to: f64) -> usize {
+        let mut slots = self
+            .events
+            .iter()
+            .rev()
+            .find(|e| e.time < from)
+            .map(|e| e.slots)
+            .unwrap_or(0);
+        let mut max = slots;
+        for e in self.events.iter().filter(|e| e.time >= from && e.time < to) {
+            slots = e.slots;
+            max = max.max(slots);
+        }
+        max
+    }
+}
+
+/// A closed-loop DS2 + placement runner.
+pub struct ClosedLoop<'a> {
+    query: Query,
+    cluster: &'a Cluster,
+    strategy: &'a dyn PlacementStrategy,
+    ds2: Ds2Controller,
+    sim_config: SimConfig,
+    schedule: RateSchedule,
+    rng: SmallRng,
+    // Live state.
+    time: f64,
+    physical: PhysicalGraph,
+    placement: Placement,
+    sim: Simulation,
+    last_action: f64,
+    events: Vec<ScalingEvent>,
+    points: Vec<MetricPoint>,
+    /// Rolling window of recent task metrics `(window seconds, rates)`;
+    /// DS2 decisions average over it so short-window noise and
+    /// burst-cycle aliasing do not flip the parallelism ceiling.
+    recent: VecDeque<(f64, Vec<TaskRateStats>)>,
+}
+
+/// How many policy windows the metrics average spans.
+const METRICS_WINDOWS: usize = 12;
+
+/// Time-weighted average of task metrics across windows.
+fn average_rates(recent: &VecDeque<(f64, Vec<TaskRateStats>)>) -> Vec<TaskRateStats> {
+    let total: f64 = recent.iter().map(|(t, _)| *t).sum();
+    let n = recent.back().map(|(_, r)| r.len()).unwrap_or(0);
+    let mut avg = vec![TaskRateStats::default(); n];
+    if total <= 0.0 {
+        return avg;
+    }
+    for (t, rates) in recent {
+        let w = t / total;
+        for (a, r) in avg.iter_mut().zip(rates) {
+            a.observed_rate += w * r.observed_rate;
+            a.true_rate += w * r.true_rate;
+            a.observed_output_rate += w * r.observed_output_rate;
+            a.true_output_rate += w * r.true_output_rate;
+            a.busy_fraction += w * r.busy_fraction;
+        }
+    }
+    avg
+}
+
+impl<'a> ClosedLoop<'a> {
+    /// Builds a closed loop starting from the query's current parallelism
+    /// and an initial plan chosen by `strategy`.
+    ///
+    /// `schedule` is the aggregate source-rate schedule; it is split
+    /// across sources by the query's mix.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        query: &Query,
+        cluster: &'a Cluster,
+        strategy: &'a dyn PlacementStrategy,
+        ds2_config: Ds2Config,
+        sim_config: SimConfig,
+        schedule: RateSchedule,
+        seed: u64,
+    ) -> Result<ClosedLoop<'a>, ControllerError> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let physical = query.physical();
+        let rate_now = schedule.rate_at(0.0).max(1.0);
+        let loads = query
+            .load_model_at(&physical, rate_now)
+            .map_err(ControllerError::Model)?;
+        let ctx = PlacementContext {
+            logical: query.logical(),
+            physical: &physical,
+            cluster,
+            loads: &loads,
+        };
+        let placement = strategy
+            .place(&ctx, &mut rng)
+            .map_err(ControllerError::Placement)?;
+        let sim = Simulation::new(
+            query.logical(),
+            &physical,
+            cluster,
+            &placement,
+            &query.schedules_from(&schedule),
+            sim_config.clone(),
+        )
+        .map_err(ControllerError::Sim)?;
+        Ok(ClosedLoop {
+            query: query.clone(),
+            cluster,
+            strategy,
+            ds2: Ds2Controller::new(ds2_config),
+            sim_config,
+            schedule,
+            rng,
+            time: 0.0,
+            physical,
+            placement,
+            sim,
+            last_action: f64::NEG_INFINITY,
+            events: Vec::new(),
+            points: Vec::new(),
+            recent: VecDeque::new(),
+        })
+    }
+
+    /// Current simulated time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The current placement plan.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Runs the loop for `duration` simulated seconds.
+    pub fn run(mut self, duration: f64) -> Result<ClosedLoopTrace, ControllerError> {
+        let interval = self.ds2.config.policy_interval.max(self.sim_config.tick);
+        let end = self.time + duration;
+        while self.time < end - 1e-9 {
+            let window = interval.min(end - self.time);
+            let report = self.sim.advance(window, 0.0);
+            self.time += window;
+            for mut p in report.points.clone() {
+                p.time = self.time;
+                self.points.push(p);
+            }
+            self.recent.push_back((window, report.task_rates.clone()));
+            while self.recent.len() > METRICS_WINDOWS {
+                self.recent.pop_front();
+            }
+
+            // DS2 policy evaluation.
+            if self.time - self.last_action < self.ds2.config.activation_period {
+                continue;
+            }
+            let rates = average_rates(&self.recent);
+            let rate_now = self.schedule.rate_at(self.time).max(1.0);
+            let targets: HashMap<OperatorId, f64> = self.query.source_rates(rate_now);
+            let decision = self
+                .ds2
+                .decide(self.query.logical(), &self.physical, &rates, &targets)
+                .map_err(ControllerError::Ds2)?;
+            if !decision.changed {
+                continue;
+            }
+            if self.cluster.check_capacity(decision.total_tasks()).is_err() {
+                // Cannot deploy the recommendation; skip this action.
+                continue;
+            }
+            self.reconfigure(decision.parallelism, rate_now)?;
+        }
+        Ok(ClosedLoopTrace {
+            points: self.points,
+            events: self.events,
+            final_parallelism: self.query.logical().parallelism_vector(),
+        })
+    }
+
+    /// Applies a new parallelism vector: new physical graph, new plan,
+    /// fresh simulation (the restart-from-savepoint analogue).
+    fn reconfigure(
+        &mut self,
+        parallelism: Vec<usize>,
+        rate_now: f64,
+    ) -> Result<(), ControllerError> {
+        self.query = self
+            .query
+            .with_parallelism(&parallelism)
+            .map_err(ControllerError::Model)?;
+        self.physical = self.query.physical();
+        let loads = self
+            .query
+            .load_model_at(&self.physical, rate_now)
+            .map_err(ControllerError::Model)?;
+        let ctx = PlacementContext {
+            logical: self.query.logical(),
+            physical: &self.physical,
+            cluster: self.cluster,
+            loads: &loads,
+        };
+        self.placement = self
+            .strategy
+            .place(&ctx, &mut self.rng)
+            .map_err(ControllerError::Placement)?;
+        // Shift the schedule so the new simulation continues at the
+        // current wall-clock position.
+        let offset = self.time;
+        let shifted = shift_schedule(&self.schedule, offset);
+        self.sim = Simulation::new(
+            self.query.logical(),
+            &self.physical,
+            self.cluster,
+            &self.placement,
+            &self.query.schedules_from(&shifted),
+            self.sim_config.clone(),
+        )
+        .map_err(ControllerError::Sim)?;
+        self.last_action = self.time;
+        self.recent.clear();
+        self.events.push(ScalingEvent {
+            time: self.time,
+            parallelism,
+            slots: self.physical.num_tasks(),
+        });
+        Ok(())
+    }
+}
+
+/// Shifts a schedule left by `offset` seconds (the new simulation's t=0
+/// corresponds to global time `offset`).
+fn shift_schedule(schedule: &RateSchedule, offset: f64) -> RateSchedule {
+    match schedule {
+        RateSchedule::Constant(r) => RateSchedule::Constant(*r),
+        RateSchedule::Steps(steps) => {
+            let mut shifted: Vec<(f64, f64)> = Vec::new();
+            let mut current = steps.first().map(|&(_, r)| r).unwrap_or(0.0);
+            for &(t, r) in steps {
+                if t <= offset {
+                    current = r;
+                } else {
+                    shifted.push((t - offset, r));
+                }
+            }
+            shifted.insert(0, (0.0, current));
+            RateSchedule::Steps(shifted)
+        }
+        RateSchedule::SquareWave {
+            high,
+            low,
+            period_sec,
+        } => {
+            // Re-express as steps covering a long horizon.
+            let mut steps = Vec::new();
+            let horizon = 100.0 * period_sec;
+            let mut t = 0.0;
+            while t < horizon {
+                let global = t + offset;
+                let phase = (global / period_sec).floor() as i64;
+                let rate = if phase % 2 == 0 { *high } else { *low };
+                steps.push((t, rate));
+                let next_boundary = ((global / period_sec).floor() + 1.0) * period_sec;
+                t = next_boundary - offset;
+            }
+            RateSchedule::Steps(steps)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsys_model::WorkerSpec;
+    use capsys_placement::{CapsStrategy, FlinkDefault};
+    use capsys_queries::q1_sliding;
+
+    fn small_cluster() -> Cluster {
+        Cluster::homogeneous(4, WorkerSpec::m5d_2xlarge(8)).unwrap()
+    }
+
+    fn fast_ds2() -> Ds2Config {
+        Ds2Config {
+            activation_period: 20.0,
+            policy_interval: 5.0,
+            max_parallelism: 8,
+            headroom: 1.0,
+        }
+    }
+
+    #[test]
+    fn shift_schedule_preserves_rates() {
+        let s = RateSchedule::Steps(vec![(0.0, 10.0), (100.0, 20.0), (200.0, 5.0)]);
+        let shifted = shift_schedule(&s, 150.0);
+        assert_eq!(shifted.rate_at(0.0), 20.0);
+        assert_eq!(shifted.rate_at(49.0), 20.0);
+        assert_eq!(shifted.rate_at(50.0), 5.0);
+        let w = RateSchedule::SquareWave {
+            high: 100.0,
+            low: 40.0,
+            period_sec: 60.0,
+        };
+        let ws = shift_schedule(&w, 90.0);
+        // Global t=90 is in the low phase (60..120).
+        assert_eq!(ws.rate_at(0.0), 40.0);
+        assert_eq!(ws.rate_at(29.0), 40.0);
+        assert_eq!(ws.rate_at(30.0), 100.0);
+    }
+
+    #[test]
+    fn closed_loop_scales_up_on_rate_increase() {
+        // Start tiny (parallelism 1 everywhere) and let DS2 grow the job.
+        let query = q1_sliding().with_parallelism(&[1, 1, 1, 1]).unwrap();
+        let cluster = small_cluster();
+        let target = q1_sliding().capacity_rate(&cluster, 0.5).unwrap();
+        let strategy = CapsStrategy::default();
+        let loop_ = ClosedLoop::new(
+            &query,
+            &cluster,
+            &strategy,
+            fast_ds2(),
+            SimConfig {
+                duration: 1.0,
+                warmup: 0.0,
+                ..SimConfig::default()
+            },
+            RateSchedule::Constant(target),
+            7,
+        )
+        .unwrap();
+        let trace = loop_.run(300.0).unwrap();
+        assert!(trace.num_scalings() >= 1, "DS2 never scaled");
+        let final_tasks: usize = trace.final_parallelism.iter().sum();
+        assert!(
+            final_tasks > 4,
+            "parallelism did not grow: {:?}",
+            trace.final_parallelism
+        );
+        // After convergence the job should track the target.
+        let late_tp = trace.avg_throughput(200.0, 300.0);
+        let late_target = trace.avg_target(200.0, 300.0);
+        assert!(
+            late_tp >= 0.85 * late_target,
+            "converged throughput {late_tp} vs target {late_target}"
+        );
+    }
+
+    #[test]
+    fn closed_loop_with_random_placement_also_runs() {
+        let query = q1_sliding().with_parallelism(&[1, 1, 1, 1]).unwrap();
+        let cluster = small_cluster();
+        let target = q1_sliding().capacity_rate(&cluster, 0.5).unwrap();
+        let strategy = FlinkDefault;
+        let loop_ = ClosedLoop::new(
+            &query,
+            &cluster,
+            &strategy,
+            fast_ds2(),
+            SimConfig {
+                duration: 1.0,
+                warmup: 0.0,
+                ..SimConfig::default()
+            },
+            RateSchedule::Constant(target),
+            3,
+        )
+        .unwrap();
+        let trace = loop_.run(200.0).unwrap();
+        assert!(!trace.points.is_empty());
+    }
+
+    #[test]
+    fn activation_period_limits_scaling_frequency() {
+        let query = q1_sliding().with_parallelism(&[1, 1, 1, 1]).unwrap();
+        let cluster = small_cluster();
+        let target = q1_sliding().capacity_rate(&cluster, 0.5).unwrap();
+        let strategy = CapsStrategy::default();
+        let cfg = Ds2Config {
+            activation_period: 1000.0,
+            ..fast_ds2()
+        };
+        let loop_ = ClosedLoop::new(
+            &query,
+            &cluster,
+            &strategy,
+            cfg,
+            SimConfig {
+                duration: 1.0,
+                warmup: 0.0,
+                ..SimConfig::default()
+            },
+            RateSchedule::Constant(target),
+            7,
+        )
+        .unwrap();
+        let trace = loop_.run(120.0).unwrap();
+        // Only the very first evaluation can fire.
+        assert!(trace.num_scalings() <= 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! The CAPSys end-to-end adaptive resource controller.
+//!
+//! Glues together the pieces of Figure 6 of the paper:
+//!
+//! * [`profiler`] — the cost-profiling phase (§5.1): one operator per
+//!   worker, unit costs per record recovered from worker metrics;
+//! * [`controller`] — the deployment pipeline: profile → DS2 parallelism
+//!   → CAPS placement;
+//! * [`closed_loop`] — the runtime loop for variable workloads (§6.4):
+//!   DS2 re-evaluates every policy interval and reconfigurations re-run
+//!   the placement strategy;
+//! * [`online`] — online profiling (the §5.1 future-work extension):
+//!   effective unit costs tracked from runtime metrics, with drift
+//!   detection to trigger re-planning.
+
+#![warn(missing_docs)]
+pub mod closed_loop;
+pub mod controller;
+pub mod online;
+pub mod profiler;
+
+pub use closed_loop::{ClosedLoop, ClosedLoopTrace, ScalingEvent};
+pub use controller::{CapsysConfig, CapsysController, Deployment};
+pub use online::{OnlineProfiler, OnlineProfilerConfig};
+pub use profiler::{profile_query, ProfileReport, ProfilerConfig};
+
+use capsys_ds2::Ds2Error;
+use capsys_model::ModelError;
+use capsys_placement::PlacementError;
+use capsys_sim::SimError;
+
+/// Errors produced by the CAPSys controller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerError {
+    /// An underlying model error.
+    Model(ModelError),
+    /// A simulator error.
+    Sim(SimError),
+    /// A DS2 error.
+    Ds2(Ds2Error),
+    /// A placement-strategy error.
+    Placement(PlacementError),
+}
+
+impl std::fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControllerError::Model(e) => write!(f, "model error: {e}"),
+            ControllerError::Sim(e) => write!(f, "simulation error: {e}"),
+            ControllerError::Ds2(e) => write!(f, "DS2 error: {e}"),
+            ControllerError::Placement(e) => write!(f, "placement error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}
+
+impl From<ModelError> for ControllerError {
+    fn from(e: ModelError) -> Self {
+        ControllerError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = ControllerError::from(ModelError::NoSource);
+        assert!(e.to_string().contains("model"));
+    }
+}

@@ -1,0 +1,339 @@
+//! Threshold auto-tuning (§5.2).
+//!
+//! Threshold-based pruning requires a factor `α⃗`, and the paper's goal is
+//! the *minimum feasible* threshold: tight enough to return the most
+//! resource-balanced plan, loose enough that a plan exists. The
+//! auto-tuner proceeds in two phases:
+//!
+//! 1. **Per-dimension minimum.** For each dimension in isolation (the
+//!    other two disabled), start from the tightest possible bound and
+//!    relax it geometrically (factor 1.1 in the paper and by default
+//!    here) until a feasible plan exists.
+//! 2. **Joint relaxation.** Feasibility per dimension does not imply
+//!    joint feasibility, so starting from the phase-1 vector, all three
+//!    thresholds are relaxed together until a plan satisfying all of them
+//!    exists.
+//!
+//! A configurable timeout bounds the total tuning time; hitting it
+//! returns [`CapsError::AutoTuneTimeout`].
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::Thresholds;
+use crate::error::CapsError;
+use crate::search::{CapsSearch, SearchConfig};
+
+/// Configuration of the threshold auto-tuner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoTuneConfig {
+    /// Relaxation factor for the per-dimension phase (paper: 1.1).
+    pub phase1_factor: f64,
+    /// Relaxation factor for the joint phase (paper: 1.1).
+    pub phase2_factor: f64,
+    /// The smallest non-zero threshold to try when the tightest bound is
+    /// zero (a geometric relaxation cannot leave zero on its own).
+    pub seed: f64,
+    /// Wall-clock budget for the whole tuning process.
+    pub timeout: Duration,
+    /// Dimensions whose aggregate demand is below this fraction of the
+    /// cluster capacity are left unconstrained (`α = ∞`): an
+    /// under-pressure dimension cannot produce contention, and tight
+    /// thresholds on it would push the search toward plans that trade
+    /// real balance (e.g. CPU) for irrelevant balance (e.g. network on an
+    /// idle NIC).
+    pub min_pressure: f64,
+    /// Node budget per feasibility probe. A probe that exhausts the
+    /// budget without finding a plan is treated as infeasible and the
+    /// threshold is relaxed further — a conservative early exit that
+    /// keeps tuning fast on very large plan spaces.
+    pub probe_node_budget: usize,
+}
+
+impl Default for AutoTuneConfig {
+    fn default() -> Self {
+        AutoTuneConfig {
+            phase1_factor: 1.1,
+            phase2_factor: 1.1,
+            seed: 0.01,
+            timeout: Duration::from_secs(5),
+            min_pressure: 0.05,
+            probe_node_budget: 2_000_000,
+        }
+    }
+}
+
+/// The outcome of threshold auto-tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoTuneReport {
+    /// The minimum jointly feasible threshold vector.
+    pub thresholds: Thresholds,
+    /// Phase-1 per-dimension minima `[α_cpu, α_io, α_net]`.
+    pub per_dimension: [f64; 3],
+    /// Total feasibility probes performed.
+    pub iterations: usize,
+    /// Total tuning time.
+    pub elapsed: Duration,
+}
+
+/// The threshold auto-tuner.
+pub struct AutoTuner<'a> {
+    config: &'a AutoTuneConfig,
+}
+
+impl<'a> AutoTuner<'a> {
+    /// Creates an auto-tuner with the given configuration.
+    pub fn new(config: &'a AutoTuneConfig) -> AutoTuner<'a> {
+        AutoTuner { config }
+    }
+
+    /// Runs both tuning phases for the given search instance.
+    ///
+    /// `base` supplies the search settings (thread count, reordering) used
+    /// for the feasibility probes.
+    pub fn tune(
+        &self,
+        search: &CapsSearch<'_>,
+        base: &SearchConfig,
+    ) -> Result<AutoTuneReport, CapsError> {
+        if self.config.phase1_factor <= 1.0 || self.config.phase2_factor <= 1.0 {
+            return Err(CapsError::InvalidConfig(
+                "relaxation factors must be greater than 1".into(),
+            ));
+        }
+        if self.config.seed.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(CapsError::InvalidConfig("seed must be positive".into()));
+        }
+        let start = Instant::now();
+        let deadline = start + self.config.timeout;
+        let mut iterations = 0usize;
+        let probe_base = SearchConfig {
+            node_budget: Some(
+                base.node_budget
+                    .unwrap_or(usize::MAX)
+                    .min(self.config.probe_node_budget),
+            ),
+            ..base.clone()
+        };
+        let base = &probe_base;
+
+        // Phase 1: per-dimension minima with the other dimensions disabled.
+        let pressure = search.cost_model().pressure();
+        let mut per_dimension = [f64::INFINITY; 3];
+        for dim in 0..3 {
+            if pressure[dim] < self.config.min_pressure {
+                continue;
+            }
+            let mut alpha = search.cost_model().tightest_cost(dim);
+            loop {
+                let th = Thresholds::unbounded().with(crate::cost::Dimension::ALL[dim], alpha);
+                iterations += 1;
+                if search.is_feasible(&th, base, Some(deadline))? {
+                    per_dimension[dim] = alpha;
+                    break;
+                }
+                if alpha >= 1.0 {
+                    // C_i <= 1 holds for every plan, so an infeasible
+                    // alpha of 1 means no plan exists at all.
+                    return Err(CapsError::NoFeasiblePlan);
+                }
+                alpha = self.relax(alpha, self.config.phase1_factor).min(1.0);
+                if Instant::now() >= deadline {
+                    return Err(CapsError::AutoTuneTimeout {
+                        last_tried: {
+                            let mut t = per_dimension;
+                            t[dim] = alpha;
+                            t
+                        },
+                    });
+                }
+            }
+        }
+
+        // Phase 2: joint relaxation of the active thresholds.
+        let mut th = Thresholds::new(per_dimension[0], per_dimension[1], per_dimension[2]);
+        let relax_active = |tuner: &AutoTuner<'_>, v: f64| {
+            if v.is_finite() {
+                tuner.relax(v, tuner.config.phase2_factor).min(1.0)
+            } else {
+                v
+            }
+        };
+        loop {
+            iterations += 1;
+            if search.is_feasible(&th, base, Some(deadline))? {
+                break;
+            }
+            let active_maxed = [th.cpu, th.io, th.net]
+                .iter()
+                .all(|v| !v.is_finite() || *v >= 1.0);
+            if active_maxed {
+                return Err(CapsError::NoFeasiblePlan);
+            }
+            th = Thresholds::new(
+                relax_active(self, th.cpu),
+                relax_active(self, th.io),
+                relax_active(self, th.net),
+            );
+            if Instant::now() >= deadline {
+                return Err(CapsError::AutoTuneTimeout {
+                    last_tried: [th.cpu, th.io, th.net],
+                });
+            }
+        }
+
+        Ok(AutoTuneReport {
+            thresholds: th,
+            per_dimension,
+            iterations,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// One relaxation step: geometric growth, bootstrapped by the seed
+    /// when the current value is zero.
+    fn relax(&self, alpha: f64, factor: f64) -> f64 {
+        if alpha < self.config.seed {
+            self.config.seed
+        } else {
+            alpha * factor
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsys_model::{
+        Cluster, ConnectionPattern, LoadModel, LogicalGraph, OperatorId, OperatorKind,
+        PhysicalGraph, ResourceProfile, WorkerSpec,
+    };
+    use std::collections::HashMap;
+
+    fn fixture() -> (LogicalGraph, PhysicalGraph, Cluster, LoadModel) {
+        let mut b = LogicalGraph::builder("q");
+        let s = b.operator(
+            "src",
+            OperatorKind::Source,
+            2,
+            ResourceProfile::new(0.0005, 0.0, 100.0, 1.0),
+        );
+        let h = b.operator(
+            "heavy",
+            OperatorKind::Window,
+            4,
+            ResourceProfile::new(0.002, 500.0, 50.0, 0.5),
+        );
+        let k = b.operator(
+            "sink",
+            OperatorKind::Sink,
+            2,
+            ResourceProfile::new(0.0001, 0.0, 0.0, 1.0),
+        );
+        b.edge(s, h, ConnectionPattern::Rebalance);
+        b.edge(h, k, ConnectionPattern::Hash);
+        let g = b.build().unwrap();
+        let p = PhysicalGraph::expand(&g);
+        let c = Cluster::homogeneous(2, WorkerSpec::new(4, 4.0, 1e8, 1e9)).unwrap();
+        let mut rates = HashMap::new();
+        rates.insert(OperatorId(0), 1000.0);
+        let lm = LoadModel::derive(&g, &p, &rates).unwrap();
+        (g, p, c, lm)
+    }
+
+    #[test]
+    fn tuned_thresholds_are_feasible() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let base = SearchConfig::auto_tuned();
+        let report = AutoTuner::new(&base.auto_tune)
+            .tune(&search, &base)
+            .unwrap();
+        assert!(search.is_feasible(&report.thresholds, &base, None).unwrap());
+        assert!(report.iterations >= 2, "at least one probe per phase");
+    }
+
+    #[test]
+    fn tuned_thresholds_are_near_minimal() {
+        // Tightening the active dimensions by more than one relaxation
+        // step must make the search infeasible (minimality up to step
+        // granularity), unless the tuner already sits at the analytic
+        // floor where tightening is a no-op.
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let base = SearchConfig::auto_tuned();
+        let report = AutoTuner::new(&base.auto_tune)
+            .tune(&search, &base)
+            .unwrap();
+        let th = report.thresholds;
+        let factor = base.auto_tune.phase2_factor.powi(2);
+        let floor: Vec<f64> = (0..3)
+            .map(|d| search.cost_model().tightest_cost(d))
+            .collect();
+        let at_floor = |v: f64, f: f64| !v.is_finite() || v <= f + 1e-12;
+        if at_floor(th.cpu, floor[0]) && at_floor(th.io, floor[1]) && at_floor(th.net, floor[2]) {
+            // Already minimal by construction.
+            return;
+        }
+        let tighter = Thresholds::new(th.cpu / factor, th.io / factor, th.net / factor);
+        assert!(
+            !search.is_feasible(&tighter, &base, None).unwrap(),
+            "thresholds {th:?} were not minimal"
+        );
+    }
+
+    #[test]
+    fn full_run_with_autotuning_attaches_report() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let out = search.run(&SearchConfig::auto_tuned()).unwrap();
+        assert!(out.autotune.is_some());
+        assert!(!out.feasible.is_empty());
+        let best = out.best_scored().unwrap();
+        assert!(best.cost.within(&out.thresholds));
+    }
+
+    #[test]
+    fn per_dimension_minima_do_not_exceed_joint_thresholds() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let base = SearchConfig::auto_tuned();
+        let report = AutoTuner::new(&base.auto_tune)
+            .tune(&search, &base)
+            .unwrap();
+        assert!(report.thresholds.cpu >= report.per_dimension[0] - 1e-12);
+        assert!(report.thresholds.io >= report.per_dimension[1] - 1e-12);
+        assert!(report.thresholds.net >= report.per_dimension[2] - 1e-12);
+    }
+
+    #[test]
+    fn invalid_tuner_config_is_rejected() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let base = SearchConfig::auto_tuned();
+        let bad = AutoTuneConfig {
+            phase1_factor: 1.0,
+            ..AutoTuneConfig::default()
+        };
+        assert!(AutoTuner::new(&bad).tune(&search, &base).is_err());
+        let bad = AutoTuneConfig {
+            seed: 0.0,
+            ..AutoTuneConfig::default()
+        };
+        assert!(AutoTuner::new(&bad).tune(&search, &base).is_err());
+    }
+
+    #[test]
+    fn zero_timeout_times_out() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let base = SearchConfig::auto_tuned();
+        let cfg = AutoTuneConfig {
+            timeout: Duration::ZERO,
+            ..AutoTuneConfig::default()
+        };
+        let err = AutoTuner::new(&cfg).tune(&search, &base).unwrap_err();
+        assert!(matches!(err, CapsError::AutoTuneTimeout { .. }));
+    }
+}

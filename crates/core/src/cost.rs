@@ -1,0 +1,553 @@
+//! The CAPS cost model (§4.2, Equations 4-8).
+//!
+//! A placement plan is scored by a three-dimensional [`CostVector`]
+//! `[C_cpu, C_io, C_net]`. Each component measures the *resource
+//! imbalance* the plan induces: the distance of the bottleneck worker's
+//! load from the ideal (perfectly balanced) load, normalized by the
+//! worst-case distance obtained when the most resource-intensive tasks
+//! are co-located on one worker. All components lie in `[0, 1]`.
+
+use capsys_model::{Cluster, LoadModel, PhysicalGraph, Placement, TaskId, WorkerId};
+use serde::{Deserialize, Serialize};
+
+use crate::error::CapsError;
+
+/// Tolerance below which a load denominator is treated as degenerate.
+const EPS: f64 = 1e-12;
+
+/// The three resource dimensions of the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dimension {
+    /// Compute (CPU cores).
+    Cpu,
+    /// State access (disk I/O bytes/s).
+    Io,
+    /// Network (outbound bytes/s).
+    Net,
+}
+
+impl Dimension {
+    /// All dimensions, in `[cpu, io, net]` order.
+    pub const ALL: [Dimension; 3] = [Dimension::Cpu, Dimension::Io, Dimension::Net];
+}
+
+/// The cost vector `C⃗ = [C_cpu, C_io, C_net]` of a placement plan.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostVector {
+    /// Compute cost `C_cpu(f)` (Eq. 4).
+    pub cpu: f64,
+    /// State access cost `C_io(f)`.
+    pub io: f64,
+    /// Network cost `C_net(f)`.
+    pub net: f64,
+}
+
+impl CostVector {
+    /// Creates a cost vector.
+    pub fn new(cpu: f64, io: f64, net: f64) -> Self {
+        CostVector { cpu, io, net }
+    }
+
+    /// The component for a dimension.
+    pub fn get(&self, dim: Dimension) -> f64 {
+        match dim {
+            Dimension::Cpu => self.cpu,
+            Dimension::Io => self.io,
+            Dimension::Net => self.net,
+        }
+    }
+
+    /// The largest component.
+    pub fn max_component(&self) -> f64 {
+        self.cpu.max(self.io).max(self.net)
+    }
+
+    /// Returns true if `self` dominates `other` in the pareto sense:
+    /// no component is worse and at least one is strictly better.
+    pub fn dominates(&self, other: &CostVector) -> bool {
+        let le = self.cpu <= other.cpu && self.io <= other.io && self.net <= other.net;
+        let lt = self.cpu < other.cpu || self.io < other.io || self.net < other.net;
+        le && lt
+    }
+
+    /// Returns true if every component is below or equal to the matching
+    /// threshold (Eq. 9).
+    pub fn within(&self, thresholds: &Thresholds) -> bool {
+        self.cpu <= thresholds.cpu + EPS
+            && self.io <= thresholds.io + EPS
+            && self.net <= thresholds.net + EPS
+    }
+}
+
+/// The pruning threshold vector `α⃗ = [α_cpu, α_io, α_net]` (§4.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// Compute threshold `α_cpu ∈ [0, 1]` (or `∞` to disable).
+    pub cpu: f64,
+    /// State access threshold `α_io`.
+    pub io: f64,
+    /// Network threshold `α_net`.
+    pub net: f64,
+}
+
+impl Thresholds {
+    /// Creates a threshold vector.
+    pub fn new(cpu: f64, io: f64, net: f64) -> Self {
+        Thresholds { cpu, io, net }
+    }
+
+    /// Thresholds that never prune (all `∞`).
+    pub fn unbounded() -> Self {
+        Thresholds::new(f64::INFINITY, f64::INFINITY, f64::INFINITY)
+    }
+
+    /// The component for a dimension.
+    pub fn get(&self, dim: Dimension) -> f64 {
+        match dim {
+            Dimension::Cpu => self.cpu,
+            Dimension::Io => self.io,
+            Dimension::Net => self.net,
+        }
+    }
+
+    /// Replaces the component for a dimension, returning the new vector.
+    pub fn with(mut self, dim: Dimension, value: f64) -> Self {
+        match dim {
+            Dimension::Cpu => self.cpu = value,
+            Dimension::Io => self.io = value,
+            Dimension::Net => self.net = value,
+        }
+        self
+    }
+
+    /// Component-wise scaling, used by the auto-tuner's joint relaxation.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Thresholds::new(self.cpu * factor, self.io * factor, self.net * factor)
+    }
+}
+
+/// Per-dimension load extremes `L_min` and `L_max` (Eqs. 6-7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadBounds {
+    /// Per-worker load of a perfectly balanced allocation (`L_min`).
+    pub min: [f64; 3],
+    /// Worst-case bottleneck load when the top-`s` most intensive tasks
+    /// are co-located (`L_max`).
+    pub max: [f64; 3],
+}
+
+/// The CAPS cost model bound to a physical graph, cluster, and load model.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    bounds: LoadBounds,
+    /// Per-task loads `[cpu, io, net]`, indexed by task id.
+    task_loads: Vec<[f64; 3]>,
+    /// Per-task per-downstream-link output rate `U_net(t) / |D(t)|`.
+    link_rates: Vec<f64>,
+    num_workers: usize,
+    /// Aggregate demand over cluster capacity per dimension, in `[0, 1]`.
+    pressure: [f64; 3],
+}
+
+impl CostModel {
+    /// Builds the cost model, pre-computing `L_min` and `L_max` per
+    /// dimension.
+    pub fn new(
+        physical: &PhysicalGraph,
+        cluster: &Cluster,
+        loads: &LoadModel,
+    ) -> Result<CostModel, CapsError> {
+        cluster.check_capacity(physical.num_tasks())?;
+        let s = cluster.slots_per_worker();
+        let n_workers = cluster.num_workers() as f64;
+
+        let task_loads: Vec<[f64; 3]> =
+            loads.loads().iter().map(|l| [l.cpu, l.io, l.net]).collect();
+        let link_rates: Vec<f64> = (0..physical.num_tasks())
+            .map(|i| {
+                let d = physical.downstream_count(TaskId(i));
+                if d == 0 {
+                    0.0
+                } else {
+                    task_loads[i][2] / d as f64
+                }
+            })
+            .collect();
+
+        let mut min = [0.0f64; 3];
+        let mut max = [0.0f64; 3];
+        for dim in 0..3 {
+            let total: f64 = task_loads.iter().map(|l| l[dim]).sum();
+            // L_min: balanced allocation; the paper sets L_net_min = 0
+            // because co-locating everything incurs no network traffic.
+            min[dim] = if dim == 2 { 0.0 } else { total / n_workers };
+            // L_max: co-locate the top-s most intensive tasks (T_cpu /
+            // T_io / T_net with |T| = s, Table 1).
+            let mut per_task: Vec<f64> = task_loads.iter().map(|l| l[dim]).collect();
+            per_task.sort_by(|a, b| b.partial_cmp(a).expect("loads are finite"));
+            max[dim] = per_task.iter().take(s).sum();
+        }
+
+        // Dimension pressure: how much of the cluster's aggregate
+        // capacity the workload demands per dimension. A dimension whose
+        // pressure is negligible cannot produce contention no matter how
+        // imbalanced the plan is (the paper's Figure 5 observation that
+        // C_net is not a dominant factor for non-network-intensive
+        // queries); auto-tuning and plan selection use this to focus on
+        // the dimensions that matter.
+        let spec = cluster.workers()[0].spec;
+        let w = cluster.num_workers() as f64;
+        let totals: [f64; 3] = (0..3)
+            .map(|dim| task_loads.iter().map(|l| l[dim]).sum::<f64>())
+            .collect::<Vec<f64>>()
+            .try_into()
+            .expect("three dimensions");
+        let remote_fraction = if w > 1.0 { (w - 1.0) / w } else { 0.0 };
+        let pressure = [
+            (totals[0] / (spec.cpu_cores * w)).clamp(0.0, 1.0),
+            (totals[1] / (spec.disk_bandwidth * w)).clamp(0.0, 1.0),
+            (totals[2] * remote_fraction / (spec.network_bandwidth * w)).clamp(0.0, 1.0),
+        ];
+
+        Ok(CostModel {
+            bounds: LoadBounds { min, max },
+            task_loads,
+            link_rates,
+            num_workers: cluster.num_workers(),
+            pressure,
+        })
+    }
+
+    /// Aggregate demand over cluster capacity per `[cpu, io, net]`
+    /// dimension, each in `[0, 1]`.
+    pub fn pressure(&self) -> [f64; 3] {
+        self.pressure
+    }
+
+    /// The pre-computed load bounds.
+    pub fn bounds(&self) -> &LoadBounds {
+        &self.bounds
+    }
+
+    /// Number of workers in the bound cluster.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Per-task load vector `[U_cpu, U_io, U_net]`.
+    pub fn task_load(&self, t: TaskId) -> [f64; 3] {
+        self.task_loads[t.0]
+    }
+
+    /// Per-downstream-link output rate of a task, `U_net(t) / |D(t)|`.
+    pub fn link_rate(&self, t: TaskId) -> f64 {
+        self.link_rates[t.0]
+    }
+
+    /// The per-worker load vector `[L_cpu, L_io, L_net]` of worker `w`
+    /// under plan `f` (Eqs. 5 and 8).
+    pub fn worker_load(&self, physical: &PhysicalGraph, plan: &Placement, w: WorkerId) -> [f64; 3] {
+        let mut load = [0.0f64; 3];
+        for t in plan.tasks_on(w) {
+            let tl = self.task_loads[t.0];
+            load[0] += tl[0];
+            load[1] += tl[1];
+            // Only cross-worker downstream links contribute to outbound
+            // network traffic (Eq. 8).
+            load[2] += tl[2] * plan.cross_worker_fraction(physical, t);
+        }
+        load
+    }
+
+    /// The bottleneck loads `[L_cpu(f), L_io(f), L_net(f)]` of a plan.
+    pub fn plan_loads(&self, physical: &PhysicalGraph, plan: &Placement) -> [f64; 3] {
+        let mut worst = [0.0f64; 3];
+        for w in 0..self.num_workers {
+            let load = self.worker_load(physical, plan, WorkerId(w));
+            for dim in 0..3 {
+                worst[dim] = worst[dim].max(load[dim]);
+            }
+        }
+        worst
+    }
+
+    /// Converts a bottleneck load to a normalized cost value (Eq. 4).
+    pub fn load_to_cost(&self, dim: usize, load: f64) -> f64 {
+        let denom = self.bounds.max[dim] - self.bounds.min[dim];
+        if denom.abs() < EPS {
+            // All placement plans are equivalent along this dimension.
+            0.0
+        } else {
+            (load - self.bounds.min[dim]) / denom
+        }
+    }
+
+    /// The full cost vector `C⃗(f)` of a plan.
+    pub fn cost(&self, physical: &PhysicalGraph, plan: &Placement) -> CostVector {
+        let loads = self.plan_loads(physical, plan);
+        CostVector::new(
+            self.load_to_cost(0, loads[0]),
+            self.load_to_cost(1, loads[1]),
+            self.load_to_cost(2, loads[2]),
+        )
+    }
+
+    /// The per-worker load bound implied by thresholds `α⃗` (Eq. 10):
+    /// `L_i(f) ≤ L_i_min + α_i (L_i_max − L_i_min)`.
+    ///
+    /// Degenerate dimensions (`L_max = L_min`) and infinite thresholds
+    /// yield an infinite bound (no pruning along that dimension).
+    pub fn load_bound(&self, thresholds: &Thresholds) -> [f64; 3] {
+        let alphas = [thresholds.cpu, thresholds.io, thresholds.net];
+        let mut bound = [f64::INFINITY; 3];
+        for dim in 0..3 {
+            let denom = self.bounds.max[dim] - self.bounds.min[dim];
+            if alphas[dim].is_finite() && denom.abs() >= EPS {
+                bound[dim] = self.bounds.min[dim] + alphas[dim] * denom;
+            }
+        }
+        bound
+    }
+
+    /// The tightest integral lower bound on the achievable cost along a
+    /// dimension, used by the auto-tuner as a starting point.
+    ///
+    /// A perfectly balanced placement is generally unattainable because
+    /// tasks are indivisible; the bottleneck worker must carry at least
+    /// the largest single task load.
+    pub fn tightest_cost(&self, dim: usize) -> f64 {
+        let denom = self.bounds.max[dim] - self.bounds.min[dim];
+        if denom.abs() < EPS {
+            return 0.0;
+        }
+        let heaviest = self.task_loads.iter().map(|l| l[dim]).fold(0.0, f64::max);
+        let floor = if dim == 2 {
+            // L_net_min is 0; the cheapest conceivable bottleneck is 0
+            // (everything co-located), so start from zero.
+            0.0
+        } else {
+            heaviest.max(self.bounds.min[dim])
+        };
+        ((floor - self.bounds.min[dim]) / denom).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsys_model::{
+        Cluster, ConnectionPattern, LoadModel, LogicalGraph, OperatorId, OperatorKind,
+        PhysicalGraph, Placement, ResourceProfile, WorkerSpec,
+    };
+    use std::collections::HashMap;
+
+    /// src(2) -> heavy(4) -> sink(2) with distinctive unit costs.
+    fn fixture() -> (PhysicalGraph, Cluster, LoadModel) {
+        let mut b = LogicalGraph::builder("q");
+        let s = b.operator(
+            "src",
+            OperatorKind::Source,
+            2,
+            ResourceProfile::new(0.0005, 0.0, 100.0, 1.0),
+        );
+        let h = b.operator(
+            "heavy",
+            OperatorKind::Window,
+            4,
+            ResourceProfile::new(0.002, 500.0, 50.0, 0.5),
+        );
+        let k = b.operator(
+            "sink",
+            OperatorKind::Sink,
+            2,
+            ResourceProfile::new(0.0001, 0.0, 0.0, 1.0),
+        );
+        b.edge(s, h, ConnectionPattern::Rebalance);
+        b.edge(h, k, ConnectionPattern::Hash);
+        let g = b.build().unwrap();
+        let p = PhysicalGraph::expand(&g);
+        let c = Cluster::homogeneous(2, WorkerSpec::new(4, 4.0, 1e8, 1e9)).unwrap();
+        let mut rates = HashMap::new();
+        rates.insert(OperatorId(0), 1000.0);
+        let lm = LoadModel::derive(&g, &p, &rates).unwrap();
+        (p, c, lm)
+    }
+
+    fn plan(assign: &[usize]) -> Placement {
+        Placement::new(assign.iter().map(|&w| capsys_model::WorkerId(w)).collect())
+    }
+
+    #[test]
+    fn bounds_are_ordered() {
+        let (p, c, lm) = fixture();
+        let m = CostModel::new(&p, &c, &lm).unwrap();
+        for dim in 0..3 {
+            assert!(
+                m.bounds().max[dim] >= m.bounds().min[dim],
+                "dim {dim}: max {} < min {}",
+                m.bounds().max[dim],
+                m.bounds().min[dim]
+            );
+        }
+        assert_eq!(m.bounds().min[2], 0.0, "L_net_min is zero by definition");
+    }
+
+    #[test]
+    fn balanced_plan_has_lower_cost_than_skewed() {
+        let (p, c, lm) = fixture();
+        let m = CostModel::new(&p, &c, &lm).unwrap();
+        // Tasks: s0 s1 | h0 h1 h2 h3 | k0 k1.
+        let balanced = plan(&[0, 1, 0, 0, 1, 1, 0, 1]);
+        let skewed = plan(&[0, 1, 0, 0, 0, 0, 1, 1]);
+        let cb = m.cost(&p, &balanced);
+        let cs = m.cost(&p, &skewed);
+        assert!(cb.cpu < cs.cpu, "balanced {cb:?} vs skewed {cs:?}");
+        assert!(cb.io < cs.io);
+    }
+
+    #[test]
+    fn costs_are_in_unit_interval() {
+        let (p, c, lm) = fixture();
+        let m = CostModel::new(&p, &c, &lm).unwrap();
+        for plan in capsys_model::enumerate_plans(&p, &c, usize::MAX).unwrap() {
+            let cost = m.cost(&p, &plan);
+            for dim in [cost.cpu, cost.io, cost.net] {
+                assert!(
+                    (-1e-9..=1.0 + 1e-9).contains(&dim),
+                    "cost {cost:?} out of range"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn colocation_removes_network_cost() {
+        // 2 workers, everything on worker 0 (slots permitting) -> no
+        // cross-worker traffic.
+        let (p, c, lm) = fixture();
+        let m = CostModel::new(&p, &c, &lm).unwrap();
+        // 8 tasks > 4 slots, so full co-location is impossible; check that
+        // a plan keeping heavy->sink local has lower net cost.
+        let local = plan(&[0, 1, 0, 0, 1, 1, 0, 1]);
+        let remote = plan(&[0, 1, 0, 0, 1, 1, 1, 0]);
+        let cl = m.cost(&p, &local);
+        let cr = m.cost(&p, &remote);
+        assert!(cl.net <= cr.net);
+    }
+
+    #[test]
+    fn worker_load_matches_plan_loads() {
+        let (p, c, lm) = fixture();
+        let m = CostModel::new(&p, &c, &lm).unwrap();
+        let f = plan(&[0, 1, 0, 0, 1, 1, 0, 1]);
+        let worst = m.plan_loads(&p, &f);
+        let w0 = m.worker_load(&p, &f, WorkerId(0));
+        let w1 = m.worker_load(&p, &f, WorkerId(1));
+        for dim in 0..3 {
+            assert!((worst[dim] - w0[dim].max(w1[dim])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn load_bound_inverts_cost_threshold() {
+        let (p, c, lm) = fixture();
+        let m = CostModel::new(&p, &c, &lm).unwrap();
+        let th = Thresholds::new(0.3, 0.4, 0.5);
+        let bound = m.load_bound(&th);
+        for dim in 0..3 {
+            let alpha = [th.cpu, th.io, th.net][dim];
+            let expect = m.bounds().min[dim] + alpha * (m.bounds().max[dim] - m.bounds().min[dim]);
+            assert!((bound[dim] - expect).abs() < 1e-9);
+        }
+        // A plan whose loads satisfy the bound has cost within thresholds.
+        for f in capsys_model::enumerate_plans(&p, &c, usize::MAX).unwrap() {
+            let loads = m.plan_loads(&p, &f);
+            let within_loads = (0..3).all(|d| loads[d] <= bound[d] + 1e-9);
+            let within_cost = m.cost(&p, &f).within(&th);
+            assert_eq!(within_loads, within_cost, "Eq. 10 equivalence violated");
+        }
+    }
+
+    #[test]
+    fn unbounded_thresholds_do_not_prune() {
+        let (p, c, lm) = fixture();
+        let m = CostModel::new(&p, &c, &lm).unwrap();
+        let bound = m.load_bound(&Thresholds::unbounded());
+        assert!(bound.iter().all(|b| b.is_infinite()));
+    }
+
+    #[test]
+    fn dominates_is_strict() {
+        let a = CostVector::new(0.1, 0.2, 0.3);
+        let b = CostVector::new(0.2, 0.2, 0.3);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&a), "a vector does not dominate itself");
+        let c = CostVector::new(0.05, 0.5, 0.3);
+        assert!(!a.dominates(&c));
+        assert!(!c.dominates(&a));
+    }
+
+    #[test]
+    fn cost_vector_accessors() {
+        let v = CostVector::new(0.1, 0.5, 0.3);
+        assert_eq!(v.get(Dimension::Cpu), 0.1);
+        assert_eq!(v.get(Dimension::Io), 0.5);
+        assert_eq!(v.get(Dimension::Net), 0.3);
+        assert_eq!(v.max_component(), 0.5);
+        let t = Thresholds::new(0.2, 0.6, 0.4);
+        assert!(v.within(&t));
+        assert!(!v.within(&Thresholds::new(0.05, 0.6, 0.4)));
+        assert_eq!(t.with(Dimension::Cpu, 0.9).cpu, 0.9);
+        assert_eq!(t.get(Dimension::Io), 0.6);
+        let s = t.scaled(2.0);
+        assert_eq!(s.io, 1.2);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn tightest_cost_is_achievable_floor() {
+        let (p, c, lm) = fixture();
+        let m = CostModel::new(&p, &c, &lm).unwrap();
+        // No enumerated plan can beat the tightest cost.
+        let mut best = [f64::INFINITY; 3];
+        for f in capsys_model::enumerate_plans(&p, &c, usize::MAX).unwrap() {
+            let cost = m.cost(&p, &f);
+            best[0] = best[0].min(cost.cpu);
+            best[1] = best[1].min(cost.io);
+            best[2] = best[2].min(cost.net);
+        }
+        for dim in 0..3 {
+            assert!(
+                m.tightest_cost(dim) <= best[dim] + 1e-9,
+                "dim {dim}: floor {} exceeds best {}",
+                m.tightest_cost(dim),
+                best[dim]
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_dimension_costs_zero() {
+        // All tasks identical and slots exactly fit: single worker.
+        let mut b = LogicalGraph::builder("deg");
+        b.operator(
+            "src",
+            OperatorKind::Source,
+            2,
+            ResourceProfile::new(0.001, 0.0, 0.0, 1.0),
+        );
+        let g = b.build().unwrap();
+        let p = PhysicalGraph::expand(&g);
+        let c = Cluster::homogeneous(1, WorkerSpec::new(2, 4.0, 1e8, 1e9)).unwrap();
+        let mut rates = HashMap::new();
+        rates.insert(OperatorId(0), 100.0);
+        let lm = LoadModel::derive(&g, &p, &rates).unwrap();
+        let m = CostModel::new(&p, &c, &lm).unwrap();
+        let f = plan(&[0, 0]);
+        let cost = m.cost(&p, &f);
+        assert_eq!(cost.cpu, 0.0);
+        assert_eq!(cost.io, 0.0);
+        assert_eq!(cost.net, 0.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the CAPS search.
+
+use std::fmt;
+
+use capsys_model::ModelError;
+
+/// Errors produced by the CAPS cost model, search, and auto-tuner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CapsError {
+    /// An underlying model error (invalid graph, cluster, or placement).
+    Model(ModelError),
+    /// No feasible plan exists under the given thresholds.
+    NoFeasiblePlan,
+    /// Auto-tuning exceeded its timeout before finding feasible thresholds.
+    AutoTuneTimeout {
+        /// The best (most relaxed) thresholds tried before timing out.
+        last_tried: [f64; 3],
+    },
+    /// An invalid configuration value was supplied.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CapsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapsError::Model(e) => write!(f, "model error: {e}"),
+            CapsError::NoFeasiblePlan => write!(f, "no feasible placement plan found"),
+            CapsError::AutoTuneTimeout { last_tried } => write!(
+                f,
+                "auto-tuning timed out; last thresholds tried: cpu={} io={} net={}",
+                last_tried[0], last_tried[1], last_tried[2]
+            ),
+            CapsError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CapsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CapsError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CapsError {
+    fn from(e: ModelError) -> Self {
+        CapsError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CapsError::from(ModelError::NoSource);
+        assert!(e.to_string().contains("model error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let t = CapsError::AutoTuneTimeout {
+            last_tried: [0.1, 0.2, 0.3],
+        };
+        assert!(t.to_string().contains("0.2"));
+        assert!(std::error::Error::source(&t).is_none());
+        assert!(CapsError::NoFeasiblePlan.to_string().contains("feasible"));
+        assert!(CapsError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
+    }
+}

@@ -1,0 +1,249 @@
+//! Parallel CAPS search (§5.1).
+//!
+//! The paper parallelizes the search with a thread pool: "Each thread is
+//! initially assigned to a random partition of the search space and can
+//! subsequently dynamically offload work to other threads, if they become
+//! available. Threads cache any satisfactory plan they identify locally.
+//! When the search space has been fully explored, threads merge their
+//! results and return the pareto-optimal solution."
+//!
+//! This implementation partitions the search space by enumerating the
+//! first outer-search layers into prefix work units, publishes them
+//! through a [`crossbeam::deque::Injector`] work queue, and lets every
+//! thread pull the next unexplored prefix when it finishes its current
+//! one (dynamic load balancing equivalent to work offloading). Each
+//! thread keeps a local plan cache; caches are merged at the end.
+
+use std::sync::atomic::AtomicBool;
+use std::time::Instant;
+
+use capsys_model::{PhysicalGraph, PlanEnumerator};
+use crossbeam::deque::Injector;
+
+use crate::cost::CostModel;
+use crate::search::{CapsVisitor, OpTopology, RunStats, ScoredPlan, SearchConfig};
+
+/// Target number of work units per thread; more units give better load
+/// balancing at the cost of prefix-replay overhead.
+const UNITS_PER_THREAD: usize = 8;
+
+/// Maximum prefix depth used to split the search space.
+const MAX_SPLIT_DEPTH: usize = 3;
+
+/// Runs the search across `config.threads` threads and merges the
+/// per-thread plan caches.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_parallel(
+    physical: &PhysicalGraph,
+    model: &CostModel,
+    topo: &OpTopology,
+    enumerator: &PlanEnumerator,
+    bound: [f64; 3],
+    config: &SearchConfig,
+    deadline: Option<Instant>,
+    start: Instant,
+) -> (Vec<ScoredPlan>, RunStats) {
+    // Split the space into enough prefixes to keep all threads busy.
+    let mut depth = 1;
+    let mut prefixes = enumerator.prefixes(depth);
+    while prefixes.len() < config.threads * UNITS_PER_THREAD && depth < MAX_SPLIT_DEPTH {
+        depth += 1;
+        let finer = enumerator.prefixes(depth);
+        if finer.len() <= prefixes.len() {
+            break;
+        }
+        prefixes = finer;
+    }
+
+    let queue: Injector<Vec<Vec<usize>>> = Injector::new();
+    for p in prefixes {
+        queue.push(p);
+    }
+    let stop = AtomicBool::new(false);
+
+    let mut merged: Vec<ScoredPlan> = Vec::new();
+    let mut stats = RunStats {
+        threads: config.threads,
+        ..RunStats::default()
+    };
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(config.threads);
+        for _ in 0..config.threads {
+            let queue = &queue;
+            let stop = &stop;
+            handles.push(scope.spawn(move || {
+                let mut visitor =
+                    CapsVisitor::new(physical, model, topo, bound, config, deadline, Some(stop));
+                let mut local = RunStats::default();
+                loop {
+                    if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        break;
+                    }
+                    let prefix = match steal(queue) {
+                        Some(p) => p,
+                        None => break,
+                    };
+                    let s = enumerator.explore_with_prefix(&prefix, &mut visitor);
+                    local.nodes += s.nodes;
+                    local.pruned += s.pruned;
+                    local.plans_found += s.plans;
+                }
+                (visitor.into_found(), local)
+            }));
+        }
+        for h in handles {
+            let (found, local) = h.join().expect("search thread panicked");
+            merged.extend(found);
+            stats.nodes += local.nodes;
+            stats.pruned += local.pruned;
+            stats.plans_found += local.plans_found;
+        }
+    });
+
+    // Respect the global storage cap, keeping the cheapest plans.
+    if merged.len() > config.max_plans {
+        merged.sort_by(|a, b| {
+            a.cost
+                .max_component()
+                .partial_cmp(&b.cost.max_component())
+                .expect("costs are finite")
+        });
+        merged.truncate(config.max_plans);
+    }
+    if config.first_feasible && merged.len() > 1 {
+        merged.truncate(1);
+        stats.plans_found = 1;
+    }
+
+    stats.elapsed = start.elapsed();
+    (merged, stats)
+}
+
+/// Pops one work unit from the shared queue, retrying transient failures.
+fn steal<T>(queue: &Injector<T>) -> Option<T> {
+    loop {
+        match queue.steal() {
+            crossbeam::deque::Steal::Success(v) => return Some(v),
+            crossbeam::deque::Steal::Empty => return None,
+            crossbeam::deque::Steal::Retry => continue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Thresholds;
+    use crate::search::CapsSearch;
+    use capsys_model::{
+        Cluster, ConnectionPattern, LoadModel, LogicalGraph, OperatorId, OperatorKind,
+        ResourceProfile, WorkerSpec,
+    };
+    use std::collections::HashMap;
+
+    fn fixture() -> (LogicalGraph, PhysicalGraph, Cluster, LoadModel) {
+        let mut b = LogicalGraph::builder("q");
+        let s = b.operator(
+            "src",
+            OperatorKind::Source,
+            2,
+            ResourceProfile::new(0.0005, 0.0, 100.0, 1.0),
+        );
+        let m = b.operator(
+            "map",
+            OperatorKind::Stateless,
+            3,
+            ResourceProfile::new(0.001, 0.0, 80.0, 1.0),
+        );
+        let h = b.operator(
+            "win",
+            OperatorKind::Window,
+            5,
+            ResourceProfile::new(0.002, 500.0, 50.0, 0.5),
+        );
+        let k = b.operator(
+            "sink",
+            OperatorKind::Sink,
+            2,
+            ResourceProfile::new(0.0001, 0.0, 0.0, 1.0),
+        );
+        b.edge(s, m, ConnectionPattern::Rebalance);
+        b.edge(m, h, ConnectionPattern::Hash);
+        b.edge(h, k, ConnectionPattern::Hash);
+        let g = b.build().unwrap();
+        let p = PhysicalGraph::expand(&g);
+        let c = Cluster::homogeneous(3, WorkerSpec::new(4, 4.0, 1e8, 1e9)).unwrap();
+        let mut rates = HashMap::new();
+        rates.insert(OperatorId(0), 1000.0);
+        let lm = LoadModel::derive(&g, &p, &rates).unwrap();
+        (g, p, c, lm)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_plan_count() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let th = Thresholds::new(0.6, 0.6, 0.9);
+        let seq = search
+            .run(&crate::search::SearchConfig {
+                max_plans: usize::MAX / 2,
+                ..crate::search::SearchConfig::with_thresholds(th)
+            })
+            .unwrap();
+        let par = search
+            .run(&crate::search::SearchConfig {
+                max_plans: usize::MAX / 2,
+                threads: 4,
+                ..crate::search::SearchConfig::with_thresholds(th)
+            })
+            .unwrap();
+        assert_eq!(seq.stats.plans_found, par.stats.plans_found);
+        assert_eq!(seq.feasible.len(), par.feasible.len());
+        // Same canonical plan sets regardless of thread interleaving.
+        let key = |plans: &[ScoredPlan]| {
+            let mut ks: Vec<_> = plans
+                .iter()
+                .map(|s| s.plan.canonical_key(&p, c.num_workers()))
+                .collect();
+            ks.sort();
+            ks
+        };
+        assert_eq!(key(&seq.feasible), key(&par.feasible));
+    }
+
+    #[test]
+    fn parallel_first_feasible_returns_one_plan() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let out = search
+            .run(
+                &crate::search::SearchConfig::exhaustive()
+                    .with_threads(4)
+                    .first_feasible(),
+            )
+            .unwrap();
+        assert_eq!(out.feasible.len(), 1);
+        out.feasible[0].plan.validate(&p, &c).unwrap();
+    }
+
+    #[test]
+    fn parallel_costs_match_cost_model() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let out = search
+            .run(&crate::search::SearchConfig {
+                threads: 3,
+                max_plans: usize::MAX / 2,
+                ..crate::search::SearchConfig::exhaustive()
+            })
+            .unwrap();
+        let model = search.cost_model();
+        for s in out.feasible.iter().take(50) {
+            let exact = model.cost(&p, &s.plan);
+            assert!((exact.cpu - s.cost.cpu).abs() < 1e-9);
+            assert!((exact.io - s.cost.io).abs() < 1e-9);
+            assert!((exact.net - s.cost.net).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Pareto-front utilities over placement cost vectors.
+
+use crate::search::ScoredPlan;
+
+/// Extracts the pareto front of a set of scored plans.
+///
+/// A plan is on the front if no other plan's cost vector dominates its
+/// cost vector (§4.2: "a placement plan whose cost is not dominated by any
+/// other feasible plan across all dimensions"). Plans with identical cost
+/// vectors are all kept.
+pub fn pareto_front(plans: &[ScoredPlan]) -> Vec<ScoredPlan> {
+    plans
+        .iter()
+        .filter(|candidate| {
+            !plans
+                .iter()
+                .any(|other| other.cost.dominates(&candidate.cost))
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostVector;
+    use capsys_model::{Placement, WorkerId};
+
+    fn scored(cpu: f64, io: f64, net: f64) -> ScoredPlan {
+        ScoredPlan {
+            plan: Placement::new(vec![WorkerId(0)]),
+            cost: CostVector::new(cpu, io, net),
+        }
+    }
+
+    #[test]
+    fn empty_input_empty_front() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_plan_is_its_own_front() {
+        let front = pareto_front(&[scored(0.5, 0.5, 0.5)]);
+        assert_eq!(front.len(), 1);
+    }
+
+    #[test]
+    fn dominated_plans_are_dropped() {
+        let plans = vec![
+            scored(0.1, 0.1, 0.1),
+            scored(0.2, 0.2, 0.2),
+            scored(0.1, 0.3, 0.05),
+        ];
+        let front = pareto_front(&plans);
+        assert_eq!(front.len(), 2);
+        assert!(front.iter().any(|s| s.cost.cpu == 0.1 && s.cost.io == 0.1));
+        assert!(front.iter().any(|s| s.cost.net == 0.05));
+    }
+
+    #[test]
+    fn incomparable_plans_all_survive() {
+        let plans = vec![
+            scored(0.1, 0.9, 0.5),
+            scored(0.9, 0.1, 0.5),
+            scored(0.5, 0.5, 0.1),
+        ];
+        assert_eq!(pareto_front(&plans).len(), 3);
+    }
+
+    #[test]
+    fn identical_costs_are_all_kept() {
+        let plans = vec![scored(0.3, 0.3, 0.3), scored(0.3, 0.3, 0.3)];
+        assert_eq!(pareto_front(&plans).len(), 2);
+    }
+
+    #[test]
+    fn front_members_are_mutually_non_dominating() {
+        let plans: Vec<ScoredPlan> = (0..20)
+            .map(|i| {
+                let x = (i as f64) / 20.0;
+                scored(x, 1.0 - x, (x * 7.0) % 1.0)
+            })
+            .collect();
+        let front = pareto_front(&plans);
+        for a in &front {
+            for b in &front {
+                assert!(!a.cost.dominates(&b.cost) || a.cost == b.cost);
+            }
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Partitioned CAPS: place the dataflow one operator chunk at a time.
+//!
+//! §6.5.2 of the paper suggests, as future work for very large
+//! deployments: *"Another approach would be to first partition the
+//! dataflow graph and apply CAPS per partition."* This module implements
+//! that idea.
+//!
+//! Operators are ordered by resource intensity (the §4.4.2 ranking) and
+//! split into chunks of roughly equal task counts. Chunks are placed in
+//! sequence: each chunk's search runs on the *residual* cluster (free
+//! slots after earlier chunks) with the earlier chunks seeded into the
+//! incremental load state, so per-worker loads — including cross-chunk
+//! network traffic — accumulate exactly as in the monolithic search.
+//! The pruning bound is the monolithic bound (Eq. 10 over the full
+//! workload), which remains sound because seeded loads only grow.
+//!
+//! The trade-off is the paper's: each chunk explores a far smaller tree
+//! (the product space becomes a sum), at the cost of greedy commitment —
+//! a chunk cannot revisit earlier chunks' decisions.
+
+use capsys_model::{OperatorId, Placement, PlanEnumerator};
+
+use crate::cost::{CostVector, Thresholds};
+use crate::error::CapsError;
+use crate::search::{CapsSearch, CapsVisitor, RunStats, SearchConfig};
+
+/// The result of a partitioned placement.
+#[derive(Debug, Clone)]
+pub struct PartitionedOutcome {
+    /// The assembled placement covering every operator.
+    pub placement: Placement,
+    /// Its cost under the monolithic cost model.
+    pub cost: CostVector,
+    /// The operator chunks, in placement order.
+    pub partitions: Vec<Vec<OperatorId>>,
+    /// Aggregate statistics across all chunk searches.
+    pub stats: RunStats,
+    /// The thresholds used.
+    pub thresholds: Thresholds,
+}
+
+impl CapsSearch<'_> {
+    /// Runs CAPS partition by partition (§6.5.2 future-work strategy).
+    ///
+    /// `num_partitions` chunks are placed greedily in resource-intensity
+    /// order. `config.thresholds` of `None` auto-tunes on the full
+    /// problem first, as in [`CapsSearch::run`].
+    pub fn run_partitioned(
+        &self,
+        num_partitions: usize,
+        config: &SearchConfig,
+    ) -> Result<PartitionedOutcome, CapsError> {
+        if num_partitions == 0 {
+            return Err(CapsError::InvalidConfig(
+                "num_partitions must be at least 1".into(),
+            ));
+        }
+        let thresholds = match config.thresholds {
+            Some(t) => t,
+            None => {
+                let tuner = crate::autotune::AutoTuner::new(&config.auto_tune);
+                tuner.tune(self, config)?.thresholds
+            }
+        };
+
+        // Chunk the §4.4.2 exploration order into near-equal task counts.
+        let order = self.reordered_ops();
+        let physical = self.physical();
+        let total_tasks = physical.num_tasks();
+        let per_chunk = total_tasks.div_ceil(num_partitions);
+        let mut partitions: Vec<Vec<OperatorId>> = Vec::new();
+        let mut current: Vec<OperatorId> = Vec::new();
+        let mut current_tasks = 0usize;
+        for op in order {
+            let p = physical.parallelism(op);
+            if current_tasks + p > per_chunk && !current.is_empty() {
+                partitions.push(std::mem::take(&mut current));
+                current_tasks = 0;
+            }
+            current.push(op);
+            current_tasks += p;
+        }
+        if !current.is_empty() {
+            partitions.push(current);
+        }
+
+        let cluster = self.cluster();
+        let bound = self.cost_model().load_bound(&thresholds);
+        let n_ops = physical.num_operators();
+        let mut cumulative = vec![vec![0usize; n_ops]; cluster.num_workers()];
+        let mut free: Vec<usize> = cluster.workers().iter().map(|w| w.spec.slots).collect();
+        let mut placed: Vec<OperatorId> = Vec::new();
+        let mut stats = RunStats {
+            threads: 1,
+            ..RunStats::default()
+        };
+        let start = std::time::Instant::now();
+        let _ = &start;
+
+        for chunk in &partitions {
+            let enumerator = PlanEnumerator::new(physical, cluster)?
+                .with_free_slots(free.clone())?
+                .with_partial_order(chunk.clone())?;
+            let mut visitor = CapsVisitor::new(
+                physical,
+                self.cost_model(),
+                self.topology(),
+                bound,
+                config,
+                config.time_budget.map(|d| start + d),
+                None,
+            );
+            visitor.set_capture_raw();
+            for &op in &placed {
+                let row: Vec<usize> = (0..cluster.num_workers())
+                    .map(|w| cumulative[w][op.0])
+                    .collect();
+                visitor.seed_counts(op, &row);
+            }
+            let s = enumerator.explore(&mut visitor);
+            stats.nodes += s.nodes;
+            stats.pruned += s.pruned;
+            stats.plans_found += s.plans;
+            let (counts, _cost) = visitor.take_best_raw().ok_or(CapsError::NoFeasiblePlan)?;
+            for w in 0..cluster.num_workers() {
+                for &op in chunk {
+                    let c = counts[w][op.0];
+                    cumulative[w][op.0] += c;
+                    free[w] -= c;
+                }
+            }
+            placed.extend(chunk.iter().copied());
+        }
+        stats.elapsed = start.elapsed();
+
+        let placement = Placement::from_op_counts(physical, &cumulative)?;
+        let cost = self.cost_model().cost(physical, &placement);
+        Ok(PartitionedOutcome {
+            placement,
+            cost,
+            partitions,
+            stats,
+            thresholds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsys_model::{
+        Cluster, ConnectionPattern, LoadModel, LogicalGraph, OperatorKind, PhysicalGraph,
+        ResourceProfile, WorkerSpec,
+    };
+    use std::collections::HashMap;
+
+    fn fixture() -> (LogicalGraph, PhysicalGraph, Cluster, LoadModel) {
+        let mut b = LogicalGraph::builder("q");
+        let s = b.operator(
+            "src",
+            OperatorKind::Source,
+            2,
+            ResourceProfile::new(5e-5, 0.0, 100.0, 1.0),
+        );
+        let m = b.operator(
+            "map",
+            OperatorKind::Stateless,
+            3,
+            ResourceProfile::new(2e-4, 0.0, 80.0, 1.0),
+        );
+        let h = b.operator(
+            "win",
+            OperatorKind::Window,
+            5,
+            ResourceProfile::new(8e-4, 500.0, 50.0, 0.5),
+        );
+        let k = b.operator(
+            "sink",
+            OperatorKind::Sink,
+            2,
+            ResourceProfile::new(1e-5, 0.0, 0.0, 1.0),
+        );
+        b.edge(s, m, ConnectionPattern::Rebalance);
+        b.edge(m, h, ConnectionPattern::Hash);
+        b.edge(h, k, ConnectionPattern::Hash);
+        let g = b.build().unwrap();
+        let p = PhysicalGraph::expand(&g);
+        let c = Cluster::homogeneous(3, WorkerSpec::new(4, 4.0, 1e8, 1e9)).unwrap();
+        let mut rates = HashMap::new();
+        rates.insert(capsys_model::OperatorId(0), 2000.0);
+        let lm = LoadModel::derive(&g, &p, &rates).unwrap();
+        (g, p, c, lm)
+    }
+
+    #[test]
+    fn partitioned_placement_is_valid_and_feasible() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        for k in [1usize, 2, 3] {
+            let out = search
+                .run_partitioned(k, &SearchConfig::auto_tuned())
+                .unwrap_or_else(|e| panic!("k={k}: {e}"));
+            out.placement.validate(&p, &c).unwrap();
+            // Chunk granularity may exceed the requested count when an
+            // operator alone overflows the per-chunk budget.
+            assert!(!out.partitions.is_empty());
+            assert!(out.partitions.len() <= p.num_operators());
+            assert!(
+                out.cost.within(&out.thresholds),
+                "k={k}: cost {:?} violates {:?}",
+                out.cost,
+                out.thresholds
+            );
+        }
+    }
+
+    #[test]
+    fn one_partition_equals_monolithic_quality() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let mono = search.run(&SearchConfig::auto_tuned()).unwrap();
+        let part = search
+            .run_partitioned(1, &SearchConfig::auto_tuned())
+            .unwrap();
+        let mono_cost = mono.best_scored().unwrap().cost.max_component();
+        // A single partition explores the same tree; the best raw plan is
+        // at least as good as any stored plan (both satisfy thresholds).
+        assert!(
+            part.cost.max_component() <= mono_cost + 1e-9 + 0.2,
+            "partitioned {:?} vs monolithic {mono_cost}",
+            part.cost
+        );
+    }
+
+    #[test]
+    fn more_partitions_visit_fewer_nodes() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let th = Thresholds::new(0.6, 0.7, 0.95);
+        let cfg = SearchConfig::with_thresholds(th);
+        let k1 = search.run_partitioned(1, &cfg).unwrap();
+        let k3 = search.run_partitioned(3, &cfg).unwrap();
+        assert!(
+            k3.stats.nodes <= k1.stats.nodes,
+            "partitioning should shrink the tree: {} vs {}",
+            k3.stats.nodes,
+            k1.stats.nodes
+        );
+    }
+
+    #[test]
+    fn zero_partitions_rejected() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        assert!(search
+            .run_partitioned(0, &SearchConfig::auto_tuned())
+            .is_err());
+    }
+
+    #[test]
+    fn partitioned_cost_matches_model_on_assembled_plan() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let out = search
+            .run_partitioned(2, &SearchConfig::auto_tuned())
+            .unwrap();
+        let expected = search.cost_model().cost(&p, &out.placement);
+        assert!((expected.cpu - out.cost.cpu).abs() < 1e-12);
+        assert!((expected.io - out.cost.io).abs() < 1e-12);
+        assert!((expected.net - out.cost.net).abs() < 1e-12);
+    }
+}

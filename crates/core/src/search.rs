@@ -1,0 +1,1010 @@
+//! The CAPS placement search (§4.3-4.4).
+//!
+//! The search walks the same outer/inner DFS tree as
+//! [`capsys_model::PlanEnumerator`] (operators as outer layers, workers as
+//! inner layers, symmetric-worker duplicate elimination) and adds:
+//!
+//! * **incremental load accounting** — per-worker `[L_cpu, L_io, L_net]`
+//!   is maintained under `place`/`unplace`, with network traffic charged
+//!   per cross-worker channel exactly as in Eq. 8;
+//! * **threshold-based pruning** (§4.4.1) — a branch is cut as soon as any
+//!   worker's accumulated load violates Eq. 10, which is sound because
+//!   loads grow monotonically down the tree;
+//! * **exploration reordering** (§4.4.2) — operators with the highest
+//!   normalized resource consumption are explored first so that costly
+//!   branches hit the threshold near the root.
+
+use std::time::{Duration, Instant};
+
+use capsys_model::{
+    Cluster, ConnectionPattern, LoadModel, LogicalGraph, OperatorId, PhysicalGraph, Placement,
+    PlanEnumerator, PlanVisitor, TaskId,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::autotune::{AutoTuneConfig, AutoTuneReport, AutoTuner};
+use crate::cost::{CostModel, CostVector, Thresholds};
+use crate::error::CapsError;
+use crate::pareto::pareto_front;
+
+/// Numerical slack when comparing accumulated loads against Eq. 10 bounds.
+const BOUND_EPS: f64 = 1e-9;
+
+/// How often (in `place` calls) the deadline is polled.
+const TIME_CHECK_MASK: usize = 0x3FF;
+
+/// Configuration of one CAPS search run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchConfig {
+    /// Pruning thresholds; `None` runs threshold auto-tuning first (§5.2).
+    pub thresholds: Option<Thresholds>,
+    /// Explore resource-intensive operators first (§4.4.2).
+    pub reorder: bool,
+    /// Worker threads for the parallel search (§5.1). `1` is sequential.
+    pub threads: usize,
+    /// Stop at the first feasible plan instead of exploring exhaustively.
+    pub first_feasible: bool,
+    /// Maximum number of feasible plans kept in memory. Further feasible
+    /// plans still count in the statistics; stored plans are replaced only
+    /// by cheaper ones.
+    pub max_plans: usize,
+    /// Abort after visiting this many tree nodes.
+    pub node_budget: Option<usize>,
+    /// Abort after this much wall-clock time.
+    pub time_budget: Option<Duration>,
+    /// Per-worker free slots, for placing onto a partially occupied or
+    /// degraded cluster (e.g. after a worker failure). `None` uses every
+    /// slot of every worker.
+    pub free_slots: Option<Vec<usize>>,
+    /// Auto-tuner settings used when `thresholds` is `None`.
+    pub auto_tune: AutoTuneConfig,
+}
+
+impl SearchConfig {
+    /// A search with explicit thresholds and otherwise default settings.
+    pub fn with_thresholds(thresholds: Thresholds) -> Self {
+        SearchConfig {
+            thresholds: Some(thresholds),
+            ..SearchConfig::auto_tuned()
+        }
+    }
+
+    /// A search that auto-tunes its thresholds first (the CAPSys default).
+    pub fn auto_tuned() -> Self {
+        SearchConfig {
+            thresholds: None,
+            reorder: true,
+            threads: 1,
+            first_feasible: false,
+            max_plans: 1024,
+            node_budget: None,
+            time_budget: None,
+            free_slots: None,
+            auto_tune: AutoTuneConfig::default(),
+        }
+    }
+
+    /// An exhaustive, unpruned search that visits every distinct plan.
+    pub fn exhaustive() -> Self {
+        SearchConfig::with_thresholds(Thresholds::unbounded())
+    }
+
+    /// Sets the thread count, returning the modified config.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Requests first-feasible mode, returning the modified config.
+    pub fn first_feasible(mut self) -> Self {
+        self.first_feasible = true;
+        self
+    }
+}
+
+/// A feasible plan together with its cost vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoredPlan {
+    /// The placement plan.
+    pub plan: Placement,
+    /// Its cost `C⃗(f)`.
+    pub cost: CostVector,
+}
+
+/// Statistics of one search run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Search tree nodes visited.
+    pub nodes: usize,
+    /// Branches pruned (threshold violations and budget aborts).
+    pub pruned: usize,
+    /// Feasible plans discovered (including ones not stored).
+    pub plans_found: usize,
+    /// Wall-clock duration of the search phase.
+    pub elapsed: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+/// The result of a CAPS search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Stored feasible plans (up to `max_plans`).
+    pub feasible: Vec<ScoredPlan>,
+    /// The pareto front of the stored plans (§4.2 objective).
+    pub pareto: Vec<ScoredPlan>,
+    /// Search statistics.
+    pub stats: RunStats,
+    /// The thresholds the search ran with.
+    pub thresholds: Thresholds,
+    /// Auto-tuning report, if auto-tuning ran.
+    pub autotune: Option<AutoTuneReport>,
+    /// The operator exploration order used.
+    pub order: Vec<OperatorId>,
+    /// Per-dimension pressure weights used for plan selection.
+    pub pressure: [f64; 3],
+}
+
+impl SearchOutcome {
+    /// The recommended plan: the pareto-optimal plan with the smallest
+    /// maximum cost component (ties broken lexicographically).
+    pub fn best_plan(&self) -> Option<&Placement> {
+        self.best_scored().map(|s| &s.plan)
+    }
+
+    /// The recommended plan with its cost.
+    ///
+    /// Costs are weighted by each dimension's *pressure* (aggregate
+    /// demand over cluster capacity): imbalance along a dimension with
+    /// ample headroom cannot hurt performance, so it should not veto a
+    /// plan that balances the dimensions that do matter.
+    pub fn best_scored(&self) -> Option<&ScoredPlan> {
+        let max_p = self
+            .pressure
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        let w = [
+            self.pressure[0] / max_p,
+            self.pressure[1] / max_p,
+            self.pressure[2] / max_p,
+        ];
+        let key = |c: &crate::cost::CostVector| {
+            let weighted = (c.cpu * w[0]).max(c.io * w[1]).max(c.net * w[2]);
+            (weighted, c.max_component(), c.cpu, c.io, c.net)
+        };
+        self.pareto.iter().min_by(|a, b| {
+            key(&a.cost)
+                .partial_cmp(&key(&b.cost))
+                .expect("costs are finite")
+        })
+    }
+}
+
+/// Edge shape relevant to network accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EdgeShape {
+    /// One-to-one channels between equal-parallelism operators.
+    OneToOne,
+    /// All-to-all channels (hash, rebalance, broadcast, degenerate forward).
+    Mesh,
+}
+
+/// Static per-operator adjacency used by the incremental network model.
+#[derive(Debug, Clone)]
+pub(crate) struct OpTopology {
+    /// Per-task `[cpu, io]` load of each operator's tasks.
+    task_load: Vec<[f64; 2]>,
+    /// Per-task, per-downstream-link output rate of each operator.
+    link_rate: Vec<f64>,
+    parallelism: Vec<usize>,
+    /// `in_edges[o]` lists `(upstream op, shape)`.
+    in_edges: Vec<Vec<(usize, EdgeShape)>>,
+    /// `out_edges[o]` lists `(downstream op, shape)`.
+    out_edges: Vec<Vec<(usize, EdgeShape)>>,
+}
+
+impl OpTopology {
+    pub(crate) fn build(
+        logical: &LogicalGraph,
+        physical: &PhysicalGraph,
+        model: &CostModel,
+    ) -> OpTopology {
+        let n_ops = physical.num_operators();
+        let mut task_load = vec![[0.0; 2]; n_ops];
+        let mut link_rate = vec![0.0; n_ops];
+        let parallelism = physical.parallelism_vector();
+        for op in 0..n_ops {
+            let range = physical.operator_tasks(OperatorId(op));
+            if let Some(first) = range.clone().next() {
+                let l = model.task_load(TaskId(first));
+                task_load[op] = [l[0], l[1]];
+                link_rate[op] = model.link_rate(TaskId(first));
+            }
+        }
+        let mut in_edges = vec![Vec::new(); n_ops];
+        let mut out_edges = vec![Vec::new(); n_ops];
+        for e in logical.edges() {
+            let up = e.from.0;
+            let down = e.to.0;
+            let shape = match e.pattern {
+                ConnectionPattern::Forward if parallelism[up] == parallelism[down] => {
+                    EdgeShape::OneToOne
+                }
+                _ => EdgeShape::Mesh,
+            };
+            out_edges[up].push((down, shape));
+            in_edges[down].push((up, shape));
+        }
+        OpTopology {
+            task_load,
+            link_rate,
+            parallelism,
+            in_edges,
+            out_edges,
+        }
+    }
+}
+
+/// The pruning and plan-collection visitor driving the DFS.
+pub(crate) struct CapsVisitor<'a> {
+    physical: &'a PhysicalGraph,
+    model: &'a CostModel,
+    topo: &'a OpTopology,
+    bound: [f64; 3],
+    num_workers: usize,
+    // Dynamic state.
+    cnt: Vec<Vec<usize>>,
+    subtask_worker: Vec<Vec<usize>>,
+    load: Vec<[f64; 3]>,
+    undo: Vec<Vec<(usize, [f64; 3])>>,
+    // Results.
+    found: Vec<ScoredPlan>,
+    max_plans: usize,
+    first_feasible: bool,
+    /// When set, leaves are recorded as raw count matrices (partial
+    /// plans) instead of materialized placements; used by the
+    /// partitioned search, whose leaves cover only one operator chunk.
+    capture_raw: bool,
+    best_raw: Option<(Vec<Vec<usize>>, CostVector)>,
+    // Budgets / cooperative stop.
+    nodes: usize,
+    node_budget: usize,
+    deadline: Option<Instant>,
+    stop_flag: Option<&'a std::sync::atomic::AtomicBool>,
+    aborted: bool,
+}
+
+impl<'a> CapsVisitor<'a> {
+    pub(crate) fn new(
+        physical: &'a PhysicalGraph,
+        model: &'a CostModel,
+        topo: &'a OpTopology,
+        bound: [f64; 3],
+        config: &SearchConfig,
+        deadline: Option<Instant>,
+        stop_flag: Option<&'a std::sync::atomic::AtomicBool>,
+    ) -> CapsVisitor<'a> {
+        let n_ops = physical.num_operators();
+        let num_workers = model.num_workers();
+        CapsVisitor {
+            physical,
+            model,
+            topo,
+            bound,
+            num_workers,
+            cnt: vec![vec![0; num_workers]; n_ops],
+            subtask_worker: vec![Vec::new(); n_ops],
+            load: vec![[0.0; 3]; num_workers],
+            undo: Vec::new(),
+            found: Vec::new(),
+            max_plans: config.max_plans,
+            first_feasible: config.first_feasible,
+            capture_raw: false,
+            best_raw: None,
+            nodes: 0,
+            node_budget: config.node_budget.unwrap_or(usize::MAX),
+            deadline,
+            stop_flag,
+            aborted: false,
+        }
+    }
+
+    /// Consumes the visitor and returns its local plan cache.
+    pub(crate) fn into_found(self) -> Vec<ScoredPlan> {
+        self.found
+    }
+
+    /// Switches the visitor to raw (partial-plan) capture.
+    pub(crate) fn set_capture_raw(&mut self) {
+        self.capture_raw = true;
+    }
+
+    /// The best partial plan captured in raw mode, if any.
+    pub(crate) fn take_best_raw(&mut self) -> Option<(Vec<Vec<usize>>, CostVector)> {
+        self.best_raw.take()
+    }
+
+    /// Pre-places `row[w]` tasks of `op` on each worker `w`, bypassing
+    /// the pruning bound: earlier partitions are fixed decisions.
+    ///
+    /// Tasks are seeded in ascending worker order, matching the
+    /// materialization of [`Placement::from_op_counts`], so the network
+    /// accounting stays exact.
+    pub(crate) fn seed_counts(&mut self, op: OperatorId, row: &[usize]) {
+        for (w, &c) in row.iter().enumerate() {
+            let deltas = self.deltas(w, op.0, c);
+            for &(dw, d) in &deltas {
+                for (load, add) in self.load[dw].iter_mut().zip(&d) {
+                    *load += add;
+                }
+            }
+            self.cnt[op.0][w] += c;
+            self.subtask_worker[op.0].extend(std::iter::repeat_n(w, c));
+            self.undo.push(deltas);
+        }
+    }
+
+    /// Pressure-weighted selection key (same rule as
+    /// [`SearchOutcome::best_scored`]).
+    fn weighted_key(&self, cost: &CostVector) -> f64 {
+        let p = self.model.pressure();
+        let max_p = p.iter().cloned().fold(0.0f64, f64::max).max(1e-9);
+        (cost.cpu * p[0] / max_p)
+            .max(cost.io * p[1] / max_p)
+            .max(cost.net * p[2] / max_p)
+    }
+
+    /// The cost vector implied by the current per-worker loads.
+    fn current_cost(&self) -> CostVector {
+        CostVector::new(
+            self.model
+                .load_to_cost(0, self.load.iter().map(|l| l[0]).fold(0.0, f64::max)),
+            self.model
+                .load_to_cost(1, self.load.iter().map(|l| l[1]).fold(0.0, f64::max)),
+            self.model
+                .load_to_cost(2, self.load.iter().map(|l| l[2]).fold(0.0, f64::max)),
+        )
+    }
+
+    fn should_stop(&mut self) -> bool {
+        if self.aborted {
+            return true;
+        }
+        if self.nodes > self.node_budget {
+            self.aborted = true;
+            return true;
+        }
+        if self.nodes & TIME_CHECK_MASK == 0 {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    self.aborted = true;
+                    return true;
+                }
+            }
+            if let Some(f) = self.stop_flag {
+                if f.load(std::sync::atomic::Ordering::Relaxed) {
+                    self.aborted = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Is operator `op` fully placed?
+    fn is_placed(&self, op: usize) -> bool {
+        self.subtask_worker[op].len() == self.topo.parallelism[op]
+    }
+
+    /// Computes the load deltas of placing `count` tasks of `op` on
+    /// worker `w`, covering subtasks `[prefix, prefix + count)`.
+    fn deltas(&self, w: usize, op: usize, count: usize) -> Vec<(usize, [f64; 3])> {
+        let mut deltas: Vec<(usize, [f64; 3])> = Vec::with_capacity(4);
+        let mut add = |worker: usize, dim: usize, amount: f64| {
+            if amount == 0.0 {
+                return;
+            }
+            if let Some(entry) = deltas.iter_mut().find(|(dw, _)| *dw == worker) {
+                entry.1[dim] += amount;
+            } else {
+                let mut d = [0.0; 3];
+                d[dim] = amount;
+                deltas.push((worker, d));
+            }
+        };
+
+        let c = count as f64;
+        let [cpu, io] = self.topo.task_load[op];
+        add(w, 0, c * cpu);
+        add(w, 1, c * io);
+
+        let prefix = self.subtask_worker[op].len();
+
+        // Outbound traffic of the newly placed tasks towards already
+        // placed downstream operators.
+        for &(down, shape) in &self.topo.out_edges[op] {
+            if !self.is_placed(down) {
+                continue;
+            }
+            let rate = self.topo.link_rate[op];
+            match shape {
+                EdgeShape::Mesh => {
+                    let remote = self.topo.parallelism[down] - self.cnt[down][w];
+                    add(w, 2, c * rate * remote as f64);
+                }
+                EdgeShape::OneToOne => {
+                    for i in prefix..prefix + count {
+                        if self.subtask_worker[down][i] != w {
+                            add(w, 2, rate);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Traffic from already placed upstream operators towards the newly
+        // placed tasks: links that are now known to cross workers.
+        for &(up, shape) in &self.topo.in_edges[op] {
+            if !self.is_placed(up) {
+                continue;
+            }
+            let rate = self.topo.link_rate[up];
+            match shape {
+                EdgeShape::Mesh => {
+                    for w2 in 0..self.num_workers {
+                        if w2 != w {
+                            add(w2, 2, self.cnt[up][w2] as f64 * rate * c);
+                        }
+                    }
+                }
+                EdgeShape::OneToOne => {
+                    for i in prefix..prefix + count {
+                        let uw = self.subtask_worker[up][i];
+                        if uw != w {
+                            add(uw, 2, rate);
+                        }
+                    }
+                }
+            }
+        }
+
+        deltas
+    }
+
+    /// Records a feasible plan, respecting the storage cap.
+    fn record(&mut self, counts: &[Vec<usize>]) {
+        let cost = self.current_cost();
+        if self.capture_raw {
+            let better = match &self.best_raw {
+                Some((_, best)) => self.weighted_key(&cost) < self.weighted_key(best),
+                None => true,
+            };
+            if better {
+                self.best_raw = Some((counts.to_vec(), cost));
+            }
+            return;
+        }
+        let plan = match Placement::from_op_counts(self.physical, counts) {
+            Ok(p) => p,
+            Err(_) => return,
+        };
+        let scored = ScoredPlan { plan, cost };
+        if self.found.len() < self.max_plans {
+            self.found.push(scored);
+        } else if let Some((idx, worst)) = self
+            .found
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.cost
+                    .max_component()
+                    .partial_cmp(&b.1.cost.max_component())
+                    .expect("costs are finite")
+            })
+            .map(|(i, s)| (i, s.cost.max_component()))
+        {
+            if scored.cost.max_component() < worst {
+                self.found[idx] = scored;
+            }
+        }
+    }
+}
+
+impl PlanVisitor for CapsVisitor<'_> {
+    fn place(&mut self, worker: usize, op: OperatorId, count: usize) -> bool {
+        self.nodes += 1;
+        if self.should_stop() {
+            return false;
+        }
+        let deltas = self.deltas(worker, op.0, count);
+        // Check Eq. 10 on every worker the deltas touch.
+        for &(w, d) in &deltas {
+            for ((load, add), limit) in self.load[w].iter().zip(&d).zip(&self.bound) {
+                if *add > 0.0 && load + add > limit + BOUND_EPS {
+                    return false;
+                }
+            }
+        }
+        for &(w, d) in &deltas {
+            for (load, add) in self.load[w].iter_mut().zip(&d) {
+                *load += add;
+            }
+        }
+        self.cnt[op.0][worker] += count;
+        self.subtask_worker[op.0].extend(std::iter::repeat_n(worker, count));
+        self.undo.push(deltas);
+        true
+    }
+
+    fn unplace(&mut self, worker: usize, op: OperatorId, count: usize) {
+        let deltas = self.undo.pop().expect("unplace without matching place");
+        for (w, d) in deltas {
+            for (load, sub) in self.load[w].iter_mut().zip(&d) {
+                *load -= sub;
+            }
+        }
+        self.cnt[op.0][worker] -= count;
+        let len = self.subtask_worker[op.0].len();
+        self.subtask_worker[op.0].truncate(len - count);
+    }
+
+    fn leaf(&mut self, counts: &[Vec<usize>]) -> bool {
+        if self.aborted {
+            return false;
+        }
+        self.record(counts);
+        if self.first_feasible {
+            if let Some(f) = self.stop_flag {
+                f.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+            return false;
+        }
+        true
+    }
+}
+
+/// The CAPS search engine bound to one placement problem instance.
+pub struct CapsSearch<'a> {
+    logical: &'a LogicalGraph,
+    physical: &'a PhysicalGraph,
+    cluster: &'a Cluster,
+    model: CostModel,
+    topo: OpTopology,
+}
+
+impl<'a> CapsSearch<'a> {
+    /// Builds a search instance for a physical graph, cluster, and load
+    /// model. The logical graph supplies edge patterns for the network
+    /// accounting.
+    pub fn new(
+        logical: &'a LogicalGraph,
+        physical: &'a PhysicalGraph,
+        cluster: &'a Cluster,
+        loads: &LoadModel,
+    ) -> Result<CapsSearch<'a>, CapsError> {
+        let model = CostModel::new(physical, cluster, loads)?;
+        let topo = OpTopology::build(logical, physical, &model);
+        Ok(CapsSearch {
+            logical,
+            physical,
+            cluster,
+            model,
+            topo,
+        })
+    }
+
+    /// The cost model for this problem instance.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// The operator exploration order §4.4.2 would choose: operators with
+    /// the highest normalized resource consumption first.
+    pub fn reordered_ops(&self) -> Vec<OperatorId> {
+        let n_ops = self.physical.num_operators();
+        let bounds = self.model.bounds();
+        let mut scored: Vec<(f64, usize)> = (0..n_ops)
+            .map(|op| {
+                let p = self.topo.parallelism[op] as f64;
+                let [cpu, io] = self.topo.task_load[op];
+                // Approximate the operator's aggregate network demand by
+                // its full outbound rate.
+                let range = self.physical.operator_tasks(OperatorId(op));
+                let net = range
+                    .clone()
+                    .next()
+                    .map(|first| self.model.task_load(TaskId(first))[2])
+                    .unwrap_or(0.0);
+                let mut score = 0.0f64;
+                for (dim, load) in [(0, cpu * p), (1, io * p), (2, net * p)] {
+                    let denom = bounds.max[dim] - bounds.min[dim];
+                    if denom > BOUND_EPS {
+                        score = score.max(load / denom);
+                    }
+                }
+                (score, op)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("scores are finite")
+                .then(a.1.cmp(&b.1))
+        });
+        scored.into_iter().map(|(_, op)| OperatorId(op)).collect()
+    }
+
+    /// Runs the search. If `config.thresholds` is `None`, threshold
+    /// auto-tuning (§5.2) runs first and its report is attached to the
+    /// outcome.
+    pub fn run(&self, config: &SearchConfig) -> Result<SearchOutcome, CapsError> {
+        let (thresholds, report) = match config.thresholds {
+            Some(t) => (t, None),
+            None => {
+                let tuner = AutoTuner::new(&config.auto_tune);
+                let report = tuner.tune(self, config)?;
+                (report.thresholds, Some(report))
+            }
+        };
+        let mut outcome = self.run_with_thresholds(&thresholds, config)?;
+        outcome.autotune = report;
+        Ok(outcome)
+    }
+
+    /// Runs the search with explicit thresholds, skipping auto-tuning.
+    pub fn run_with_thresholds(
+        &self,
+        thresholds: &Thresholds,
+        config: &SearchConfig,
+    ) -> Result<SearchOutcome, CapsError> {
+        if config.threads == 0 {
+            return Err(CapsError::InvalidConfig("threads must be >= 1".into()));
+        }
+        if config.max_plans == 0 {
+            return Err(CapsError::InvalidConfig("max_plans must be >= 1".into()));
+        }
+        let order = if config.reorder {
+            self.reordered_ops()
+        } else {
+            (0..self.physical.num_operators()).map(OperatorId).collect()
+        };
+        let bound = self.model.load_bound(thresholds);
+        let deadline = config.time_budget.map(|d| Instant::now() + d);
+        let start = Instant::now();
+
+        let mut enumerator =
+            PlanEnumerator::new(self.physical, self.cluster)?.with_order(order.clone())?;
+        if let Some(free) = &config.free_slots {
+            enumerator = enumerator.with_free_slots(free.clone())?;
+        }
+
+        let (found, stats) = if config.threads <= 1 {
+            let stop = std::sync::atomic::AtomicBool::new(false);
+            let mut visitor = CapsVisitor::new(
+                self.physical,
+                &self.model,
+                &self.topo,
+                bound,
+                config,
+                deadline,
+                Some(&stop),
+            );
+            let s = enumerator.explore(&mut visitor);
+            (
+                visitor.found,
+                RunStats {
+                    nodes: s.nodes,
+                    pruned: s.pruned,
+                    plans_found: s.plans,
+                    elapsed: start.elapsed(),
+                    threads: 1,
+                },
+            )
+        } else {
+            crate::parallel::run_parallel(
+                self.physical,
+                &self.model,
+                &self.topo,
+                &enumerator,
+                bound,
+                config,
+                deadline,
+                start,
+            )
+        };
+
+        let pareto = pareto_front(&found);
+        Ok(SearchOutcome {
+            feasible: found,
+            pareto,
+            stats,
+            thresholds: *thresholds,
+            autotune: None,
+            order,
+            pressure: self.model.pressure(),
+        })
+    }
+
+    /// Returns true if at least one plan satisfies `thresholds`.
+    ///
+    /// Used by the auto-tuner; runs a first-feasible search.
+    pub fn is_feasible(
+        &self,
+        thresholds: &Thresholds,
+        config: &SearchConfig,
+        deadline: Option<Instant>,
+    ) -> Result<bool, CapsError> {
+        let mut probe = SearchConfig {
+            thresholds: Some(*thresholds),
+            first_feasible: true,
+            max_plans: 1,
+            ..config.clone()
+        };
+        if let Some(d) = deadline {
+            let remaining = d.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(CapsError::AutoTuneTimeout {
+                    last_tried: [thresholds.cpu, thresholds.io, thresholds.net],
+                });
+            }
+            probe.time_budget = Some(remaining);
+        }
+        let outcome = self.run_with_thresholds(thresholds, &probe)?;
+        Ok(!outcome.feasible.is_empty())
+    }
+
+    /// The logical graph this search was built from.
+    pub fn logical(&self) -> &LogicalGraph {
+        self.logical
+    }
+
+    /// The physical graph this search places.
+    pub fn physical(&self) -> &PhysicalGraph {
+        self.physical
+    }
+
+    /// The worker cluster this search places onto.
+    pub fn cluster(&self) -> &Cluster {
+        self.cluster
+    }
+
+    pub(crate) fn topology(&self) -> &OpTopology {
+        &self.topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsys_model::{enumerate_plans, OperatorKind, ResourceProfile, WorkerSpec};
+    use std::collections::HashMap;
+
+    fn fixture() -> (LogicalGraph, PhysicalGraph, Cluster, LoadModel) {
+        let mut b = LogicalGraph::builder("q");
+        let s = b.operator(
+            "src",
+            OperatorKind::Source,
+            2,
+            ResourceProfile::new(0.0005, 0.0, 100.0, 1.0),
+        );
+        let h = b.operator(
+            "heavy",
+            OperatorKind::Window,
+            4,
+            ResourceProfile::new(0.002, 500.0, 50.0, 0.5),
+        );
+        let k = b.operator(
+            "sink",
+            OperatorKind::Sink,
+            2,
+            ResourceProfile::new(0.0001, 0.0, 0.0, 1.0),
+        );
+        b.edge(s, h, ConnectionPattern::Rebalance);
+        b.edge(h, k, ConnectionPattern::Hash);
+        let g = b.build().unwrap();
+        let p = PhysicalGraph::expand(&g);
+        let c = Cluster::homogeneous(2, WorkerSpec::new(4, 4.0, 1e8, 1e9)).unwrap();
+        let mut rates = HashMap::new();
+        rates.insert(OperatorId(0), 1000.0);
+        let lm = LoadModel::derive(&g, &p, &rates).unwrap();
+        (g, p, c, lm)
+    }
+
+    #[test]
+    fn exhaustive_search_finds_all_plans() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let all = enumerate_plans(&p, &c, usize::MAX).unwrap();
+        let out = search
+            .run(&SearchConfig {
+                max_plans: usize::MAX / 2,
+                ..SearchConfig::exhaustive()
+            })
+            .unwrap();
+        assert_eq!(out.stats.plans_found, all.len());
+        assert_eq!(out.feasible.len(), all.len());
+        assert!(!out.pareto.is_empty());
+    }
+
+    #[test]
+    fn incremental_cost_matches_full_cost_model() {
+        // The costs the search computes incrementally must equal the cost
+        // model evaluated on the materialized placement.
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let out = search
+            .run(&SearchConfig {
+                max_plans: usize::MAX / 2,
+                ..SearchConfig::exhaustive()
+            })
+            .unwrap();
+        let model = search.cost_model();
+        for scored in &out.feasible {
+            let exact = model.cost(&p, &scored.plan);
+            assert!(
+                (exact.cpu - scored.cost.cpu).abs() < 1e-9
+                    && (exact.io - scored.cost.io).abs() < 1e-9
+                    && (exact.net - scored.cost.net).abs() < 1e-9,
+                "incremental {:?} != exact {:?}",
+                scored.cost,
+                exact
+            );
+        }
+    }
+
+    #[test]
+    fn thresholds_filter_exactly() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let all = search
+            .run(&SearchConfig {
+                max_plans: usize::MAX / 2,
+                ..SearchConfig::exhaustive()
+            })
+            .unwrap();
+        let th = Thresholds::new(0.5, 0.5, 0.8);
+        let expected = all.feasible.iter().filter(|s| s.cost.within(&th)).count();
+        let pruned = search
+            .run(&SearchConfig {
+                max_plans: usize::MAX / 2,
+                ..SearchConfig::with_thresholds(th)
+            })
+            .unwrap();
+        assert_eq!(pruned.stats.plans_found, expected, "pruning must be exact");
+        assert!(pruned.stats.nodes <= all.stats.nodes);
+    }
+
+    #[test]
+    fn reordering_preserves_the_plan_set() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let th = Thresholds::new(0.5, 0.5, 0.8);
+        let with = search
+            .run(&SearchConfig {
+                max_plans: usize::MAX / 2,
+                reorder: true,
+                ..SearchConfig::with_thresholds(th)
+            })
+            .unwrap();
+        let without = search
+            .run(&SearchConfig {
+                max_plans: usize::MAX / 2,
+                reorder: false,
+                ..SearchConfig::with_thresholds(th)
+            })
+            .unwrap();
+        assert_eq!(with.stats.plans_found, without.stats.plans_found);
+        // Same canonical plan sets.
+        let key = |plans: &[ScoredPlan]| {
+            let mut ks: Vec<_> = plans
+                .iter()
+                .map(|s| s.plan.canonical_key(&p, c.num_workers()))
+                .collect();
+            ks.sort();
+            ks
+        };
+        assert_eq!(key(&with.feasible), key(&without.feasible));
+    }
+
+    #[test]
+    fn reordering_explores_heavy_operator_first() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let order = search.reordered_ops();
+        // The window operator (id 1) dominates cpu and io.
+        assert_eq!(order[0], OperatorId(1));
+    }
+
+    #[test]
+    fn first_feasible_stops_early() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let out = search
+            .run(&SearchConfig::exhaustive().first_feasible())
+            .unwrap();
+        assert_eq!(out.feasible.len(), 1);
+        assert_eq!(out.stats.plans_found, 1);
+    }
+
+    #[test]
+    fn best_plan_is_pareto_optimal_and_valid() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let out = search.run(&SearchConfig::exhaustive()).unwrap();
+        let best = out.best_scored().unwrap();
+        best.plan.validate(&p, &c).unwrap();
+        for other in &out.feasible {
+            assert!(!other.cost.dominates(&best.cost), "best plan is dominated");
+        }
+    }
+
+    #[test]
+    fn infeasible_thresholds_find_nothing() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let out = search
+            .run(&SearchConfig::with_thresholds(Thresholds::new(
+                0.0, 0.0, 0.0,
+            )))
+            .unwrap();
+        assert_eq!(out.stats.plans_found, 0);
+        assert!(out.best_plan().is_none());
+        assert!(out.stats.pruned > 0);
+    }
+
+    #[test]
+    fn node_budget_aborts() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let out = search
+            .run(&SearchConfig {
+                node_budget: Some(5),
+                ..SearchConfig::exhaustive()
+            })
+            .unwrap();
+        let full = search.run(&SearchConfig::exhaustive()).unwrap();
+        assert!(out.stats.plans_found < full.stats.plans_found);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let bad = SearchConfig {
+            threads: 0,
+            ..SearchConfig::exhaustive()
+        };
+        assert!(search.run(&bad).is_err());
+        let bad = SearchConfig {
+            max_plans: 0,
+            ..SearchConfig::exhaustive()
+        };
+        assert!(search.run(&bad).is_err());
+    }
+
+    #[test]
+    fn max_plans_cap_keeps_cheapest() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let full = search
+            .run(&SearchConfig {
+                max_plans: usize::MAX / 2,
+                ..SearchConfig::exhaustive()
+            })
+            .unwrap();
+        let capped = search
+            .run(&SearchConfig {
+                max_plans: 3,
+                ..SearchConfig::exhaustive()
+            })
+            .unwrap();
+        assert_eq!(capped.feasible.len(), 3);
+        assert_eq!(capped.stats.plans_found, full.stats.plans_found);
+        // The cheapest plan overall must have survived the replacement
+        // policy.
+        let best_full = full.best_scored().unwrap().cost.max_component();
+        let best_capped = capped.best_scored().unwrap().cost.max_component();
+        assert!((best_full - best_capped).abs() < 1e-9);
+    }
+}

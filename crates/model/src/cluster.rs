@@ -1,0 +1,206 @@
+//! Worker cluster model (`G_w` in the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+/// Identifier of a worker within a [`Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WorkerId(pub usize);
+
+impl WorkerId {
+    /// Returns the underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// Hardware capacities of one worker node.
+///
+/// The paper deploys Task Managers on AWS instances; this spec captures
+/// the capacities that matter for contention: CPU cores shared by all
+/// slot threads, the SSD bandwidth shared by state-backend accesses, and
+/// the NIC bandwidth shared by outbound cross-worker channels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkerSpec {
+    /// Number of compute slots (`s`), one task per slot.
+    pub slots: usize,
+    /// Physical CPU cores available to slot threads.
+    pub cpu_cores: f64,
+    /// Aggregate disk bandwidth in bytes/s (state backend reads + writes).
+    pub disk_bandwidth: f64,
+    /// Outbound network bandwidth in bytes/s.
+    pub network_bandwidth: f64,
+}
+
+impl WorkerSpec {
+    /// Creates a new worker spec.
+    pub fn new(slots: usize, cpu_cores: f64, disk_bandwidth: f64, network_bandwidth: f64) -> Self {
+        WorkerSpec {
+            slots,
+            cpu_cores,
+            disk_bandwidth,
+            network_bandwidth,
+        }
+    }
+
+    /// AWS `m5d.2xlarge` analogue used in §6.2: 4 physical cores, NVMe SSD,
+    /// 10 Gbps network.
+    pub fn m5d_2xlarge(slots: usize) -> Self {
+        WorkerSpec::new(slots, 4.0, 500e6, 1.25e9)
+    }
+
+    /// AWS `r5d.xlarge` analogue used in §3 and §6.4: 2 physical cores.
+    pub fn r5d_xlarge(slots: usize) -> Self {
+        WorkerSpec::new(slots, 2.0, 300e6, 1.25e9)
+    }
+
+    /// AWS `c5d.4xlarge` analogue used in §6.3: 8 physical cores.
+    pub fn c5d_4xlarge(slots: usize) -> Self {
+        WorkerSpec::new(slots, 8.0, 600e6, 1.25e9)
+    }
+
+    /// Returns a copy with the outbound network bandwidth capped, as in the
+    /// paper's 1 Gbps network-contention experiment (§3.3).
+    pub fn with_network_cap(mut self, bytes_per_sec: f64) -> Self {
+        self.network_bandwidth = bytes_per_sec;
+        self
+    }
+
+    /// Returns true if all capacities are positive and finite.
+    pub fn is_valid(&self) -> bool {
+        let pos = |v: f64| v.is_finite() && v > 0.0;
+        self.slots > 0
+            && pos(self.cpu_cores)
+            && pos(self.disk_bandwidth)
+            && pos(self.network_bandwidth)
+    }
+}
+
+/// One worker node in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Worker {
+    /// Worker id.
+    pub id: WorkerId,
+    /// Hardware capacities.
+    pub spec: WorkerSpec,
+}
+
+/// A cluster of homogeneous workers (`G_w = (V_w, E_w)`).
+///
+/// The paper's datacenter setting assumes negligible propagation delays
+/// between workers, so `E_w` is implicit: every worker pair is connected
+/// and only per-worker NIC bandwidth constrains communication.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    workers: Vec<Worker>,
+}
+
+impl Cluster {
+    /// Creates a homogeneous cluster of `n` workers with the given spec.
+    pub fn homogeneous(n: usize, spec: WorkerSpec) -> Result<Cluster, ModelError> {
+        if n == 0 {
+            return Err(ModelError::InvalidParameter(
+                "cluster needs at least one worker".into(),
+            ));
+        }
+        if !spec.is_valid() {
+            return Err(ModelError::InvalidParameter(format!(
+                "invalid worker spec {spec:?}"
+            )));
+        }
+        Ok(Cluster {
+            workers: (0..n)
+                .map(|i| Worker {
+                    id: WorkerId(i),
+                    spec,
+                })
+                .collect(),
+        })
+    }
+
+    /// All workers (`V_w`).
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// Number of workers `|V_w|`.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The worker with the given id.
+    pub fn worker(&self, id: WorkerId) -> &Worker {
+        &self.workers[id.0]
+    }
+
+    /// Slots per worker (`s`); all workers are homogeneous.
+    pub fn slots_per_worker(&self) -> usize {
+        self.workers[0].spec.slots
+    }
+
+    /// Total number of slots across the cluster.
+    pub fn total_slots(&self) -> usize {
+        self.workers.iter().map(|w| w.spec.slots).sum()
+    }
+
+    /// Checks there are enough slots to host `tasks` tasks.
+    pub fn check_capacity(&self, tasks: usize) -> Result<(), ModelError> {
+        let slots = self.total_slots();
+        if tasks > slots {
+            return Err(ModelError::InsufficientSlots { tasks, slots });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_cluster_basics() {
+        let c = Cluster::homogeneous(4, WorkerSpec::m5d_2xlarge(8)).unwrap();
+        assert_eq!(c.num_workers(), 4);
+        assert_eq!(c.slots_per_worker(), 8);
+        assert_eq!(c.total_slots(), 32);
+        assert_eq!(c.worker(WorkerId(2)).id, WorkerId(2));
+        assert!(c.check_capacity(32).is_ok());
+        assert!(c.check_capacity(33).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_cluster() {
+        assert!(Cluster::homogeneous(0, WorkerSpec::m5d_2xlarge(8)).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_spec() {
+        let bad = WorkerSpec::new(0, 4.0, 1.0, 1.0);
+        assert!(Cluster::homogeneous(2, bad).is_err());
+        let bad = WorkerSpec::new(4, 0.0, 1.0, 1.0);
+        assert!(Cluster::homogeneous(2, bad).is_err());
+        let bad = WorkerSpec::new(4, 4.0, f64::NAN, 1.0);
+        assert!(Cluster::homogeneous(2, bad).is_err());
+    }
+
+    #[test]
+    fn network_cap_applies() {
+        let spec = WorkerSpec::r5d_xlarge(4).with_network_cap(125e6);
+        assert_eq!(spec.network_bandwidth, 125e6);
+        assert_eq!(spec.cpu_cores, 2.0);
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(WorkerSpec::m5d_2xlarge(8).is_valid());
+        assert!(WorkerSpec::r5d_xlarge(4).is_valid());
+        assert!(WorkerSpec::c5d_4xlarge(8).is_valid());
+    }
+}

@@ -1,0 +1,126 @@
+//! Error type for model construction and validation.
+
+use std::fmt;
+
+/// Errors produced while building or validating dataflow and cluster models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The logical graph contains a cycle and is not a DAG.
+    CyclicGraph,
+    /// An edge references an operator id that does not exist.
+    UnknownOperator(usize),
+    /// An operator was declared with zero parallelism.
+    ZeroParallelism(String),
+    /// The graph has no source operator.
+    NoSource,
+    /// A non-source operator has no incoming edge.
+    DisconnectedOperator(String),
+    /// The cluster does not have enough slots for all tasks.
+    InsufficientSlots {
+        /// Number of tasks that must be placed.
+        tasks: usize,
+        /// Total number of slots available in the cluster.
+        slots: usize,
+    },
+    /// A placement assigns more tasks to a worker than it has slots.
+    SlotOverflow {
+        /// The overloaded worker.
+        worker: usize,
+        /// Number of tasks assigned to it.
+        assigned: usize,
+        /// Its slot capacity.
+        slots: usize,
+    },
+    /// A placement references a worker outside the cluster.
+    UnknownWorker(usize),
+    /// A placement does not cover every task exactly once.
+    IncompletePlacement {
+        /// Number of tasks the plan maps.
+        mapped: usize,
+        /// Number of tasks in the physical graph.
+        tasks: usize,
+    },
+    /// A duplicate edge between the same pair of operators was declared.
+    DuplicateEdge(usize, usize),
+    /// An invalid parameter value was supplied.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::CyclicGraph => write!(f, "logical graph contains a cycle"),
+            ModelError::UnknownOperator(id) => write!(f, "unknown operator id {id}"),
+            ModelError::ZeroParallelism(name) => {
+                write!(f, "operator `{name}` has zero parallelism")
+            }
+            ModelError::NoSource => write!(f, "logical graph has no source operator"),
+            ModelError::DisconnectedOperator(name) => {
+                write!(f, "non-source operator `{name}` has no incoming edge")
+            }
+            ModelError::InsufficientSlots { tasks, slots } => {
+                write!(
+                    f,
+                    "cluster has {slots} slots but {tasks} tasks must be placed"
+                )
+            }
+            ModelError::SlotOverflow {
+                worker,
+                assigned,
+                slots,
+            } => write!(
+                f,
+                "worker {worker} assigned {assigned} tasks but has only {slots} slots"
+            ),
+            ModelError::UnknownWorker(id) => write!(f, "unknown worker id {id}"),
+            ModelError::IncompletePlacement { mapped, tasks } => {
+                write!(f, "placement maps {mapped} tasks but the graph has {tasks}")
+            }
+            ModelError::DuplicateEdge(a, b) => {
+                write!(f, "duplicate edge between operators {a} and {b}")
+            }
+            ModelError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(ModelError, &str)> = vec![
+            (ModelError::CyclicGraph, "cycle"),
+            (ModelError::UnknownOperator(3), "3"),
+            (ModelError::ZeroParallelism("map".into()), "map"),
+            (ModelError::NoSource, "no source"),
+            (ModelError::DisconnectedOperator("sink".into()), "sink"),
+            (ModelError::InsufficientSlots { tasks: 9, slots: 4 }, "9"),
+            (
+                ModelError::SlotOverflow {
+                    worker: 1,
+                    assigned: 5,
+                    slots: 4,
+                },
+                "worker 1",
+            ),
+            (ModelError::UnknownWorker(7), "7"),
+            (
+                ModelError::IncompletePlacement {
+                    mapped: 3,
+                    tasks: 5,
+                },
+                "5",
+            ),
+            (ModelError::DuplicateEdge(0, 1), "duplicate"),
+            (ModelError::InvalidParameter("x".into()), "x"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "`{msg}` should contain `{needle}`");
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Source rate schedules for constant and variable workloads.
+
+use serde::{Deserialize, Serialize};
+
+/// The input rate of a source operator over time, in records per second.
+///
+/// Used by the simulator for variable workloads (§6.4) and by controllers
+/// as the target rate at a given instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RateSchedule {
+    /// A constant rate.
+    Constant(f64),
+    /// Piecewise-constant steps: `(start_time_sec, rate)` pairs, sorted by
+    /// start time. The rate before the first step is the first step's rate.
+    Steps(Vec<(f64, f64)>),
+    /// A square wave alternating between `low` and `high` every
+    /// `period_sec` seconds, starting at `high`.
+    SquareWave {
+        /// Rate during high phases.
+        high: f64,
+        /// Rate during low phases.
+        low: f64,
+        /// Duration of each phase in seconds.
+        period_sec: f64,
+    },
+}
+
+impl RateSchedule {
+    /// The rate at time `t` seconds.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        match self {
+            RateSchedule::Constant(r) => *r,
+            RateSchedule::Steps(steps) => {
+                let mut rate = steps.first().map(|&(_, r)| r).unwrap_or(0.0);
+                for &(start, r) in steps {
+                    if t >= start {
+                        rate = r;
+                    } else {
+                        break;
+                    }
+                }
+                rate
+            }
+            RateSchedule::SquareWave {
+                high,
+                low,
+                period_sec,
+            } => {
+                let phase = (t / period_sec).floor() as i64;
+                if phase % 2 == 0 {
+                    *high
+                } else {
+                    *low
+                }
+            }
+        }
+    }
+
+    /// The maximum rate the schedule ever reaches.
+    pub fn peak_rate(&self) -> f64 {
+        match self {
+            RateSchedule::Constant(r) => *r,
+            RateSchedule::Steps(steps) => steps.iter().map(|&(_, r)| r).fold(0.0, f64::max),
+            RateSchedule::SquareWave { high, low, .. } => high.max(*low),
+        }
+    }
+
+    /// Returns a copy with every rate scaled by `factor`.
+    pub fn scaled(&self, factor: f64) -> RateSchedule {
+        match self {
+            RateSchedule::Constant(r) => RateSchedule::Constant(r * factor),
+            RateSchedule::Steps(steps) => {
+                RateSchedule::Steps(steps.iter().map(|&(t, r)| (t, r * factor)).collect())
+            }
+            RateSchedule::SquareWave {
+                high,
+                low,
+                period_sec,
+            } => RateSchedule::SquareWave {
+                high: high * factor,
+                low: low * factor,
+                period_sec: *period_sec,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate() {
+        let s = RateSchedule::Constant(100.0);
+        assert_eq!(s.rate_at(0.0), 100.0);
+        assert_eq!(s.rate_at(1e6), 100.0);
+        assert_eq!(s.peak_rate(), 100.0);
+    }
+
+    #[test]
+    fn steps_rate() {
+        let s = RateSchedule::Steps(vec![(0.0, 10.0), (60.0, 20.0), (120.0, 5.0)]);
+        assert_eq!(s.rate_at(0.0), 10.0);
+        assert_eq!(s.rate_at(59.9), 10.0);
+        assert_eq!(s.rate_at(60.0), 20.0);
+        assert_eq!(s.rate_at(119.0), 20.0);
+        assert_eq!(s.rate_at(500.0), 5.0);
+        assert_eq!(s.peak_rate(), 20.0);
+    }
+
+    #[test]
+    fn steps_before_first_step_use_first_rate() {
+        let s = RateSchedule::Steps(vec![(10.0, 7.0)]);
+        assert_eq!(s.rate_at(0.0), 7.0);
+    }
+
+    #[test]
+    fn empty_steps_are_zero() {
+        let s = RateSchedule::Steps(vec![]);
+        assert_eq!(s.rate_at(5.0), 0.0);
+        assert_eq!(s.peak_rate(), 0.0);
+    }
+
+    #[test]
+    fn square_wave_alternates() {
+        let s = RateSchedule::SquareWave {
+            high: 100.0,
+            low: 40.0,
+            period_sec: 60.0,
+        };
+        assert_eq!(s.rate_at(0.0), 100.0);
+        assert_eq!(s.rate_at(59.0), 100.0);
+        assert_eq!(s.rate_at(60.0), 40.0);
+        assert_eq!(s.rate_at(120.0), 100.0);
+        assert_eq!(s.peak_rate(), 100.0);
+    }
+
+    #[test]
+    fn scaling_applies_to_all_variants() {
+        assert_eq!(
+            RateSchedule::Constant(10.0).scaled(2.0),
+            RateSchedule::Constant(20.0)
+        );
+        let s = RateSchedule::Steps(vec![(0.0, 1.0), (5.0, 2.0)]).scaled(3.0);
+        assert_eq!(s, RateSchedule::Steps(vec![(0.0, 3.0), (5.0, 6.0)]));
+        let w = RateSchedule::SquareWave {
+            high: 4.0,
+            low: 2.0,
+            period_sec: 9.0,
+        }
+        .scaled(0.5);
+        assert_eq!(
+            w,
+            RateSchedule::SquareWave {
+                high: 2.0,
+                low: 1.0,
+                period_sec: 9.0
+            }
+        );
+    }
+}

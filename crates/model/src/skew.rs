@@ -1,0 +1,369 @@
+//! Skew-aware placement groups (§5.2 of the CAPSys paper).
+//!
+//! CAPS treats all tasks of an operator as identical, which breaks under
+//! data skew: with a skewed key distribution some tasks of an operator
+//! receive more input than others. The paper sketches the remedy:
+//! *"partitioning techniques could be used to organize tasks of an
+//! operator into placement groups with equal resource demand. Then, each
+//! task group can be explored as an individual outer layer in the CAPS
+//! algorithm."*
+//!
+//! [`apply_skew`] implements exactly that as a graph transformation: a
+//! skewed operator is split into *placement groups* — one derived
+//! operator per group, holding the tasks whose relative input weights
+//! are similar. Group profiles are scaled such that the standard
+//! [`LoadModel`](crate::LoadModel) derivation on the derived graph
+//! produces each task's *true skewed load*, and downstream operators see
+//! exactly the same aggregate rates as in the original graph. Any
+//! placement of the derived graph maps back to the original tasks via
+//! [`SkewedProblem::map_placement`].
+
+use std::collections::HashMap;
+
+use crate::error::ModelError;
+use crate::logical::LogicalGraph;
+use crate::operator::OperatorId;
+use crate::physical::PhysicalGraph;
+use crate::placement::Placement;
+
+/// Relative input weights of one operator's tasks.
+///
+/// `weights[i]` is proportional to the input rate of subtask `i`; the
+/// absolute scale is irrelevant (weights are normalized internally).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewSpec {
+    /// The skewed operator.
+    pub op: OperatorId,
+    /// One positive weight per subtask.
+    pub weights: Vec<f64>,
+}
+
+impl SkewSpec {
+    /// Creates a skew spec.
+    pub fn new(op: OperatorId, weights: Vec<f64>) -> SkewSpec {
+        SkewSpec { op, weights }
+    }
+
+    /// A Zipf-like weight vector for `n` tasks with exponent `s`.
+    pub fn zipf(op: OperatorId, n: usize, s: f64) -> SkewSpec {
+        let weights = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        SkewSpec { op, weights }
+    }
+}
+
+/// A skew-transformed placement problem.
+#[derive(Debug, Clone)]
+pub struct SkewedProblem {
+    /// The derived logical graph: skewed operators split into placement
+    /// groups with load-equivalent profiles.
+    pub logical: LogicalGraph,
+    /// For each original task (by original task id): the derived
+    /// operator and subtask index hosting it.
+    task_map: Vec<(OperatorId, usize)>,
+    /// Number of tasks in the original physical graph.
+    original_tasks: usize,
+}
+
+impl SkewedProblem {
+    /// Maps a placement of the derived graph back onto the original
+    /// physical graph's task ids.
+    pub fn map_placement(
+        &self,
+        derived_physical: &PhysicalGraph,
+        plan: &Placement,
+    ) -> Result<Placement, ModelError> {
+        if plan.num_tasks() != derived_physical.num_tasks() {
+            return Err(ModelError::IncompletePlacement {
+                mapped: plan.num_tasks(),
+                tasks: derived_physical.num_tasks(),
+            });
+        }
+        let mut assignment = Vec::with_capacity(self.original_tasks);
+        for &(op, subtask) in &self.task_map {
+            let derived_task = derived_physical.operator_tasks(op).start + subtask;
+            assignment.push(plan.worker_of(crate::TaskId(derived_task)));
+        }
+        Ok(Placement::new(assignment))
+    }
+
+    /// The derived operator and subtask hosting original task `t`.
+    pub fn derived_of(&self, t: crate::TaskId) -> (OperatorId, usize) {
+        self.task_map[t.0]
+    }
+}
+
+/// Splits skewed operators into `num_groups` placement groups each.
+///
+/// Tasks are sorted by weight and chunked into groups of near-equal
+/// *count*; each group becomes one derived operator whose per-record
+/// unit costs and selectivity are scaled by the group's share of the
+/// operator's input, so that the uniform [`LoadModel`](crate::LoadModel)
+/// on the derived graph reproduces the skewed per-task loads exactly,
+/// and the aggregate output rate feeding downstream operators is
+/// unchanged.
+pub fn apply_skew(
+    logical: &LogicalGraph,
+    specs: &[SkewSpec],
+    num_groups: usize,
+) -> Result<SkewedProblem, ModelError> {
+    if num_groups == 0 {
+        return Err(ModelError::InvalidParameter(
+            "num_groups must be at least 1".into(),
+        ));
+    }
+    let mut spec_by_op: HashMap<usize, &SkewSpec> = HashMap::new();
+    for spec in specs {
+        let op = logical
+            .operators()
+            .get(spec.op.0)
+            .ok_or(ModelError::UnknownOperator(spec.op.0))?;
+        if spec.weights.len() != op.parallelism {
+            return Err(ModelError::InvalidParameter(format!(
+                "skew spec for `{}` has {} weights, parallelism is {}",
+                op.name,
+                spec.weights.len(),
+                op.parallelism
+            )));
+        }
+        if spec.weights.iter().any(|w| !w.is_finite() || *w <= 0.0) {
+            return Err(ModelError::InvalidParameter(format!(
+                "skew weights for `{}` must be positive",
+                op.name
+            )));
+        }
+        spec_by_op.insert(spec.op.0, spec);
+    }
+
+    let physical = PhysicalGraph::expand(logical);
+    let mut b = LogicalGraph::builder(format!("{}-skewed", logical.name));
+    // `derived_ids[o]` lists the derived operators replacing original
+    // operator `o`, together with the original subtasks in each group.
+    let mut derived_ids: Vec<Vec<(OperatorId, Vec<usize>)>> =
+        Vec::with_capacity(logical.num_operators());
+
+    for (o, op) in logical.operators().iter().enumerate() {
+        match spec_by_op.get(&o) {
+            None => {
+                let id = b.operator(op.name.clone(), op.kind, op.parallelism, op.profile);
+                derived_ids.push(vec![(id, (0..op.parallelism).collect())]);
+            }
+            Some(spec) => {
+                let total_w: f64 = spec.weights.iter().sum();
+                // Sort subtasks by weight (descending) and chunk.
+                let mut order: Vec<usize> = (0..op.parallelism).collect();
+                order.sort_by(|&a, &b| {
+                    spec.weights[b]
+                        .partial_cmp(&spec.weights[a])
+                        .expect("finite weights")
+                });
+                // Contiguous weight ranks per group: similar-demand tasks
+                // end up in the same placement group.
+                let k = num_groups.min(op.parallelism);
+                let mut groups = Vec::with_capacity(k);
+                let base = op.parallelism / k;
+                let extra = op.parallelism % k;
+                let mut start = 0;
+                for chunk in 0..k {
+                    let len = base + usize::from(chunk < extra);
+                    groups.push(order[start..start + len].to_vec());
+                    start += len;
+                }
+
+                let mut ids = Vec::with_capacity(groups.len());
+                for (gi, members) in groups.iter().enumerate() {
+                    let group_w: f64 = members.iter().map(|&m| spec.weights[m]).sum();
+                    let share = group_w / total_w;
+                    // Scale factor making LoadModel's uniform split
+                    // (op input / |group|) reproduce the group's true
+                    // per-task load: c = share * |group| / |group| ...
+                    // expressed against the group-op's own input, which
+                    // LoadModel sets to the full upstream stream.
+                    let c = share;
+                    let mut profile = op.profile;
+                    profile.cpu_per_record *= c;
+                    profile.state_bytes_per_record *= c;
+                    profile.selectivity *= c;
+                    let id = b.operator(
+                        format!("{}/g{}", op.name, gi),
+                        op.kind,
+                        members.len(),
+                        profile,
+                    );
+                    ids.push((id, members.clone()));
+                }
+                derived_ids.push(ids);
+            }
+        }
+    }
+
+    for e in logical.edges() {
+        for (from_id, _) in &derived_ids[e.from.0] {
+            for (to_id, _) in &derived_ids[e.to.0] {
+                b.edge(*from_id, *to_id, e.pattern);
+            }
+        }
+    }
+
+    let derived = b.build()?;
+    let mut task_map = vec![(OperatorId(0), 0usize); physical.num_tasks()];
+    for (o, groups) in derived_ids.iter().enumerate() {
+        let range = physical.operator_tasks(OperatorId(o));
+        for (id, members) in groups {
+            for (sub, &orig_sub) in members.iter().enumerate() {
+                task_map[range.start + orig_sub] = (*id, sub);
+            }
+        }
+    }
+
+    Ok(SkewedProblem {
+        logical: derived,
+        task_map,
+        original_tasks: physical.num_tasks(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, WorkerSpec};
+    use crate::load::LoadModel;
+    use crate::logical::ConnectionPattern;
+    use crate::operator::{OperatorKind, ResourceProfile};
+    use crate::TaskId;
+
+    fn base() -> LogicalGraph {
+        let mut b = LogicalGraph::builder("skewq");
+        let s = b.operator(
+            "src",
+            OperatorKind::Source,
+            1,
+            ResourceProfile::new(1e-5, 0.0, 100.0, 1.0),
+        );
+        let w = b.operator(
+            "window",
+            OperatorKind::Window,
+            4,
+            ResourceProfile::new(1e-3, 2000.0, 50.0, 0.5),
+        );
+        let k = b.operator(
+            "sink",
+            OperatorKind::Sink,
+            1,
+            ResourceProfile::new(1e-5, 0.0, 0.0, 1.0),
+        );
+        b.edge(s, w, ConnectionPattern::Hash);
+        b.edge(w, k, ConnectionPattern::Rebalance);
+        b.build().unwrap()
+    }
+
+    fn rates(g: &LogicalGraph, r: f64) -> HashMap<OperatorId, f64> {
+        g.sources().into_iter().map(|s| (s, r)).collect()
+    }
+
+    #[test]
+    fn skewed_total_load_matches_original() {
+        let g = base();
+        let spec = SkewSpec::new(OperatorId(1), vec![4.0, 2.0, 1.0, 1.0]);
+        let skewed = apply_skew(&g, &[spec], 2).unwrap();
+        let dp = PhysicalGraph::expand(&skewed.logical);
+        let lm_skew =
+            LoadModel::derive(&skewed.logical, &dp, &rates(&skewed.logical, 1000.0)).unwrap();
+        let op_orig = PhysicalGraph::expand(&g);
+        let lm_orig = LoadModel::derive(&g, &op_orig, &rates(&g, 1000.0)).unwrap();
+        let t_skew = lm_skew.total();
+        let t_orig = lm_orig.total();
+        assert!(
+            (t_skew.cpu - t_orig.cpu).abs() < 1e-9,
+            "{} vs {}",
+            t_skew.cpu,
+            t_orig.cpu
+        );
+        assert!((t_skew.io - t_orig.io).abs() < 1e-6);
+    }
+
+    #[test]
+    fn downstream_rates_are_preserved() {
+        let g = base();
+        let spec = SkewSpec::new(OperatorId(1), vec![4.0, 2.0, 1.0, 1.0]);
+        let skewed = apply_skew(&g, &[spec], 2).unwrap();
+        let dp = PhysicalGraph::expand(&skewed.logical);
+        let lm = LoadModel::derive(&skewed.logical, &dp, &rates(&skewed.logical, 1000.0)).unwrap();
+        // Sink input = 1000 * 0.5 = 500 in the original graph.
+        let sink = skewed.logical.operator_by_name("sink").unwrap();
+        assert!((lm.op_input_rate(sink) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_group_carries_proportional_load() {
+        let g = base();
+        // Weights 4,2,1,1 -> group 0 = {4,2} (share 6/8), group 1 = {1,1}.
+        let spec = SkewSpec::new(OperatorId(1), vec![4.0, 2.0, 1.0, 1.0]);
+        let skewed = apply_skew(&g, &[spec], 2).unwrap();
+        let dp = PhysicalGraph::expand(&skewed.logical);
+        let lm = LoadModel::derive(&skewed.logical, &dp, &rates(&skewed.logical, 1000.0)).unwrap();
+        let g0 = skewed.logical.operator_by_name("window/g0").unwrap();
+        let g1 = skewed.logical.operator_by_name("window/g1").unwrap();
+        let load =
+            |op: OperatorId| -> f64 { dp.operator_tasks(op).map(|t| lm.load(TaskId(t)).cpu).sum() };
+        let l0 = load(g0);
+        let l1 = load(g1);
+        assert!(
+            (l0 / l1 - 3.0).abs() < 1e-6,
+            "6/8 vs 2/8 share: {l0} vs {l1}"
+        );
+    }
+
+    #[test]
+    fn placement_maps_back_to_original_tasks() {
+        let g = base();
+        let spec = SkewSpec::new(OperatorId(1), vec![4.0, 2.0, 1.0, 1.0]);
+        let skewed = apply_skew(&g, &[spec], 2).unwrap();
+        let dp = PhysicalGraph::expand(&skewed.logical);
+        let cluster = Cluster::homogeneous(2, WorkerSpec::new(4, 4.0, 1e8, 1e9)).unwrap();
+        let plans = crate::enumerate_plans(&dp, &cluster, 5).unwrap();
+        let op = PhysicalGraph::expand(&g);
+        for plan in plans {
+            let mapped = skewed.map_placement(&dp, &plan).unwrap();
+            mapped.validate(&op, &cluster).unwrap();
+            // The heaviest original subtask (weight 4 = subtask 0) lives
+            // wherever its derived twin lives.
+            let (d_op, d_sub) = skewed.derived_of(TaskId(op.operator_tasks(OperatorId(1)).start));
+            let derived_task = dp.operator_tasks(d_op).start + d_sub;
+            assert_eq!(
+                mapped.worker_of(TaskId(op.operator_tasks(OperatorId(1)).start)),
+                plan.worker_of(TaskId(derived_task))
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_weights_are_decreasing() {
+        let s = SkewSpec::zipf(OperatorId(0), 5, 1.0);
+        for w in s.weights.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let g = base();
+        let bad_len = SkewSpec::new(OperatorId(1), vec![1.0; 3]);
+        assert!(apply_skew(&g, &[bad_len], 2).is_err());
+        let bad_weight = SkewSpec::new(OperatorId(1), vec![1.0, -1.0, 1.0, 1.0]);
+        assert!(apply_skew(&g, &[bad_weight], 2).is_err());
+        let bad_op = SkewSpec::new(OperatorId(9), vec![1.0]);
+        assert!(apply_skew(&g, &[bad_op], 2).is_err());
+        let ok = SkewSpec::new(OperatorId(1), vec![1.0; 4]);
+        assert!(apply_skew(&g, &[ok], 0).is_err());
+    }
+
+    #[test]
+    fn more_groups_than_tasks_degrades_gracefully() {
+        let g = base();
+        let spec = SkewSpec::new(OperatorId(1), vec![3.0, 2.0, 1.5, 1.0]);
+        let skewed = apply_skew(&g, &[spec], 10).unwrap();
+        // At most one group per task.
+        assert_eq!(skewed.logical.num_operators(), 2 + 4);
+        assert_eq!(skewed.logical.total_tasks(), g.total_tasks());
+    }
+}

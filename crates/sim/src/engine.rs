@@ -1,0 +1,1323 @@
+//! The fluid-flow simulation engine.
+//!
+//! The engine advances time in fixed ticks. Each tick it:
+//!
+//! 1. computes every task's *desired* processing volume from the records
+//!    available in its input queues (or the source schedule) and the free
+//!    space in its output queues (bounded queues are what propagates
+//!    backpressure upstream, like Flink's credit-based flow control);
+//! 2. resolves *contention* on every worker with a max-min fair
+//!    (water-filling) allocation of the worker's CPU cores, disk
+//!    bandwidth, and outbound NIC bandwidth among its tasks — the three
+//!    shared resources whose saturation the CAPSys paper identifies as
+//!    the cause of co-location penalties (§3.3);
+//! 3. moves records: dequeues from input channels proportionally to
+//!    their occupancy and enqueues outputs according to each channel's
+//!    per-record share.
+//!
+//! Only cross-worker channels charge the NIC, mirroring Eq. 8 of the
+//! paper. Sources that cannot place records (full downstream queues or
+//! their own throttling) accumulate *backpressure*, reported as the
+//! fraction of time sources spend throttled — Flink's
+//! backpressured-time metric, which the paper reports.
+
+use std::collections::HashMap;
+
+use capsys_model::{
+    Cluster, ConnectionPattern, LoadModel, LogicalGraph, OperatorId, PhysicalGraph, Placement,
+    RateSchedule,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::metrics::{MetricPoint, SimulationReport, SourceStats, TaskRateStats};
+
+/// A source task counts as backpressured in a tick when it admitted less
+/// than this fraction of its target volume — mirroring Flink's
+/// backpressured-time-per-second metric, which the paper reports instead
+/// of raw throughput deficit.
+const BACKPRESSURE_SLACK: f64 = 0.99;
+
+/// Static, per-task simulation state.
+#[derive(Debug, Clone)]
+struct TaskState {
+    worker: usize,
+    op: usize,
+    cpu_unit: f64,
+    io_unit: f64,
+    /// Outbound bytes per processed record over cross-worker channels.
+    net_unit: f64,
+    selectivity: f64,
+    burst_amp: f64,
+    is_source: bool,
+    /// Source generation share: `1 / parallelism` of its operator.
+    gen_share: f64,
+    in_channels: Vec<usize>,
+    /// `(channel index, records pushed per processed record)`.
+    out_pushes: Vec<(usize, f64)>,
+}
+
+/// A bounded point-to-point queue between two tasks.
+#[derive(Debug, Clone)]
+struct ChannelState {
+    q: f64,
+    cap: f64,
+}
+
+/// Extracts a task's per-record unit cost for one resource dimension.
+type ResourceUnitFn = fn(&TaskState, f64) -> f64;
+
+/// Per-worker resource capacities, per second.
+#[derive(Debug, Clone, Copy)]
+struct WorkerCaps {
+    cpu: f64,
+    io: f64,
+    net: f64,
+}
+
+/// Accumulators for one reporting window.
+#[derive(Debug, Clone, Default)]
+struct WindowAcc {
+    time: f64,
+    admitted: f64,
+    target: f64,
+    in_flight_time: f64,
+    cpu_use: Vec<f64>,
+    io_use: Vec<f64>,
+    net_use: Vec<f64>,
+    src_admitted: HashMap<usize, f64>,
+    src_target: HashMap<usize, f64>,
+    /// Source-task-seconds spent backpressured, per source operator.
+    src_bp_time: HashMap<usize, f64>,
+    /// Total source-task-seconds observed, per source operator.
+    src_time: HashMap<usize, f64>,
+    task_processed: Vec<f64>,
+    task_busy: Vec<f64>,
+    task_capacity_time: Vec<f64>,
+}
+
+impl WindowAcc {
+    fn new(workers: usize, tasks: usize) -> WindowAcc {
+        WindowAcc {
+            cpu_use: vec![0.0; workers],
+            io_use: vec![0.0; workers],
+            net_use: vec![0.0; workers],
+            task_processed: vec![0.0; tasks],
+            task_busy: vec![0.0; tasks],
+            task_capacity_time: vec![0.0; tasks],
+            ..WindowAcc::default()
+        }
+    }
+
+    fn reset(&mut self) {
+        let workers = self.cpu_use.len();
+        let tasks = self.task_processed.len();
+        *self = WindowAcc::new(workers, tasks);
+    }
+}
+
+/// A contention-aware stream-processing simulation bound to one
+/// deployment (graph + cluster + placement).
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimConfig,
+    time: f64,
+    tasks: Vec<TaskState>,
+    channels: Vec<ChannelState>,
+    workers: Vec<WorkerCaps>,
+    /// Per source task: index into `schedules`.
+    task_schedule: Vec<Option<usize>>,
+    schedules: Vec<(usize, RateSchedule)>,
+    rng: SmallRng,
+    // Scratch buffers reused across ticks.
+    desired: Vec<f64>,
+    avail: Vec<f64>,
+    rate: Vec<f64>,
+    capacity_rate: Vec<f64>,
+    cpu_eff: Vec<f64>,
+    deq: Vec<f64>,
+    worker_tasks: Vec<Vec<usize>>,
+    /// Workers currently failed (their tasks process nothing).
+    failed: Vec<bool>,
+    // Cumulative conservation counters.
+    total_admitted: f64,
+    total_sunk: f64,
+}
+
+impl Simulation {
+    /// Builds a simulation for the given deployment.
+    ///
+    /// `schedules` maps each source operator to its input rate schedule;
+    /// every source operator of the graph must be covered.
+    pub fn new(
+        logical: &LogicalGraph,
+        physical: &PhysicalGraph,
+        cluster: &Cluster,
+        placement: &Placement,
+        schedules: &HashMap<OperatorId, RateSchedule>,
+        config: SimConfig,
+    ) -> Result<Simulation, SimError> {
+        config.validate()?;
+        placement.validate(physical, cluster)?;
+        for src in logical.sources() {
+            if !schedules.contains_key(&src) {
+                return Err(SimError::MissingSchedule(
+                    logical.operator(src).name.clone(),
+                ));
+            }
+        }
+
+        let mut sched_list: Vec<(usize, RateSchedule)> = Vec::new();
+        let mut sched_index: HashMap<usize, usize> = HashMap::new();
+        for (op, sched) in schedules {
+            sched_index.insert(op.0, sched_list.len());
+            sched_list.push((op.0, sched.clone()));
+        }
+
+        // Size each channel queue by the time it should buffer (the
+        // buffer-debloating analogue): capacity = peak channel rate x
+        // buffer_secs, floored at `queue_capacity` records.
+        let peak_rates: HashMap<OperatorId, f64> = schedules
+            .iter()
+            .map(|(&op, s)| (op, s.peak_rate()))
+            .collect();
+        let peak_loads = LoadModel::derive(logical, physical, &peak_rates)?;
+        let mut channels: Vec<ChannelState> = Vec::with_capacity(physical.channels().len());
+        for ch in physical.channels() {
+            let out_rate = peak_loads.task_output_rate(ch.from);
+            // Share of the producer's output carried by this channel.
+            let n_channels = physical
+                .downstream(ch.from)
+                .filter(|c| physical.task_operator(c.to) == physical.task_operator(ch.to))
+                .count()
+                .max(1) as f64;
+            let share = match ch.pattern {
+                ConnectionPattern::Broadcast => 1.0,
+                _ => 1.0 / n_channels,
+            };
+            let cap = (out_rate * share * config.buffer_secs).max(config.queue_capacity);
+            channels.push(ChannelState { q: 0.0, cap });
+        }
+
+        let mut tasks = Vec::with_capacity(physical.num_tasks());
+        let mut task_schedule = Vec::with_capacity(physical.num_tasks());
+        for t in physical.tasks() {
+            let op = logical.operator(t.operator);
+            let w = placement.worker_of(t.id);
+
+            // Group this task's outgoing channels by downstream operator
+            // (one group per logical out-edge) to compute per-channel
+            // record shares.
+            let mut per_edge: HashMap<usize, Vec<usize>> = HashMap::new();
+            for (ci, ch) in physical.channels().iter().enumerate() {
+                if ch.from == t.id {
+                    let d_op = physical.task_operator(ch.to).0;
+                    per_edge.entry(d_op).or_default().push(ci);
+                }
+            }
+            let mut out_pushes = Vec::new();
+            let mut net_unit = 0.0;
+            for (_d_op, chans) in per_edge {
+                let k = chans.len() as f64;
+                for ci in chans {
+                    let ch = physical.channels()[ci];
+                    let share = match ch.pattern {
+                        // Broadcast replicates the full output stream to
+                        // every downstream task.
+                        ConnectionPattern::Broadcast => op.profile.selectivity,
+                        _ => op.profile.selectivity / k,
+                    };
+                    out_pushes.push((ci, share));
+                    if placement.worker_of(ch.to) != w {
+                        net_unit += share * op.profile.out_bytes_per_record;
+                    }
+                }
+            }
+
+            let in_channels: Vec<usize> = physical
+                .channels()
+                .iter()
+                .enumerate()
+                .filter(|(_, ch)| ch.to == t.id)
+                .map(|(ci, _)| ci)
+                .collect();
+
+            let is_source = op.kind.is_source();
+            task_schedule.push(if is_source {
+                sched_index.get(&t.operator.0).copied()
+            } else {
+                None
+            });
+            tasks.push(TaskState {
+                worker: w.0,
+                op: t.operator.0,
+                cpu_unit: op.profile.cpu_per_record,
+                io_unit: op.profile.state_bytes_per_record,
+                net_unit,
+                selectivity: op.profile.selectivity,
+                burst_amp: op.profile.cpu_burst_amplitude,
+                is_source,
+                gen_share: 1.0 / op.parallelism as f64,
+                in_channels,
+                out_pushes,
+            });
+        }
+
+        let workers: Vec<WorkerCaps> = cluster
+            .workers()
+            .iter()
+            .map(|w| WorkerCaps {
+                cpu: w.spec.cpu_cores,
+                io: w.spec.disk_bandwidth,
+                net: w.spec.network_bandwidth,
+            })
+            .collect();
+
+        let mut worker_tasks = vec![Vec::new(); workers.len()];
+        for (i, t) in tasks.iter().enumerate() {
+            worker_tasks[t.worker].push(i);
+        }
+
+        let n = tasks.len();
+        Ok(Simulation {
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+            time: 0.0,
+            desired: vec![0.0; n],
+            avail: vec![0.0; n],
+            rate: vec![0.0; n],
+            capacity_rate: vec![0.0; n],
+            cpu_eff: vec![0.0; n],
+            deq: vec![0.0; channels.len()],
+            tasks,
+            channels,
+            failed: vec![false; workers.len()],
+            workers,
+            task_schedule,
+            schedules: sched_list,
+            worker_tasks,
+            total_admitted: 0.0,
+            total_sunk: 0.0,
+        })
+    }
+
+    /// Fails a worker: its tasks stop processing until
+    /// [`Simulation::restore_worker`]. Queued records survive (they sit
+    /// in channel buffers), so upstream backpressure builds immediately —
+    /// the signal an adaptive controller reacts to.
+    pub fn fail_worker(&mut self, w: capsys_model::WorkerId) {
+        if let Some(f) = self.failed.get_mut(w.0) {
+            *f = true;
+        }
+    }
+
+    /// Restores a failed worker.
+    pub fn restore_worker(&mut self, w: capsys_model::WorkerId) {
+        if let Some(f) = self.failed.get_mut(w.0) {
+            *f = false;
+        }
+    }
+
+    /// Whether a worker is currently failed.
+    pub fn is_failed(&self, w: capsys_model::WorkerId) -> bool {
+        self.failed.get(w.0).copied().unwrap_or(false)
+    }
+
+    /// Current simulated time in seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Total records admitted by sources since construction.
+    pub fn total_admitted(&self) -> f64 {
+        self.total_admitted
+    }
+
+    /// Total records absorbed by sinks since construction.
+    pub fn total_sunk(&self) -> f64 {
+        self.total_sunk
+    }
+
+    /// Records currently buffered in channel queues.
+    pub fn in_flight(&self) -> f64 {
+        self.channels.iter().map(|c| c.q).sum()
+    }
+
+    /// Runs for `config.duration`, excluding `config.warmup` from the
+    /// averages.
+    pub fn run(&mut self) -> SimulationReport {
+        let (duration, warmup) = (self.config.duration, self.config.warmup);
+        self.advance(duration, warmup)
+    }
+
+    /// Advances the simulation by `duration` seconds and reports metrics,
+    /// excluding the first `warmup` seconds of the window from averages.
+    ///
+    /// State (queues, clock) carries over between calls, so closed-loop
+    /// controllers can alternate `advance` with reconfiguration.
+    pub fn advance(&mut self, duration: f64, warmup: f64) -> SimulationReport {
+        let tick = self.config.tick;
+        let steps = (duration / tick).round().max(1.0) as usize;
+        let interval_steps = (self.config.metrics_interval / tick).round().max(1.0) as usize;
+        let warmup_steps = (warmup / tick).round() as usize;
+
+        let n_workers = self.workers.len();
+        let n_tasks = self.tasks.len();
+        let mut interval = WindowAcc::new(n_workers, n_tasks);
+        let mut report = WindowAcc::new(n_workers, n_tasks);
+        let mut points = Vec::new();
+
+        for step in 0..steps {
+            self.step_into(&mut interval);
+            if step >= warmup_steps {
+                // Merge the tick we just recorded into the report window.
+                merge_last_tick(&mut report, &interval, self);
+            }
+            if (step + 1) % interval_steps == 0 || step + 1 == steps {
+                points.push(self.flush_point(&mut interval));
+            }
+        }
+
+        self.build_report(points, report)
+    }
+
+    /// Advances one tick, accumulating into `acc`.
+    fn step_into(&mut self, acc: &mut WindowAcc) {
+        let tick = self.config.tick;
+        let t = self.time;
+
+        // Effective per-record CPU cost: bursts plus optional jitter.
+        let burst_on =
+            (t % self.config.burst_period) < self.config.burst_duty * self.config.burst_period;
+        for (i, task) in self.tasks.iter().enumerate() {
+            let mut u = task.cpu_unit;
+            if burst_on && task.burst_amp > 0.0 {
+                u *= 1.0 + task.burst_amp;
+            }
+            if self.config.noise > 0.0 {
+                let jitter: f64 = self.rng.gen_range(-1.0..1.0);
+                u *= 1.0 + self.config.noise * jitter;
+            }
+            self.cpu_eff[i] = u;
+        }
+
+        // Desired volume per task (records this tick).
+        for i in 0..self.tasks.len() {
+            let task = &self.tasks[i];
+            let supply = if task.is_source {
+                let sched = task.schedule_rate(&self.schedules, &self.task_schedule, i, t);
+                sched * task.gen_share * tick
+            } else {
+                let avail: f64 = task.in_channels.iter().map(|&c| self.channels[c].q).sum();
+                self.avail[i] = avail;
+                avail
+            };
+            let mut out_limit = f64::INFINITY;
+            for &(ci, share) in &task.out_pushes {
+                if share > 0.0 {
+                    let free = (self.channels[ci].cap - self.channels[ci].q).max(0.0);
+                    out_limit = out_limit.min(free / share);
+                }
+            }
+            self.desired[i] = supply.min(out_limit).max(0.0);
+        }
+
+        // Contention: per-worker max-min fair allocation per resource.
+        for w in 0..self.workers.len() {
+            self.allocate_worker(w, tick);
+        }
+
+        // Movement, phase 1: compute every dequeue from the start-of-tick
+        // queue state, then apply them. Interleaving pushes and dequeues
+        // would let consumers drain records their `avail` never saw.
+        for d in self.deq.iter_mut() {
+            *d = 0.0;
+        }
+        for i in 0..self.tasks.len() {
+            let x = self.rate[i];
+            let task = &self.tasks[i];
+            if !task.is_source && x > 0.0 {
+                let avail = self.avail[i];
+                if avail > 0.0 {
+                    for &c in &task.in_channels {
+                        self.deq[c] += x * self.channels[c].q / avail;
+                    }
+                }
+            }
+        }
+        for (c, d) in self.deq.iter().enumerate() {
+            self.channels[c].q = (self.channels[c].q - d).max(0.0);
+        }
+
+        // Movement, phase 2: pushes. Capacity cannot be exceeded because
+        // `out_limit` reserved space against the start-of-tick occupancy
+        // and dequeues only freed more room.
+        for i in 0..self.tasks.len() {
+            let x = self.rate[i];
+            let task = &self.tasks[i];
+            for &(ci, share) in &task.out_pushes {
+                let ch = &mut self.channels[ci];
+                debug_assert!(ch.q + x * share <= ch.cap + 1e-6, "queue overflow");
+                ch.q = (ch.q + x * share).min(ch.cap);
+            }
+            if task.is_source {
+                self.total_admitted += x;
+            }
+            if task.out_pushes.is_empty() && !task.is_source {
+                self.total_sunk += x;
+            }
+        }
+
+        // Accumulate metrics.
+        acc.time += tick;
+        for i in 0..self.tasks.len() {
+            let x = self.rate[i];
+            let task = &self.tasks[i];
+            if task.is_source {
+                let target = self.desired_target(i, t) * tick;
+                acc.admitted += x;
+                acc.target += target;
+                *acc.src_admitted.entry(task.op).or_default() += x;
+                *acc.src_target.entry(task.op).or_default() += target;
+                *acc.src_time.entry(task.op).or_default() += tick;
+                if target > 0.0 && x < BACKPRESSURE_SLACK * target {
+                    *acc.src_bp_time.entry(task.op).or_default() += tick;
+                }
+            }
+            acc.task_processed[i] += x;
+            if self.capacity_rate[i] > 0.0 {
+                acc.task_busy[i] += (x / self.capacity_rate[i]).min(tick);
+            }
+            acc.task_capacity_time[i] += self.capacity_rate[i] * tick;
+            let w = task.worker;
+            acc.cpu_use[w] += x * self.cpu_eff[i] / (self.workers[w].cpu * tick) * tick;
+            acc.io_use[w] += x * task.io_unit / (self.workers[w].io * tick) * tick;
+            acc.net_use[w] += x * task.net_unit / (self.workers[w].net * tick) * tick;
+        }
+        acc.in_flight_time += self.in_flight() * tick;
+
+        self.time += tick;
+    }
+
+    /// The raw (unthrottled) target generation volume of a source task at
+    /// time `t`, in records/s scaled by the task's share.
+    fn desired_target(&self, i: usize, t: f64) -> f64 {
+        let task = &self.tasks[i];
+        task.schedule_rate(&self.schedules, &self.task_schedule, i, t) * task.gen_share
+    }
+
+    /// Max-min fair allocation of worker `w`'s resources for this tick.
+    fn allocate_worker(&mut self, w: usize, tick: f64) {
+        let caps = self.workers[w];
+        let ids = &self.worker_tasks[w];
+        if ids.is_empty() {
+            return;
+        }
+        if self.failed[w] {
+            for &i in ids {
+                self.rate[i] = 0.0;
+                self.capacity_rate[i] = 0.0;
+            }
+            return;
+        }
+        let resources: [(f64, ResourceUnitFn); 3] = [
+            (caps.cpu * tick, |_t, cpu_eff| cpu_eff),
+            (caps.io * tick, |t, _| t.io_unit),
+            (caps.net * tick, |t, _| t.net_unit),
+        ];
+
+        // allowed[i] / potential[i] in records for this tick.
+        let mut allowed = vec![f64::INFINITY; ids.len()];
+        let mut potential = vec![f64::INFINITY; ids.len()];
+        for (cap, unit_of) in resources {
+            let units: Vec<f64> = ids
+                .iter()
+                .map(|&i| unit_of(&self.tasks[i], self.cpu_eff[i]))
+                .collect();
+            let demands: Vec<f64> = ids
+                .iter()
+                .zip(&units)
+                .map(|(&i, &u)| self.desired[i] * u)
+                .collect();
+            let n_active = units.iter().filter(|&&u| u > 0.0).count().max(1) as f64;
+            let (alloc, level, residual) = waterfill(&demands, cap);
+            for (k, &u) in units.iter().enumerate() {
+                if u <= 0.0 {
+                    continue;
+                }
+                allowed[k] = allowed[k].min(alloc[k] / u);
+                let pot = if level.is_finite() {
+                    alloc[k].max(level)
+                } else {
+                    alloc[k] + residual / n_active
+                };
+                potential[k] = potential[k].min(pot / u);
+            }
+        }
+        for (k, &i) in ids.iter().enumerate() {
+            // A task is one thread (one slot = one processing thread,
+            // §2.1), so it can use at most one core regardless of how
+            // idle the rest of the worker is.
+            if self.cpu_eff[i] > 0.0 {
+                let core_cap = tick / self.cpu_eff[i];
+                allowed[k] = allowed[k].min(core_cap);
+                potential[k] = potential[k].min(core_cap);
+            }
+            self.rate[i] = self.desired[i].min(allowed[k]).max(0.0);
+            // `potential` is records per tick; expose capacity in
+            // records per second.
+            self.capacity_rate[i] = if potential[k].is_finite() {
+                potential[k] / tick
+            } else {
+                // No resource consumption at all: capacity is unbounded;
+                // expose the desired volume to keep busy-time meaningful.
+                (self.desired[i] / tick).max(1.0)
+            };
+        }
+    }
+
+    /// Emits one [`MetricPoint`] and resets the interval accumulator.
+    fn flush_point(&self, acc: &mut WindowAcc) -> MetricPoint {
+        let dt = acc.time.max(self.config.tick);
+        let throughput = acc.admitted / dt;
+        let target = acc.target / dt;
+        let point = MetricPoint {
+            time: self.time,
+            source_throughput: throughput,
+            target_rate: target,
+            backpressure: backpressure_fraction(&acc.src_bp_time, &acc.src_time),
+            latency: if throughput > 0.0 {
+                acc.in_flight_time / dt / throughput
+            } else {
+                0.0
+            },
+            worker_cpu_util: acc.cpu_use.iter().map(|u| u / dt).collect(),
+            worker_io_util: acc.io_use.iter().map(|u| u / dt).collect(),
+            worker_net_util: acc.net_use.iter().map(|u| u / dt).collect(),
+        };
+        acc.reset();
+        point
+    }
+
+    /// Builds the final report from the post-warmup accumulator.
+    fn build_report(&self, points: Vec<MetricPoint>, acc: WindowAcc) -> SimulationReport {
+        let dt = acc.time.max(self.config.tick);
+        let throughput = acc.admitted / dt;
+        let mut per_source = HashMap::new();
+        for (&op, &admitted) in &acc.src_admitted {
+            let target = acc.src_target.get(&op).copied().unwrap_or(0.0);
+            let bp = acc.src_bp_time.get(&op).copied().unwrap_or(0.0);
+            let total = acc.src_time.get(&op).copied().unwrap_or(0.0).max(1e-9);
+            per_source.insert(
+                OperatorId(op),
+                SourceStats {
+                    throughput: admitted / dt,
+                    target: target / dt,
+                    backpressure: (bp / total).clamp(0.0, 1.0) + 0.0,
+                },
+            );
+        }
+        let task_rates: Vec<TaskRateStats> = (0..self.tasks.len())
+            .map(|i| {
+                let processed = acc.task_processed[i];
+                let busy = acc.task_busy[i];
+                let sel = self.tasks[i].selectivity;
+                let true_rate = if busy > 0.0 {
+                    processed / busy
+                } else {
+                    acc.task_capacity_time[i] / dt
+                };
+                TaskRateStats {
+                    observed_rate: processed / dt,
+                    true_rate,
+                    observed_output_rate: processed * sel / dt,
+                    true_output_rate: true_rate * sel,
+                    busy_fraction: (busy / dt).clamp(0.0, 1.0),
+                }
+            })
+            .collect();
+
+        SimulationReport {
+            points,
+            avg_throughput: throughput,
+            avg_target: acc.target / dt,
+            avg_backpressure: backpressure_fraction(&acc.src_bp_time, &acc.src_time),
+            avg_latency: if throughput > 0.0 {
+                acc.in_flight_time / dt / throughput
+            } else {
+                0.0
+            },
+            worker_cpu_util: acc.cpu_use.iter().map(|u| u / dt).collect(),
+            worker_io_util: acc.io_use.iter().map(|u| u / dt).collect(),
+            worker_net_util: acc.net_use.iter().map(|u| u / dt).collect(),
+            per_source,
+            task_rates,
+        }
+    }
+
+    /// Drains all channel queues, as a restart-from-savepoint analogue.
+    pub fn drain_queues(&mut self) {
+        for c in &mut self.channels {
+            c.q = 0.0;
+        }
+    }
+
+    /// Queue occupancy of every channel, for invariant checks.
+    pub fn queue_occupancies(&self) -> Vec<f64> {
+        self.channels.iter().map(|c| c.q).collect()
+    }
+
+    /// Queue capacity of every channel, in records.
+    pub fn queue_capacities(&self) -> Vec<f64> {
+        self.channels.iter().map(|c| c.cap).collect()
+    }
+}
+
+impl TaskState {
+    fn schedule_rate(
+        &self,
+        schedules: &[(usize, RateSchedule)],
+        task_schedule: &[Option<usize>],
+        i: usize,
+        t: f64,
+    ) -> f64 {
+        match task_schedule[i] {
+            Some(s) => schedules[s].1.rate_at(t),
+            None => 0.0,
+        }
+    }
+}
+
+/// Merges the newest tick of `interval` into `report`.
+///
+/// `step_into` writes into the interval accumulator only; to avoid double
+/// bookkeeping the engine re-derives the per-tick deltas from the last
+/// tick's rates, which are still in the scratch buffers.
+fn merge_last_tick(report: &mut WindowAcc, _interval: &WindowAcc, sim: &Simulation) {
+    let tick = sim.config.tick;
+    let t = sim.time - tick;
+    report.time += tick;
+    for i in 0..sim.tasks.len() {
+        let x = sim.rate[i];
+        let task = &sim.tasks[i];
+        if task.is_source {
+            let target = sim.desired_target(i, t) * tick;
+            report.admitted += x;
+            report.target += target;
+            *report.src_admitted.entry(task.op).or_default() += x;
+            *report.src_target.entry(task.op).or_default() += target;
+            *report.src_time.entry(task.op).or_default() += tick;
+            if target > 0.0 && x < BACKPRESSURE_SLACK * target {
+                *report.src_bp_time.entry(task.op).or_default() += tick;
+            }
+        }
+        report.task_processed[i] += x;
+        if sim.capacity_rate[i] > 0.0 {
+            report.task_busy[i] += (x / sim.capacity_rate[i]).min(tick);
+        }
+        report.task_capacity_time[i] += sim.capacity_rate[i] * tick;
+        let w = task.worker;
+        report.cpu_use[w] += x * sim.cpu_eff[i] / sim.workers[w].cpu;
+        report.io_use[w] += x * task.io_unit / sim.workers[w].io;
+        report.net_use[w] += x * task.net_unit / sim.workers[w].net;
+    }
+    report.in_flight_time += sim.in_flight() * tick;
+}
+
+/// Aggregate backpressured-time fraction over all source operators.
+fn backpressure_fraction(bp_time: &HashMap<usize, f64>, time: &HashMap<usize, f64>) -> f64 {
+    let total: f64 = time.values().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let bp: f64 = bp_time.values().sum();
+    // `+ 0.0` normalizes a negative zero produced by the division.
+    (bp / total).clamp(0.0, 1.0) + 0.0
+}
+
+/// Max-min fair (water-filling) allocation of `cap` among `demands`.
+///
+/// Returns `(allocations, level, residual)`: `level` is the fair-share
+/// water level when the capacity binds (`∞` otherwise) and `residual` is
+/// the unallocated capacity.
+fn waterfill(demands: &[f64], cap: f64) -> (Vec<f64>, f64, f64) {
+    let total: f64 = demands.iter().sum();
+    if total <= cap {
+        return (demands.to_vec(), f64::INFINITY, cap - total);
+    }
+    let mut order: Vec<usize> = (0..demands.len()).collect();
+    order.sort_by(|&a, &b| demands[a].partial_cmp(&demands[b]).expect("finite demands"));
+    let mut alloc = vec![0.0; demands.len()];
+    let mut remaining = cap;
+    for (pos, &idx) in order.iter().enumerate() {
+        let left = (demands.len() - pos) as f64;
+        if demands[idx] * left <= remaining {
+            alloc[idx] = demands[idx];
+            remaining -= demands[idx];
+        } else {
+            // All remaining tasks (including this one) get the level.
+            let level = remaining / left;
+            for &rest in &order[pos..] {
+                alloc[rest] = level;
+            }
+            return (alloc, level, 0.0);
+        }
+    }
+    // Numerically possible only when total ≈ cap: everything allocated.
+    (alloc, f64::INFINITY, remaining.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsys_model::{
+        Cluster, LogicalGraphBuilder, OperatorKind, ResourceProfile, WorkerId, WorkerSpec,
+    };
+
+    fn build(
+        profiles: &[(OperatorKind, usize, ResourceProfile)],
+        cluster: &Cluster,
+        assignment: &[usize],
+        rate: f64,
+    ) -> (
+        LogicalGraph,
+        PhysicalGraph,
+        Placement,
+        HashMap<OperatorId, RateSchedule>,
+    ) {
+        let mut b: LogicalGraphBuilder = LogicalGraph::builder("t");
+        let mut prev = None;
+        for (i, (kind, par, prof)) in profiles.iter().enumerate() {
+            let id = b.operator(format!("op{i}"), *kind, *par, *prof);
+            if let Some(p) = prev {
+                b.edge(p, id, ConnectionPattern::Rebalance);
+            }
+            prev = Some(id);
+        }
+        let g = b.build().unwrap();
+        let p = PhysicalGraph::expand(&g);
+        let plan = Placement::new(assignment.iter().map(|&w| WorkerId(w)).collect());
+        plan.validate(&p, cluster).unwrap();
+        let mut sch = HashMap::new();
+        for s in g.sources() {
+            sch.insert(s, RateSchedule::Constant(rate));
+        }
+        (g, p, plan, sch)
+    }
+
+    fn worker(cores: f64) -> WorkerSpec {
+        WorkerSpec::new(4, cores, 100e6, 1e9)
+    }
+
+    #[test]
+    fn uncontended_pipeline_reaches_target() {
+        let c = Cluster::homogeneous(2, worker(4.0)).unwrap();
+        let (g, p, plan, sch) = build(
+            &[
+                (
+                    OperatorKind::Source,
+                    1,
+                    ResourceProfile::new(1e-5, 0.0, 100.0, 1.0),
+                ),
+                (
+                    OperatorKind::Stateless,
+                    2,
+                    ResourceProfile::new(1e-4, 0.0, 100.0, 1.0),
+                ),
+                (
+                    OperatorKind::Sink,
+                    1,
+                    ResourceProfile::new(1e-5, 0.0, 0.0, 1.0),
+                ),
+            ],
+            &c,
+            &[0, 0, 1, 1],
+            1000.0,
+        );
+        let mut sim = Simulation::new(&g, &p, &c, &plan, &sch, SimConfig::short()).unwrap();
+        let r = sim.run();
+        assert!(
+            r.avg_backpressure < 0.01,
+            "backpressure {}",
+            r.avg_backpressure
+        );
+        assert!(
+            (r.avg_throughput - 1000.0).abs() / 1000.0 < 0.02,
+            "tp {}",
+            r.avg_throughput
+        );
+        assert!(r.meets_target(0.98));
+    }
+
+    #[test]
+    fn cpu_saturation_throttles_throughput() {
+        // One worker with 1 core; map needs 2 core-seconds per 1000 recs at
+        // 1000 rec/s target -> can only do ~500 rec/s.
+        let c = Cluster::homogeneous(1, WorkerSpec::new(4, 1.0, 100e6, 1e9)).unwrap();
+        let (g, p, plan, sch) = build(
+            &[
+                (
+                    OperatorKind::Source,
+                    1,
+                    ResourceProfile::new(0.0, 0.0, 10.0, 1.0),
+                ),
+                (
+                    OperatorKind::Stateless,
+                    1,
+                    ResourceProfile::new(0.002, 0.0, 10.0, 1.0),
+                ),
+                (
+                    OperatorKind::Sink,
+                    1,
+                    ResourceProfile::new(0.0, 0.0, 0.0, 1.0),
+                ),
+            ],
+            &c,
+            &[0, 0, 0],
+            1000.0,
+        );
+        let mut sim = Simulation::new(&g, &p, &c, &plan, &sch, SimConfig::short()).unwrap();
+        let r = sim.run();
+        assert!(
+            (r.avg_throughput - 500.0).abs() / 500.0 < 0.1,
+            "throughput {} should be ~500",
+            r.avg_throughput
+        );
+        assert!(r.avg_backpressure > 0.4, "bp {}", r.avg_backpressure);
+    }
+
+    #[test]
+    fn colocated_heavy_tasks_contend_spread_tasks_do_not() {
+        // Two heavy map tasks each needing a full core at target rate.
+        let heavy = ResourceProfile::new(0.001, 0.0, 10.0, 1.0);
+        let src = ResourceProfile::new(0.0, 0.0, 10.0, 1.0);
+        let sink = ResourceProfile::new(0.0, 0.0, 0.0, 1.0);
+        let c = Cluster::homogeneous(2, WorkerSpec::new(4, 1.0, 100e6, 1e9)).unwrap();
+        let ops = [
+            (OperatorKind::Source, 1, src),
+            (OperatorKind::Stateless, 2, heavy),
+            (OperatorKind::Sink, 1, sink),
+        ];
+        // Tasks: s0 m0 m1 k0. Target 2000 total -> each map needs 1 core.
+        let (g, p, spread, sch) = build(&ops, &c, &[0, 0, 1, 1], 2000.0);
+        let mut sim = Simulation::new(&g, &p, &c, &spread, &sch, SimConfig::short()).unwrap();
+        let r_spread = sim.run();
+        let (g2, p2, colocated, sch2) = build(&ops, &c, &[0, 1, 1, 0], 2000.0);
+        let mut sim2 =
+            Simulation::new(&g2, &p2, &c, &colocated, &sch2, SimConfig::short()).unwrap();
+        let r_col = sim2.run();
+        assert!(
+            r_spread.avg_throughput > 1.5 * r_col.avg_throughput,
+            "spread {} vs colocated {}",
+            r_spread.avg_throughput,
+            r_col.avg_throughput
+        );
+        assert!(r_col.avg_backpressure > 0.3);
+        assert!(r_spread.avg_backpressure < 0.05);
+    }
+
+    #[test]
+    fn disk_contention_matches_shape() {
+        // Stateful tasks co-located on one disk-limited worker.
+        let stateful = ResourceProfile::new(1e-5, 100_000.0, 10.0, 1.0);
+        let c = Cluster::homogeneous(2, WorkerSpec::new(4, 4.0, 100e6, 1e9)).unwrap();
+        let ops = [
+            (
+                OperatorKind::Source,
+                1,
+                ResourceProfile::new(0.0, 0.0, 10.0, 1.0),
+            ),
+            (OperatorKind::Window, 2, stateful),
+            (
+                OperatorKind::Sink,
+                1,
+                ResourceProfile::new(0.0, 0.0, 0.0, 1.0),
+            ),
+        ];
+        // Each window task at 1000 rec/s needs 100 MB/s = full disk.
+        let (g, p, spread, sch) = build(&ops, &c, &[0, 0, 1, 1], 2000.0);
+        let r_spread = Simulation::new(&g, &p, &c, &spread, &sch, SimConfig::short())
+            .unwrap()
+            .run();
+        let (g2, p2, col, sch2) = build(&ops, &c, &[0, 1, 1, 0], 2000.0);
+        let r_col = Simulation::new(&g2, &p2, &c, &col, &sch2, SimConfig::short())
+            .unwrap()
+            .run();
+        assert!(r_spread.avg_throughput > 1.5 * r_col.avg_throughput);
+    }
+
+    #[test]
+    fn network_only_charged_across_workers() {
+        // Same pipeline, colocated vs split across workers: only the split
+        // placement shows network utilization.
+        let big = ResourceProfile::new(1e-6, 0.0, 1e6, 1.0);
+        let c = Cluster::homogeneous(2, WorkerSpec::new(4, 4.0, 100e6, 1e9)).unwrap();
+        let ops = [
+            (OperatorKind::Source, 1, big),
+            (
+                OperatorKind::Sink,
+                1,
+                ResourceProfile::new(1e-6, 0.0, 0.0, 1.0),
+            ),
+        ];
+        let (g, p, local, sch) = build(&ops, &c, &[0, 0], 100.0);
+        let r_local = Simulation::new(&g, &p, &c, &local, &sch, SimConfig::short())
+            .unwrap()
+            .run();
+        let (g2, p2, remote, sch2) = build(&ops, &c, &[0, 1], 100.0);
+        let r_remote = Simulation::new(&g2, &p2, &c, &remote, &sch2, SimConfig::short())
+            .unwrap()
+            .run();
+        assert!(r_local.worker_net_util[0] < 1e-9);
+        assert!(r_remote.worker_net_util[0] > 0.05);
+    }
+
+    #[test]
+    fn network_cap_throttles_cross_worker_traffic() {
+        // 1 MB/record at 200 rec/s = 200 MB/s over a 100 MB/s NIC.
+        let big = ResourceProfile::new(1e-6, 0.0, 1e6, 1.0);
+        let c = Cluster::homogeneous(2, WorkerSpec::new(4, 4.0, 100e6, 100e6)).unwrap();
+        let ops = [
+            (OperatorKind::Source, 1, big),
+            (
+                OperatorKind::Sink,
+                1,
+                ResourceProfile::new(1e-6, 0.0, 0.0, 1.0),
+            ),
+        ];
+        let (g, p, remote, sch) = build(&ops, &c, &[0, 1], 200.0);
+        let r = Simulation::new(&g, &p, &c, &remote, &sch, SimConfig::short())
+            .unwrap()
+            .run();
+        assert!(
+            (r.avg_throughput - 100.0).abs() / 100.0 < 0.1,
+            "throughput {} should be NIC-limited to ~100",
+            r.avg_throughput
+        );
+    }
+
+    #[test]
+    fn queues_respect_bounds_and_conservation() {
+        let c = Cluster::homogeneous(1, WorkerSpec::new(4, 1.0, 100e6, 1e9)).unwrap();
+        let (g, p, plan, sch) = build(
+            &[
+                (
+                    OperatorKind::Source,
+                    1,
+                    ResourceProfile::new(0.0, 0.0, 10.0, 1.0),
+                ),
+                (
+                    OperatorKind::Stateless,
+                    1,
+                    ResourceProfile::new(0.01, 0.0, 10.0, 1.0),
+                ),
+                (
+                    OperatorKind::Sink,
+                    1,
+                    ResourceProfile::new(0.0, 0.0, 0.0, 1.0),
+                ),
+            ],
+            &c,
+            &[0, 0, 0],
+            1000.0,
+        );
+        let mut sim = Simulation::new(&g, &p, &c, &plan, &sch, SimConfig::short()).unwrap();
+        sim.run();
+        for (q, cap) in sim.queue_occupancies().iter().zip(sim.queue_capacities()) {
+            assert!(
+                *q >= -1e-9 && *q <= cap + 1e-9,
+                "queue {q} out of bounds (cap {cap})"
+            );
+        }
+        // Selectivity is 1 everywhere: admitted = sunk + in flight (plus
+        // records inside no queue, which do not exist in the fluid model).
+        let balance = sim.total_admitted() - sim.total_sunk() - sim.in_flight();
+        assert!(
+            balance.abs() < 1e-6 * sim.total_admitted().max(1.0),
+            "conservation violated: {balance}"
+        );
+    }
+
+    #[test]
+    fn selectivity_scales_downstream_volume() {
+        let c = Cluster::homogeneous(1, worker(4.0)).unwrap();
+        let (g, p, plan, sch) = build(
+            &[
+                (
+                    OperatorKind::Source,
+                    1,
+                    ResourceProfile::new(0.0, 0.0, 10.0, 1.0),
+                ),
+                (
+                    OperatorKind::Stateless,
+                    1,
+                    ResourceProfile::new(1e-6, 0.0, 10.0, 0.25),
+                ),
+                (
+                    OperatorKind::Sink,
+                    1,
+                    ResourceProfile::new(0.0, 0.0, 0.0, 1.0),
+                ),
+            ],
+            &c,
+            &[0, 0, 0],
+            1000.0,
+        );
+        let mut sim = Simulation::new(&g, &p, &c, &plan, &sch, SimConfig::short()).unwrap();
+        let r = sim.run();
+        // Sink sees a quarter of the input volume.
+        let sink_task = r.task_rates.last().unwrap();
+        assert!(
+            (sink_task.observed_rate - 250.0).abs() / 250.0 < 0.05,
+            "sink rate {}",
+            sink_task.observed_rate
+        );
+    }
+
+    #[test]
+    fn ds2_style_true_rate_reflects_capacity() {
+        // A map capped at 500 rec/s by its single core: observed 500,
+        // true rate ~500 (it is busy all the time).
+        let c = Cluster::homogeneous(1, WorkerSpec::new(4, 1.0, 100e6, 1e9)).unwrap();
+        let (g, p, plan, sch) = build(
+            &[
+                (
+                    OperatorKind::Source,
+                    1,
+                    ResourceProfile::new(0.0, 0.0, 10.0, 1.0),
+                ),
+                (
+                    OperatorKind::Stateless,
+                    1,
+                    ResourceProfile::new(0.002, 0.0, 10.0, 1.0),
+                ),
+                (
+                    OperatorKind::Sink,
+                    1,
+                    ResourceProfile::new(0.0, 0.0, 0.0, 1.0),
+                ),
+            ],
+            &c,
+            &[0, 0, 0],
+            1000.0,
+        );
+        let mut sim = Simulation::new(&g, &p, &c, &plan, &sch, SimConfig::short()).unwrap();
+        let r = sim.run();
+        let map = &r.task_rates[1];
+        assert!((map.observed_rate - 500.0).abs() / 500.0 < 0.1);
+        assert!(
+            (map.true_rate - 500.0).abs() / 500.0 < 0.15,
+            "true {}",
+            map.true_rate
+        );
+        assert!(map.busy_fraction > 0.9);
+        // An idle-ish source has true rate far above its observed rate.
+        let src = &r.task_rates[0];
+        assert!(src.true_rate >= src.observed_rate * 0.99);
+    }
+
+    #[test]
+    fn variable_rate_schedule_is_followed() {
+        let c = Cluster::homogeneous(1, worker(4.0)).unwrap();
+        let mut b = LogicalGraph::builder("v");
+        let s = b.operator(
+            "src",
+            OperatorKind::Source,
+            1,
+            ResourceProfile::new(0.0, 0.0, 1.0, 1.0),
+        );
+        let k = b.operator(
+            "sink",
+            OperatorKind::Sink,
+            1,
+            ResourceProfile::new(0.0, 0.0, 0.0, 1.0),
+        );
+        b.edge(s, k, ConnectionPattern::Rebalance);
+        let g = b.build().unwrap();
+        let p = PhysicalGraph::expand(&g);
+        let plan = Placement::new(vec![WorkerId(0), WorkerId(0)]);
+        let mut sch = HashMap::new();
+        sch.insert(s, RateSchedule::Steps(vec![(0.0, 100.0), (30.0, 400.0)]));
+        let mut sim = Simulation::new(
+            &g,
+            &p,
+            &c,
+            &plan,
+            &sch,
+            SimConfig {
+                duration: 60.0,
+                warmup: 0.0,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let r = sim.run();
+        let early: Vec<&MetricPoint> = r.points.iter().filter(|pt| pt.time <= 30.0).collect();
+        let late: Vec<&MetricPoint> = r.points.iter().filter(|pt| pt.time > 35.0).collect();
+        let avg = |pts: &[&MetricPoint]| {
+            pts.iter().map(|p| p.source_throughput).sum::<f64>() / pts.len() as f64
+        };
+        assert!((avg(&early) - 100.0).abs() < 10.0);
+        assert!((avg(&late) - 400.0).abs() < 20.0);
+    }
+
+    #[test]
+    fn advance_preserves_state_across_calls() {
+        let c = Cluster::homogeneous(1, WorkerSpec::new(4, 1.0, 100e6, 1e9)).unwrap();
+        let (g, p, plan, sch) = build(
+            &[
+                (
+                    OperatorKind::Source,
+                    1,
+                    ResourceProfile::new(0.0, 0.0, 10.0, 1.0),
+                ),
+                (
+                    OperatorKind::Stateless,
+                    1,
+                    ResourceProfile::new(0.01, 0.0, 10.0, 1.0),
+                ),
+                (
+                    OperatorKind::Sink,
+                    1,
+                    ResourceProfile::new(0.0, 0.0, 0.0, 1.0),
+                ),
+            ],
+            &c,
+            &[0, 0, 0],
+            1000.0,
+        );
+        let mut sim = Simulation::new(&g, &p, &c, &plan, &sch, SimConfig::short()).unwrap();
+        sim.advance(10.0, 0.0);
+        let t1 = sim.time();
+        let inflight = sim.in_flight();
+        sim.advance(10.0, 0.0);
+        assert!((sim.time() - t1 - 10.0).abs() < 1e-9);
+        assert!(inflight > 0.0, "bottleneck should leave records in flight");
+        sim.drain_queues();
+        assert_eq!(sim.in_flight(), 0.0);
+    }
+
+    #[test]
+    fn missing_schedule_is_rejected() {
+        let c = Cluster::homogeneous(1, worker(4.0)).unwrap();
+        let (g, p, plan, _) = build(
+            &[
+                (OperatorKind::Source, 1, ResourceProfile::zero()),
+                (OperatorKind::Sink, 1, ResourceProfile::zero()),
+            ],
+            &c,
+            &[0, 0],
+            100.0,
+        );
+        let err =
+            Simulation::new(&g, &p, &c, &plan, &HashMap::new(), SimConfig::short()).unwrap_err();
+        assert!(matches!(err, SimError::MissingSchedule(_)));
+    }
+
+    #[test]
+    fn noise_changes_results_deterministically_per_seed() {
+        let c = Cluster::homogeneous(1, WorkerSpec::new(4, 1.0, 100e6, 1e9)).unwrap();
+        let ops = [
+            (
+                OperatorKind::Source,
+                1,
+                ResourceProfile::new(0.0, 0.0, 10.0, 1.0),
+            ),
+            (
+                OperatorKind::Stateless,
+                1,
+                ResourceProfile::new(0.0015, 0.0, 10.0, 1.0),
+            ),
+            (
+                OperatorKind::Sink,
+                1,
+                ResourceProfile::new(0.0, 0.0, 0.0, 1.0),
+            ),
+        ];
+        let run = |seed: u64| {
+            let (g, p, plan, sch) = build(&ops, &c, &[0, 0, 0], 1000.0);
+            let cfg = SimConfig::short().with_noise(0.2, seed);
+            Simulation::new(&g, &p, &c, &plan, &sch, cfg)
+                .unwrap()
+                .run()
+                .avg_throughput
+        };
+        let a1 = run(1);
+        let a1_again = run(1);
+        let a2 = run(2);
+        assert_eq!(a1, a1_again, "same seed must reproduce exactly");
+        assert_ne!(a1, a2, "different seeds should differ");
+    }
+
+    #[test]
+    fn failed_worker_stops_processing_and_backpressures() {
+        let c = Cluster::homogeneous(2, worker(4.0)).unwrap();
+        let (g, p, plan, sch) = build(
+            &[
+                (
+                    OperatorKind::Source,
+                    1,
+                    ResourceProfile::new(1e-6, 0.0, 10.0, 1.0),
+                ),
+                (
+                    OperatorKind::Stateless,
+                    1,
+                    ResourceProfile::new(1e-4, 0.0, 10.0, 1.0),
+                ),
+                (
+                    OperatorKind::Sink,
+                    1,
+                    ResourceProfile::new(1e-6, 0.0, 0.0, 1.0),
+                ),
+            ],
+            &c,
+            &[0, 1, 0],
+            1000.0,
+        );
+        let mut sim = Simulation::new(&g, &p, &c, &plan, &sch, SimConfig::short()).unwrap();
+        let before = sim.advance(20.0, 5.0);
+        assert!(before.meets_target(0.95));
+        // Kill the worker hosting the map task.
+        sim.fail_worker(capsys_model::WorkerId(1));
+        assert!(sim.is_failed(capsys_model::WorkerId(1)));
+        let during = sim.advance(20.0, 5.0);
+        assert!(
+            during.avg_backpressure > 0.8,
+            "failure should backpressure the source: {}",
+            during.avg_backpressure
+        );
+        // Restore: processing resumes.
+        sim.restore_worker(capsys_model::WorkerId(1));
+        let after = sim.advance(30.0, 10.0);
+        assert!(
+            after.avg_throughput > 0.9 * 1000.0,
+            "recovered {}",
+            after.avg_throughput
+        );
+    }
+
+    #[test]
+    fn waterfill_basic_properties() {
+        // Under capacity: everyone gets their demand.
+        let (a, level, residual) = waterfill(&[1.0, 2.0], 10.0);
+        assert_eq!(a, vec![1.0, 2.0]);
+        assert!(level.is_infinite());
+        assert!((residual - 7.0).abs() < 1e-12);
+        // Over capacity: max-min fair.
+        let (a, level, residual) = waterfill(&[9.0, 1.0, 2.0], 6.0);
+        assert!((a[1] - 1.0).abs() < 1e-12, "small demand fully served");
+        assert!(
+            (a[0] + a[1] + a[2] - 6.0).abs() < 1e-9,
+            "capacity exhausted"
+        );
+        assert!(a[0] >= a[2], "larger demand gets at least as much");
+        assert!(level.is_finite());
+        assert_eq!(residual, 0.0);
+        // Equal demands split evenly.
+        let (a, _, _) = waterfill(&[5.0, 5.0], 6.0);
+        assert!((a[0] - 3.0).abs() < 1e-12);
+        assert!((a[1] - 3.0).abs() < 1e-12);
+    }
+}

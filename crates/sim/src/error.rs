@@ -1,0 +1,61 @@
+//! Error type for the simulator.
+
+use std::fmt;
+
+use capsys_model::ModelError;
+
+/// Errors produced while configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// An underlying model error.
+    Model(ModelError),
+    /// An invalid configuration value was supplied.
+    InvalidConfig(String),
+    /// A source operator has no rate schedule.
+    MissingSchedule(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Model(e) => write!(f, "model error: {e}"),
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulator configuration: {msg}"),
+            SimError::MissingSchedule(name) => {
+                write!(f, "source operator `{name}` has no rate schedule")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for SimError {
+    fn from(e: ModelError) -> Self {
+        SimError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SimError::from(ModelError::NoSource)
+            .to_string()
+            .contains("model"));
+        assert!(SimError::InvalidConfig("tick".into())
+            .to_string()
+            .contains("tick"));
+        assert!(SimError::MissingSchedule("src".into())
+            .to_string()
+            .contains("src"));
+    }
+}

@@ -1,0 +1,30 @@
+//! A contention-aware stream-processing simulator.
+//!
+//! This crate stands in for the Apache Flink clusters of the CAPSys paper
+//! (EuroSys '25). It simulates a dataflow deployment — tasks placed on
+//! workers, connected by bounded queues — with a fluid-flow model that
+//! reproduces the contention effects the paper studies:
+//!
+//! * tasks co-located on a worker share its **CPU cores**, **disk
+//!   bandwidth** (the RocksDB state backend analogue), and **outbound NIC
+//!   bandwidth**, allocated max-min fairly each tick;
+//! * bounded inter-task queues propagate **backpressure** upstream to the
+//!   sources, like Flink's credit-based flow control;
+//! * only **cross-worker channels** consume network bandwidth (Eq. 8);
+//! * the metrics the paper reports — source throughput, source
+//!   backpressure, latency, per-worker utilization — and the per-task
+//!   observed/true rates that the DS2 controller consumes.
+//!
+//! See `DESIGN.md` at the repository root for the full substitution
+//! argument (what the paper ran on vs. what this simulates).
+
+#![warn(missing_docs)]
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod metrics;
+
+pub use config::SimConfig;
+pub use engine::Simulation;
+pub use error::SimError;
+pub use metrics::{MetricPoint, SimulationReport, SourceStats, TaskRateStats};

@@ -1,0 +1,175 @@
+//! Simulation metrics: time series, per-source, per-task, per-worker.
+
+use std::collections::HashMap;
+
+use capsys_model::OperatorId;
+use serde::{Deserialize, Serialize};
+
+/// One metrics sample aggregated over a reporting interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricPoint {
+    /// End time of the interval, seconds since simulation start.
+    pub time: f64,
+    /// Aggregate admitted source throughput, records/s.
+    pub source_throughput: f64,
+    /// Aggregate target input rate over the interval, records/s.
+    pub target_rate: f64,
+    /// Source backpressure: fraction of target records that could not be
+    /// admitted, in `[0, 1]`.
+    pub backpressure: f64,
+    /// End-to-end latency estimate (queueing via Little's law), seconds.
+    pub latency: f64,
+    /// Per-worker CPU utilization in `[0, 1]`.
+    pub worker_cpu_util: Vec<f64>,
+    /// Per-worker disk utilization in `[0, 1]`.
+    pub worker_io_util: Vec<f64>,
+    /// Per-worker outbound network utilization in `[0, 1]`.
+    pub worker_net_util: Vec<f64>,
+}
+
+/// Throughput statistics of one source operator.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SourceStats {
+    /// Average admitted rate, records/s.
+    pub throughput: f64,
+    /// Average target rate, records/s.
+    pub target: f64,
+    /// Average backpressure fraction.
+    pub backpressure: f64,
+}
+
+/// Rate statistics of one task, in the shape the DS2 controller consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TaskRateStats {
+    /// Observed processing rate (input records/s; generated records/s for
+    /// sources).
+    pub observed_rate: f64,
+    /// True processing rate: the rate this task could sustain given its
+    /// current contention environment (records/s).
+    pub true_rate: f64,
+    /// Observed output rate (records/s).
+    pub observed_output_rate: f64,
+    /// True output rate (records/s).
+    pub true_output_rate: f64,
+    /// Fraction of time the task was busy.
+    pub busy_fraction: f64,
+}
+
+/// The aggregated result of a simulation window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Per-interval samples, including the warm-up period.
+    pub points: Vec<MetricPoint>,
+    /// Average admitted source throughput after warm-up, records/s.
+    pub avg_throughput: f64,
+    /// Average target rate after warm-up, records/s.
+    pub avg_target: f64,
+    /// Average source backpressure after warm-up, in `[0, 1]`.
+    pub avg_backpressure: f64,
+    /// Average latency estimate after warm-up, seconds.
+    pub avg_latency: f64,
+    /// Average per-worker CPU utilization after warm-up.
+    pub worker_cpu_util: Vec<f64>,
+    /// Average per-worker disk utilization after warm-up.
+    pub worker_io_util: Vec<f64>,
+    /// Average per-worker network utilization after warm-up.
+    pub worker_net_util: Vec<f64>,
+    /// Per-source-operator statistics after warm-up.
+    pub per_source: HashMap<OperatorId, SourceStats>,
+    /// Per-task rate statistics after warm-up, indexed by task id.
+    pub task_rates: Vec<TaskRateStats>,
+}
+
+impl SimulationReport {
+    /// Aggregate statistics for a query identified by its source
+    /// operators: `(throughput, target, backpressure)` summed/averaged
+    /// over the given sources.
+    pub fn query_stats(&self, sources: &[OperatorId]) -> SourceStats {
+        let mut throughput = 0.0;
+        let mut target = 0.0;
+        let mut bp_weighted = 0.0;
+        for s in sources {
+            if let Some(st) = self.per_source.get(s) {
+                throughput += st.throughput;
+                target += st.target;
+                bp_weighted += st.backpressure * st.target;
+            }
+        }
+        SourceStats {
+            throughput,
+            target,
+            backpressure: if target > 0.0 {
+                bp_weighted / target
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// True whether the run met `fraction` of its target rate on average.
+    pub fn meets_target(&self, fraction: f64) -> bool {
+        self.avg_target <= 0.0 || self.avg_throughput >= fraction * self.avg_target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimulationReport {
+        let mut per_source = HashMap::new();
+        per_source.insert(
+            OperatorId(0),
+            SourceStats {
+                throughput: 900.0,
+                target: 1000.0,
+                backpressure: 0.1,
+            },
+        );
+        per_source.insert(
+            OperatorId(3),
+            SourceStats {
+                throughput: 500.0,
+                target: 500.0,
+                backpressure: 0.0,
+            },
+        );
+        SimulationReport {
+            points: vec![],
+            avg_throughput: 1400.0,
+            avg_target: 1500.0,
+            avg_backpressure: 0.0667,
+            avg_latency: 0.2,
+            worker_cpu_util: vec![0.5],
+            worker_io_util: vec![0.1],
+            worker_net_util: vec![0.2],
+            per_source,
+            task_rates: vec![],
+        }
+    }
+
+    #[test]
+    fn query_stats_aggregates_sources() {
+        let r = report();
+        let q = r.query_stats(&[OperatorId(0), OperatorId(3)]);
+        assert!((q.throughput - 1400.0).abs() < 1e-9);
+        assert!((q.target - 1500.0).abs() < 1e-9);
+        // Weighted backpressure: (0.1*1000 + 0*500)/1500.
+        assert!((q.backpressure - 100.0 / 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_stats_ignores_unknown_sources() {
+        let r = report();
+        let q = r.query_stats(&[OperatorId(9)]);
+        assert_eq!(q.throughput, 0.0);
+        assert_eq!(q.backpressure, 0.0);
+    }
+
+    #[test]
+    fn meets_target_checks_fraction() {
+        let r = report();
+        assert!(r.meets_target(0.9));
+        assert!(!r.meets_target(0.95));
+    }
+}

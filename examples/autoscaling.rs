@@ -1,0 +1,67 @@
+//! Auto-scaling: run the DS2 + CAPS closed loop under a variable load.
+//!
+//! Reproduces the §6.4 scenario in miniature: Q3-inf starts at
+//! parallelism 1, the input rate follows a square wave, and the CAPSys
+//! controller (DS2 for parallelism, CAPS for placement) reconfigures the
+//! job as needed.
+//!
+//! Run with: `cargo run --release --example autoscaling`
+
+use capsys::controller::ClosedLoop;
+use capsys::ds2::Ds2Config;
+use capsys::placement::CapsStrategy;
+use capsys::prelude::*;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let cluster = Cluster::homogeneous(6, WorkerSpec::r5d_xlarge(8))?;
+    let query = capsys::queries::q3_inf().with_parallelism(&[1, 1, 1, 1, 1])?;
+    let schedule = RateSchedule::SquareWave {
+        high: 2400.0,
+        low: 900.0,
+        period_sec: 300.0,
+    };
+
+    let strategy = CapsStrategy::default();
+    let loop_ = ClosedLoop::new(
+        &query,
+        &cluster,
+        &strategy,
+        Ds2Config {
+            activation_period: 60.0,
+            policy_interval: 5.0,
+            ..Ds2Config::default()
+        },
+        SimConfig {
+            duration: 1.0,
+            warmup: 0.0,
+            noise: 0.03,
+            ..SimConfig::default()
+        },
+        schedule,
+        42,
+    )?;
+
+    println!("running 20 simulated minutes of square-wave load...");
+    let trace = loop_.run(1200.0)?;
+
+    println!("\nscaling timeline:");
+    for e in &trace.events {
+        println!(
+            "  t={:>6.0}s  parallelism {:?}  ({} slots)",
+            e.time, e.parallelism, e.slots
+        );
+    }
+    println!("\n{} scaling decisions total", trace.num_scalings());
+    for phase in 0..4 {
+        let from = phase as f64 * 300.0 + 150.0;
+        let to = (phase + 1) as f64 * 300.0;
+        println!(
+            "phase {}: {:.0} / {:.0} rec/s (throughput / target, second half)",
+            phase + 1,
+            trace.avg_throughput(from, to),
+            trace.avg_target(from, to)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,553 @@
+//! JSON deployment specs: describe a query, a cluster, and a strategy in
+//! one document and run it through the CAPSys pipeline.
+//!
+//! This powers the `capsys-cli` binary, and doubles as a stable,
+//! serializable surface for driving CAPSys from other tools. Example
+//! spec:
+//!
+//! ```json
+//! {
+//!   "query": { "builtin": "q1-sliding" },
+//!   "cluster": { "workers": 4, "spec": "r5d.xlarge", "slots": 4 },
+//!   "rate": "auto",
+//!   "strategy": "caps",
+//!   "simulate_secs": 120.0
+//! }
+//! ```
+//!
+//! Custom queries spell out operators and edges:
+//!
+//! ```json
+//! { "query": { "custom": {
+//!     "name": "my-pipeline",
+//!     "operators": [
+//!       { "name": "src", "kind": "source", "parallelism": 2,
+//!         "cpu_per_record": 1e-5, "state_bytes_per_record": 0,
+//!         "out_bytes_per_record": 100, "selectivity": 1.0 },
+//!       { "name": "sink", "kind": "sink", "parallelism": 1,
+//!         "cpu_per_record": 1e-5, "state_bytes_per_record": 0,
+//!         "out_bytes_per_record": 0, "selectivity": 1.0 }
+//!     ],
+//!     "edges": [ { "from": "src", "to": "sink", "pattern": "hash" } ],
+//!     "source_mix": { "src": 1.0 }
+//! } } }
+//! ```
+
+use std::collections::HashMap;
+
+use capsys_core::SearchConfig;
+use capsys_model::{
+    Cluster, ConnectionPattern, LogicalGraph, OperatorKind, ResourceProfile, WorkerSpec,
+};
+use capsys_placement::{
+    CapsStrategy, FlinkDefault, FlinkEvenly, PlacementContext, PlacementStrategy,
+};
+use capsys_queries::Query;
+use capsys_sim::{SimConfig, Simulation};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Top-level deployment spec.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeploymentSpec {
+    /// The query to deploy.
+    pub query: QuerySpec,
+    /// The worker cluster.
+    pub cluster: ClusterSpec,
+    /// Aggregate source rate: a number, or `"auto"` for the §3.1
+    /// capacity-matching methodology.
+    #[serde(default)]
+    pub rate: RateSpec,
+    /// Placement strategy: `caps` (default), `default`, or `evenly`.
+    #[serde(default = "default_strategy")]
+    pub strategy: String,
+    /// Simulated seconds (with a 25 % warm-up); 0 skips simulation.
+    #[serde(default = "default_sim_secs")]
+    pub simulate_secs: f64,
+    /// Seed for randomized strategies and simulator noise.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+fn default_strategy() -> String {
+    "caps".into()
+}
+
+fn default_sim_secs() -> f64 {
+    120.0
+}
+
+/// Query selection: a built-in paper query or a custom dataflow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum QuerySpec {
+    /// One of the six paper queries, e.g. `"q1-sliding"`.
+    Builtin(String),
+    /// A custom dataflow.
+    Custom(CustomQuery),
+}
+
+/// A custom dataflow description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CustomQuery {
+    /// Query name.
+    pub name: String,
+    /// Operators, in id order.
+    pub operators: Vec<OperatorSpec>,
+    /// Edges between operators, by name.
+    pub edges: Vec<EdgeSpec>,
+    /// Fraction of the total rate per source operator name.
+    pub source_mix: HashMap<String, f64>,
+}
+
+/// One operator of a custom dataflow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OperatorSpec {
+    /// Operator name, unique in the query.
+    pub name: String,
+    /// `source`, `stateless`, `window`, `join`, `inference`, `process`,
+    /// or `sink`.
+    pub kind: String,
+    /// Number of parallel tasks.
+    pub parallelism: usize,
+    /// CPU seconds per record.
+    pub cpu_per_record: f64,
+    /// State-backend bytes per record.
+    #[serde(default)]
+    pub state_bytes_per_record: f64,
+    /// Output bytes per record.
+    #[serde(default)]
+    pub out_bytes_per_record: f64,
+    /// Output records per input record.
+    #[serde(default = "default_selectivity")]
+    pub selectivity: f64,
+}
+
+fn default_selectivity() -> f64 {
+    1.0
+}
+
+/// One edge of a custom dataflow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EdgeSpec {
+    /// Upstream operator name.
+    pub from: String,
+    /// Downstream operator name.
+    pub to: String,
+    /// `forward`, `hash`, `rebalance`, or `broadcast`.
+    #[serde(default = "default_pattern")]
+    pub pattern: String,
+}
+
+fn default_pattern() -> String {
+    "hash".into()
+}
+
+/// Cluster description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of workers.
+    pub workers: usize,
+    /// Instance preset: `r5d.xlarge`, `m5d.2xlarge`, or `c5d.4xlarge`.
+    #[serde(default = "default_instance")]
+    pub spec: String,
+    /// Slots per worker.
+    pub slots: usize,
+}
+
+fn default_instance() -> String {
+    "m5d.2xlarge".into()
+}
+
+/// Rate selection.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+#[serde(untagged)]
+pub enum RateSpec {
+    /// Match cluster capacity at 90 % utilization (§3.1 methodology).
+    #[default]
+    #[serde(rename = "auto")]
+    Auto,
+    /// Explicit rate in records/s.
+    Fixed(f64),
+    /// The string `"auto"`.
+    Keyword(String),
+}
+
+/// The outcome of running a spec.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpecOutcome {
+    /// The query name.
+    pub query: String,
+    /// Chosen aggregate rate, records/s.
+    pub rate: f64,
+    /// Strategy used.
+    pub strategy: String,
+    /// Task-to-worker assignment, by task id.
+    pub assignment: Vec<usize>,
+    /// Cost vector of the plan `[C_cpu, C_io, C_net]`.
+    pub cost: [f64; 3],
+    /// Simulated throughput (records/s), if simulation ran.
+    pub throughput: Option<f64>,
+    /// Simulated source backpressure fraction, if simulation ran.
+    pub backpressure: Option<f64>,
+    /// Simulated latency estimate in seconds, if simulation ran.
+    pub latency: Option<f64>,
+}
+
+/// Errors from spec parsing or execution.
+#[derive(Debug)]
+pub enum SpecError {
+    /// JSON malformed or missing fields.
+    Parse(serde_json::Error),
+    /// Semantically invalid spec.
+    Invalid(String),
+    /// Execution failure from an underlying crate.
+    Run(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Parse(e) => write!(f, "spec parse error: {e}"),
+            SpecError::Invalid(msg) => write!(f, "invalid spec: {msg}"),
+            SpecError::Run(msg) => write!(f, "execution failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl DeploymentSpec {
+    /// Parses a spec from JSON.
+    pub fn from_json(json: &str) -> Result<DeploymentSpec, SpecError> {
+        serde_json::from_str(json).map_err(SpecError::Parse)
+    }
+
+    /// Builds the query object.
+    pub fn build_query(&self) -> Result<Query, SpecError> {
+        match &self.query {
+            QuerySpec::Builtin(name) => builtin_query(name),
+            QuerySpec::Custom(c) => build_custom(c),
+        }
+    }
+
+    /// Builds the cluster object.
+    pub fn build_cluster(&self) -> Result<Cluster, SpecError> {
+        let spec = match self.cluster.spec.as_str() {
+            "r5d.xlarge" => WorkerSpec::r5d_xlarge(self.cluster.slots),
+            "m5d.2xlarge" => WorkerSpec::m5d_2xlarge(self.cluster.slots),
+            "c5d.4xlarge" => WorkerSpec::c5d_4xlarge(self.cluster.slots),
+            other => {
+                return Err(SpecError::Invalid(format!(
+                    "unknown instance `{other}` (use r5d.xlarge, m5d.2xlarge, c5d.4xlarge)"
+                )))
+            }
+        };
+        Cluster::homogeneous(self.cluster.workers, spec)
+            .map_err(|e| SpecError::Invalid(e.to_string()))
+    }
+
+    /// Runs the spec: plan, optionally simulate, report.
+    pub fn run(&self) -> Result<SpecOutcome, SpecError> {
+        let query = self.build_query()?;
+        let cluster = self.build_cluster()?;
+        let rate = match &self.rate {
+            RateSpec::Fixed(r) if *r > 0.0 => *r,
+            RateSpec::Fixed(r) => {
+                return Err(SpecError::Invalid(format!(
+                    "rate must be positive, got {r}"
+                )))
+            }
+            RateSpec::Auto => query
+                .capacity_rate(&cluster, 0.9)
+                .map_err(|e| SpecError::Run(e.to_string()))?,
+            RateSpec::Keyword(k) if k == "auto" => query
+                .capacity_rate(&cluster, 0.9)
+                .map_err(|e| SpecError::Run(e.to_string()))?,
+            RateSpec::Keyword(k) => {
+                return Err(SpecError::Invalid(format!("unknown rate keyword `{k}`")))
+            }
+        };
+
+        let physical = query.physical();
+        let loads = query
+            .load_model_at(&physical, rate)
+            .map_err(|e| SpecError::Run(e.to_string()))?;
+        let ctx = PlacementContext {
+            logical: query.logical(),
+            physical: &physical,
+            cluster: &cluster,
+            loads: &loads,
+        };
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let caps = CapsStrategy::new(SearchConfig::auto_tuned());
+        let strategy: &dyn PlacementStrategy = match self.strategy.as_str() {
+            "caps" => &caps,
+            "default" => &FlinkDefault,
+            "evenly" => &FlinkEvenly,
+            other => {
+                return Err(SpecError::Invalid(format!(
+                    "unknown strategy `{other}` (use caps, default, evenly)"
+                )))
+            }
+        };
+        let plan = strategy
+            .place(&ctx, &mut rng)
+            .map_err(|e| SpecError::Run(e.to_string()))?;
+        let model = capsys_core::CostModel::new(&physical, &cluster, &loads)
+            .map_err(|e| SpecError::Run(e.to_string()))?;
+        let cost = model.cost(&physical, &plan);
+
+        let (throughput, backpressure, latency) = if self.simulate_secs > 0.0 {
+            let schedules = query.schedules(rate);
+            let config = SimConfig {
+                duration: self.simulate_secs,
+                warmup: self.simulate_secs * 0.25,
+                seed: self.seed,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulation::new(
+                query.logical(),
+                &physical,
+                &cluster,
+                &plan,
+                &schedules,
+                config,
+            )
+            .map_err(|e| SpecError::Run(e.to_string()))?;
+            let report = sim.run();
+            (
+                Some(report.avg_throughput),
+                Some(report.avg_backpressure),
+                Some(report.avg_latency),
+            )
+        } else {
+            (None, None, None)
+        };
+
+        Ok(SpecOutcome {
+            query: query.name().to_string(),
+            rate,
+            strategy: self.strategy.clone(),
+            assignment: plan.assignment().iter().map(|w| w.0).collect(),
+            cost: [cost.cpu, cost.io, cost.net],
+            throughput,
+            backpressure,
+            latency,
+        })
+    }
+}
+
+/// Looks up one of the six paper queries by name.
+pub fn builtin_query(name: &str) -> Result<Query, SpecError> {
+    let normalized = name.to_lowercase().replace('_', "-");
+    match normalized.as_str() {
+        "q1-sliding" | "q1" => Ok(capsys_queries::q1_sliding()),
+        "q2-join" | "q2" => Ok(capsys_queries::q2_join()),
+        "q3-inf" | "q3" => Ok(capsys_queries::q3_inf()),
+        "q4-join" | "q4" => Ok(capsys_queries::q4_join()),
+        "q5-aggregate" | "q5" => Ok(capsys_queries::q5_aggregate()),
+        "q6-session" | "q6" => Ok(capsys_queries::q6_session()),
+        other => Err(SpecError::Invalid(format!(
+            "unknown builtin query `{other}` (use q1-sliding..q6-session)"
+        ))),
+    }
+}
+
+fn parse_kind(kind: &str) -> Result<OperatorKind, SpecError> {
+    Ok(match kind {
+        "source" => OperatorKind::Source,
+        "stateless" | "map" | "filter" => OperatorKind::Stateless,
+        "window" => OperatorKind::Window,
+        "join" => OperatorKind::Join,
+        "inference" => OperatorKind::Inference,
+        "process" => OperatorKind::Process,
+        "sink" => OperatorKind::Sink,
+        other => {
+            return Err(SpecError::Invalid(format!(
+                "unknown operator kind `{other}`"
+            )))
+        }
+    })
+}
+
+fn parse_pattern(p: &str) -> Result<ConnectionPattern, SpecError> {
+    Ok(match p {
+        "forward" => ConnectionPattern::Forward,
+        "hash" => ConnectionPattern::Hash,
+        "rebalance" => ConnectionPattern::Rebalance,
+        "broadcast" => ConnectionPattern::Broadcast,
+        other => {
+            return Err(SpecError::Invalid(format!(
+                "unknown edge pattern `{other}`"
+            )))
+        }
+    })
+}
+
+fn build_custom(c: &CustomQuery) -> Result<Query, SpecError> {
+    let mut b = LogicalGraph::builder(c.name.clone());
+    let mut ids = HashMap::new();
+    for op in &c.operators {
+        let profile = ResourceProfile::new(
+            op.cpu_per_record,
+            op.state_bytes_per_record,
+            op.out_bytes_per_record,
+            op.selectivity,
+        );
+        if !profile.is_valid() {
+            return Err(SpecError::Invalid(format!(
+                "operator `{}` has an invalid profile",
+                op.name
+            )));
+        }
+        let id = b.operator(
+            op.name.clone(),
+            parse_kind(&op.kind)?,
+            op.parallelism,
+            profile,
+        );
+        if ids.insert(op.name.clone(), id).is_some() {
+            return Err(SpecError::Invalid(format!(
+                "duplicate operator name `{}`",
+                op.name
+            )));
+        }
+    }
+    for e in &c.edges {
+        let from = *ids.get(&e.from).ok_or_else(|| {
+            SpecError::Invalid(format!("edge from unknown operator `{}`", e.from))
+        })?;
+        let to = *ids
+            .get(&e.to)
+            .ok_or_else(|| SpecError::Invalid(format!("edge to unknown operator `{}`", e.to)))?;
+        b.edge(from, to, parse_pattern(&e.pattern)?);
+    }
+    let logical = b.build().map_err(|e| SpecError::Invalid(e.to_string()))?;
+    let mut mix = HashMap::new();
+    for (name, frac) in &c.source_mix {
+        let id = *ids.get(name).ok_or_else(|| {
+            SpecError::Invalid(format!("source mix names unknown operator `{name}`"))
+        })?;
+        mix.insert(id, *frac);
+    }
+    Query::new(logical, mix).map_err(|e| SpecError::Invalid(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builtin_spec(strategy: &str) -> String {
+        format!(
+            r#"{{
+                "query": {{ "builtin": "q1-sliding" }},
+                "cluster": {{ "workers": 4, "spec": "r5d.xlarge", "slots": 4 }},
+                "rate": "auto",
+                "strategy": "{strategy}",
+                "simulate_secs": 30.0
+            }}"#
+        )
+    }
+
+    #[test]
+    fn builtin_spec_round_trips() {
+        let spec = DeploymentSpec::from_json(&builtin_spec("caps")).unwrap();
+        let outcome = spec.run().unwrap();
+        assert_eq!(outcome.query, "Q1-sliding");
+        assert_eq!(outcome.assignment.len(), 16);
+        assert!(outcome.throughput.unwrap() > 0.0);
+        assert!(outcome.cost[0] <= 1.0);
+        // Serializes cleanly.
+        let json = serde_json::to_string(&outcome).unwrap();
+        assert!(json.contains("throughput"));
+    }
+
+    #[test]
+    fn all_strategies_run() {
+        for s in ["caps", "default", "evenly"] {
+            let spec = DeploymentSpec::from_json(&builtin_spec(s)).unwrap();
+            let out = spec.run().unwrap();
+            assert_eq!(out.strategy, s);
+        }
+        let spec = DeploymentSpec::from_json(&builtin_spec("bogus")).unwrap();
+        assert!(matches!(spec.run(), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn custom_query_spec_runs() {
+        let json = r#"{
+            "query": { "custom": {
+                "name": "mini",
+                "operators": [
+                    { "name": "src", "kind": "source", "parallelism": 2,
+                      "cpu_per_record": 1e-5, "out_bytes_per_record": 100 },
+                    { "name": "agg", "kind": "window", "parallelism": 4,
+                      "cpu_per_record": 4e-4, "state_bytes_per_record": 2000,
+                      "out_bytes_per_record": 50, "selectivity": 0.2 },
+                    { "name": "sink", "kind": "sink", "parallelism": 1,
+                      "cpu_per_record": 1e-6 }
+                ],
+                "edges": [
+                    { "from": "src", "to": "agg", "pattern": "hash" },
+                    { "from": "agg", "to": "sink", "pattern": "rebalance" }
+                ],
+                "source_mix": { "src": 1.0 }
+            } },
+            "cluster": { "workers": 2, "spec": "m5d.2xlarge", "slots": 4 },
+            "rate": 5000.0,
+            "simulate_secs": 20.0
+        }"#;
+        let spec = DeploymentSpec::from_json(json).unwrap();
+        let out = spec.run().unwrap();
+        assert_eq!(out.query, "mini");
+        assert_eq!(out.rate, 5000.0);
+        assert_eq!(out.assignment.len(), 7);
+    }
+
+    #[test]
+    fn invalid_specs_report_errors() {
+        assert!(DeploymentSpec::from_json("{").is_err());
+        let bad_query = r#"{
+            "query": { "builtin": "q99" },
+            "cluster": { "workers": 2, "slots": 4 }
+        }"#;
+        let spec = DeploymentSpec::from_json(bad_query).unwrap();
+        assert!(matches!(spec.run(), Err(SpecError::Invalid(_))));
+        let bad_instance = r#"{
+            "query": { "builtin": "q1" },
+            "cluster": { "workers": 2, "spec": "t2.micro", "slots": 4 }
+        }"#;
+        let spec = DeploymentSpec::from_json(bad_instance).unwrap();
+        assert!(matches!(spec.run(), Err(SpecError::Invalid(_))));
+        let bad_rate = r#"{
+            "query": { "builtin": "q1" },
+            "cluster": { "workers": 4, "spec": "r5d.xlarge", "slots": 4 },
+            "rate": -5.0
+        }"#;
+        let spec = DeploymentSpec::from_json(bad_rate).unwrap();
+        assert!(matches!(spec.run(), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn builtin_lookup_accepts_aliases() {
+        assert!(builtin_query("Q1").is_ok());
+        assert!(builtin_query("q5_aggregate").is_ok());
+        assert!(builtin_query("q6-session").is_ok());
+        assert!(builtin_query("nope").is_err());
+    }
+
+    #[test]
+    fn zero_simulate_skips_simulation() {
+        let json = r#"{
+            "query": { "builtin": "q1" },
+            "cluster": { "workers": 4, "spec": "r5d.xlarge", "slots": 4 },
+            "strategy": "caps",
+            "simulate_secs": 0.0
+        }"#;
+        let out = DeploymentSpec::from_json(json).unwrap().run().unwrap();
+        assert!(out.throughput.is_none());
+        assert!(out.backpressure.is_none());
+    }
+}

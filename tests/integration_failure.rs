@@ -1,0 +1,125 @@
+//! Integration: worker failure, detection, and CAPS-based recovery.
+//!
+//! Not an experiment from the paper, but the scenario an *adaptive*
+//! resource controller exists for: a worker dies, throughput collapses,
+//! and the controller re-places the job on the surviving workers using
+//! the `free_slots` search extension.
+
+use capsys::caps::{CapsSearch, SearchConfig};
+use capsys::model::{Cluster, WorkerId, WorkerSpec};
+use capsys::placement::{CapsStrategy, PlacementContext, PlacementStrategy};
+use capsys::queries::q1_sliding;
+use capsys::sim::{SimConfig, Simulation};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn caps_replacement_recovers_from_worker_failure() {
+    // 6 workers, 16 tasks: enough slack to survive losing one worker.
+    let cluster = Cluster::homogeneous(6, WorkerSpec::r5d_xlarge(4)).unwrap();
+    let query = q1_sliding();
+    let physical = query.physical();
+    let rate = query.capacity_rate(&cluster, 0.55).unwrap();
+    let loads = query.load_model_at(&physical, rate).unwrap();
+
+    // Initial CAPS deployment.
+    let ctx = PlacementContext {
+        logical: query.logical(),
+        physical: &physical,
+        cluster: &cluster,
+        loads: &loads,
+    };
+    let mut rng = SmallRng::seed_from_u64(1);
+    let plan = CapsStrategy::default().place(&ctx, &mut rng).unwrap();
+    let schedules = query.schedules(rate);
+    let mut sim = Simulation::new(
+        query.logical(),
+        &physical,
+        &cluster,
+        &plan,
+        &schedules,
+        SimConfig {
+            duration: 1.0,
+            warmup: 0.0,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    let healthy = sim.advance(30.0, 10.0);
+    assert!(healthy.meets_target(0.95), "healthy run below target");
+
+    // A worker hosting at least one task dies.
+    let victim = WorkerId(plan.worker_of(capsys::model::TaskId(0)).0);
+    sim.fail_worker(victim);
+    let degraded = sim.advance(30.0, 5.0);
+    assert!(
+        degraded.avg_throughput < 0.9 * rate || degraded.avg_backpressure > 0.3,
+        "failure had no visible effect: tput {} bp {}",
+        degraded.avg_throughput,
+        degraded.avg_backpressure
+    );
+
+    // Recovery: re-place on the survivors (failed worker gets 0 slots).
+    let mut free: Vec<usize> = cluster.workers().iter().map(|w| w.spec.slots).collect();
+    free[victim.0] = 0;
+    let search = CapsSearch::new(query.logical(), &physical, &cluster, &loads).unwrap();
+    let outcome = search
+        .run(&SearchConfig {
+            free_slots: Some(free),
+            ..SearchConfig::auto_tuned()
+        })
+        .unwrap();
+    let recovery_plan = outcome
+        .best_plan()
+        .expect("survivors can host the job")
+        .clone();
+    recovery_plan.validate(&physical, &cluster).unwrap();
+    assert!(
+        recovery_plan.tasks_on(victim).is_empty(),
+        "recovery plan still uses the failed worker"
+    );
+
+    // Redeploy (restart-from-savepoint analogue) with the victim still
+    // down and verify the job meets its target again.
+    let mut sim2 = Simulation::new(
+        query.logical(),
+        &physical,
+        &cluster,
+        &recovery_plan,
+        &schedules,
+        SimConfig {
+            duration: 1.0,
+            warmup: 0.0,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    sim2.fail_worker(victim);
+    let recovered = sim2.advance(40.0, 10.0);
+    assert!(
+        recovered.meets_target(0.93),
+        "recovery below target: {} of {}",
+        recovered.avg_throughput,
+        rate
+    );
+}
+
+#[test]
+fn free_slots_search_never_uses_excluded_workers() {
+    let cluster = Cluster::homogeneous(4, WorkerSpec::r5d_xlarge(8)).unwrap();
+    let query = q1_sliding();
+    let physical = query.physical();
+    let loads = query.load_model_at(&physical, 8000.0).unwrap();
+    let search = CapsSearch::new(query.logical(), &physical, &cluster, &loads).unwrap();
+    let outcome = search
+        .run(&SearchConfig {
+            free_slots: Some(vec![0, 8, 8, 8]),
+            max_plans: 128,
+            ..SearchConfig::auto_tuned()
+        })
+        .unwrap();
+    assert!(!outcome.feasible.is_empty());
+    for scored in &outcome.feasible {
+        assert!(scored.plan.tasks_on(WorkerId(0)).is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Integration: the full CAPSys pipeline (profile → DS2 → CAPS → sim)
+//! across the evaluation queries.
+
+use capsys::controller::{profile_query, CapsysController, ProfilerConfig};
+use capsys::model::{Cluster, WorkerSpec};
+use capsys::queries::{all_queries, q2_join, q6_session};
+use capsys::sim::{SimConfig, Simulation};
+
+#[test]
+fn profiling_recovers_profiles_for_all_queries() {
+    for query in all_queries() {
+        let report = profile_query(&query, &ProfilerConfig::default())
+            .unwrap_or_else(|e| panic!("{} profiling failed: {e}", query.name()));
+        assert!(
+            report.backpressure < 0.05,
+            "{}: probe run saturated ({:.1}%)",
+            query.name(),
+            report.backpressure * 100.0
+        );
+        for (op, measured) in query.logical().operators().iter().zip(&report.profiles) {
+            let truth = op.profile;
+            if truth.cpu_per_record > 1e-9 {
+                let rel =
+                    (measured.cpu_per_record - truth.cpu_per_record).abs() / truth.cpu_per_record;
+                assert!(
+                    rel < 0.25,
+                    "{}/{}: cpu measured {} vs true {}",
+                    query.name(),
+                    op.name,
+                    measured.cpu_per_record,
+                    truth.cpu_per_record
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn planned_deployments_sustain_their_targets() {
+    // The full pipeline must produce deployments that actually hit the
+    // requested rate when simulated with the ground-truth profiles.
+    let cluster = Cluster::homogeneous(4, WorkerSpec::m5d_2xlarge(8)).unwrap();
+    for query in [q2_join(), q6_session()] {
+        let target = query.capacity_rate(&cluster, 0.6).unwrap();
+        let controller = CapsysController::default();
+        let deployment = controller.plan(&query, &cluster, target).unwrap();
+        deployment
+            .placement
+            .validate(&deployment.physical, &cluster)
+            .unwrap();
+
+        let planned = query
+            .with_parallelism(&deployment.logical.parallelism_vector())
+            .unwrap();
+        let physical = planned.physical();
+        let schedules = planned.schedules(target);
+        let mut sim = Simulation::new(
+            planned.logical(),
+            &physical,
+            &cluster,
+            &deployment.placement,
+            &schedules,
+            SimConfig::short(),
+        )
+        .unwrap();
+        let report = sim.run();
+        assert!(
+            report.meets_target(0.9),
+            "{}: planned deployment reached {:.0} of {:.0}",
+            query.name(),
+            report.avg_throughput,
+            target
+        );
+    }
+}
+
+#[test]
+fn plan_reuses_profiles_across_rates() {
+    // Profiling runs once (§5.1); replanning at a different rate reuses it.
+    let cluster = Cluster::homogeneous(4, WorkerSpec::m5d_2xlarge(8)).unwrap();
+    let query = q2_join();
+    let controller = CapsysController::default();
+    let profile = profile_query(&query, &controller.config.profiler).unwrap();
+    let low = controller
+        .plan_with_profiles(&query, &cluster, 20_000.0, profile.clone())
+        .unwrap();
+    let high = controller
+        .plan_with_profiles(&query, &cluster, 60_000.0, profile)
+        .unwrap();
+    assert!(
+        high.slots_used > low.slots_used,
+        "higher rate should need more slots: {} vs {}",
+        high.slots_used,
+        low.slots_used
+    );
+}
