@@ -3,7 +3,7 @@
 use capsys_core::{AutoTuneConfig, AutoTuner, CapsSearch, SearchConfig};
 use capsys_model::{Cluster, WorkerSpec};
 use capsys_queries::q2_join;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use capsys_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_autotune(c: &mut Criterion) {
     let mut group = c.benchmark_group("autotune");

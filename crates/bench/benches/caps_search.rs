@@ -4,7 +4,7 @@
 use capsys_core::{CapsSearch, SearchConfig, Thresholds};
 use capsys_model::{Cluster, WorkerSpec};
 use capsys_queries::q2_join;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use capsys_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_caps_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("caps_first_feasible");

@@ -3,7 +3,7 @@
 use capsys_core::CostModel;
 use capsys_model::{enumerate_plans, Cluster, WorkerSpec};
 use capsys_queries::{q1_sliding, q2_join};
-use criterion::{criterion_group, criterion_main, Criterion};
+use capsys_util::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_cost_eval(c: &mut Criterion) {

@@ -3,7 +3,7 @@
 
 use capsys_model::{Cluster, PlanEnumerator, PlanVisitor, WorkerSpec};
 use capsys_queries::{q1_sliding, q3_inf};
-use criterion::{criterion_group, criterion_main, Criterion};
+use capsys_util::bench::{criterion_group, criterion_main, Criterion};
 
 struct CountOnly;
 impl PlanVisitor for CountOnly {

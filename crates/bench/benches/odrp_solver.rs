@@ -4,7 +4,7 @@
 use capsys_model::{Cluster, WorkerSpec};
 use capsys_odrp::{OdrpConfig, OdrpSolver, OdrpWeights};
 use capsys_queries::q3_inf;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use capsys_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 fn bench_odrp(c: &mut Criterion) {

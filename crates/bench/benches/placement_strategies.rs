@@ -5,9 +5,9 @@ use capsys_placement::{
     CapsStrategy, FlinkDefault, FlinkEvenly, PlacementContext, PlacementStrategy,
 };
 use capsys_queries::q1_sliding;
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use capsys_util::bench::{criterion_group, criterion_main, Criterion};
+use capsys_util::rng::SmallRng;
+use capsys_util::rng::SeedableRng;
 
 fn bench_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("placement_strategy");

@@ -4,7 +4,7 @@
 use capsys_core::{CapsSearch, SearchConfig, Thresholds};
 use capsys_model::{Cluster, WorkerSpec};
 use capsys_queries::q3_inf;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use capsys_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_pruning(c: &mut Criterion) {
     let mut group = c.benchmark_group("pruning_sweep");

@@ -5,7 +5,7 @@ use capsys_bench::run_plan;
 use capsys_model::{enumerate_plans, Cluster, WorkerSpec};
 use capsys_queries::{q1_sliding, q3_inf};
 use capsys_sim::SimConfig;
-use criterion::{criterion_group, criterion_main, Criterion};
+use capsys_util::bench::{criterion_group, criterion_main, Criterion};
 
 fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator_60s_run");

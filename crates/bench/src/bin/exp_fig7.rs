@@ -19,8 +19,8 @@ use capsys_placement::{
     CapsStrategy, FlinkDefault, FlinkEvenly, PlacementContext, PlacementStrategy,
 };
 use capsys_queries::{all_queries, Query};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use capsys_util::rng::SmallRng;
+use capsys_util::rng::SeedableRng;
 
 struct StrategyResult {
     throughput: BoxStats,

@@ -21,9 +21,9 @@ use capsys_model::{Cluster, WorkerSpec};
 use capsys_placement::{CapsStrategy, PlacementContext, PlacementStrategy};
 use capsys_queries::{all_queries, merge_queries, Query};
 use capsys_sim::Simulation;
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use capsys_util::rng::SmallRng;
+use capsys_util::rng::SliceRandom;
+use capsys_util::rng::SeedableRng;
 
 fn main() {
     banner(

@@ -147,9 +147,9 @@ pub fn place_sequentially(
     queries: &[&Query],
     cluster: &Cluster,
     policy: &str,
-    rng: &mut rand::rngs::SmallRng,
+    rng: &mut capsys_util::rng::SmallRng,
 ) -> Option<Vec<Placement>> {
-    use rand::seq::SliceRandom;
+    use capsys_util::rng::SliceRandom;
     let mut free: Vec<usize> = cluster.workers().iter().map(|w| w.spec.slots).collect();
     let mut result = Vec::with_capacity(queries.len());
     for q in queries {
@@ -273,7 +273,7 @@ mod tests {
     use super::*;
     use capsys_model::WorkerSpec;
     use capsys_queries::{merge_queries, q1_sliding, q3_inf};
-    use rand::SeedableRng;
+    use capsys_util::rng::SeedableRng;
 
     #[test]
     fn box_stats_basic() {
@@ -305,7 +305,7 @@ mod tests {
         let q1 = q1_sliding();
         let q3 = q3_inf();
         let cluster = Cluster::homogeneous(4, WorkerSpec::m5d_2xlarge(8)).unwrap();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut rng = capsys_util::rng::SmallRng::seed_from_u64(1);
         let plans = place_sequentially(&[&q1, &q3], &cluster, "default", &mut rng).unwrap();
         // Aggregate per-worker occupancy within slots.
         let mut used = vec![0usize; 4];
@@ -318,7 +318,7 @@ mod tests {
         for u in used {
             assert!(u <= 8, "worker over-packed: {u}");
         }
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut rng = capsys_util::rng::SmallRng::seed_from_u64(1);
         assert!(place_sequentially(&[&q1, &q3], &cluster, "evenly", &mut rng).is_some());
     }
 
@@ -326,7 +326,7 @@ mod tests {
     fn sequential_placement_fails_when_full() {
         let q1 = q1_sliding();
         let tiny = Cluster::homogeneous(1, WorkerSpec::new(4, 2.0, 1e8, 1e9)).unwrap();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut rng = capsys_util::rng::SmallRng::seed_from_u64(1);
         assert!(place_sequentially(&[&q1], &tiny, "default", &mut rng).is_none());
     }
 
@@ -337,7 +337,7 @@ mod tests {
         let (merged, maps) = merge_queries("m", &[(&q1, 1000.0), (&q3, 500.0)]).unwrap();
         let merged_physical = merged.physical();
         let cluster = Cluster::homogeneous(4, WorkerSpec::m5d_2xlarge(8)).unwrap();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut rng = capsys_util::rng::SmallRng::seed_from_u64(3);
         let plans = place_sequentially(&[&q1, &q3], &cluster, "evenly", &mut rng).unwrap();
         let combined = combine_placements(&[&q1, &q3], &plans, &merged_physical, &maps);
         combined.validate(&merged_physical, &cluster).unwrap();

@@ -14,8 +14,8 @@ use capsys_model::{Cluster, OperatorId, PhysicalGraph, Placement, RateSchedule};
 use capsys_placement::{PlacementContext, PlacementStrategy};
 use capsys_queries::Query;
 use capsys_sim::{MetricPoint, SimConfig, Simulation, TaskRateStats};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use capsys_util::rng::SmallRng;
+use capsys_util::rng::SeedableRng;
 
 use crate::ControllerError;
 

@@ -19,7 +19,6 @@
 
 use std::time::{Duration, Instant};
 
-use serde::{Deserialize, Serialize};
 
 use crate::cost::Thresholds;
 use crate::error::CapsError;
@@ -65,7 +64,7 @@ impl Default for AutoTuneConfig {
 }
 
 /// The outcome of threshold auto-tuning.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AutoTuneReport {
     /// The minimum jointly feasible threshold vector.
     pub thresholds: Thresholds,

@@ -8,7 +8,6 @@
 //! are co-located on one worker. All components lie in `[0, 1]`.
 
 use capsys_model::{Cluster, LoadModel, PhysicalGraph, Placement, TaskId, WorkerId};
-use serde::{Deserialize, Serialize};
 
 use crate::error::CapsError;
 
@@ -16,7 +15,7 @@ use crate::error::CapsError;
 const EPS: f64 = 1e-12;
 
 /// The three resource dimensions of the cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dimension {
     /// Compute (CPU cores).
     Cpu,
@@ -32,7 +31,7 @@ impl Dimension {
 }
 
 /// The cost vector `C⃗ = [C_cpu, C_io, C_net]` of a placement plan.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CostVector {
     /// Compute cost `C_cpu(f)` (Eq. 4).
     pub cpu: f64,
@@ -40,6 +39,16 @@ pub struct CostVector {
     pub io: f64,
     /// Network cost `C_net(f)`.
     pub net: f64,
+}
+
+impl capsys_util::json::ToJson for CostVector {
+    fn to_json(&self) -> capsys_util::json::Json {
+        capsys_util::json::obj(vec![
+            ("cpu", capsys_util::json::Json::Num(self.cpu)),
+            ("io", capsys_util::json::Json::Num(self.io)),
+            ("net", capsys_util::json::Json::Num(self.net)),
+        ])
+    }
 }
 
 impl CostVector {
@@ -80,7 +89,7 @@ impl CostVector {
 }
 
 /// The pruning threshold vector `α⃗ = [α_cpu, α_io, α_net]` (§4.4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Thresholds {
     /// Compute threshold `α_cpu ∈ [0, 1]` (or `∞` to disable).
     pub cpu: f64,
@@ -127,7 +136,7 @@ impl Thresholds {
 }
 
 /// Per-dimension load extremes `L_min` and `L_max` (Eqs. 6-7).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadBounds {
     /// Per-worker load of a perfectly balanced allocation (`L_min`).
     pub min: [f64; 3],

@@ -9,7 +9,7 @@
 //!
 //! This implementation partitions the search space by enumerating the
 //! first outer-search layers into prefix work units, publishes them
-//! through a [`crossbeam::deque::Injector`] work queue, and lets every
+//! through a [`capsys_util::queue::Injector`] work queue, and lets every
 //! thread pull the next unexplored prefix when it finishes its current
 //! one (dynamic load balancing equivalent to work offloading). Each
 //! thread keeps a local plan cache; caches are merged at the end.
@@ -18,7 +18,7 @@ use std::sync::atomic::AtomicBool;
 use std::time::Instant;
 
 use capsys_model::{PhysicalGraph, PlanEnumerator};
-use crossbeam::deque::Injector;
+use capsys_util::queue::{Injector, Steal};
 
 use crate::cost::CostModel;
 use crate::search::{CapsVisitor, OpTopology, RunStats, ScoredPlan, SearchConfig};
@@ -124,9 +124,9 @@ pub(crate) fn run_parallel(
 fn steal<T>(queue: &Injector<T>) -> Option<T> {
     loop {
         match queue.steal() {
-            crossbeam::deque::Steal::Success(v) => return Some(v),
-            crossbeam::deque::Steal::Empty => return None,
-            crossbeam::deque::Steal::Retry => continue,
+            Steal::Success(v) => return Some(v),
+            Steal::Empty => return None,
+            Steal::Retry => continue,
         }
     }
 }

@@ -20,7 +20,6 @@ use capsys_model::{
     Cluster, ConnectionPattern, LoadModel, LogicalGraph, OperatorId, PhysicalGraph, Placement,
     PlanEnumerator, PlanVisitor, TaskId,
 };
-use serde::{Deserialize, Serialize};
 
 use crate::autotune::{AutoTuneConfig, AutoTuneReport, AutoTuner};
 use crate::cost::{CostModel, CostVector, Thresholds};
@@ -103,7 +102,7 @@ impl SearchConfig {
 }
 
 /// A feasible plan together with its cost vector.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScoredPlan {
     /// The placement plan.
     pub plan: Placement,
@@ -112,7 +111,7 @@ pub struct ScoredPlan {
 }
 
 /// Statistics of one search run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunStats {
     /// Search tree nodes visited.
     pub nodes: usize,

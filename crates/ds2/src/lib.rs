@@ -28,10 +28,9 @@ use std::collections::HashMap;
 
 use capsys_model::{LogicalGraph, ModelError, OperatorId, PhysicalGraph, TaskId};
 use capsys_sim::TaskRateStats;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the DS2 controller.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ds2Config {
     /// Time after a reconfiguration before DS2 acts again, seconds
     /// (paper §6.4: 90 s).
@@ -97,7 +96,7 @@ impl From<ModelError> for Ds2Error {
 }
 
 /// The outcome of one DS2 policy evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScalingDecision {
     /// Recommended parallelism per operator, indexed by operator id.
     pub parallelism: Vec<usize>,

@@ -1,11 +1,10 @@
 //! Worker cluster model (`G_w` in the paper).
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::ModelError;
 
 /// Identifier of a worker within a [`Cluster`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct WorkerId(pub usize);
 
 impl WorkerId {
@@ -27,7 +26,7 @@ impl std::fmt::Display for WorkerId {
 /// the capacities that matter for contention: CPU cores shared by all
 /// slot threads, the SSD bandwidth shared by state-backend accesses, and
 /// the NIC bandwidth shared by outbound cross-worker channels.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkerSpec {
     /// Number of compute slots (`s`), one task per slot.
     pub slots: usize,
@@ -84,7 +83,7 @@ impl WorkerSpec {
 }
 
 /// One worker node in the cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Worker {
     /// Worker id.
     pub id: WorkerId,
@@ -97,7 +96,7 @@ pub struct Worker {
 /// The paper's datacenter setting assumes negligible propagation delays
 /// between workers, so `E_w` is implicit: every worker pair is connected
 /// and only per-worker NIC bandwidth constrains communication.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cluster {
     workers: Vec<Worker>,
 }

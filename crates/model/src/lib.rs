@@ -22,6 +22,7 @@
 pub mod cluster;
 pub mod enumerate;
 pub mod error;
+pub mod json;
 pub mod load;
 pub mod logical;
 pub mod operator;

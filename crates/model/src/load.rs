@@ -8,7 +8,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::ModelError;
 use crate::logical::{ConnectionPattern, LogicalGraph};
@@ -16,7 +15,7 @@ use crate::operator::OperatorId;
 use crate::physical::{PhysicalGraph, TaskId};
 
 /// Resource load vector of one task.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TaskLoad {
     /// CPU demand in cores (`U_cpu(t)`).
     pub cpu: f64,
@@ -38,7 +37,7 @@ impl TaskLoad {
 }
 
 /// Per-task loads and stream rates for a physical graph at target rates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadModel {
     loads: Vec<TaskLoad>,
     task_input_rate: Vec<f64>,

@@ -1,12 +1,11 @@
 //! Logical query graphs.
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::ModelError;
 use crate::operator::{LogicalOperator, OperatorId, OperatorKind, ResourceProfile};
 
 /// How records flow between the tasks of two connected operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConnectionPattern {
     /// One-to-one connection between tasks of equal-parallelism operators.
     /// Falls back to [`ConnectionPattern::Rebalance`] if parallelisms differ.
@@ -22,7 +21,7 @@ pub enum ConnectionPattern {
 }
 
 /// A directed edge between two logical operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LogicalEdge {
     /// Upstream operator.
     pub from: OperatorId,
@@ -36,7 +35,7 @@ pub struct LogicalEdge {
 ///
 /// Construct with [`LogicalGraphBuilder`] (or [`LogicalGraph::builder`]),
 /// which validates the graph on [`LogicalGraphBuilder::build`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogicalGraph {
     /// Query name, used in reports.
     pub name: String,

@@ -1,11 +1,10 @@
 //! Logical operators and their resource profiles.
 
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a logical operator within a [`crate::LogicalGraph`].
 ///
 /// Operator ids are dense indices assigned in insertion order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct OperatorId(pub usize);
 
 impl OperatorId {
@@ -28,7 +27,7 @@ impl std::fmt::Display for OperatorId {
 /// dominant resource dimension used in examples and documentation. The
 /// CAPS cost model itself never inspects the kind; it relies purely on the
 /// measured [`ResourceProfile`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OperatorKind {
     /// Event source; generates records at a target rate.
     Source,
@@ -73,7 +72,7 @@ impl OperatorKind {
 /// metric by the observed record rate yields a per-record cost. Multiplying
 /// the unit cost by a task's target rate recovers the task loads
 /// `U_cpu(t)`, `U_io(t)`, and `U_net(t)` used by the cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceProfile {
     /// CPU time per input record, in core-seconds.
     pub cpu_per_record: f64,
@@ -137,7 +136,7 @@ impl Default for ResourceProfile {
 }
 
 /// A vertex of the logical query graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogicalOperator {
     /// Human-readable operator name, unique within a graph.
     pub name: String,

@@ -2,7 +2,6 @@
 
 use std::ops::Range;
 
-use serde::{Deserialize, Serialize};
 
 use crate::logical::{ConnectionPattern, LogicalGraph};
 use crate::operator::OperatorId;
@@ -11,7 +10,7 @@ use crate::operator::OperatorId;
 ///
 /// Task ids are dense indices: the tasks of operator 0 come first, then
 /// those of operator 1, and so on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId(pub usize);
 
 impl TaskId {
@@ -28,7 +27,7 @@ impl std::fmt::Display for TaskId {
 }
 
 /// One parallel instance of a logical operator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Task {
     /// Global task id.
     pub id: TaskId,
@@ -39,7 +38,7 @@ pub struct Task {
 }
 
 /// A physical data channel between two tasks (`l ∈ E_p`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Channel {
     /// Producing task.
     pub from: TaskId,
@@ -55,7 +54,7 @@ pub struct Channel {
 /// parallelism `p` contributes `p` tasks, and each logical edge is
 /// instantiated into physical channels according to its
 /// [`ConnectionPattern`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhysicalGraph {
     name: String,
     tasks: Vec<Task>,

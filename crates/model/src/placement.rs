@@ -1,6 +1,5 @@
 //! Task placement plans (`f : V_p -> V_w`).
 
-use serde::{Deserialize, Serialize};
 
 use crate::cluster::{Cluster, WorkerId};
 use crate::error::ModelError;
@@ -12,7 +11,7 @@ use crate::physical::{PhysicalGraph, TaskId};
 /// worker (Eq. 1), and no worker hosts more tasks than it has slots
 /// (Eq. 2). Use [`Placement::validate`] to check a plan against a graph
 /// and cluster.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Placement {
     assignment: Vec<WorkerId>,
 }

@@ -1,12 +1,11 @@
 //! Source rate schedules for constant and variable workloads.
 
-use serde::{Deserialize, Serialize};
 
 /// The input rate of a source operator over time, in records per second.
 ///
 /// Used by the simulator for variable workloads (§6.4) and by controllers
 /// as the target rate at a given instant.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RateSchedule {
     /// A constant rate.
     Constant(f64),

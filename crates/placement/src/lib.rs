@@ -21,8 +21,8 @@ use capsys_core::{CapsError, CapsSearch, SearchConfig};
 use capsys_model::{
     Cluster, LoadModel, LogicalGraph, ModelError, PhysicalGraph, Placement, WorkerId,
 };
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
+use capsys_util::rng::SmallRng;
+use capsys_util::rng::SliceRandom;
 
 /// Everything a strategy may consult when computing a placement.
 #[derive(Debug, Clone, Copy)]
@@ -189,7 +189,7 @@ impl PlacementStrategy for CapsStrategy {
 mod tests {
     use super::*;
     use capsys_model::{ConnectionPattern, OperatorId, OperatorKind, ResourceProfile, WorkerSpec};
-    use rand::SeedableRng;
+    use capsys_util::rng::SeedableRng;
     use std::collections::HashMap;
 
     fn fixture() -> (LogicalGraph, PhysicalGraph, Cluster, LoadModel) {

@@ -1,6 +1,5 @@
 //! Simulation configuration.
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
 
@@ -9,7 +8,7 @@ use crate::error::SimError;
 /// The defaults mirror the paper's experimental methodology (§3.1):
 /// metrics are recorded every 5 seconds and a warm-up period is excluded
 /// from the reported averages.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Simulation tick length in seconds.
     pub tick: f64,

@@ -27,8 +27,8 @@ use capsys_model::{
     Cluster, ConnectionPattern, LoadModel, LogicalGraph, OperatorId, PhysicalGraph, Placement,
     RateSchedule,
 };
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use capsys_util::rng::SmallRng;
+use capsys_util::rng::{Rng, SeedableRng};
 
 use crate::config::SimConfig;
 use crate::error::SimError;

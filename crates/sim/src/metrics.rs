@@ -3,10 +3,9 @@
 use std::collections::HashMap;
 
 use capsys_model::OperatorId;
-use serde::{Deserialize, Serialize};
 
 /// One metrics sample aggregated over a reporting interval.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricPoint {
     /// End time of the interval, seconds since simulation start.
     pub time: f64,
@@ -28,7 +27,7 @@ pub struct MetricPoint {
 }
 
 /// Throughput statistics of one source operator.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SourceStats {
     /// Average admitted rate, records/s.
     pub throughput: f64,
@@ -39,7 +38,7 @@ pub struct SourceStats {
 }
 
 /// Rate statistics of one task, in the shape the DS2 controller consumes.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TaskRateStats {
     /// Observed processing rate (input records/s; generated records/s for
     /// sources).
@@ -56,7 +55,7 @@ pub struct TaskRateStats {
 }
 
 /// The aggregated result of a simulation window.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulationReport {
     /// Per-interval samples, including the warm-up period.
     pub points: Vec<MetricPoint>,

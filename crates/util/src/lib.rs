@@ -1,0 +1,35 @@
+//! `capsys-util`: the std-only utility layer that keeps the CAPSys
+//! workspace hermetic.
+//!
+//! The build environment has no network access and no vendored crate
+//! registry, so every external dependency the workspace once used is
+//! replaced by an in-repo equivalent:
+//!
+//! * [`rng`] — a seedable SplitMix64/xoshiro256++ PRNG with the
+//!   `SmallRng` / `gen_range` / `shuffle` surface (replaces `rand`).
+//! * [`json`] — a JSON value type with parser, compact + pretty
+//!   encoders, and [`json::ToJson`] / [`json::FromJson`] traits
+//!   (replaces `serde` + `serde_json`).
+//! * [`queue`] — an `Injector`-style MPMC work queue for the parallel
+//!   search (replaces `crossbeam::deque`).
+//! * [`sync`] — poison-free `Mutex` / `RwLock` wrappers over
+//!   `std::sync` (replaces `parking_lot`).
+//! * [`prop`] — a mini property-testing harness with seeded case
+//!   generation, failing-seed reporting, and input shrinking
+//!   (replaces `proptest`).
+//! * [`bench`] — a wall-clock benchmark runner with warm-up,
+//!   configurable sample counts, and median reporting (replaces
+//!   `criterion`).
+//!
+//! Everything in this crate uses only `std`. Reintroducing an external
+//! registry dependency anywhere in the workspace is a CI failure
+//! (`scripts/ci.sh` greps every manifest).
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod json;
+pub mod prop;
+pub mod queue;
+pub mod rng;
+pub mod sync;

@@ -1,0 +1,162 @@
+//! MPMC work queue for the parallel search (std-only
+//! `crossbeam::deque::Injector` replacement).
+//!
+//! The parallel CAPS search publishes prefix work units into one shared
+//! queue; worker threads pull the next unit when they finish their
+//! current one. The access pattern is "push a batch up front, then many
+//! consumers drain", so a mutex-protected ring buffer is fully adequate
+//! — contention is one uncontended lock acquisition per work unit,
+//! which is nanoseconds next to the milliseconds each unit takes to
+//! explore.
+//!
+//! The API mirrors the `Injector`/`Steal` surface so call sites read
+//! the same as with crossbeam.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Outcome of a [`Injector::steal`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// A work unit was taken.
+    Success(T),
+    /// The queue is empty.
+    Empty,
+    /// Transient interference; retry. (Never produced by this
+    /// implementation, kept so call sites match crossbeam's contract.)
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Converts to `Option`, mapping both `Empty` and `Retry` to `None`.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// An MPMC FIFO work queue shared by reference among threads.
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    items: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Injector<T> {
+        Injector {
+            items: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes one work unit to the back.
+    pub fn push(&self, item: T) {
+        self.items
+            .lock()
+            .expect("injector lock poisoned")
+            .push_back(item);
+    }
+
+    /// Attempts to take one work unit from the front.
+    pub fn steal(&self) -> Steal<T> {
+        match self
+            .items
+            .lock()
+            .expect("injector lock poisoned")
+            .pop_front()
+        {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// True if no work units are queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.items.lock().expect("injector lock poisoned").is_empty()
+    }
+
+    /// Number of queued work units.
+    pub fn len(&self) -> usize {
+        self.items.lock().expect("injector lock poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = Injector::new();
+        assert!(q.is_empty());
+        for i in 0..5 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 5);
+        for i in 0..5 {
+            assert_eq!(q.steal(), Steal::Success(i));
+        }
+        assert_eq!(q.steal(), Steal::<i32>::Empty);
+    }
+
+    #[test]
+    fn drains_exactly_once_across_threads() {
+        let q = Injector::new();
+        const N: usize = 10_000;
+        for i in 0..N {
+            q.push(i);
+        }
+        let sum = AtomicUsize::new(0);
+        let count = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    while let Steal::Success(v) = q.steal() {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), N);
+        assert_eq!(sum.load(Ordering::Relaxed), N * (N - 1) / 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers() {
+        let q = Injector::new();
+        let consumed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let q = &q;
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        q.push(t * 1000 + i);
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let q = &q;
+                let consumed = &consumed;
+                scope.spawn(move || loop {
+                    match q.steal() {
+                        Steal::Success(_) => {
+                            consumed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {
+                            if consumed.load(Ordering::Relaxed) == 4000 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(consumed.load(Ordering::Relaxed), 4000);
+    }
+}

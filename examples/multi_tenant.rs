@@ -9,8 +9,8 @@
 use capsys::placement::{CapsStrategy, PlacementContext, PlacementStrategy};
 use capsys::prelude::*;
 use capsys::queries::{all_queries, merge_queries};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use capsys_util::rng::SmallRng;
+use capsys_util::rng::SeedableRng;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {

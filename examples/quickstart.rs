@@ -7,8 +7,8 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use capsys::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use capsys_util::rng::SmallRng;
+use capsys_util::rng::SeedableRng;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {

@@ -12,8 +12,8 @@
 use capsys::model::{apply_skew, SkewSpec, TaskId};
 use capsys::placement::{CapsStrategy, PlacementContext, PlacementStrategy};
 use capsys::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use capsys_util::rng::SmallRng;
+use capsys_util::rng::SeedableRng;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {

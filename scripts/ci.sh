@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Hermetic CI for the CAPSys workspace.
+#
+# Runs entirely offline: the workspace has no external crate
+# dependencies (everything external was replaced by crates/util —
+# see DESIGN.md "Hermetic build"). This script is the contract:
+#
+#   1. dependency guard — no non-capsys-* dependency may appear in any
+#      Cargo.toml (including dev-dependencies and benches);
+#   2. release build of every target;
+#   3. full test suite (debug), including the determinism golden test;
+#   4. determinism golden test again in release (debug/release parity);
+#   5. one smoke bench end-to-end, emitting a timing result.
+#
+# Usage: scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> [1/5] dependency guard: workspace-internal crates only"
+# Collect every dependency key from every manifest. Dependency lines are
+# `name = ...` or `name.workspace = true` inside a [*dependencies*]
+# section; only capsys-* names are allowed.
+violations=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    deps=$(awk '
+        /^\[/ { in_deps = ($0 ~ /dependencies/) }
+        in_deps && /^[A-Za-z0-9_-]+(\.workspace)? *=/ {
+            split($0, parts, /[. =]/); print parts[1]
+        }
+    ' "$manifest")
+    for dep in $deps; do
+        case "$dep" in
+            capsys-*) ;;
+            *)
+                echo "FORBIDDEN external dependency \`$dep\` in $manifest" >&2
+                violations=$((violations + 1))
+                ;;
+        esac
+    done
+done
+if [ "$violations" -ne 0 ]; then
+    echo "dependency guard failed: $violations external dependencies" >&2
+    echo "(the build environment is offline; add std-only code to crates/util instead)" >&2
+    exit 1
+fi
+echo "    ok: all dependencies are capsys-* path crates"
+
+echo "==> [2/5] cargo build --release (all targets)"
+cargo build --release --workspace --all-targets
+
+echo "==> [3/5] cargo test (debug, full workspace)"
+cargo test -q --workspace
+
+echo "==> [4/5] determinism golden test (release)"
+cargo test -q --release --test golden_determinism
+
+echo "==> [5/5] smoke bench (quick mode, end-to-end)"
+CAPSYS_BENCH_QUICK=1 cargo bench -p capsys-bench --bench caps_search
+
+echo "CI green."

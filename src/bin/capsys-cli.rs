@@ -109,10 +109,7 @@ fn main() -> ExitCode {
             }
             match spec.run() {
                 Ok(outcome) => {
-                    println!(
-                        "{}",
-                        serde_json::to_string_pretty(&outcome).expect("outcome serializes")
-                    );
+                    println!("{}", capsys_util::json::ToJson::to_json(&outcome).to_pretty());
                     ExitCode::SUCCESS
                 }
                 Err(e) => {

@@ -39,6 +39,7 @@
 pub mod spec;
 
 pub use capsys_controller as controller;
+pub use capsys_util as util;
 pub use capsys_core as caps;
 pub use capsys_ds2 as ds2;
 pub use capsys_model as model;

@@ -44,12 +44,11 @@ use capsys_placement::{
 };
 use capsys_queries::Query;
 use capsys_sim::{SimConfig, Simulation};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use capsys_util::json::{obj, opt, req, FromJson, Json, JsonError, ToJson};
+use capsys_util::rng::{SeedableRng, SmallRng};
 
 /// Top-level deployment spec.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DeploymentSpec {
     /// The query to deploy.
     pub query: QuerySpec,
@@ -57,30 +56,32 @@ pub struct DeploymentSpec {
     pub cluster: ClusterSpec,
     /// Aggregate source rate: a number, or `"auto"` for the §3.1
     /// capacity-matching methodology.
-    #[serde(default)]
     pub rate: RateSpec,
     /// Placement strategy: `caps` (default), `default`, or `evenly`.
-    #[serde(default = "default_strategy")]
     pub strategy: String,
     /// Simulated seconds (with a 25 % warm-up); 0 skips simulation.
-    #[serde(default = "default_sim_secs")]
     pub simulate_secs: f64,
     /// Seed for randomized strategies and simulator noise.
-    #[serde(default)]
     pub seed: u64,
 }
 
-fn default_strategy() -> String {
-    "caps".into()
-}
-
-fn default_sim_secs() -> f64 {
-    120.0
+impl FromJson for DeploymentSpec {
+    fn from_json(v: &Json) -> Result<DeploymentSpec, JsonError> {
+        Ok(DeploymentSpec {
+            query: req(v, "query")?,
+            cluster: req(v, "cluster")?,
+            rate: opt(v, "rate", RateSpec::Auto)?,
+            strategy: opt(v, "strategy", "caps".to_string())?,
+            simulate_secs: opt(v, "simulate_secs", 120.0)?,
+            seed: opt(v, "seed", 0)?,
+        })
+    }
 }
 
 /// Query selection: a built-in paper query or a custom dataflow.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+///
+/// JSON form: `{"builtin": "q1-sliding"}` or `{"custom": {...}}`.
+#[derive(Debug, Clone)]
 pub enum QuerySpec {
     /// One of the six paper queries, e.g. `"q1-sliding"`.
     Builtin(String),
@@ -88,8 +89,20 @@ pub enum QuerySpec {
     Custom(CustomQuery),
 }
 
+impl FromJson for QuerySpec {
+    fn from_json(v: &Json) -> Result<QuerySpec, JsonError> {
+        match (v.get("builtin"), v.get("custom")) {
+            (Some(b), None) => Ok(QuerySpec::Builtin(String::from_json(b)?)),
+            (None, Some(c)) => Ok(QuerySpec::Custom(CustomQuery::from_json(c)?)),
+            _ => Err(JsonError::msg(
+                "query must be {\"builtin\": name} or {\"custom\": {...}}",
+            )),
+        }
+    }
+}
+
 /// A custom dataflow description.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CustomQuery {
     /// Query name.
     pub name: String,
@@ -101,8 +114,19 @@ pub struct CustomQuery {
     pub source_mix: HashMap<String, f64>,
 }
 
+impl FromJson for CustomQuery {
+    fn from_json(v: &Json) -> Result<CustomQuery, JsonError> {
+        Ok(CustomQuery {
+            name: req(v, "name")?,
+            operators: req(v, "operators")?,
+            edges: req(v, "edges")?,
+            source_mix: req(v, "source_mix")?,
+        })
+    }
+}
+
 /// One operator of a custom dataflow.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OperatorSpec {
     /// Operator name, unique in the query.
     pub name: String,
@@ -113,69 +137,95 @@ pub struct OperatorSpec {
     pub parallelism: usize,
     /// CPU seconds per record.
     pub cpu_per_record: f64,
-    /// State-backend bytes per record.
-    #[serde(default)]
+    /// State-backend bytes per record (default 0).
     pub state_bytes_per_record: f64,
-    /// Output bytes per record.
-    #[serde(default)]
+    /// Output bytes per record (default 0).
     pub out_bytes_per_record: f64,
-    /// Output records per input record.
-    #[serde(default = "default_selectivity")]
+    /// Output records per input record (default 1).
     pub selectivity: f64,
 }
 
-fn default_selectivity() -> f64 {
-    1.0
+impl FromJson for OperatorSpec {
+    fn from_json(v: &Json) -> Result<OperatorSpec, JsonError> {
+        Ok(OperatorSpec {
+            name: req(v, "name")?,
+            kind: req(v, "kind")?,
+            parallelism: req(v, "parallelism")?,
+            cpu_per_record: req(v, "cpu_per_record")?,
+            state_bytes_per_record: opt(v, "state_bytes_per_record", 0.0)?,
+            out_bytes_per_record: opt(v, "out_bytes_per_record", 0.0)?,
+            selectivity: opt(v, "selectivity", 1.0)?,
+        })
+    }
 }
 
 /// One edge of a custom dataflow.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EdgeSpec {
     /// Upstream operator name.
     pub from: String,
     /// Downstream operator name.
     pub to: String,
-    /// `forward`, `hash`, `rebalance`, or `broadcast`.
-    #[serde(default = "default_pattern")]
+    /// `forward`, `hash`, `rebalance`, or `broadcast` (default `hash`).
     pub pattern: String,
 }
 
-fn default_pattern() -> String {
-    "hash".into()
+impl FromJson for EdgeSpec {
+    fn from_json(v: &Json) -> Result<EdgeSpec, JsonError> {
+        Ok(EdgeSpec {
+            from: req(v, "from")?,
+            to: req(v, "to")?,
+            pattern: opt(v, "pattern", "hash".to_string())?,
+        })
+    }
 }
 
 /// Cluster description.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterSpec {
     /// Number of workers.
     pub workers: usize,
-    /// Instance preset: `r5d.xlarge`, `m5d.2xlarge`, or `c5d.4xlarge`.
-    #[serde(default = "default_instance")]
+    /// Instance preset: `r5d.xlarge`, `m5d.2xlarge` (default), or
+    /// `c5d.4xlarge`.
     pub spec: String,
     /// Slots per worker.
     pub slots: usize,
 }
 
-fn default_instance() -> String {
-    "m5d.2xlarge".into()
+impl FromJson for ClusterSpec {
+    fn from_json(v: &Json) -> Result<ClusterSpec, JsonError> {
+        Ok(ClusterSpec {
+            workers: req(v, "workers")?,
+            spec: opt(v, "spec", "m5d.2xlarge".to_string())?,
+            slots: req(v, "slots")?,
+        })
+    }
 }
 
-/// Rate selection.
-#[derive(Debug, Clone, Serialize, Deserialize, Default)]
-#[serde(untagged)]
+/// Rate selection: a JSON number (fixed records/s) or a keyword string.
+#[derive(Debug, Clone, Default)]
 pub enum RateSpec {
     /// Match cluster capacity at 90 % utilization (§3.1 methodology).
     #[default]
-    #[serde(rename = "auto")]
     Auto,
     /// Explicit rate in records/s.
     Fixed(f64),
-    /// The string `"auto"`.
+    /// A keyword string; only `"auto"` is accepted at run time.
     Keyword(String),
 }
 
+impl FromJson for RateSpec {
+    fn from_json(v: &Json) -> Result<RateSpec, JsonError> {
+        match v {
+            Json::Num(n) => Ok(RateSpec::Fixed(*n)),
+            Json::Str(s) => Ok(RateSpec::Keyword(s.clone())),
+            _ => Err(JsonError::msg("rate must be a number or \"auto\"")),
+        }
+    }
+}
+
 /// The outcome of running a spec.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SpecOutcome {
     /// The query name.
     pub query: String,
@@ -195,11 +245,41 @@ pub struct SpecOutcome {
     pub latency: Option<f64>,
 }
 
+impl ToJson for SpecOutcome {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("query", self.query.to_json()),
+            ("rate", self.rate.to_json()),
+            ("strategy", self.strategy.to_json()),
+            ("assignment", self.assignment.to_json()),
+            ("cost", self.cost.to_json()),
+            ("throughput", self.throughput.to_json()),
+            ("backpressure", self.backpressure.to_json()),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SpecOutcome {
+    fn from_json(v: &Json) -> Result<SpecOutcome, JsonError> {
+        Ok(SpecOutcome {
+            query: req(v, "query")?,
+            rate: req(v, "rate")?,
+            strategy: req(v, "strategy")?,
+            assignment: req(v, "assignment")?,
+            cost: req(v, "cost")?,
+            throughput: opt(v, "throughput", None)?,
+            backpressure: opt(v, "backpressure", None)?,
+            latency: opt(v, "latency", None)?,
+        })
+    }
+}
+
 /// Errors from spec parsing or execution.
 #[derive(Debug)]
 pub enum SpecError {
     /// JSON malformed or missing fields.
-    Parse(serde_json::Error),
+    Parse(JsonError),
     /// Semantically invalid spec.
     Invalid(String),
     /// Execution failure from an underlying crate.
@@ -221,7 +301,8 @@ impl std::error::Error for SpecError {}
 impl DeploymentSpec {
     /// Parses a spec from JSON.
     pub fn from_json(json: &str) -> Result<DeploymentSpec, SpecError> {
-        serde_json::from_str(json).map_err(SpecError::Parse)
+        let value = Json::parse(json).map_err(SpecError::Parse)?;
+        <DeploymentSpec as FromJson>::from_json(&value).map_err(SpecError::Parse)
     }
 
     /// Builds the query object.
@@ -459,9 +540,12 @@ mod tests {
         assert_eq!(outcome.assignment.len(), 16);
         assert!(outcome.throughput.unwrap() > 0.0);
         assert!(outcome.cost[0] <= 1.0);
-        // Serializes cleanly.
-        let json = serde_json::to_string(&outcome).unwrap();
+        // Serializes cleanly and round-trips through the JSON layer.
+        let json = outcome.to_json().to_string();
         assert!(json.contains("throughput"));
+        let back = SpecOutcome::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.assignment, outcome.assignment);
+        assert_eq!(back.cost, outcome.cost);
     }
 
     #[test]

@@ -10,8 +10,8 @@ use capsys::model::{Cluster, WorkerId, WorkerSpec};
 use capsys::placement::{CapsStrategy, PlacementContext, PlacementStrategy};
 use capsys::queries::q1_sliding;
 use capsys::sim::{SimConfig, Simulation};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use capsys_util::rng::SmallRng;
+use capsys_util::rng::SeedableRng;
 
 #[test]
 fn caps_replacement_recovers_from_worker_failure() {

@@ -1,4 +1,9 @@
 //! Property-based tests on the core invariants, spanning crates.
+//!
+//! Runs on the in-repo harness (`capsys_util::prop`): cases are
+//! generated from per-test seeds, failures print the failing seed
+//! (replay with `CAPSYS_PROP_SEED=<seed> cargo test <name>`), and
+//! inputs shrink toward minimal counterexamples.
 
 use std::collections::HashMap;
 
@@ -8,52 +13,68 @@ use capsys::model::{
     OperatorKind, PhysicalGraph, Placement, RateSchedule, ResourceProfile, WorkerId, WorkerSpec,
 };
 use capsys::sim::{SimConfig, Simulation};
-use proptest::prelude::*;
+use capsys_util::forall;
+use capsys_util::prop::{floats, ints, vec_of, Config, FloatStrategy, IntStrategy, VecStrategy};
+use capsys_util::rng::{SeedableRng, SliceRandom, SmallRng};
 
-/// Strategy: a random linear dataflow with 2-4 operators and bounded
-/// parallelism, plus a cluster that always fits it.
-fn arb_problem() -> impl Strategy<Value = (LogicalGraph, Cluster)> {
-    let op_count = 2usize..=4;
-    op_count
-        .prop_flat_map(|n| {
-            let pars = proptest::collection::vec(1usize..=4, n);
-            let cpus = proptest::collection::vec(1e-5f64..2e-3, n);
-            let ios = proptest::collection::vec(0.0f64..5000.0, n);
-            let outs = proptest::collection::vec(1.0f64..1000.0, n);
-            let sels = proptest::collection::vec(0.1f64..1.5, n);
-            (pars, cpus, ios, outs, sels, 2usize..=4, 2usize..=6)
-        })
-        .prop_map(|(pars, cpus, ios, outs, sels, workers, extra_slots)| {
-            let mut b = LogicalGraph::builder("prop");
-            let n = pars.len();
-            let mut prev = None;
-            for i in 0..n {
-                let kind = if i == 0 {
-                    OperatorKind::Source
-                } else if i + 1 == n {
-                    OperatorKind::Sink
-                } else {
-                    OperatorKind::Stateless
-                };
-                let sel = if i + 1 == n { 1.0 } else { sels[i] };
-                let id = b.operator(
-                    format!("op{i}"),
-                    kind,
-                    pars[i],
-                    ResourceProfile::new(cpus[i], ios[i], outs[i], sel),
-                );
-                if let Some(p) = prev {
-                    b.edge(p, id, ConnectionPattern::Hash);
-                }
-                prev = Some(id);
-            }
-            let g = b.build().expect("valid linear graph");
-            let total = g.total_tasks();
-            let slots = total.div_ceil(workers) + extra_slots;
-            let cluster = Cluster::homogeneous(workers, WorkerSpec::new(slots, 2.0, 1e8, 1e9))
-                .expect("valid cluster");
-            (g, cluster)
-        })
+/// Per-operator profile draw: (parallelism, cpu/rec, state B/rec,
+/// out B/rec, selectivity).
+type OpDraw = (usize, f64, f64, f64, f64);
+
+/// Strategy for the operator list of a random linear dataflow with 2-4
+/// operators and bounded parallelism; shrinks by dropping operators and
+/// lowering parallelism.
+fn arb_ops() -> VecStrategy<(
+    IntStrategy<usize>,
+    FloatStrategy,
+    FloatStrategy,
+    FloatStrategy,
+    FloatStrategy,
+)> {
+    vec_of(
+        (
+            ints(1usize..=4),
+            floats(1e-5..2e-3),
+            floats(0.0..5000.0),
+            floats(1.0..1000.0),
+            floats(0.1..1.5),
+        ),
+        2..=4,
+    )
+}
+
+/// Builds the logical graph and a cluster that always fits it, mirroring
+/// the original proptest `arb_problem` strategy.
+fn build_problem(ops: &[OpDraw], workers: usize, extra_slots: usize) -> (LogicalGraph, Cluster) {
+    let n = ops.len();
+    let mut b = LogicalGraph::builder("prop");
+    let mut prev = None;
+    for (i, &(par, cpu, io, out, sel)) in ops.iter().enumerate() {
+        let kind = if i == 0 {
+            OperatorKind::Source
+        } else if i + 1 == n {
+            OperatorKind::Sink
+        } else {
+            OperatorKind::Stateless
+        };
+        let sel = if i + 1 == n { 1.0 } else { sel };
+        let id = b.operator(
+            format!("op{i}"),
+            kind,
+            par,
+            ResourceProfile::new(cpu, io, out, sel),
+        );
+        if let Some(p) = prev {
+            b.edge(p, id, ConnectionPattern::Hash);
+        }
+        prev = Some(id);
+    }
+    let g = b.build().expect("valid linear graph");
+    let total = g.total_tasks();
+    let slots = total.div_ceil(workers) + extra_slots;
+    let cluster = Cluster::homogeneous(workers, WorkerSpec::new(slots, 2.0, 1e8, 1e9))
+        .expect("valid cluster");
+    (g, cluster)
 }
 
 fn loads_for(g: &LogicalGraph, physical: &PhysicalGraph, rate: f64) -> LoadModel {
@@ -61,41 +82,65 @@ fn loads_for(g: &LogicalGraph, physical: &PhysicalGraph, rate: f64) -> LoadModel
     LoadModel::derive(g, physical, &rates).expect("load model")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+fn cases() -> Config {
+    Config::default().cases(24)
+}
 
-    #[test]
-    fn costs_stay_in_unit_interval((g, cluster) in arb_problem()) {
+#[test]
+fn costs_stay_in_unit_interval() {
+    forall!(cases(), (
+        ops in arb_ops(),
+        workers in ints(2usize..=4),
+        extra_slots in ints(2usize..=6),
+    ) => {
+        let (g, cluster) = build_problem(ops, *workers, *extra_slots);
         let physical = PhysicalGraph::expand(&g);
         let loads = loads_for(&g, &physical, 1000.0);
         let model = CostModel::new(&physical, &cluster, &loads).expect("model");
         for plan in enumerate_plans(&physical, &cluster, 200).expect("plans") {
             let c = model.cost(&physical, &plan);
-            prop_assert!(c.cpu >= -1e-9 && c.cpu <= 1.0 + 1e-9, "C_cpu {}", c.cpu);
-            prop_assert!(c.io >= -1e-9 && c.io <= 1.0 + 1e-9, "C_io {}", c.io);
-            prop_assert!(c.net >= -1e-9 && c.net <= 1.0 + 1e-9, "C_net {}", c.net);
+            assert!(c.cpu >= -1e-9 && c.cpu <= 1.0 + 1e-9, "C_cpu {}", c.cpu);
+            assert!(c.io >= -1e-9 && c.io <= 1.0 + 1e-9, "C_io {}", c.io);
+            assert!(c.net >= -1e-9 && c.net <= 1.0 + 1e-9, "C_net {}", c.net);
         }
-    }
+    });
+}
 
-    #[test]
-    fn search_matches_cost_filter((g, cluster) in arb_problem()) {
+#[test]
+fn search_matches_cost_filter() {
+    forall!(cases(), (
+        ops in arb_ops(),
+        workers in ints(2usize..=4),
+        extra_slots in ints(2usize..=6),
+    ) => {
+        let (g, cluster) = build_problem(ops, *workers, *extra_slots);
         let physical = PhysicalGraph::expand(&g);
         let loads = loads_for(&g, &physical, 1000.0);
         let search = CapsSearch::new(&g, &physical, &cluster, &loads).expect("search");
         let all = search
             .run(&SearchConfig { max_plans: 1 << 20, ..SearchConfig::exhaustive() })
             .expect("exhaustive");
-        prop_assert_eq!(all.stats.plans_found, count_plans(&physical, &cluster).expect("count"));
+        assert_eq!(
+            all.stats.plans_found,
+            count_plans(&physical, &cluster).expect("count")
+        );
         let th = Thresholds::new(0.5, 0.6, 0.9);
         let expected = all.feasible.iter().filter(|s| s.cost.within(&th)).count();
         let pruned = search
             .run(&SearchConfig { max_plans: 1 << 20, ..SearchConfig::with_thresholds(th) })
             .expect("pruned search");
-        prop_assert_eq!(pruned.stats.plans_found, expected);
-    }
+        assert_eq!(pruned.stats.plans_found, expected);
+    });
+}
 
-    #[test]
-    fn incremental_costs_match_model((g, cluster) in arb_problem()) {
+#[test]
+fn incremental_costs_match_model() {
+    forall!(cases(), (
+        ops in arb_ops(),
+        workers in ints(2usize..=4),
+        extra_slots in ints(2usize..=6),
+    ) => {
+        let (g, cluster) = build_problem(ops, *workers, *extra_slots);
         let physical = PhysicalGraph::expand(&g);
         let loads = loads_for(&g, &physical, 1000.0);
         let search = CapsSearch::new(&g, &physical, &cluster, &loads).expect("search");
@@ -105,18 +150,29 @@ proptest! {
             .expect("search runs");
         for s in &out.feasible {
             let exact = model.cost(&physical, &s.plan);
-            prop_assert!((exact.cpu - s.cost.cpu).abs() < 1e-9);
-            prop_assert!((exact.io - s.cost.io).abs() < 1e-9);
-            prop_assert!((exact.net - s.cost.net).abs() < 1e-9,
-                "net {} vs {}", exact.net, s.cost.net);
+            assert!((exact.cpu - s.cost.cpu).abs() < 1e-9);
+            assert!((exact.io - s.cost.io).abs() < 1e-9);
+            assert!(
+                (exact.net - s.cost.net).abs() < 1e-9,
+                "net {} vs {}",
+                exact.net,
+                s.cost.net
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn enumerated_plans_are_valid_and_distinct((g, cluster) in arb_problem()) {
+#[test]
+fn enumerated_plans_are_valid_and_distinct() {
+    forall!(cases(), (
+        ops in arb_ops(),
+        workers in ints(2usize..=4),
+        extra_slots in ints(2usize..=6),
+    ) => {
+        let (g, cluster) = build_problem(ops, *workers, *extra_slots);
         let physical = PhysicalGraph::expand(&g);
         let plans = enumerate_plans(&physical, &cluster, 500).expect("plans");
-        prop_assert!(!plans.is_empty());
+        assert!(!plans.is_empty());
         let mut keys: Vec<_> = plans
             .iter()
             .map(|p| {
@@ -127,12 +183,19 @@ proptest! {
         let before = keys.len();
         keys.sort();
         keys.dedup();
-        prop_assert_eq!(keys.len(), before, "duplicate plans");
-    }
+        assert_eq!(keys.len(), before, "duplicate plans");
+    });
+}
 
-    #[test]
-    fn simulation_conserves_records((g, cluster) in arb_problem()) {
+#[test]
+fn simulation_conserves_records() {
+    forall!(cases(), (
+        ops in arb_ops(),
+        workers in ints(2usize..=4),
+        extra_slots in ints(2usize..=6),
+    ) => {
         // With all selectivities forced to 1, admitted = sunk + in flight.
+        let (g, cluster) = build_problem(ops, *workers, *extra_slots);
         let pars = g.parallelism_vector();
         let mut b = LogicalGraph::builder("conserve");
         let mut prev = None;
@@ -166,31 +229,34 @@ proptest! {
         .expect("simulation");
         sim.run();
         let balance = sim.total_admitted() - sim.total_sunk() - sim.in_flight();
-        prop_assert!(
+        assert!(
             balance.abs() < 1e-6 * sim.total_admitted().max(1.0),
             "lost {balance} records"
         );
         for (q, cap) in sim.queue_occupancies().iter().zip(sim.queue_capacities()) {
-            prop_assert!(*q >= -1e-9 && *q <= cap + 1e-9);
+            assert!(*q >= -1e-9 && *q <= cap + 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn canonical_key_invariant_under_worker_permutation(
-        (g, cluster) in arb_problem(),
-        seed in 0u64..1000,
-    ) {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
+#[test]
+fn canonical_key_invariant_under_worker_permutation() {
+    forall!(cases(), (
+        ops in arb_ops(),
+        workers in ints(2usize..=4),
+        extra_slots in ints(2usize..=6),
+        seed in ints(0u64..1000),
+    ) => {
+        let (g, cluster) = build_problem(ops, *workers, *extra_slots);
         let physical = PhysicalGraph::expand(&g);
         let plans = enumerate_plans(&physical, &cluster, 50).expect("plans");
-        let plan = &plans[seed as usize % plans.len()];
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let plan = &plans[*seed as usize % plans.len()];
+        let mut rng = SmallRng::seed_from_u64(*seed);
         let mut perm: Vec<usize> = (0..cluster.num_workers()).collect();
         perm.shuffle(&mut rng);
         let permuted = Placement::new(
             plan.assignment().iter().map(|w| WorkerId(perm[w.0])).collect(),
         );
-        prop_assert!(plan.is_equivalent(&permuted, &physical, cluster.num_workers()));
-    }
+        assert!(plan.is_equivalent(&permuted, &physical, cluster.num_workers()));
+    });
 }
