@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/capsys-328c786fbe671be2.d: src/lib.rs src/spec.rs
+
+/root/repo/target/debug/deps/capsys-328c786fbe671be2: src/lib.rs src/spec.rs
+
+src/lib.rs:
+src/spec.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/capsys-fe452ac8cf448648.d: src/lib.rs src/spec.rs
+
+/root/repo/target/debug/deps/libcapsys-fe452ac8cf448648.rlib: src/lib.rs src/spec.rs
+
+/root/repo/target/debug/deps/libcapsys-fe452ac8cf448648.rmeta: src/lib.rs src/spec.rs
+
+src/lib.rs:
+src/spec.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/capsys_bench-3a8b26b52bbb9f83.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcapsys_bench-3a8b26b52bbb9f83.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcapsys_bench-3a8b26b52bbb9f83.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

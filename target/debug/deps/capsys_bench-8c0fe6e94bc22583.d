@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capsys_bench-8c0fe6e94bc22583.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/capsys_bench-8c0fe6e94bc22583: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

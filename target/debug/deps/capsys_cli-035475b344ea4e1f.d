@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capsys_cli-035475b344ea4e1f.d: src/bin/capsys-cli.rs
+
+/root/repo/target/debug/deps/capsys_cli-035475b344ea4e1f: src/bin/capsys-cli.rs
+
+src/bin/capsys-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capsys_cli-b2eecd09de861f91.d: src/bin/capsys-cli.rs
+
+/root/repo/target/debug/deps/capsys_cli-b2eecd09de861f91: src/bin/capsys-cli.rs
+
+src/bin/capsys-cli.rs:

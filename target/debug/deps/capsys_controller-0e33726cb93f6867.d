@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/capsys_controller-0e33726cb93f6867.d: crates/controller/src/lib.rs crates/controller/src/closed_loop.rs crates/controller/src/controller.rs crates/controller/src/online.rs crates/controller/src/profiler.rs
+
+/root/repo/target/debug/deps/capsys_controller-0e33726cb93f6867: crates/controller/src/lib.rs crates/controller/src/closed_loop.rs crates/controller/src/controller.rs crates/controller/src/online.rs crates/controller/src/profiler.rs
+
+crates/controller/src/lib.rs:
+crates/controller/src/closed_loop.rs:
+crates/controller/src/controller.rs:
+crates/controller/src/online.rs:
+crates/controller/src/profiler.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/capsys_controller-8c63d1fb36f5d2ca.d: crates/controller/src/lib.rs crates/controller/src/closed_loop.rs crates/controller/src/controller.rs crates/controller/src/online.rs crates/controller/src/profiler.rs
+
+/root/repo/target/debug/deps/libcapsys_controller-8c63d1fb36f5d2ca.rlib: crates/controller/src/lib.rs crates/controller/src/closed_loop.rs crates/controller/src/controller.rs crates/controller/src/online.rs crates/controller/src/profiler.rs
+
+/root/repo/target/debug/deps/libcapsys_controller-8c63d1fb36f5d2ca.rmeta: crates/controller/src/lib.rs crates/controller/src/closed_loop.rs crates/controller/src/controller.rs crates/controller/src/online.rs crates/controller/src/profiler.rs
+
+crates/controller/src/lib.rs:
+crates/controller/src/closed_loop.rs:
+crates/controller/src/controller.rs:
+crates/controller/src/online.rs:
+crates/controller/src/profiler.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/capsys_core-00172eae78bec564.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/parallel.rs crates/core/src/pareto.rs crates/core/src/partitioned.rs crates/core/src/search.rs
+
+/root/repo/target/debug/deps/libcapsys_core-00172eae78bec564.rlib: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/parallel.rs crates/core/src/pareto.rs crates/core/src/partitioned.rs crates/core/src/search.rs
+
+/root/repo/target/debug/deps/libcapsys_core-00172eae78bec564.rmeta: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/parallel.rs crates/core/src/pareto.rs crates/core/src/partitioned.rs crates/core/src/search.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/cost.rs:
+crates/core/src/error.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pareto.rs:
+crates/core/src/partitioned.rs:
+crates/core/src/search.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/capsys_core-e09df6203fba4d1e.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/parallel.rs crates/core/src/pareto.rs crates/core/src/partitioned.rs crates/core/src/search.rs
+
+/root/repo/target/debug/deps/capsys_core-e09df6203fba4d1e: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/parallel.rs crates/core/src/pareto.rs crates/core/src/partitioned.rs crates/core/src/search.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/cost.rs:
+crates/core/src/error.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pareto.rs:
+crates/core/src/partitioned.rs:
+crates/core/src/search.rs:

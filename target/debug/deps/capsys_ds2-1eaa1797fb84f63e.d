@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capsys_ds2-1eaa1797fb84f63e.d: crates/ds2/src/lib.rs
+
+/root/repo/target/debug/deps/capsys_ds2-1eaa1797fb84f63e: crates/ds2/src/lib.rs
+
+crates/ds2/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/capsys_ds2-6e838f3790a1d08a.d: crates/ds2/src/lib.rs
+
+/root/repo/target/debug/deps/libcapsys_ds2-6e838f3790a1d08a.rlib: crates/ds2/src/lib.rs
+
+/root/repo/target/debug/deps/libcapsys_ds2-6e838f3790a1d08a.rmeta: crates/ds2/src/lib.rs
+
+crates/ds2/src/lib.rs:

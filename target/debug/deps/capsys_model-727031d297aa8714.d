@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/capsys_model-727031d297aa8714.d: crates/model/src/lib.rs crates/model/src/cluster.rs crates/model/src/enumerate.rs crates/model/src/error.rs crates/model/src/json.rs crates/model/src/load.rs crates/model/src/logical.rs crates/model/src/operator.rs crates/model/src/physical.rs crates/model/src/placement.rs crates/model/src/rates.rs crates/model/src/skew.rs
+
+/root/repo/target/debug/deps/libcapsys_model-727031d297aa8714.rlib: crates/model/src/lib.rs crates/model/src/cluster.rs crates/model/src/enumerate.rs crates/model/src/error.rs crates/model/src/json.rs crates/model/src/load.rs crates/model/src/logical.rs crates/model/src/operator.rs crates/model/src/physical.rs crates/model/src/placement.rs crates/model/src/rates.rs crates/model/src/skew.rs
+
+/root/repo/target/debug/deps/libcapsys_model-727031d297aa8714.rmeta: crates/model/src/lib.rs crates/model/src/cluster.rs crates/model/src/enumerate.rs crates/model/src/error.rs crates/model/src/json.rs crates/model/src/load.rs crates/model/src/logical.rs crates/model/src/operator.rs crates/model/src/physical.rs crates/model/src/placement.rs crates/model/src/rates.rs crates/model/src/skew.rs
+
+crates/model/src/lib.rs:
+crates/model/src/cluster.rs:
+crates/model/src/enumerate.rs:
+crates/model/src/error.rs:
+crates/model/src/json.rs:
+crates/model/src/load.rs:
+crates/model/src/logical.rs:
+crates/model/src/operator.rs:
+crates/model/src/physical.rs:
+crates/model/src/placement.rs:
+crates/model/src/rates.rs:
+crates/model/src/skew.rs:

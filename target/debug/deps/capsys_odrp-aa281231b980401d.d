@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/capsys_odrp-aa281231b980401d.d: crates/odrp/src/lib.rs crates/odrp/src/config.rs crates/odrp/src/objective.rs crates/odrp/src/solver.rs
+
+/root/repo/target/debug/deps/libcapsys_odrp-aa281231b980401d.rlib: crates/odrp/src/lib.rs crates/odrp/src/config.rs crates/odrp/src/objective.rs crates/odrp/src/solver.rs
+
+/root/repo/target/debug/deps/libcapsys_odrp-aa281231b980401d.rmeta: crates/odrp/src/lib.rs crates/odrp/src/config.rs crates/odrp/src/objective.rs crates/odrp/src/solver.rs
+
+crates/odrp/src/lib.rs:
+crates/odrp/src/config.rs:
+crates/odrp/src/objective.rs:
+crates/odrp/src/solver.rs:

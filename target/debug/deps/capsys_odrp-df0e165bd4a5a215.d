@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/capsys_odrp-df0e165bd4a5a215.d: crates/odrp/src/lib.rs crates/odrp/src/config.rs crates/odrp/src/objective.rs crates/odrp/src/solver.rs
+
+/root/repo/target/debug/deps/capsys_odrp-df0e165bd4a5a215: crates/odrp/src/lib.rs crates/odrp/src/config.rs crates/odrp/src/objective.rs crates/odrp/src/solver.rs
+
+crates/odrp/src/lib.rs:
+crates/odrp/src/config.rs:
+crates/odrp/src/objective.rs:
+crates/odrp/src/solver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capsys_placement-46c4e15fee0ee905.d: crates/placement/src/lib.rs
+
+/root/repo/target/debug/deps/capsys_placement-46c4e15fee0ee905: crates/placement/src/lib.rs
+
+crates/placement/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/capsys_placement-ae4a54bc73a11ceb.d: crates/placement/src/lib.rs
+
+/root/repo/target/debug/deps/libcapsys_placement-ae4a54bc73a11ceb.rlib: crates/placement/src/lib.rs
+
+/root/repo/target/debug/deps/libcapsys_placement-ae4a54bc73a11ceb.rmeta: crates/placement/src/lib.rs
+
+crates/placement/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capsys_queries-8367c6a9a4c34ca8.d: crates/queries/src/lib.rs
+
+/root/repo/target/debug/deps/capsys_queries-8367c6a9a4c34ca8: crates/queries/src/lib.rs
+
+crates/queries/src/lib.rs:

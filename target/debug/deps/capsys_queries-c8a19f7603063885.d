@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/capsys_queries-c8a19f7603063885.d: crates/queries/src/lib.rs
+
+/root/repo/target/debug/deps/libcapsys_queries-c8a19f7603063885.rlib: crates/queries/src/lib.rs
+
+/root/repo/target/debug/deps/libcapsys_queries-c8a19f7603063885.rmeta: crates/queries/src/lib.rs
+
+crates/queries/src/lib.rs:

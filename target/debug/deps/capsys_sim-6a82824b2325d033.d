@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/capsys_sim-6a82824b2325d033.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs
+
+/root/repo/target/debug/deps/libcapsys_sim-6a82824b2325d033.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs
+
+/root/repo/target/debug/deps/libcapsys_sim-6a82824b2325d033.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/metrics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/capsys_sim-bdb322d860188a40.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs
+
+/root/repo/target/debug/deps/capsys_sim-bdb322d860188a40: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/metrics.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/capsys_util-8882da4be244aa35.d: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/prop.rs crates/util/src/queue.rs crates/util/src/rng.rs crates/util/src/sync.rs
+
+/root/repo/target/debug/deps/capsys_util-8882da4be244aa35: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/prop.rs crates/util/src/queue.rs crates/util/src/rng.rs crates/util/src/sync.rs
+
+crates/util/src/lib.rs:
+crates/util/src/bench.rs:
+crates/util/src/json.rs:
+crates/util/src/prop.rs:
+crates/util/src/queue.rs:
+crates/util/src/rng.rs:
+crates/util/src/sync.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/capsys_util-8b808165d6b43526.d: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/prop.rs crates/util/src/queue.rs crates/util/src/rng.rs crates/util/src/sync.rs
+
+/root/repo/target/debug/deps/libcapsys_util-8b808165d6b43526.rlib: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/prop.rs crates/util/src/queue.rs crates/util/src/rng.rs crates/util/src/sync.rs
+
+/root/repo/target/debug/deps/libcapsys_util-8b808165d6b43526.rmeta: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/prop.rs crates/util/src/queue.rs crates/util/src/rng.rs crates/util/src/sync.rs
+
+crates/util/src/lib.rs:
+crates/util/src/bench.rs:
+crates/util/src/json.rs:
+crates/util/src/prop.rs:
+crates/util/src/queue.rs:
+crates/util/src/rng.rs:
+crates/util/src/sync.rs:

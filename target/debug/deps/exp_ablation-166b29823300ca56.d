@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation-166b29823300ca56.d: crates/bench/src/bin/exp_ablation.rs
+
+/root/repo/target/debug/deps/exp_ablation-166b29823300ca56: crates/bench/src/bin/exp_ablation.rs
+
+crates/bench/src/bin/exp_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation-83179ed4b0d0435c.d: crates/bench/src/bin/exp_ablation.rs
+
+/root/repo/target/debug/deps/exp_ablation-83179ed4b0d0435c: crates/bench/src/bin/exp_ablation.rs
+
+crates/bench/src/bin/exp_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig10a-5332ecd66db2fd3d.d: crates/bench/src/bin/exp_fig10a.rs
+
+/root/repo/target/debug/deps/exp_fig10a-5332ecd66db2fd3d: crates/bench/src/bin/exp_fig10a.rs
+
+crates/bench/src/bin/exp_fig10a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig10a-62d74eb34136b758.d: crates/bench/src/bin/exp_fig10a.rs
+
+/root/repo/target/debug/deps/exp_fig10a-62d74eb34136b758: crates/bench/src/bin/exp_fig10a.rs
+
+crates/bench/src/bin/exp_fig10a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig10b-2413e3d7c17b71b5.d: crates/bench/src/bin/exp_fig10b.rs
+
+/root/repo/target/debug/deps/exp_fig10b-2413e3d7c17b71b5: crates/bench/src/bin/exp_fig10b.rs
+
+crates/bench/src/bin/exp_fig10b.rs:

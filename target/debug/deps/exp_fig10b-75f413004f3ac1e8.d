@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig10b-75f413004f3ac1e8.d: crates/bench/src/bin/exp_fig10b.rs
+
+/root/repo/target/debug/deps/exp_fig10b-75f413004f3ac1e8: crates/bench/src/bin/exp_fig10b.rs
+
+crates/bench/src/bin/exp_fig10b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2-2eeff7bcf03d2ddb.d: crates/bench/src/bin/exp_fig2.rs
+
+/root/repo/target/debug/deps/exp_fig2-2eeff7bcf03d2ddb: crates/bench/src/bin/exp_fig2.rs
+
+crates/bench/src/bin/exp_fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2-50c4c7ad4d52b4c4.d: crates/bench/src/bin/exp_fig2.rs
+
+/root/repo/target/debug/deps/exp_fig2-50c4c7ad4d52b4c4: crates/bench/src/bin/exp_fig2.rs
+
+crates/bench/src/bin/exp_fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3-1d475e965b6d2719.d: crates/bench/src/bin/exp_fig3.rs
+
+/root/repo/target/debug/deps/exp_fig3-1d475e965b6d2719: crates/bench/src/bin/exp_fig3.rs
+
+crates/bench/src/bin/exp_fig3.rs:

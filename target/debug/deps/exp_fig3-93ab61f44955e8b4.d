@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3-93ab61f44955e8b4.d: crates/bench/src/bin/exp_fig3.rs
+
+/root/repo/target/debug/deps/exp_fig3-93ab61f44955e8b4: crates/bench/src/bin/exp_fig3.rs
+
+crates/bench/src/bin/exp_fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig5-0f8f5a9904404874.d: crates/bench/src/bin/exp_fig5.rs
+
+/root/repo/target/debug/deps/exp_fig5-0f8f5a9904404874: crates/bench/src/bin/exp_fig5.rs
+
+crates/bench/src/bin/exp_fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig5-ffd1914de8b6bdec.d: crates/bench/src/bin/exp_fig5.rs
+
+/root/repo/target/debug/deps/exp_fig5-ffd1914de8b6bdec: crates/bench/src/bin/exp_fig5.rs
+
+crates/bench/src/bin/exp_fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig7-92a73cdc7cff229a.d: crates/bench/src/bin/exp_fig7.rs
+
+/root/repo/target/debug/deps/exp_fig7-92a73cdc7cff229a: crates/bench/src/bin/exp_fig7.rs
+
+crates/bench/src/bin/exp_fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig7-f80b4aaf57b2d178.d: crates/bench/src/bin/exp_fig7.rs
+
+/root/repo/target/debug/deps/exp_fig7-f80b4aaf57b2d178: crates/bench/src/bin/exp_fig7.rs
+
+crates/bench/src/bin/exp_fig7.rs:

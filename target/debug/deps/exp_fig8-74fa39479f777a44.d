@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig8-74fa39479f777a44.d: crates/bench/src/bin/exp_fig8.rs
+
+/root/repo/target/debug/deps/exp_fig8-74fa39479f777a44: crates/bench/src/bin/exp_fig8.rs
+
+crates/bench/src/bin/exp_fig8.rs:

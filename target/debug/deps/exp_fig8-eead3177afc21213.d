@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig8-eead3177afc21213.d: crates/bench/src/bin/exp_fig8.rs
+
+/root/repo/target/debug/deps/exp_fig8-eead3177afc21213: crates/bench/src/bin/exp_fig8.rs
+
+crates/bench/src/bin/exp_fig8.rs:

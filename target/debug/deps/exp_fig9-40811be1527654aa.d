@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig9-40811be1527654aa.d: crates/bench/src/bin/exp_fig9.rs
+
+/root/repo/target/debug/deps/exp_fig9-40811be1527654aa: crates/bench/src/bin/exp_fig9.rs
+
+crates/bench/src/bin/exp_fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig9-e1220e6b17585400.d: crates/bench/src/bin/exp_fig9.rs
+
+/root/repo/target/debug/deps/exp_fig9-e1220e6b17585400: crates/bench/src/bin/exp_fig9.rs
+
+crates/bench/src/bin/exp_fig9.rs:

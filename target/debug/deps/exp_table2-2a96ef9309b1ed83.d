@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table2-2a96ef9309b1ed83.d: crates/bench/src/bin/exp_table2.rs
+
+/root/repo/target/debug/deps/exp_table2-2a96ef9309b1ed83: crates/bench/src/bin/exp_table2.rs
+
+crates/bench/src/bin/exp_table2.rs:

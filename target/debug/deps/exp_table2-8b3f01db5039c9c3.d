@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table2-8b3f01db5039c9c3.d: crates/bench/src/bin/exp_table2.rs
+
+/root/repo/target/debug/deps/exp_table2-8b3f01db5039c9c3: crates/bench/src/bin/exp_table2.rs
+
+crates/bench/src/bin/exp_table2.rs:

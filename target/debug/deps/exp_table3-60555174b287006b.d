@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table3-60555174b287006b.d: crates/bench/src/bin/exp_table3.rs
+
+/root/repo/target/debug/deps/exp_table3-60555174b287006b: crates/bench/src/bin/exp_table3.rs
+
+crates/bench/src/bin/exp_table3.rs:

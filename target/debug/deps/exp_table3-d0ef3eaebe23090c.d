@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table3-d0ef3eaebe23090c.d: crates/bench/src/bin/exp_table3.rs
+
+/root/repo/target/debug/deps/exp_table3-d0ef3eaebe23090c: crates/bench/src/bin/exp_table3.rs
+
+crates/bench/src/bin/exp_table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table4-27ce55fd829cefbd.d: crates/bench/src/bin/exp_table4.rs
+
+/root/repo/target/debug/deps/exp_table4-27ce55fd829cefbd: crates/bench/src/bin/exp_table4.rs
+
+crates/bench/src/bin/exp_table4.rs:

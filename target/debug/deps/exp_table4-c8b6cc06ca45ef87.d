@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table4-c8b6cc06ca45ef87.d: crates/bench/src/bin/exp_table4.rs
+
+/root/repo/target/debug/deps/exp_table4-c8b6cc06ca45ef87: crates/bench/src/bin/exp_table4.rs
+
+crates/bench/src/bin/exp_table4.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_determinism-f3740434f57b5470.d: tests/golden_determinism.rs tests/golden/q1_spec.json tests/golden/q1_caps_plan.json
+
+/root/repo/target/debug/deps/golden_determinism-f3740434f57b5470: tests/golden_determinism.rs tests/golden/q1_spec.json tests/golden/q1_caps_plan.json
+
+tests/golden_determinism.rs:
+tests/golden/q1_spec.json:
+tests/golden/q1_caps_plan.json:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_endtoend-78b0324398726a95.d: tests/integration_endtoend.rs
+
+/root/repo/target/debug/deps/integration_endtoend-78b0324398726a95: tests/integration_endtoend.rs
+
+tests/integration_endtoend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_failure-9899d8c371cbf352.d: tests/integration_failure.rs
+
+/root/repo/target/debug/deps/integration_failure-9899d8c371cbf352: tests/integration_failure.rs
+
+tests/integration_failure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-4d996116d5d22bdd.d: tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-4d996116d5d22bdd: tests/integration_pipeline.rs
+
+tests/integration_pipeline.rs:

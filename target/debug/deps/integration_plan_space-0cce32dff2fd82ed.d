@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_plan_space-0cce32dff2fd82ed.d: tests/integration_plan_space.rs
+
+/root/repo/target/debug/deps/integration_plan_space-0cce32dff2fd82ed: tests/integration_plan_space.rs
+
+tests/integration_plan_space.rs:

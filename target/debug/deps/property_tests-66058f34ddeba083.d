@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-66058f34ddeba083.d: tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-66058f34ddeba083: tests/property_tests.rs
+
+tests/property_tests.rs:

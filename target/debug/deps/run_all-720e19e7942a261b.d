@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-720e19e7942a261b.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-720e19e7942a261b: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

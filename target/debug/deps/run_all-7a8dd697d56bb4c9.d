@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-7a8dd697d56bb4c9.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-7a8dd697d56bb4c9: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

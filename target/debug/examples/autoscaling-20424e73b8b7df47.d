@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autoscaling-20424e73b8b7df47.d: examples/autoscaling.rs
+
+/root/repo/target/debug/examples/autoscaling-20424e73b8b7df47: examples/autoscaling.rs
+
+examples/autoscaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_query-7979171e5880a4c2.d: examples/custom_query.rs
+
+/root/repo/target/debug/examples/custom_query-7979171e5880a4c2: examples/custom_query.rs
+
+examples/custom_query.rs:

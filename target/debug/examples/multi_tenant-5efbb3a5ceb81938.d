@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_tenant-5efbb3a5ceb81938.d: examples/multi_tenant.rs
+
+/root/repo/target/debug/examples/multi_tenant-5efbb3a5ceb81938: examples/multi_tenant.rs
+
+examples/multi_tenant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1324fad5c0e7f64a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1324fad5c0e7f64a: examples/quickstart.rs
+
+examples/quickstart.rs:

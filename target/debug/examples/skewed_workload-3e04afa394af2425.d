@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/skewed_workload-3e04afa394af2425.d: examples/skewed_workload.rs
+
+/root/repo/target/debug/examples/skewed_workload-3e04afa394af2425: examples/skewed_workload.rs
+
+examples/skewed_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/autotune-4e6b6980d9ec2ee9.d: crates/bench/benches/autotune.rs
+
+/root/repo/target/release/deps/autotune-4e6b6980d9ec2ee9: crates/bench/benches/autotune.rs
+
+crates/bench/benches/autotune.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/caps_search-123594478976b464.d: crates/bench/benches/caps_search.rs
+
+/root/repo/target/release/deps/caps_search-123594478976b464: crates/bench/benches/caps_search.rs
+
+crates/bench/benches/caps_search.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/capsys-4f352b345e4c134e.d: src/lib.rs src/spec.rs
+
+/root/repo/target/release/deps/libcapsys-4f352b345e4c134e.rlib: src/lib.rs src/spec.rs
+
+/root/repo/target/release/deps/libcapsys-4f352b345e4c134e.rmeta: src/lib.rs src/spec.rs
+
+src/lib.rs:
+src/spec.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/capsys-d3dee2383c9daef2.d: src/lib.rs src/spec.rs
+
+/root/repo/target/release/deps/capsys-d3dee2383c9daef2: src/lib.rs src/spec.rs
+
+src/lib.rs:
+src/spec.rs:

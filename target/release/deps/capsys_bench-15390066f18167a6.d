@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/capsys_bench-15390066f18167a6.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcapsys_bench-15390066f18167a6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcapsys_bench-15390066f18167a6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

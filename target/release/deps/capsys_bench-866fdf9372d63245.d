@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/capsys_bench-866fdf9372d63245.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/capsys_bench-866fdf9372d63245: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

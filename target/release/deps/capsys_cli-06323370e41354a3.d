@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/capsys_cli-06323370e41354a3.d: src/bin/capsys-cli.rs
+
+/root/repo/target/release/deps/capsys_cli-06323370e41354a3: src/bin/capsys-cli.rs
+
+src/bin/capsys-cli.rs:

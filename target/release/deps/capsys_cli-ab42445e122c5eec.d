@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/capsys_cli-ab42445e122c5eec.d: src/bin/capsys-cli.rs
+
+/root/repo/target/release/deps/capsys_cli-ab42445e122c5eec: src/bin/capsys-cli.rs
+
+src/bin/capsys-cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/capsys_controller-4b80e0f078615f4a.d: crates/controller/src/lib.rs crates/controller/src/closed_loop.rs crates/controller/src/controller.rs crates/controller/src/online.rs crates/controller/src/profiler.rs
+
+/root/repo/target/release/deps/capsys_controller-4b80e0f078615f4a: crates/controller/src/lib.rs crates/controller/src/closed_loop.rs crates/controller/src/controller.rs crates/controller/src/online.rs crates/controller/src/profiler.rs
+
+crates/controller/src/lib.rs:
+crates/controller/src/closed_loop.rs:
+crates/controller/src/controller.rs:
+crates/controller/src/online.rs:
+crates/controller/src/profiler.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/capsys_controller-82a589284f931477.d: crates/controller/src/lib.rs crates/controller/src/closed_loop.rs crates/controller/src/controller.rs crates/controller/src/online.rs crates/controller/src/profiler.rs
+
+/root/repo/target/release/deps/libcapsys_controller-82a589284f931477.rlib: crates/controller/src/lib.rs crates/controller/src/closed_loop.rs crates/controller/src/controller.rs crates/controller/src/online.rs crates/controller/src/profiler.rs
+
+/root/repo/target/release/deps/libcapsys_controller-82a589284f931477.rmeta: crates/controller/src/lib.rs crates/controller/src/closed_loop.rs crates/controller/src/controller.rs crates/controller/src/online.rs crates/controller/src/profiler.rs
+
+crates/controller/src/lib.rs:
+crates/controller/src/closed_loop.rs:
+crates/controller/src/controller.rs:
+crates/controller/src/online.rs:
+crates/controller/src/profiler.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/capsys_core-b048c732976ba74f.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/parallel.rs crates/core/src/pareto.rs crates/core/src/partitioned.rs crates/core/src/search.rs
+
+/root/repo/target/release/deps/capsys_core-b048c732976ba74f: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/parallel.rs crates/core/src/pareto.rs crates/core/src/partitioned.rs crates/core/src/search.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/cost.rs:
+crates/core/src/error.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pareto.rs:
+crates/core/src/partitioned.rs:
+crates/core/src/search.rs:

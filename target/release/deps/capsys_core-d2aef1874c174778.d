@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/capsys_core-d2aef1874c174778.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/parallel.rs crates/core/src/pareto.rs crates/core/src/partitioned.rs crates/core/src/search.rs
+
+/root/repo/target/release/deps/libcapsys_core-d2aef1874c174778.rlib: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/parallel.rs crates/core/src/pareto.rs crates/core/src/partitioned.rs crates/core/src/search.rs
+
+/root/repo/target/release/deps/libcapsys_core-d2aef1874c174778.rmeta: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/parallel.rs crates/core/src/pareto.rs crates/core/src/partitioned.rs crates/core/src/search.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/cost.rs:
+crates/core/src/error.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pareto.rs:
+crates/core/src/partitioned.rs:
+crates/core/src/search.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/capsys_ds2-384526c55e433ecf.d: crates/ds2/src/lib.rs
+
+/root/repo/target/release/deps/libcapsys_ds2-384526c55e433ecf.rlib: crates/ds2/src/lib.rs
+
+/root/repo/target/release/deps/libcapsys_ds2-384526c55e433ecf.rmeta: crates/ds2/src/lib.rs
+
+crates/ds2/src/lib.rs:

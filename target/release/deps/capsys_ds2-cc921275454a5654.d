@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/capsys_ds2-cc921275454a5654.d: crates/ds2/src/lib.rs
+
+/root/repo/target/release/deps/capsys_ds2-cc921275454a5654: crates/ds2/src/lib.rs
+
+crates/ds2/src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/capsys_model-9d910dcfc5e7cc30.d: crates/model/src/lib.rs crates/model/src/cluster.rs crates/model/src/enumerate.rs crates/model/src/error.rs crates/model/src/json.rs crates/model/src/load.rs crates/model/src/logical.rs crates/model/src/operator.rs crates/model/src/physical.rs crates/model/src/placement.rs crates/model/src/rates.rs crates/model/src/skew.rs
+
+/root/repo/target/release/deps/libcapsys_model-9d910dcfc5e7cc30.rlib: crates/model/src/lib.rs crates/model/src/cluster.rs crates/model/src/enumerate.rs crates/model/src/error.rs crates/model/src/json.rs crates/model/src/load.rs crates/model/src/logical.rs crates/model/src/operator.rs crates/model/src/physical.rs crates/model/src/placement.rs crates/model/src/rates.rs crates/model/src/skew.rs
+
+/root/repo/target/release/deps/libcapsys_model-9d910dcfc5e7cc30.rmeta: crates/model/src/lib.rs crates/model/src/cluster.rs crates/model/src/enumerate.rs crates/model/src/error.rs crates/model/src/json.rs crates/model/src/load.rs crates/model/src/logical.rs crates/model/src/operator.rs crates/model/src/physical.rs crates/model/src/placement.rs crates/model/src/rates.rs crates/model/src/skew.rs
+
+crates/model/src/lib.rs:
+crates/model/src/cluster.rs:
+crates/model/src/enumerate.rs:
+crates/model/src/error.rs:
+crates/model/src/json.rs:
+crates/model/src/load.rs:
+crates/model/src/logical.rs:
+crates/model/src/operator.rs:
+crates/model/src/physical.rs:
+crates/model/src/placement.rs:
+crates/model/src/rates.rs:
+crates/model/src/skew.rs:

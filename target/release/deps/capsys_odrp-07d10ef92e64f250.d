@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/capsys_odrp-07d10ef92e64f250.d: crates/odrp/src/lib.rs crates/odrp/src/config.rs crates/odrp/src/objective.rs crates/odrp/src/solver.rs
+
+/root/repo/target/release/deps/capsys_odrp-07d10ef92e64f250: crates/odrp/src/lib.rs crates/odrp/src/config.rs crates/odrp/src/objective.rs crates/odrp/src/solver.rs
+
+crates/odrp/src/lib.rs:
+crates/odrp/src/config.rs:
+crates/odrp/src/objective.rs:
+crates/odrp/src/solver.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/capsys_odrp-084dfefbdafaf835.d: crates/odrp/src/lib.rs crates/odrp/src/config.rs crates/odrp/src/objective.rs crates/odrp/src/solver.rs
+
+/root/repo/target/release/deps/libcapsys_odrp-084dfefbdafaf835.rlib: crates/odrp/src/lib.rs crates/odrp/src/config.rs crates/odrp/src/objective.rs crates/odrp/src/solver.rs
+
+/root/repo/target/release/deps/libcapsys_odrp-084dfefbdafaf835.rmeta: crates/odrp/src/lib.rs crates/odrp/src/config.rs crates/odrp/src/objective.rs crates/odrp/src/solver.rs
+
+crates/odrp/src/lib.rs:
+crates/odrp/src/config.rs:
+crates/odrp/src/objective.rs:
+crates/odrp/src/solver.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/capsys_placement-13a4a622d00218d2.d: crates/placement/src/lib.rs
+
+/root/repo/target/release/deps/libcapsys_placement-13a4a622d00218d2.rlib: crates/placement/src/lib.rs
+
+/root/repo/target/release/deps/libcapsys_placement-13a4a622d00218d2.rmeta: crates/placement/src/lib.rs
+
+crates/placement/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/capsys_placement-d5885fba5dfad772.d: crates/placement/src/lib.rs
+
+/root/repo/target/release/deps/capsys_placement-d5885fba5dfad772: crates/placement/src/lib.rs
+
+crates/placement/src/lib.rs:

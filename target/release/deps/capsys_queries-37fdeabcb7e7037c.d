@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/capsys_queries-37fdeabcb7e7037c.d: crates/queries/src/lib.rs
+
+/root/repo/target/release/deps/libcapsys_queries-37fdeabcb7e7037c.rlib: crates/queries/src/lib.rs
+
+/root/repo/target/release/deps/libcapsys_queries-37fdeabcb7e7037c.rmeta: crates/queries/src/lib.rs
+
+crates/queries/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/capsys_queries-ea453aadf8e12a40.d: crates/queries/src/lib.rs
+
+/root/repo/target/release/deps/capsys_queries-ea453aadf8e12a40: crates/queries/src/lib.rs
+
+crates/queries/src/lib.rs:

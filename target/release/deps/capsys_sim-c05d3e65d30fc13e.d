@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/capsys_sim-c05d3e65d30fc13e.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs
+
+/root/repo/target/release/deps/libcapsys_sim-c05d3e65d30fc13e.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs
+
+/root/repo/target/release/deps/libcapsys_sim-c05d3e65d30fc13e.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/metrics.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/capsys_util-575b88a80804f5c1.d: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/prop.rs crates/util/src/queue.rs crates/util/src/rng.rs crates/util/src/sync.rs
+
+/root/repo/target/release/deps/capsys_util-575b88a80804f5c1: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/prop.rs crates/util/src/queue.rs crates/util/src/rng.rs crates/util/src/sync.rs
+
+crates/util/src/lib.rs:
+crates/util/src/bench.rs:
+crates/util/src/json.rs:
+crates/util/src/prop.rs:
+crates/util/src/queue.rs:
+crates/util/src/rng.rs:
+crates/util/src/sync.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/capsys_util-7957b44cddb48788.d: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/prop.rs crates/util/src/queue.rs crates/util/src/rng.rs crates/util/src/sync.rs
+
+/root/repo/target/release/deps/libcapsys_util-7957b44cddb48788.rlib: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/prop.rs crates/util/src/queue.rs crates/util/src/rng.rs crates/util/src/sync.rs
+
+/root/repo/target/release/deps/libcapsys_util-7957b44cddb48788.rmeta: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/prop.rs crates/util/src/queue.rs crates/util/src/rng.rs crates/util/src/sync.rs
+
+crates/util/src/lib.rs:
+crates/util/src/bench.rs:
+crates/util/src/json.rs:
+crates/util/src/prop.rs:
+crates/util/src/queue.rs:
+crates/util/src/rng.rs:
+crates/util/src/sync.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cost_model-2ad036f90001f512.d: crates/bench/benches/cost_model.rs
+
+/root/repo/target/release/deps/cost_model-2ad036f90001f512: crates/bench/benches/cost_model.rs
+
+crates/bench/benches/cost_model.rs:

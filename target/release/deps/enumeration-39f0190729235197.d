@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/enumeration-39f0190729235197.d: crates/bench/benches/enumeration.rs
+
+/root/repo/target/release/deps/enumeration-39f0190729235197: crates/bench/benches/enumeration.rs
+
+crates/bench/benches/enumeration.rs:

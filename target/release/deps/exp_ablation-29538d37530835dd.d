@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation-29538d37530835dd.d: crates/bench/src/bin/exp_ablation.rs
+
+/root/repo/target/release/deps/exp_ablation-29538d37530835dd: crates/bench/src/bin/exp_ablation.rs
+
+crates/bench/src/bin/exp_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation-c834210f1945e6c0.d: crates/bench/src/bin/exp_ablation.rs
+
+/root/repo/target/release/deps/exp_ablation-c834210f1945e6c0: crates/bench/src/bin/exp_ablation.rs
+
+crates/bench/src/bin/exp_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig10a-0d5b4933ed7246f1.d: crates/bench/src/bin/exp_fig10a.rs
+
+/root/repo/target/release/deps/exp_fig10a-0d5b4933ed7246f1: crates/bench/src/bin/exp_fig10a.rs
+
+crates/bench/src/bin/exp_fig10a.rs:

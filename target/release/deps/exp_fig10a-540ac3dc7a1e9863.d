@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig10a-540ac3dc7a1e9863.d: crates/bench/src/bin/exp_fig10a.rs
+
+/root/repo/target/release/deps/exp_fig10a-540ac3dc7a1e9863: crates/bench/src/bin/exp_fig10a.rs
+
+crates/bench/src/bin/exp_fig10a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig10b-2cbb8941f8587122.d: crates/bench/src/bin/exp_fig10b.rs
+
+/root/repo/target/release/deps/exp_fig10b-2cbb8941f8587122: crates/bench/src/bin/exp_fig10b.rs
+
+crates/bench/src/bin/exp_fig10b.rs:

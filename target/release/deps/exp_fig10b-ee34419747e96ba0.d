@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig10b-ee34419747e96ba0.d: crates/bench/src/bin/exp_fig10b.rs
+
+/root/repo/target/release/deps/exp_fig10b-ee34419747e96ba0: crates/bench/src/bin/exp_fig10b.rs
+
+crates/bench/src/bin/exp_fig10b.rs:

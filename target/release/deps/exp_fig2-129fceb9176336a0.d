@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig2-129fceb9176336a0.d: crates/bench/src/bin/exp_fig2.rs
+
+/root/repo/target/release/deps/exp_fig2-129fceb9176336a0: crates/bench/src/bin/exp_fig2.rs
+
+crates/bench/src/bin/exp_fig2.rs:

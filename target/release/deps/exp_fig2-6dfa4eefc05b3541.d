@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig2-6dfa4eefc05b3541.d: crates/bench/src/bin/exp_fig2.rs
+
+/root/repo/target/release/deps/exp_fig2-6dfa4eefc05b3541: crates/bench/src/bin/exp_fig2.rs
+
+crates/bench/src/bin/exp_fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig3-9dea698985296005.d: crates/bench/src/bin/exp_fig3.rs
+
+/root/repo/target/release/deps/exp_fig3-9dea698985296005: crates/bench/src/bin/exp_fig3.rs
+
+crates/bench/src/bin/exp_fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig3-a61d630b39a7625f.d: crates/bench/src/bin/exp_fig3.rs
+
+/root/repo/target/release/deps/exp_fig3-a61d630b39a7625f: crates/bench/src/bin/exp_fig3.rs
+
+crates/bench/src/bin/exp_fig3.rs:

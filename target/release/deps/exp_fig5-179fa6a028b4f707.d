@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig5-179fa6a028b4f707.d: crates/bench/src/bin/exp_fig5.rs
+
+/root/repo/target/release/deps/exp_fig5-179fa6a028b4f707: crates/bench/src/bin/exp_fig5.rs
+
+crates/bench/src/bin/exp_fig5.rs:

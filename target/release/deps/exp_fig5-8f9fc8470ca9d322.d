@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig5-8f9fc8470ca9d322.d: crates/bench/src/bin/exp_fig5.rs
+
+/root/repo/target/release/deps/exp_fig5-8f9fc8470ca9d322: crates/bench/src/bin/exp_fig5.rs
+
+crates/bench/src/bin/exp_fig5.rs:

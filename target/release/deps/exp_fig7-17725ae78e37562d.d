@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig7-17725ae78e37562d.d: crates/bench/src/bin/exp_fig7.rs
+
+/root/repo/target/release/deps/exp_fig7-17725ae78e37562d: crates/bench/src/bin/exp_fig7.rs
+
+crates/bench/src/bin/exp_fig7.rs:

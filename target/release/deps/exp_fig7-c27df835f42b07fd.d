@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig7-c27df835f42b07fd.d: crates/bench/src/bin/exp_fig7.rs
+
+/root/repo/target/release/deps/exp_fig7-c27df835f42b07fd: crates/bench/src/bin/exp_fig7.rs
+
+crates/bench/src/bin/exp_fig7.rs:

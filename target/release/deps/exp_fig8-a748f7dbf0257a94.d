@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig8-a748f7dbf0257a94.d: crates/bench/src/bin/exp_fig8.rs
+
+/root/repo/target/release/deps/exp_fig8-a748f7dbf0257a94: crates/bench/src/bin/exp_fig8.rs
+
+crates/bench/src/bin/exp_fig8.rs:

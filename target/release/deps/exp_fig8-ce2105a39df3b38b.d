@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig8-ce2105a39df3b38b.d: crates/bench/src/bin/exp_fig8.rs
+
+/root/repo/target/release/deps/exp_fig8-ce2105a39df3b38b: crates/bench/src/bin/exp_fig8.rs
+
+crates/bench/src/bin/exp_fig8.rs:

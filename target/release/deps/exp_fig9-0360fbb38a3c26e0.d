@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig9-0360fbb38a3c26e0.d: crates/bench/src/bin/exp_fig9.rs
+
+/root/repo/target/release/deps/exp_fig9-0360fbb38a3c26e0: crates/bench/src/bin/exp_fig9.rs
+
+crates/bench/src/bin/exp_fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig9-29445f7eb49a722e.d: crates/bench/src/bin/exp_fig9.rs
+
+/root/repo/target/release/deps/exp_fig9-29445f7eb49a722e: crates/bench/src/bin/exp_fig9.rs
+
+crates/bench/src/bin/exp_fig9.rs:

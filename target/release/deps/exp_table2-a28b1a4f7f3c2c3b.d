@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table2-a28b1a4f7f3c2c3b.d: crates/bench/src/bin/exp_table2.rs
+
+/root/repo/target/release/deps/exp_table2-a28b1a4f7f3c2c3b: crates/bench/src/bin/exp_table2.rs
+
+crates/bench/src/bin/exp_table2.rs:

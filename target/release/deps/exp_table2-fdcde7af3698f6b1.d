@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table2-fdcde7af3698f6b1.d: crates/bench/src/bin/exp_table2.rs
+
+/root/repo/target/release/deps/exp_table2-fdcde7af3698f6b1: crates/bench/src/bin/exp_table2.rs
+
+crates/bench/src/bin/exp_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table3-0eaf65ee76c0cefd.d: crates/bench/src/bin/exp_table3.rs
+
+/root/repo/target/release/deps/exp_table3-0eaf65ee76c0cefd: crates/bench/src/bin/exp_table3.rs
+
+crates/bench/src/bin/exp_table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table3-64cf0f31f1777e68.d: crates/bench/src/bin/exp_table3.rs
+
+/root/repo/target/release/deps/exp_table3-64cf0f31f1777e68: crates/bench/src/bin/exp_table3.rs
+
+crates/bench/src/bin/exp_table3.rs:

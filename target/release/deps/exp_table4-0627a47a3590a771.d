@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table4-0627a47a3590a771.d: crates/bench/src/bin/exp_table4.rs
+
+/root/repo/target/release/deps/exp_table4-0627a47a3590a771: crates/bench/src/bin/exp_table4.rs
+
+crates/bench/src/bin/exp_table4.rs:

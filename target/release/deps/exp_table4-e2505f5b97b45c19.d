@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table4-e2505f5b97b45c19.d: crates/bench/src/bin/exp_table4.rs
+
+/root/repo/target/release/deps/exp_table4-e2505f5b97b45c19: crates/bench/src/bin/exp_table4.rs
+
+crates/bench/src/bin/exp_table4.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/golden_determinism-d77de6f391c02257.d: tests/golden_determinism.rs tests/golden/q1_spec.json tests/golden/q1_caps_plan.json
+
+/root/repo/target/release/deps/golden_determinism-d77de6f391c02257: tests/golden_determinism.rs tests/golden/q1_spec.json tests/golden/q1_caps_plan.json
+
+tests/golden_determinism.rs:
+tests/golden/q1_spec.json:
+tests/golden/q1_caps_plan.json:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_endtoend-d05cf08f5a4174a9.d: tests/integration_endtoend.rs
+
+/root/repo/target/release/deps/integration_endtoend-d05cf08f5a4174a9: tests/integration_endtoend.rs
+
+tests/integration_endtoend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_failure-dce85b3393b1ab1e.d: tests/integration_failure.rs
+
+/root/repo/target/release/deps/integration_failure-dce85b3393b1ab1e: tests/integration_failure.rs
+
+tests/integration_failure.rs:

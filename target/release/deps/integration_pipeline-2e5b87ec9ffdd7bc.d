@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_pipeline-2e5b87ec9ffdd7bc.d: tests/integration_pipeline.rs
+
+/root/repo/target/release/deps/integration_pipeline-2e5b87ec9ffdd7bc: tests/integration_pipeline.rs
+
+tests/integration_pipeline.rs:

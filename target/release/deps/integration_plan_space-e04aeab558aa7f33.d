@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_plan_space-e04aeab558aa7f33.d: tests/integration_plan_space.rs
+
+/root/repo/target/release/deps/integration_plan_space-e04aeab558aa7f33: tests/integration_plan_space.rs
+
+tests/integration_plan_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/odrp_solver-e332bf5cdfe914b8.d: crates/bench/benches/odrp_solver.rs
+
+/root/repo/target/release/deps/odrp_solver-e332bf5cdfe914b8: crates/bench/benches/odrp_solver.rs
+
+crates/bench/benches/odrp_solver.rs:

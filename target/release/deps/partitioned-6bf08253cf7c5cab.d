@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/partitioned-6bf08253cf7c5cab.d: crates/bench/benches/partitioned.rs
+
+/root/repo/target/release/deps/partitioned-6bf08253cf7c5cab: crates/bench/benches/partitioned.rs
+
+crates/bench/benches/partitioned.rs:

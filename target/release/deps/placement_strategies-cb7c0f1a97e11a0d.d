@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/placement_strategies-cb7c0f1a97e11a0d.d: crates/bench/benches/placement_strategies.rs
+
+/root/repo/target/release/deps/placement_strategies-cb7c0f1a97e11a0d: crates/bench/benches/placement_strategies.rs
+
+crates/bench/benches/placement_strategies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/property_tests-f5ef37924eb09653.d: tests/property_tests.rs
+
+/root/repo/target/release/deps/property_tests-f5ef37924eb09653: tests/property_tests.rs
+
+tests/property_tests.rs:

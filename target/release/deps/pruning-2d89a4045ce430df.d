@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pruning-2d89a4045ce430df.d: crates/bench/benches/pruning.rs
+
+/root/repo/target/release/deps/pruning-2d89a4045ce430df: crates/bench/benches/pruning.rs
+
+crates/bench/benches/pruning.rs:

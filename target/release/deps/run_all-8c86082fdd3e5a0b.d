@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-8c86082fdd3e5a0b.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-8c86082fdd3e5a0b: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-acb0adcbf65043f1.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-acb0adcbf65043f1: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

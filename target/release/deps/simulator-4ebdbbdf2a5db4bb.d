@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator-4ebdbbdf2a5db4bb.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/release/deps/simulator-4ebdbbdf2a5db4bb: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

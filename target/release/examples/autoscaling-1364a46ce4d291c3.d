@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/autoscaling-1364a46ce4d291c3.d: examples/autoscaling.rs
+
+/root/repo/target/release/examples/autoscaling-1364a46ce4d291c3: examples/autoscaling.rs
+
+examples/autoscaling.rs:

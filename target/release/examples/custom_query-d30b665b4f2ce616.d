@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_query-d30b665b4f2ce616.d: examples/custom_query.rs
+
+/root/repo/target/release/examples/custom_query-d30b665b4f2ce616: examples/custom_query.rs
+
+examples/custom_query.rs:

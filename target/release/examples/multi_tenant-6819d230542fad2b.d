@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multi_tenant-6819d230542fad2b.d: examples/multi_tenant.rs
+
+/root/repo/target/release/examples/multi_tenant-6819d230542fad2b: examples/multi_tenant.rs
+
+examples/multi_tenant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-926a94cfa0356633.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-926a94cfa0356633: examples/quickstart.rs
+
+examples/quickstart.rs:

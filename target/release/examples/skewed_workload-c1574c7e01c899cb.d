@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/skewed_workload-c1574c7e01c899cb.d: examples/skewed_workload.rs
+
+/root/repo/target/release/examples/skewed_workload-c1574c7e01c899cb: examples/skewed_workload.rs
+
+examples/skewed_workload.rs:
