@@ -10,13 +10,14 @@
 use std::collections::{HashMap, VecDeque};
 
 use capsys_ds2::{Ds2Config, Ds2Controller};
-use capsys_model::{Cluster, OperatorId, PhysicalGraph, Placement, RateSchedule};
+use capsys_model::{Cluster, OperatorId, PhysicalGraph, Placement, RateSchedule, WorkerId};
 use capsys_placement::{PlacementContext, PlacementStrategy};
 use capsys_queries::Query;
-use capsys_sim::{MetricPoint, SimConfig, Simulation, TaskRateStats};
+use capsys_sim::{FaultPlan, MetricPoint, SimConfig, Simulation, TaskRateStats};
 use capsys_util::rng::SmallRng;
 use capsys_util::rng::SeedableRng;
 
+use crate::recovery::{place_with_ladder, FailureDetector, LadderRung, RecoveryConfig, RecoveryEvent};
 use crate::ControllerError;
 
 /// One reconfiguration event in a closed-loop run.
@@ -37,6 +38,9 @@ pub struct ClosedLoopTrace {
     pub points: Vec<MetricPoint>,
     /// Scaling actions DS2 took.
     pub events: Vec<ScalingEvent>,
+    /// Completed failure recoveries (empty unless recovery was enabled
+    /// via [`ClosedLoop::with_recovery`]).
+    pub recovery_events: Vec<RecoveryEvent>,
     /// Final per-operator parallelism.
     pub final_parallelism: Vec<usize>,
 }
@@ -71,6 +75,33 @@ impl ClosedLoopTrace {
             return 0.0;
         }
         pts.iter().map(|p| p.target_rate).sum::<f64>() / pts.len() as f64
+    }
+
+    /// Mean time to recover across completed recoveries: detector
+    /// declaration to replacement-plan deployment, simulated seconds.
+    /// `None` when no recovery completed.
+    pub fn mttr(&self) -> Option<f64> {
+        if self.recovery_events.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.recovery_events.iter().map(|e| e.time_to_recover).sum();
+        Some(sum / self.recovery_events.len() as f64)
+    }
+
+    /// Integral of the throughput shortfall `max(0, target - throughput)`
+    /// over samples in `[from, to)`, in records. Each sample is weighted
+    /// by the gap to the previous sample, so the first sample in range
+    /// contributes nothing.
+    pub fn throughput_loss_area(&self, from: f64, to: f64) -> f64 {
+        let mut area = 0.0;
+        let mut prev: Option<f64> = None;
+        for p in self.points.iter().filter(|p| p.time >= from && p.time < to) {
+            if let Some(t) = prev {
+                area += (p.target_rate - p.source_throughput).max(0.0) * (p.time - t).max(0.0);
+            }
+            prev = Some(p.time);
+        }
+        area
     }
 
     /// Maximum slots occupied at any point in `[from, to)`.
@@ -112,6 +143,32 @@ pub struct ClosedLoop<'a> {
     /// DS2 decisions average over it so short-window noise and
     /// burst-cycle aliasing do not flip the parallelism ceiling.
     recent: VecDeque<(f64, Vec<TaskRateStats>)>,
+    /// Global-time fault schedule; re-installed (shifted) into every
+    /// replacement simulation.
+    fault_plan: Option<FaultPlan>,
+    /// Self-healing state when recovery is enabled.
+    recovery: Option<RecoveryState>,
+}
+
+/// Live state of the self-healing policy.
+struct RecoveryState {
+    config: RecoveryConfig,
+    detector: FailureDetector,
+    pending: Option<PendingRecovery>,
+    events: Vec<RecoveryEvent>,
+}
+
+/// A detected failure awaiting a successful re-placement.
+struct PendingRecovery {
+    /// Workers covered by this recovery, each with the time its
+    /// heartbeat first went missing (grows if more die while pending).
+    workers: Vec<(WorkerId, f64)>,
+    /// Simulated time of the first detection.
+    detected_at: f64,
+    /// Failed re-placement attempts so far.
+    attempts: usize,
+    /// Earliest simulated time of the next attempt (exponential backoff).
+    next_attempt_at: f64,
 }
 
 /// How many policy windows the metrics average spans.
@@ -194,7 +251,32 @@ impl<'a> ClosedLoop<'a> {
             events: Vec::new(),
             points: Vec::new(),
             recent: VecDeque::new(),
+            fault_plan: None,
+            recovery: None,
         })
+    }
+
+    /// Installs a deterministic fault schedule (global simulated time).
+    /// The schedule survives reconfigurations: every replacement
+    /// simulation gets the not-yet-fired suffix, shifted to its local
+    /// clock, plus the chaos state accumulated so far.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Result<Self, ControllerError> {
+        self.sim
+            .install_faults(plan.clone())
+            .map_err(ControllerError::Sim)?;
+        self.fault_plan = Some(plan);
+        Ok(self)
+    }
+
+    /// Enables failure detection and self-healing re-placement.
+    pub fn with_recovery(mut self, config: RecoveryConfig) -> Self {
+        self.recovery = Some(RecoveryState {
+            detector: FailureDetector::new(self.cluster.num_workers(), config.detector.clone()),
+            config,
+            pending: None,
+            events: Vec::new(),
+        });
+        self
     }
 
     /// Current simulated time.
@@ -205,6 +287,26 @@ impl<'a> ClosedLoop<'a> {
     /// The current placement plan.
     pub fn placement(&self) -> &Placement {
         &self.placement
+    }
+
+    /// Workers the failure detector currently considers down (empty when
+    /// recovery is disabled).
+    fn known_down(&self) -> Vec<WorkerId> {
+        self.recovery
+            .as_ref()
+            .map(|r| r.detector.down_workers())
+            .unwrap_or_default()
+    }
+
+    /// Per-worker free slots with the given workers excluded.
+    fn free_slots(&self, down: &[WorkerId]) -> Vec<usize> {
+        let mut free = vec![self.cluster.slots_per_worker(); self.cluster.num_workers()];
+        for w in down {
+            if let Some(s) = free.get_mut(w.0) {
+                *s = 0;
+            }
+        }
+        free
     }
 
     /// Runs the loop for `duration` simulated seconds.
@@ -224,7 +326,46 @@ impl<'a> ClosedLoop<'a> {
                 self.recent.pop_front();
             }
 
-            // DS2 policy evaluation.
+            // Failure detection: heartbeats ride the metrics report.
+            if let Some(rec) = &mut self.recovery {
+                let det = rec
+                    .detector
+                    .observe(&report.worker_alive, report.metrics_ok, self.time);
+                for w in det.newly_down {
+                    let since = rec.detector.stale_since(w).unwrap_or(self.time);
+                    match &mut rec.pending {
+                        Some(p) => {
+                            if !p.workers.iter().any(|(pw, _)| *pw == w) {
+                                p.workers.push((w, since));
+                            }
+                        }
+                        None => {
+                            rec.pending = Some(PendingRecovery {
+                                workers: vec![(w, since)],
+                                detected_at: self.time,
+                                attempts: 0,
+                                next_attempt_at: self.time,
+                            });
+                        }
+                    }
+                }
+            }
+
+            // Recovery re-placement, with bounded exponential backoff.
+            let attempt_due = self
+                .recovery
+                .as_ref()
+                .and_then(|r| r.pending.as_ref())
+                .is_some_and(|p| self.time + 1e-9 >= p.next_attempt_at);
+            if attempt_due {
+                self.attempt_recovery();
+            }
+
+            // DS2 policy evaluation. A pending recovery takes priority:
+            // scaling decisions wait until the job is re-placed.
+            if self.recovery.as_ref().is_some_and(|r| r.pending.is_some()) {
+                continue;
+            }
             if self.time - self.last_action < self.ds2.config.activation_period {
                 continue;
             }
@@ -238,26 +379,80 @@ impl<'a> ClosedLoop<'a> {
             if !decision.changed {
                 continue;
             }
-            if self.cluster.check_capacity(decision.total_tasks()).is_err() {
+            let down = self.known_down();
+            let capacity_ok = if down.is_empty() {
+                self.cluster.check_capacity(decision.total_tasks()).is_ok()
+            } else {
+                decision.total_tasks() <= self.free_slots(&down).iter().sum::<usize>()
+            };
+            if !capacity_ok {
                 // Cannot deploy the recommendation; skip this action.
                 continue;
             }
-            self.reconfigure(decision.parallelism, rate_now)?;
+            self.redeploy(decision.parallelism, rate_now, true)?;
         }
         Ok(ClosedLoopTrace {
             points: self.points,
             events: self.events,
+            recovery_events: self.recovery.map(|r| r.events).unwrap_or_default(),
             final_parallelism: self.query.logical().parallelism_vector(),
         })
     }
 
-    /// Applies a new parallelism vector: new physical graph, new plan,
-    /// fresh simulation (the restart-from-savepoint analogue).
-    fn reconfigure(
+    /// Runs one re-placement attempt for the pending recovery. Success
+    /// records a [`RecoveryEvent`] per covered worker; failure backs off
+    /// exponentially and, once `max_retries` attempts are spent, gives up
+    /// and lets the job continue degraded — the loop never crashes on an
+    /// unplaceable cluster.
+    fn attempt_recovery(&mut self) {
+        let parallelism = self.query.logical().parallelism_vector();
+        let rate_now = self.schedule.rate_at(self.time).max(1.0);
+        match self.redeploy(parallelism, rate_now, false) {
+            Ok(rung) => {
+                if let Some(rec) = &mut self.recovery {
+                    if let Some(p) = rec.pending.take() {
+                        for &(w, since) in &p.workers {
+                            rec.events.push(RecoveryEvent {
+                                worker: w,
+                                stale_since: since,
+                                detected_at: p.detected_at,
+                                detection_lag: p.detected_at - since,
+                                recovered_at: self.time,
+                                time_to_recover: self.time - since,
+                                plans_tried: p.attempts + 1,
+                                rung,
+                            });
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                if let Some(rec) = &mut self.recovery {
+                    if let Some(p) = &mut rec.pending {
+                        p.attempts += 1;
+                        if p.attempts > rec.config.max_retries {
+                            rec.pending = None;
+                        } else {
+                            p.next_attempt_at = self.time + rec.config.backoff(p.attempts);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies a parallelism vector: new physical graph, new plan, fresh
+    /// simulation (the restart-from-savepoint analogue). When the
+    /// detector knows of down workers, the plan comes from the
+    /// degradation ladder restricted to the survivors' slots; otherwise
+    /// the configured strategy places as usual. Chaos state and the
+    /// unfired fault-schedule suffix carry over to the new simulation.
+    fn redeploy(
         &mut self,
         parallelism: Vec<usize>,
         rate_now: f64,
-    ) -> Result<(), ControllerError> {
+        record_scaling: bool,
+    ) -> Result<LadderRung, ControllerError> {
         self.query = self
             .query
             .with_parallelism(&parallelism)
@@ -273,15 +468,31 @@ impl<'a> ClosedLoop<'a> {
             cluster: self.cluster,
             loads: &loads,
         };
-        self.placement = self
-            .strategy
-            .place(&ctx, &mut self.rng)
-            .map_err(ControllerError::Placement)?;
+        let down = self.known_down();
+        let (placement, rung) = match (&self.recovery, down.is_empty()) {
+            (Some(rec), false) => {
+                let mut search = rec.config.search.clone();
+                search.free_slots = Some(self.free_slots(&down));
+                place_with_ladder(&ctx, &search, &mut self.rng)
+                    .map_err(ControllerError::Placement)?
+            }
+            _ => (
+                self.strategy
+                    .place(&ctx, &mut self.rng)
+                    .map_err(ControllerError::Placement)?,
+                LadderRung::Caps,
+            ),
+        };
+        self.placement = placement;
+        // Chaos state accumulated before the restart must survive it.
+        let failed: Vec<bool> = self.sim.failed_workers().to_vec();
+        let slowdowns: Vec<f64> = self.sim.slowdowns().to_vec();
+        let blackout = self.sim.in_blackout();
         // Shift the schedule so the new simulation continues at the
         // current wall-clock position.
         let offset = self.time;
         let shifted = shift_schedule(&self.schedule, offset);
-        self.sim = Simulation::new(
+        let mut sim = Simulation::new(
             self.query.logical(),
             &self.physical,
             self.cluster,
@@ -290,14 +501,32 @@ impl<'a> ClosedLoop<'a> {
             self.sim_config.clone(),
         )
         .map_err(ControllerError::Sim)?;
+        for (w, f) in failed.iter().enumerate() {
+            if *f {
+                sim.fail_worker(WorkerId(w));
+            }
+        }
+        for (w, s) in slowdowns.iter().enumerate() {
+            if *s > 1.0 {
+                sim.set_slowdown(WorkerId(w), *s);
+            }
+        }
+        sim.set_blackout(blackout);
+        if let Some(plan) = &self.fault_plan {
+            sim.install_faults(plan.shifted(offset))
+                .map_err(ControllerError::Sim)?;
+        }
+        self.sim = sim;
         self.last_action = self.time;
         self.recent.clear();
-        self.events.push(ScalingEvent {
-            time: self.time,
-            parallelism,
-            slots: self.physical.num_tasks(),
-        });
-        Ok(())
+        if record_scaling {
+            self.events.push(ScalingEvent {
+                time: self.time,
+                parallelism,
+                slots: self.physical.num_tasks(),
+            });
+        }
+        Ok(rung)
     }
 }
 
@@ -344,9 +573,12 @@ fn shift_schedule(schedule: &RateSchedule, offset: f64) -> RateSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use capsys_model::WorkerSpec;
+    use capsys_core::SearchConfig;
+    use capsys_model::{TaskId, WorkerSpec};
     use capsys_placement::{CapsStrategy, FlinkDefault};
     use capsys_queries::q1_sliding;
+    use capsys_sim::{FaultEvent, FaultKind};
+    use std::time::Duration;
 
     fn small_cluster() -> Cluster {
         Cluster::homogeneous(4, WorkerSpec::m5d_2xlarge(8)).unwrap()
@@ -440,6 +672,112 @@ mod tests {
         .unwrap();
         let trace = loop_.run(200.0).unwrap();
         assert!(!trace.points.is_empty());
+    }
+
+    /// Builds a chaos run: q1 at its paper parallelism on 6 workers, a
+    /// seeded crash of the worker hosting task 0 at t=60s, recovery
+    /// enabled. Returns the victim and the trace.
+    fn chaos_run(recovery: RecoveryConfig) -> (WorkerId, ClosedLoopTrace) {
+        let query = q1_sliding();
+        let cluster = Cluster::homogeneous(6, WorkerSpec::r5d_xlarge(4)).unwrap();
+        let target = q1_sliding().capacity_rate(&cluster, 0.5).unwrap();
+        let strategy = CapsStrategy::default();
+        let loop_ = ClosedLoop::new(
+            &query,
+            &cluster,
+            &strategy,
+            Ds2Config {
+                activation_period: 60.0,
+                ..fast_ds2()
+            },
+            SimConfig {
+                duration: 1.0,
+                warmup: 0.0,
+                ..SimConfig::default()
+            },
+            RateSchedule::Constant(target),
+            7,
+        )
+        .unwrap();
+        let victim = loop_.placement().worker_of(TaskId(0));
+        let plan = FaultPlan::new(vec![FaultEvent {
+            time: 60.0,
+            kind: FaultKind::Crash(victim),
+        }])
+        .unwrap();
+        let trace = loop_
+            .with_fault_plan(plan)
+            .unwrap()
+            .with_recovery(recovery)
+            .run(300.0)
+            .unwrap();
+        (victim, trace)
+    }
+
+    #[test]
+    fn chaos_crash_is_detected_and_recovered() {
+        let (victim, trace) = chaos_run(RecoveryConfig::default());
+        assert_eq!(trace.recovery_events.len(), 1, "one recovery expected");
+        let ev = &trace.recovery_events[0];
+        assert_eq!(ev.worker, victim);
+        assert!(
+            ev.detected_at > 60.0,
+            "detected before the crash: {}",
+            ev.detected_at
+        );
+        assert!(
+            ev.detected_at <= 90.0,
+            "detection took too long: {}",
+            ev.detected_at
+        );
+        assert_eq!(ev.plans_tried, 1);
+        assert_eq!(ev.rung, LadderRung::Caps);
+        // With miss_threshold 2 and 5s windows, declaration trails the
+        // first silent heartbeat by one window.
+        assert!(ev.detection_lag > 0.0, "no detection lag recorded");
+        assert!(ev.time_to_recover >= ev.detection_lag);
+        assert_eq!(trace.mttr(), Some(ev.time_to_recover));
+        // After recovery settles, the job tracks >= 95% of its target on
+        // the surviving workers.
+        let tp = trace.avg_throughput(ev.recovered_at + 60.0, 300.0);
+        let tgt = trace.avg_target(ev.recovered_at + 60.0, 300.0);
+        assert!(
+            tp >= 0.95 * tgt,
+            "post-recovery throughput {tp} below 95% of target {tgt}"
+        );
+        // The outage left a visible loss footprint.
+        assert!(trace.throughput_loss_area(60.0, ev.recovered_at + 30.0) > 0.0);
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let (v1, t1) = chaos_run(RecoveryConfig::default());
+        let (v2, t2) = chaos_run(RecoveryConfig::default());
+        assert_eq!(v1, v2);
+        assert_eq!(t1.recovery_events, t2.recovery_events);
+        assert_eq!(t1.events, t2.events);
+        assert_eq!(t1.points, t2.points);
+    }
+
+    #[test]
+    fn zero_search_budget_degrades_to_round_robin() {
+        // A recovery policy whose CAPS rungs get no time at all must fall
+        // through to the round-robin rung, never error.
+        let cfg = RecoveryConfig {
+            search: SearchConfig {
+                time_budget: Some(Duration::ZERO),
+                ..SearchConfig::auto_tuned()
+            },
+            ..RecoveryConfig::default()
+        };
+        let (victim, trace) = chaos_run(cfg);
+        assert_eq!(trace.recovery_events.len(), 1);
+        let ev = &trace.recovery_events[0];
+        assert_eq!(ev.worker, victim);
+        assert_eq!(ev.rung, LadderRung::RoundRobin);
+        // Even the degraded plan keeps the job alive.
+        let tp = trace.avg_throughput(ev.recovered_at + 60.0, 300.0);
+        assert!(tp > 0.0, "round-robin recovery produced no throughput");
     }
 
     #[test]

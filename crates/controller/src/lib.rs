@@ -11,18 +11,27 @@
 //!   the placement strategy;
 //! * [`online`] — online profiling (the §5.1 future-work extension):
 //!   effective unit costs tracked from runtime metrics, with drift
-//!   detection to trigger re-planning.
+//!   detection to trigger re-planning;
+//! * [`recovery`] — self-healing under injected faults: heartbeat-based
+//!   failure detection, backoff re-placement on the surviving workers,
+//!   and a graceful-degradation ladder (CAPS → relaxed CAPS →
+//!   round-robin) for when the search budget runs out.
 
 #![warn(missing_docs)]
 pub mod closed_loop;
 pub mod controller;
 pub mod online;
 pub mod profiler;
+pub mod recovery;
 
 pub use closed_loop::{ClosedLoop, ClosedLoopTrace, ScalingEvent};
 pub use controller::{CapsysConfig, CapsysController, Deployment};
 pub use online::{OnlineProfiler, OnlineProfilerConfig};
 pub use profiler::{profile_query, ProfileReport, ProfilerConfig};
+pub use recovery::{
+    place_with_ladder, round_robin_free, Detection, DetectorConfig, FailureDetector, LadderRung,
+    RecoveryConfig, RecoveryEvent,
+};
 
 use capsys_ds2::Ds2Error;
 use capsys_model::ModelError;

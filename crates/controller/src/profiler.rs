@@ -147,9 +147,8 @@ pub fn profile_query(
 
 /// Replaces a logical graph's profiles with measured ones.
 pub fn apply_profiles(logical: &LogicalGraph, profiles: &[ResourceProfile]) -> LogicalGraph {
-    let mut g = logical.clone();
     // `LogicalGraph` has no profile mutator by design; rebuild it.
-    let mut b = LogicalGraph::builder(g.name.clone());
+    let mut b = LogicalGraph::builder(logical.name.clone());
     for (i, op) in logical.operators().iter().enumerate() {
         // Keep burst amplitude from the declared profile: bursts are a
         // workload property the profiler's averages cannot capture.
@@ -160,9 +159,10 @@ pub fn apply_profiles(logical: &LogicalGraph, profiles: &[ResourceProfile]) -> L
     for e in logical.edges() {
         b.edge(e.from, e.to, e.pattern);
     }
-    let rebuilt = b.build().expect("source graph was valid");
-    g = rebuilt;
-    g
+    // The rebuilt graph shares the already-validated source structure, so
+    // building cannot fail; keep the declared profiles rather than panic
+    // if that invariant is ever broken.
+    b.build().unwrap_or_else(|_| logical.clone())
 }
 
 #[cfg(test)]

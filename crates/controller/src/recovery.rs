@@ -1,0 +1,488 @@
+//! Failure detection and self-healing re-placement.
+//!
+//! The paper's controller assumes a healthy cluster; this module adds the
+//! machinery to survive an unhealthy one:
+//!
+//! * [`FailureDetector`] — a heartbeat/staleness detector fed from the
+//!   per-window liveness bits the simulator reports. A worker is declared
+//!   down after `miss_threshold` consecutive *observed* windows without a
+//!   heartbeat; windows inside a metric blackout are unobserved and
+//!   freeze every staleness clock (a telemetry outage must not read as a
+//!   whole-cluster failure).
+//! * [`place_with_ladder`] — the graceful-degradation ladder used to
+//!   re-place the job on the surviving workers. Rung 1 runs the full
+//!   auto-tuned CAPS search (its tuning timeout capped by the search's
+//!   `time_budget`); if that exhausts its budget or proves infeasible,
+//!   rung 2 retries with unbounded thresholds in first-feasible mode
+//!   (any plan beats no plan); if even that fails, rung 3 deals tasks
+//!   round-robin across the remaining free slots. The ladder only errors
+//!   when the survivors genuinely lack slot capacity.
+//! * [`RecoveryConfig`] — bounded retry with exponential backoff between
+//!   re-placement attempts, mirroring restart-strategy backoff in
+//!   production stream processors.
+
+use std::time::Duration;
+
+use capsys_core::{CapsError, SearchConfig, Thresholds};
+use capsys_model::{ModelError, Placement, WorkerId};
+use capsys_placement::{CapsStrategy, PlacementContext, PlacementError, PlacementStrategy};
+use capsys_util::rng::SmallRng;
+
+/// Failure-detector settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorConfig {
+    /// Consecutive observed windows without a heartbeat before a worker
+    /// is declared down. `1` reacts fastest but confuses a single lost
+    /// report with a crash.
+    pub miss_threshold: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig { miss_threshold: 2 }
+    }
+}
+
+/// What one detector observation concluded.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Detection {
+    /// Workers newly declared down this window.
+    pub newly_down: Vec<WorkerId>,
+    /// Workers whose heartbeat reappeared after being declared down.
+    pub newly_up: Vec<WorkerId>,
+}
+
+/// Heartbeat/staleness failure detector.
+///
+/// Heartbeats ride the metrics reports: a worker that is alive at the end
+/// of a reporting window has its `worker_alive` bit set. The detector
+/// counts consecutive missing heartbeats per worker and declares a
+/// failure at [`DetectorConfig::miss_threshold`].
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    config: DetectorConfig,
+    misses: Vec<usize>,
+    down: Vec<bool>,
+    /// Observation time of the first missed heartbeat of the current
+    /// streak, per worker.
+    stale_since: Vec<Option<f64>>,
+}
+
+impl FailureDetector {
+    /// A detector for `num_workers` workers, all initially presumed up.
+    pub fn new(num_workers: usize, config: DetectorConfig) -> FailureDetector {
+        FailureDetector {
+            config: DetectorConfig {
+                miss_threshold: config.miss_threshold.max(1),
+            },
+            misses: vec![0; num_workers],
+            down: vec![false; num_workers],
+            stale_since: vec![None; num_workers],
+        }
+    }
+
+    /// Feeds one reporting window observed at simulated time `now`.
+    /// `metrics_ok == false` marks the window unobserved (metric
+    /// blackout): no staleness clock moves.
+    pub fn observe(&mut self, worker_alive: &[bool], metrics_ok: bool, now: f64) -> Detection {
+        let mut det = Detection::default();
+        if !metrics_ok {
+            return det;
+        }
+        for (w, alive) in worker_alive.iter().enumerate() {
+            if w >= self.misses.len() {
+                break;
+            }
+            if *alive {
+                self.misses[w] = 0;
+                self.stale_since[w] = None;
+                if self.down[w] {
+                    self.down[w] = false;
+                    det.newly_up.push(WorkerId(w));
+                }
+            } else {
+                if self.misses[w] == 0 {
+                    self.stale_since[w] = Some(now);
+                }
+                self.misses[w] += 1;
+                if self.misses[w] >= self.config.miss_threshold && !self.down[w] {
+                    self.down[w] = true;
+                    det.newly_down.push(WorkerId(w));
+                }
+            }
+        }
+        det
+    }
+
+    /// When the current missing-heartbeat streak of `w` started, if one
+    /// is running.
+    pub fn stale_since(&self, w: WorkerId) -> Option<f64> {
+        self.stale_since.get(w.0).copied().flatten()
+    }
+
+    /// Whether a worker is currently considered down.
+    pub fn is_down(&self, w: WorkerId) -> bool {
+        self.down.get(w.0).copied().unwrap_or(false)
+    }
+
+    /// Every worker currently considered down.
+    pub fn down_workers(&self) -> Vec<WorkerId> {
+        self.down
+            .iter()
+            .enumerate()
+            .filter_map(|(w, d)| d.then_some(WorkerId(w)))
+            .collect()
+    }
+
+    /// How many consecutive observed windows `w`'s heartbeat has been
+    /// missing.
+    pub fn staleness(&self, w: WorkerId) -> usize {
+        self.misses.get(w.0).copied().unwrap_or(0)
+    }
+}
+
+/// Which rung of the degradation ladder produced a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderRung {
+    /// The full auto-tuned CAPS search succeeded.
+    Caps,
+    /// CAPS with unbounded thresholds, first feasible plan.
+    RelaxedCaps,
+    /// Round-robin over the remaining free slots.
+    RoundRobin,
+}
+
+impl LadderRung {
+    /// A short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LadderRung::Caps => "caps",
+            LadderRung::RelaxedCaps => "relaxed-caps",
+            LadderRung::RoundRobin => "round-robin",
+        }
+    }
+}
+
+/// Recovery-policy settings.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Failure-detector settings.
+    pub detector: DetectorConfig,
+    /// Re-placement attempts per failure before giving up and continuing
+    /// degraded. Each attempt walks the whole ladder.
+    pub max_retries: usize,
+    /// Simulated seconds before the first retry.
+    pub initial_backoff: f64,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub backoff_factor: f64,
+    /// Base search configuration for the ladder's CAPS rungs. Its
+    /// `free_slots` is overwritten with the surviving workers' slots at
+    /// recovery time.
+    pub search: SearchConfig,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            detector: DetectorConfig::default(),
+            max_retries: 3,
+            initial_backoff: 5.0,
+            backoff_factor: 2.0,
+            search: SearchConfig::auto_tuned(),
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Backoff delay before attempt `attempt` (0-based; attempt 0 runs
+    /// immediately on detection).
+    pub fn backoff(&self, attempt: usize) -> f64 {
+        if attempt == 0 {
+            return 0.0;
+        }
+        self.initial_backoff * self.backoff_factor.powi(attempt as i32 - 1)
+    }
+}
+
+/// One completed recovery, as recorded in the closed-loop trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryEvent {
+    /// The worker whose failure triggered this recovery.
+    pub worker: WorkerId,
+    /// Simulated time the worker's heartbeat first went missing.
+    pub stale_since: f64,
+    /// Simulated time the detector declared it down.
+    pub detected_at: f64,
+    /// `detected_at - stale_since`: the staleness the detector required
+    /// before acting.
+    pub detection_lag: f64,
+    /// Simulated time the replacement plan was deployed.
+    pub recovered_at: f64,
+    /// `recovered_at - stale_since`: first silence to repaired plan (the
+    /// MTTR numerator).
+    pub time_to_recover: f64,
+    /// Placement attempts made (1 = first attempt succeeded).
+    pub plans_tried: usize,
+    /// The ladder rung that produced the deployed plan.
+    pub rung: LadderRung,
+}
+
+/// Places the job via the graceful-degradation ladder.
+///
+/// Tries, in order: auto-tuned CAPS (rung 1), relaxed-threshold
+/// first-feasible CAPS (rung 2), round-robin over free slots (rung 3).
+/// Budget exhaustion and infeasibility descend the ladder; any other
+/// error (an invalid model, say) propagates. The only error the ladder
+/// itself returns is genuine lack of slot capacity.
+pub fn place_with_ladder(
+    ctx: &PlacementContext<'_>,
+    search: &SearchConfig,
+    rng: &mut SmallRng,
+) -> Result<(Placement, LadderRung), PlacementError> {
+    // Rung 1: the full search. Cap the auto-tuner's own timeout by the
+    // search time budget so an exhausted budget cannot hide inside
+    // tuning.
+    let mut caps_cfg = search.clone();
+    if let Some(budget) = caps_cfg.time_budget {
+        caps_cfg.auto_tune.timeout = caps_cfg.auto_tune.timeout.min(budget);
+        if budget.is_zero() {
+            caps_cfg.auto_tune.timeout = Duration::ZERO;
+        }
+    }
+    match CapsStrategy::new(caps_cfg).place(ctx, rng) {
+        Ok(p) => return Ok((p, LadderRung::Caps)),
+        Err(e) if descends(&e) => {}
+        Err(e) => return Err(e),
+    }
+
+    // Rung 2: any feasible plan beats no plan.
+    let relaxed = SearchConfig {
+        thresholds: Some(Thresholds::unbounded()),
+        first_feasible: true,
+        max_plans: 1,
+        ..search.clone()
+    };
+    match CapsStrategy::new(relaxed).place(ctx, rng) {
+        Ok(p) => return Ok((p, LadderRung::RelaxedCaps)),
+        Err(e) if descends(&e) => {}
+        Err(e) => return Err(e),
+    }
+
+    // Rung 3: deterministic round-robin over whatever slots remain.
+    round_robin_free(ctx, search.free_slots.as_deref()).map(|p| (p, LadderRung::RoundRobin))
+}
+
+/// Whether a CAPS failure should descend to the next rung instead of
+/// propagating.
+fn descends(e: &PlacementError) -> bool {
+    matches!(
+        e,
+        PlacementError::Caps(
+            CapsError::NoFeasiblePlan
+                | CapsError::BudgetExhausted
+                | CapsError::AutoTuneTimeout { .. }
+        )
+    )
+}
+
+/// Deals tasks round-robin across workers, honoring per-worker free-slot
+/// counts (`None` = every slot of every worker is free). Fails only when
+/// the free slots cannot hold the tasks.
+pub fn round_robin_free(
+    ctx: &PlacementContext<'_>,
+    free_slots: Option<&[usize]>,
+) -> Result<Placement, PlacementError> {
+    let per_worker = ctx.cluster.slots_per_worker();
+    let mut remaining: Vec<usize> = match free_slots {
+        Some(f) => f.iter().map(|&s| s.min(per_worker)).collect(),
+        None => vec![per_worker; ctx.cluster.num_workers()],
+    };
+    remaining.resize(ctx.cluster.num_workers(), 0);
+    let tasks = ctx.physical.num_tasks();
+    let slots: usize = remaining.iter().sum();
+    if slots < tasks {
+        return Err(PlacementError::Model(ModelError::InsufficientSlots {
+            tasks,
+            slots,
+        }));
+    }
+    let mut assignment = vec![WorkerId(0); tasks];
+    let mut w = 0usize;
+    for slot in assignment.iter_mut() {
+        while remaining[w] == 0 {
+            w = (w + 1) % remaining.len();
+        }
+        *slot = WorkerId(w);
+        remaining[w] -= 1;
+        w = (w + 1) % remaining.len();
+    }
+    let plan = Placement::new(assignment);
+    plan.validate(ctx.physical, ctx.cluster)?;
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsys_model::{
+        Cluster, ConnectionPattern, LoadModel, LogicalGraph, OperatorId, OperatorKind,
+        PhysicalGraph, ResourceProfile, WorkerSpec,
+    };
+    use capsys_util::rng::SeedableRng;
+    use std::collections::HashMap;
+
+    fn fixture() -> (LogicalGraph, PhysicalGraph, Cluster, LoadModel) {
+        let mut b = LogicalGraph::builder("q");
+        let s = b.operator(
+            "src",
+            OperatorKind::Source,
+            2,
+            ResourceProfile::new(0.0005, 0.0, 100.0, 1.0),
+        );
+        let h = b.operator(
+            "win",
+            OperatorKind::Window,
+            4,
+            ResourceProfile::new(0.002, 500.0, 50.0, 0.5),
+        );
+        let k = b.operator(
+            "sink",
+            OperatorKind::Sink,
+            2,
+            ResourceProfile::new(0.0001, 0.0, 0.0, 1.0),
+        );
+        b.edge(s, h, ConnectionPattern::Rebalance);
+        b.edge(h, k, ConnectionPattern::Hash);
+        let g = b.build().unwrap();
+        let p = PhysicalGraph::expand(&g);
+        let c = Cluster::homogeneous(3, WorkerSpec::new(4, 4.0, 1e8, 1e9)).unwrap();
+        let mut rates = HashMap::new();
+        rates.insert(OperatorId(0), 1000.0);
+        let lm = LoadModel::derive(&g, &p, &rates).unwrap();
+        (g, p, c, lm)
+    }
+
+    #[test]
+    fn detector_requires_consecutive_misses() {
+        let mut d = FailureDetector::new(2, DetectorConfig { miss_threshold: 2 });
+        // One miss: not yet down.
+        let det = d.observe(&[true, false], true, 5.0);
+        assert!(det.newly_down.is_empty());
+        assert_eq!(d.staleness(WorkerId(1)), 1);
+        assert_eq!(d.stale_since(WorkerId(1)), Some(5.0));
+        // Heartbeat returns: clock resets.
+        let det = d.observe(&[true, true], true, 10.0);
+        assert!(det.newly_down.is_empty() && det.newly_up.is_empty());
+        assert_eq!(d.staleness(WorkerId(1)), 0);
+        assert_eq!(d.stale_since(WorkerId(1)), None);
+        // Two consecutive misses: declared down, exactly once.
+        d.observe(&[true, false], true, 15.0);
+        let det = d.observe(&[true, false], true, 20.0);
+        assert_eq!(det.newly_down, vec![WorkerId(1)]);
+        assert_eq!(d.stale_since(WorkerId(1)), Some(15.0));
+        let det = d.observe(&[true, false], true, 25.0);
+        assert!(det.newly_down.is_empty());
+        assert!(d.is_down(WorkerId(1)));
+        // Recovery is reported.
+        let det = d.observe(&[true, true], true, 30.0);
+        assert_eq!(det.newly_up, vec![WorkerId(1)]);
+        assert!(!d.is_down(WorkerId(1)));
+    }
+
+    #[test]
+    fn blackout_windows_freeze_staleness() {
+        let mut d = FailureDetector::new(1, DetectorConfig { miss_threshold: 2 });
+        d.observe(&[false], true, 5.0);
+        // Blackout windows must not advance (nor reset) the clock.
+        for i in 0..5 {
+            let det = d.observe(&[false], false, 10.0 + i as f64);
+            assert!(det.newly_down.is_empty());
+        }
+        assert_eq!(d.staleness(WorkerId(0)), 1);
+        assert_eq!(d.stale_since(WorkerId(0)), Some(5.0));
+        let det = d.observe(&[false], true, 20.0);
+        assert_eq!(det.newly_down, vec![WorkerId(0)]);
+    }
+
+    #[test]
+    fn ladder_rung1_on_healthy_cluster() {
+        let (g, p, c, lm) = fixture();
+        let ctx = PlacementContext {
+            logical: &g,
+            physical: &p,
+            cluster: &c,
+            loads: &lm,
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (plan, rung) = place_with_ladder(&ctx, &SearchConfig::auto_tuned(), &mut rng).unwrap();
+        assert_eq!(rung, LadderRung::Caps);
+        plan.validate(&p, &c).unwrap();
+    }
+
+    #[test]
+    fn ladder_falls_to_round_robin_on_zero_budget() {
+        let (g, p, c, lm) = fixture();
+        let ctx = PlacementContext {
+            logical: &g,
+            physical: &p,
+            cluster: &c,
+            loads: &lm,
+        };
+        let cfg = SearchConfig {
+            time_budget: Some(Duration::ZERO),
+            ..SearchConfig::auto_tuned()
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (plan, rung) = place_with_ladder(&ctx, &cfg, &mut rng).unwrap();
+        assert_eq!(rung, LadderRung::RoundRobin);
+        plan.validate(&p, &c).unwrap();
+    }
+
+    #[test]
+    fn round_robin_respects_free_slots() {
+        let (g, p, c, lm) = fixture();
+        let ctx = PlacementContext {
+            logical: &g,
+            physical: &p,
+            cluster: &c,
+            loads: &lm,
+        };
+        // Worker 1 is down: its slots are unavailable.
+        let plan = round_robin_free(&ctx, Some(&[4, 0, 4])).unwrap();
+        let counts = plan.worker_counts(3);
+        assert_eq!(counts[1], 0);
+        assert_eq!(counts.iter().sum::<usize>(), p.num_tasks());
+        // 8 tasks across two workers with 4 slots each: both full.
+        assert_eq!(counts[0], 4);
+        assert_eq!(counts[2], 4);
+    }
+
+    #[test]
+    fn round_robin_reports_insufficient_capacity() {
+        let (g, p, c, lm) = fixture();
+        let ctx = PlacementContext {
+            logical: &g,
+            physical: &p,
+            cluster: &c,
+            loads: &lm,
+        };
+        let err = round_robin_free(&ctx, Some(&[4, 0, 0])).unwrap_err();
+        assert!(matches!(
+            err,
+            PlacementError::Model(ModelError::InsufficientSlots { .. })
+        ));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let cfg = RecoveryConfig {
+            initial_backoff: 5.0,
+            backoff_factor: 2.0,
+            ..RecoveryConfig::default()
+        };
+        assert_eq!(cfg.backoff(0), 0.0);
+        assert_eq!(cfg.backoff(1), 5.0);
+        assert_eq!(cfg.backoff(2), 10.0);
+        assert_eq!(cfg.backoff(3), 20.0);
+    }
+}

@@ -18,6 +18,10 @@ pub enum CapsError {
     },
     /// An invalid configuration value was supplied.
     InvalidConfig(String),
+    /// The search budget (node or wall-clock) ran out before any feasible
+    /// plan was found. Unlike [`CapsError::NoFeasiblePlan`] this does not
+    /// prove infeasibility — a larger budget might still find a plan.
+    BudgetExhausted,
 }
 
 impl fmt::Display for CapsError {
@@ -31,6 +35,9 @@ impl fmt::Display for CapsError {
                 last_tried[0], last_tried[1], last_tried[2]
             ),
             CapsError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CapsError::BudgetExhausted => {
+                write!(f, "search budget exhausted before a feasible plan was found")
+            }
         }
     }
 }
@@ -68,5 +75,6 @@ mod tests {
         assert!(CapsError::InvalidConfig("x".into())
             .to_string()
             .contains("x"));
+        assert!(CapsError::BudgetExhausted.to_string().contains("budget"));
     }
 }

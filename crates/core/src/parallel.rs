@@ -89,6 +89,7 @@ pub(crate) fn run_parallel(
                     local.pruned += s.pruned;
                     local.plans_found += s.plans;
                 }
+                local.aborted = visitor.was_aborted();
                 (visitor.into_found(), local)
             }));
         }
@@ -98,6 +99,7 @@ pub(crate) fn run_parallel(
             stats.nodes += local.nodes;
             stats.pruned += local.pruned;
             stats.plans_found += local.plans_found;
+            stats.aborted |= local.aborted;
         }
     });
 

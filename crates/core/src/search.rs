@@ -123,6 +123,11 @@ pub struct RunStats {
     pub elapsed: Duration,
     /// Worker threads used.
     pub threads: usize,
+    /// Whether the search stopped before fully exploring the tree — a
+    /// node/time budget ran out or a cooperative stop fired. An aborted
+    /// search may have missed feasible plans, so an *empty* outcome with
+    /// `aborted` set means "budget exhausted", not "proven infeasible".
+    pub aborted: bool,
 }
 
 /// The result of a CAPS search.
@@ -313,6 +318,11 @@ impl<'a> CapsVisitor<'a> {
     /// Consumes the visitor and returns its local plan cache.
     pub(crate) fn into_found(self) -> Vec<ScoredPlan> {
         self.found
+    }
+
+    /// Whether this visitor stopped early on a budget or stop flag.
+    pub(crate) fn was_aborted(&self) -> bool {
+        self.aborted
     }
 
     /// Switches the visitor to raw (partial-plan) capture.
@@ -672,6 +682,27 @@ impl<'a> CapsSearch<'a> {
         let deadline = config.time_budget.map(|d| Instant::now() + d);
         let start = Instant::now();
 
+        // A zero (or already elapsed) budget cannot be honored by the
+        // periodic deadline poll inside the DFS — small trees could finish
+        // before the first poll. Abort up front so exhausted budgets
+        // behave deterministically.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Ok(SearchOutcome {
+                feasible: Vec::new(),
+                pareto: Vec::new(),
+                stats: RunStats {
+                    elapsed: start.elapsed(),
+                    threads: config.threads,
+                    aborted: true,
+                    ..RunStats::default()
+                },
+                thresholds: *thresholds,
+                autotune: None,
+                order,
+                pressure: self.model.pressure(),
+            });
+        }
+
         let mut enumerator =
             PlanEnumerator::new(self.physical, self.cluster)?.with_order(order.clone())?;
         if let Some(free) = &config.free_slots {
@@ -690,6 +721,7 @@ impl<'a> CapsSearch<'a> {
                 Some(&stop),
             );
             let s = enumerator.explore(&mut visitor);
+            let aborted = visitor.was_aborted();
             (
                 visitor.found,
                 RunStats {
@@ -698,6 +730,7 @@ impl<'a> CapsSearch<'a> {
                     plans_found: s.plans,
                     elapsed: start.elapsed(),
                     threads: 1,
+                    aborted,
                 },
             )
         } else {
@@ -964,6 +997,24 @@ mod tests {
             .unwrap();
         let full = search.run(&SearchConfig::exhaustive()).unwrap();
         assert!(out.stats.plans_found < full.stats.plans_found);
+    }
+
+    #[test]
+    fn zero_time_budget_aborts_deterministically() {
+        // The DFS polls the deadline only every TIME_CHECK_MASK nodes, so
+        // small trees could otherwise slip past an expired budget. A zero
+        // budget must abort up front, every time.
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let out = search
+            .run(&SearchConfig {
+                time_budget: Some(Duration::ZERO),
+                ..SearchConfig::exhaustive()
+            })
+            .unwrap();
+        assert!(out.stats.aborted);
+        assert!(out.feasible.is_empty());
+        assert_eq!(out.stats.nodes, 0);
     }
 
     #[test]

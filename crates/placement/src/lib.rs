@@ -178,10 +178,13 @@ impl PlacementStrategy for CapsStrategy {
     ) -> Result<Placement, PlacementError> {
         let search = CapsSearch::new(ctx.logical, ctx.physical, ctx.cluster, ctx.loads)?;
         let outcome = search.run(&self.config)?;
-        outcome
-            .best_plan()
-            .cloned()
-            .ok_or(PlacementError::Caps(CapsError::NoFeasiblePlan))
+        match outcome.best_plan() {
+            Some(p) => Ok(p.clone()),
+            // An aborted empty search has not proven infeasibility; let
+            // callers (e.g. the recovery ladder) distinguish the two.
+            None if outcome.stats.aborted => Err(PlacementError::Caps(CapsError::BudgetExhausted)),
+            None => Err(PlacementError::Caps(CapsError::NoFeasiblePlan)),
+        }
     }
 }
 

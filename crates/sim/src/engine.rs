@@ -32,6 +32,7 @@ use capsys_util::rng::{Rng, SeedableRng};
 
 use crate::config::SimConfig;
 use crate::error::SimError;
+use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::metrics::{MetricPoint, SimulationReport, SourceStats, TaskRateStats};
 
 /// A source task counts as backpressured in a tick when it admitted less
@@ -141,6 +142,12 @@ pub struct Simulation {
     worker_tasks: Vec<Vec<usize>>,
     /// Workers currently failed (their tasks process nothing).
     failed: Vec<bool>,
+    /// Per-worker CPU-cost multiplier (1.0 = healthy, > 1 = straggler).
+    slowdown: Vec<f64>,
+    /// Scheduled fault events, applied tick by tick.
+    injector: Option<FaultInjector>,
+    /// Whether a metric blackout is currently active.
+    blackout: bool,
     // Cumulative conservation counters.
     total_admitted: f64,
     total_sunk: f64,
@@ -294,6 +301,9 @@ impl Simulation {
             tasks,
             channels,
             failed: vec![false; workers.len()],
+            slowdown: vec![1.0; workers.len()],
+            injector: None,
+            blackout: false,
             workers,
             task_schedule,
             schedules: sched_list,
@@ -323,6 +333,78 @@ impl Simulation {
     /// Whether a worker is currently failed.
     pub fn is_failed(&self, w: capsys_model::WorkerId) -> bool {
         self.failed.get(w.0).copied().unwrap_or(false)
+    }
+
+    /// Installs a fault schedule; events fire as the simulation advances
+    /// past their times. Replaces any previously installed plan.
+    pub fn install_faults(&mut self, plan: FaultPlan) -> Result<(), SimError> {
+        plan.validate(self.workers.len())?;
+        self.injector = Some(FaultInjector::new(plan));
+        Ok(())
+    }
+
+    /// Sets a worker's CPU slowdown factor (`1.0` = healthy, `>1` =
+    /// straggler). Used by controllers re-applying chaos state after a
+    /// redeployment.
+    pub fn set_slowdown(&mut self, w: capsys_model::WorkerId, factor: f64) {
+        if let Some(s) = self.slowdown.get_mut(w.0) {
+            *s = factor.max(1.0);
+        }
+    }
+
+    /// Per-worker failure flags (ground truth, not the detector's view).
+    pub fn failed_workers(&self) -> &[bool] {
+        &self.failed
+    }
+
+    /// Per-worker CPU slowdown factors.
+    pub fn slowdowns(&self) -> &[f64] {
+        &self.slowdown
+    }
+
+    /// Whether a metric blackout is currently active.
+    pub fn in_blackout(&self) -> bool {
+        self.blackout
+    }
+
+    /// Forces the metric-blackout flag. Used by controllers carrying
+    /// chaos state across a redeployment (the replacement simulation must
+    /// resume mid-blackout when the old one was in one).
+    pub fn set_blackout(&mut self, on: bool) {
+        self.blackout = on;
+    }
+
+    /// Applies every fault event due at the current time.
+    fn apply_due_faults(&mut self) {
+        let Some(injector) = &mut self.injector else {
+            return;
+        };
+        for ev in injector.due(self.time) {
+            match ev.kind {
+                FaultKind::Crash(w) => {
+                    if let Some(f) = self.failed.get_mut(w.0) {
+                        *f = true;
+                    }
+                }
+                FaultKind::Restore(w) => {
+                    if let Some(f) = self.failed.get_mut(w.0) {
+                        *f = false;
+                    }
+                }
+                FaultKind::StragglerStart { worker, factor } => {
+                    if let Some(s) = self.slowdown.get_mut(worker.0) {
+                        *s = factor.max(1.0);
+                    }
+                }
+                FaultKind::StragglerEnd(w) => {
+                    if let Some(s) = self.slowdown.get_mut(w.0) {
+                        *s = 1.0;
+                    }
+                }
+                FaultKind::BlackoutStart => self.blackout = true,
+                FaultKind::BlackoutEnd => self.blackout = false,
+            }
+        }
     }
 
     /// Current simulated time in seconds.
@@ -380,19 +462,45 @@ impl Simulation {
             }
         }
 
-        self.build_report(points, report)
+        let mut out = self.build_report(points, report);
+        self.apply_metric_noise(&mut out);
+        out
+    }
+
+    /// Perturbs reported task rates with the installed plan's metric
+    /// noise (deterministic given the simulation seed). Models lossy or
+    /// jittery metric pipelines without touching the true dynamics.
+    fn apply_metric_noise(&mut self, report: &mut SimulationReport) {
+        let noise = self
+            .injector
+            .as_ref()
+            .map(|i| i.metric_noise())
+            .unwrap_or(0.0);
+        if noise <= 0.0 {
+            return;
+        }
+        for tr in &mut report.task_rates {
+            let jitter: f64 = self.rng.gen_range(-1.0..1.0);
+            let m = (1.0 + noise * jitter).max(0.0);
+            tr.observed_rate *= m;
+            tr.true_rate *= m;
+            tr.observed_output_rate *= m;
+            tr.true_output_rate *= m;
+        }
     }
 
     /// Advances one tick, accumulating into `acc`.
     fn step_into(&mut self, acc: &mut WindowAcc) {
+        self.apply_due_faults();
         let tick = self.config.tick;
         let t = self.time;
 
-        // Effective per-record CPU cost: bursts plus optional jitter.
+        // Effective per-record CPU cost: bursts, straggler slowdown,
+        // plus optional jitter.
         let burst_on =
             (t % self.config.burst_period) < self.config.burst_duty * self.config.burst_period;
         for (i, task) in self.tasks.iter().enumerate() {
-            let mut u = task.cpu_unit;
+            let mut u = task.cpu_unit * self.slowdown[task.worker];
             if burst_on && task.burst_amp > 0.0 {
                 u *= 1.0 + task.burst_amp;
             }
@@ -654,6 +762,8 @@ impl Simulation {
             worker_net_util: acc.net_use.iter().map(|u| u / dt).collect(),
             per_source,
             task_rates,
+            worker_alive: self.failed.iter().map(|f| !f).collect(),
+            metrics_ok: !self.blackout,
         }
     }
 
@@ -748,7 +858,7 @@ fn waterfill(demands: &[f64], cap: f64) -> (Vec<f64>, f64, f64) {
         return (demands.to_vec(), f64::INFINITY, cap - total);
     }
     let mut order: Vec<usize> = (0..demands.len()).collect();
-    order.sort_by(|&a, &b| demands[a].partial_cmp(&demands[b]).expect("finite demands"));
+    order.sort_by(|&a, &b| demands[a].total_cmp(&demands[b]));
     let mut alloc = vec![0.0; demands.len()];
     let mut remaining = cap;
     for (pos, &idx) in order.iter().enumerate() {

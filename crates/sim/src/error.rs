@@ -13,6 +13,8 @@ pub enum SimError {
     InvalidConfig(String),
     /// A source operator has no rate schedule.
     MissingSchedule(String),
+    /// A fault plan or chaos configuration is malformed.
+    InvalidFaultPlan(String),
 }
 
 impl fmt::Display for SimError {
@@ -23,6 +25,7 @@ impl fmt::Display for SimError {
             SimError::MissingSchedule(name) => {
                 write!(f, "source operator `{name}` has no rate schedule")
             }
+            SimError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
         }
     }
 }
@@ -57,5 +60,8 @@ mod tests {
         assert!(SimError::MissingSchedule("src".into())
             .to_string()
             .contains("src"));
+        assert!(SimError::InvalidFaultPlan("negative time".into())
+            .to_string()
+            .contains("fault plan"));
     }
 }

@@ -1,0 +1,449 @@
+//! Deterministic fault injection (the chaos harness).
+//!
+//! A [`FaultPlan`] is a time-ordered list of fault events — worker
+//! crashes and restores, per-worker stragglers (CPU slowdown factors),
+//! and metric blackouts — plus an optional multiplicative metric-noise
+//! amplitude. Plans are either written by hand or generated from a
+//! [`ChaosConfig`] with a seeded RNG, so any chaos scenario can be
+//! replayed byte-for-byte: the same seed always yields the same
+//! schedule, and the engine applies events on its fixed tick grid.
+//!
+//! The [`FaultInjector`] is the engine-side cursor over a plan; the
+//! simulation polls it each tick inside `advance()` and applies due
+//! events before resources are allocated.
+
+use capsys_model::WorkerId;
+use capsys_util::rng::{Rng, SeedableRng, SliceRandom, SmallRng};
+
+use crate::error::SimError;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The worker stops processing (its tasks' rates drop to zero).
+    Crash(WorkerId),
+    /// A crashed worker resumes processing.
+    Restore(WorkerId),
+    /// The worker's effective per-record CPU cost is multiplied by
+    /// `factor` (> 1 slows it down) until [`FaultKind::StragglerEnd`].
+    StragglerStart {
+        /// The slowed worker.
+        worker: WorkerId,
+        /// CPU cost multiplier, `>= 1`.
+        factor: f64,
+    },
+    /// Ends a straggler episode on the worker.
+    StragglerEnd(WorkerId),
+    /// Metric reports stop carrying heartbeats (`metrics_ok = false`)
+    /// until [`FaultKind::BlackoutEnd`].
+    BlackoutStart,
+    /// Metric reporting resumes.
+    BlackoutEnd,
+}
+
+/// A fault at a point in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Simulated time of the fault, seconds.
+    pub time: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, replayable schedule of faults.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Events in non-decreasing time order.
+    pub events: Vec<FaultEvent>,
+    /// Relative multiplicative noise applied to reported task rates, in
+    /// `[0, 1)`. Zero reports exact metrics.
+    pub metric_noise: f64,
+}
+
+impl FaultPlan {
+    /// Builds a plan from events, sorting them by time. Event times must
+    /// be finite and non-negative; ties keep their given order.
+    pub fn new(mut events: Vec<FaultEvent>) -> Result<FaultPlan, SimError> {
+        for e in &events {
+            if !e.time.is_finite() || e.time < 0.0 {
+                return Err(SimError::InvalidFaultPlan(format!(
+                    "event time {} is not a finite non-negative number",
+                    e.time
+                )));
+            }
+            if let FaultKind::StragglerStart { factor, .. } = e.kind {
+                if !factor.is_finite() || factor < 1.0 {
+                    return Err(SimError::InvalidFaultPlan(format!(
+                        "straggler factor {factor} must be finite and >= 1"
+                    )));
+                }
+            }
+        }
+        events.sort_by(|a, b| a.time.total_cmp(&b.time));
+        Ok(FaultPlan {
+            events,
+            metric_noise: 0.0,
+        })
+    }
+
+    /// An empty plan (no faults, exact metrics).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Sets the metric-noise amplitude, returning the modified plan.
+    pub fn with_metric_noise(mut self, noise: f64) -> Result<FaultPlan, SimError> {
+        if !(0.0..1.0).contains(&noise) {
+            return Err(SimError::InvalidFaultPlan(format!(
+                "metric noise must be in [0,1), got {noise}"
+            )));
+        }
+        self.metric_noise = noise;
+        Ok(self)
+    }
+
+    /// Generates a plan from a seeded RNG: same config and worker count,
+    /// same schedule, always.
+    pub fn generate(config: &ChaosConfig, num_workers: usize) -> Result<FaultPlan, SimError> {
+        config.validate()?;
+        if num_workers == 0 {
+            return Err(SimError::InvalidFaultPlan("no workers to fault".into()));
+        }
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut events = Vec::new();
+        // Crash distinct workers (cycling when there are more crashes
+        // than workers) so concurrent crashes cannot stack on one victim.
+        let mut victims: Vec<usize> = (0..num_workers).collect();
+        victims.shuffle(&mut rng);
+        for k in 0..config.crashes {
+            let w = WorkerId(victims[k % num_workers]);
+            let at = rng.gen_range(0.0..config.horizon * 0.7);
+            let downtime = rng.gen_range(config.crash_downtime.0..=config.crash_downtime.1);
+            events.push(FaultEvent {
+                time: at,
+                kind: FaultKind::Crash(w),
+            });
+            events.push(FaultEvent {
+                time: at + downtime,
+                kind: FaultKind::Restore(w),
+            });
+        }
+        for _ in 0..config.stragglers {
+            let w = WorkerId(rng.gen_range(0..num_workers));
+            let at = rng.gen_range(0.0..config.horizon * 0.7);
+            let dur = rng.gen_range(config.straggler_duration.0..=config.straggler_duration.1);
+            let factor = rng.gen_range(config.slowdown.0..=config.slowdown.1);
+            events.push(FaultEvent {
+                time: at,
+                kind: FaultKind::StragglerStart { worker: w, factor },
+            });
+            events.push(FaultEvent {
+                time: at + dur,
+                kind: FaultKind::StragglerEnd(w),
+            });
+        }
+        for _ in 0..config.blackouts {
+            let at = rng.gen_range(0.0..config.horizon * 0.7);
+            let dur = rng.gen_range(config.blackout_duration.0..=config.blackout_duration.1);
+            events.push(FaultEvent {
+                time: at,
+                kind: FaultKind::BlackoutStart,
+            });
+            events.push(FaultEvent {
+                time: at + dur,
+                kind: FaultKind::BlackoutEnd,
+            });
+        }
+        let plan = FaultPlan::new(events)?;
+        plan.with_metric_noise(config.metric_noise)
+    }
+
+    /// The plan seen from a simulation restarted at global time
+    /// `offset`: past events are dropped (their *state* must be
+    /// re-applied by the restarting controller), future events shift
+    /// left.
+    pub fn shifted(&self, offset: f64) -> FaultPlan {
+        FaultPlan {
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.time > offset)
+                .map(|e| FaultEvent {
+                    time: e.time - offset,
+                    kind: e.kind,
+                })
+                .collect(),
+            metric_noise: self.metric_noise,
+        }
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.metric_noise == 0.0
+    }
+
+    /// Checks that every referenced worker exists.
+    pub fn validate(&self, num_workers: usize) -> Result<(), SimError> {
+        for e in &self.events {
+            let w = match e.kind {
+                FaultKind::Crash(w)
+                | FaultKind::Restore(w)
+                | FaultKind::StragglerEnd(w)
+                | FaultKind::StragglerStart { worker: w, .. } => Some(w),
+                _ => None,
+            };
+            if let Some(w) = w {
+                if w.0 >= num_workers {
+                    return Err(SimError::InvalidFaultPlan(format!(
+                        "fault references worker {} but the cluster has {num_workers}",
+                        w.0
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parameters for deterministic random fault-schedule generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// RNG seed; the whole schedule is a pure function of this config.
+    pub seed: u64,
+    /// Time window faults are injected into, seconds. Fault *starts* are
+    /// drawn from the first 70% of the horizon so effects are observable.
+    pub horizon: f64,
+    /// Number of worker crashes.
+    pub crashes: usize,
+    /// Crash downtime range `(min, max)`, seconds.
+    pub crash_downtime: (f64, f64),
+    /// Number of straggler episodes.
+    pub stragglers: usize,
+    /// Straggler CPU-cost multiplier range, each `>= 1`.
+    pub slowdown: (f64, f64),
+    /// Straggler episode duration range, seconds.
+    pub straggler_duration: (f64, f64),
+    /// Number of metric blackouts.
+    pub blackouts: usize,
+    /// Blackout duration range, seconds.
+    pub blackout_duration: (f64, f64),
+    /// Relative metric noise amplitude in `[0, 1)`.
+    pub metric_noise: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 7,
+            horizon: 300.0,
+            crashes: 1,
+            crash_downtime: (60.0, 120.0),
+            stragglers: 1,
+            slowdown: (2.0, 4.0),
+            straggler_duration: (30.0, 60.0),
+            blackouts: 1,
+            blackout_duration: (5.0, 15.0),
+            metric_noise: 0.0,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let range_ok = |(lo, hi): (f64, f64), name: &str| {
+            if lo.is_finite() && hi.is_finite() && lo > 0.0 && lo <= hi {
+                Ok(())
+            } else {
+                Err(SimError::InvalidFaultPlan(format!(
+                    "{name} range ({lo}, {hi}) must satisfy 0 < min <= max"
+                )))
+            }
+        };
+        if !self.horizon.is_finite() || self.horizon <= 0.0 {
+            return Err(SimError::InvalidFaultPlan(format!(
+                "horizon must be positive, got {}",
+                self.horizon
+            )));
+        }
+        if self.crashes > 0 {
+            range_ok(self.crash_downtime, "crash_downtime")?;
+        }
+        if self.stragglers > 0 {
+            range_ok(self.straggler_duration, "straggler_duration")?;
+            let (lo, hi) = self.slowdown;
+            if !(lo.is_finite() && hi.is_finite() && lo >= 1.0 && lo <= hi) {
+                return Err(SimError::InvalidFaultPlan(format!(
+                    "slowdown range ({lo}, {hi}) must satisfy 1 <= min <= max"
+                )));
+            }
+        }
+        if self.blackouts > 0 {
+            range_ok(self.blackout_duration, "blackout_duration")?;
+        }
+        if !(0.0..1.0).contains(&self.metric_noise) {
+            return Err(SimError::InvalidFaultPlan(format!(
+                "metric_noise must be in [0,1), got {}",
+                self.metric_noise
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The engine-side cursor over a [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    next: usize,
+}
+
+impl FaultInjector {
+    /// Binds an injector to a plan.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector { plan, next: 0 }
+    }
+
+    /// All events due at or before `now` (with a small slack so events
+    /// on tick boundaries fire on that tick), advancing the cursor.
+    pub fn due(&mut self, now: f64) -> &[FaultEvent] {
+        let start = self.next;
+        while self.next < self.plan.events.len() && self.plan.events[self.next].time <= now + 1e-9 {
+            self.next += 1;
+        }
+        &self.plan.events[start..self.next]
+    }
+
+    /// The metric-noise amplitude of the underlying plan.
+    pub fn metric_noise(&self) -> f64 {
+        self.plan.metric_noise
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = ChaosConfig {
+            crashes: 2,
+            stragglers: 2,
+            blackouts: 2,
+            ..ChaosConfig::default()
+        };
+        let a = FaultPlan::generate(&cfg, 6).unwrap();
+        let b = FaultPlan::generate(&cfg, 6).unwrap();
+        assert_eq!(a, b, "same seed must yield the same schedule");
+        let c = FaultPlan::generate(
+            &ChaosConfig {
+                seed: 8,
+                ..cfg.clone()
+            },
+            6,
+        )
+        .unwrap();
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn events_are_sorted_and_paired() {
+        let cfg = ChaosConfig {
+            crashes: 3,
+            stragglers: 1,
+            blackouts: 1,
+            ..ChaosConfig::default()
+        };
+        let plan = FaultPlan::generate(&cfg, 4).unwrap();
+        assert_eq!(plan.events.len(), 2 * (3 + 1 + 1));
+        for pair in plan.events.windows(2) {
+            assert!(pair[0].time <= pair[1].time);
+        }
+        // Every crash has a matching restore of the same worker.
+        let crashes: Vec<WorkerId> = plan
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Crash(w) => Some(w),
+                _ => None,
+            })
+            .collect();
+        for w in crashes {
+            assert!(plan
+                .events
+                .iter()
+                .any(|e| e.kind == FaultKind::Restore(w)));
+        }
+    }
+
+    #[test]
+    fn shifted_drops_past_and_rebases_future() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                time: 10.0,
+                kind: FaultKind::Crash(WorkerId(0)),
+            },
+            FaultEvent {
+                time: 50.0,
+                kind: FaultKind::Restore(WorkerId(0)),
+            },
+        ])
+        .unwrap();
+        let s = plan.shifted(20.0);
+        assert_eq!(s.events.len(), 1);
+        assert_eq!(s.events[0].time, 30.0);
+        assert_eq!(s.events[0].kind, FaultKind::Restore(WorkerId(0)));
+    }
+
+    #[test]
+    fn injector_advances_monotonically() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                time: 1.0,
+                kind: FaultKind::BlackoutStart,
+            },
+            FaultEvent {
+                time: 2.0,
+                kind: FaultKind::BlackoutEnd,
+            },
+        ])
+        .unwrap();
+        let mut inj = FaultInjector::new(plan);
+        assert!(inj.due(0.5).is_empty());
+        assert_eq!(inj.due(1.0).len(), 1);
+        assert!(inj.due(1.5).is_empty());
+        assert_eq!(inj.due(10.0).len(), 1);
+        assert!(inj.due(20.0).is_empty());
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        assert!(FaultPlan::new(vec![FaultEvent {
+            time: -1.0,
+            kind: FaultKind::BlackoutStart,
+        }])
+        .is_err());
+        assert!(FaultPlan::new(vec![FaultEvent {
+            time: 0.0,
+            kind: FaultKind::StragglerStart {
+                worker: WorkerId(0),
+                factor: 0.5,
+            },
+        }])
+        .is_err());
+        assert!(FaultPlan::none().with_metric_noise(1.0).is_err());
+        let bad = ChaosConfig {
+            slowdown: (0.5, 2.0),
+            ..ChaosConfig::default()
+        };
+        assert!(FaultPlan::generate(&bad, 2).is_err());
+        assert!(FaultPlan::generate(&ChaosConfig::default(), 0).is_err());
+        let refers = FaultPlan::new(vec![FaultEvent {
+            time: 0.0,
+            kind: FaultKind::Crash(WorkerId(9)),
+        }])
+        .unwrap();
+        assert!(refers.validate(2).is_err());
+        assert!(refers.validate(10).is_ok());
+    }
+}

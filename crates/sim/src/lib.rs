@@ -22,9 +22,11 @@
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod metrics;
 
 pub use config::SimConfig;
 pub use engine::Simulation;
 pub use error::SimError;
+pub use fault::{ChaosConfig, FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use metrics::{MetricPoint, SimulationReport, SourceStats, TaskRateStats};

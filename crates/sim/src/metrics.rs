@@ -77,6 +77,14 @@ pub struct SimulationReport {
     pub per_source: HashMap<OperatorId, SourceStats>,
     /// Per-task rate statistics after warm-up, indexed by task id.
     pub task_rates: Vec<TaskRateStats>,
+    /// Per-worker liveness at the end of the window — the heartbeat a
+    /// failure detector consumes (`true` = heartbeat present).
+    pub worker_alive: Vec<bool>,
+    /// Whether metrics (and heartbeats) were observable at the end of
+    /// the window; `false` during an injected metric blackout. A
+    /// detector must treat a blackout window as *unobserved*, not as
+    /// every worker missing its heartbeat.
+    pub metrics_ok: bool,
 }
 
 impl SimulationReport {
@@ -144,6 +152,8 @@ mod tests {
             worker_net_util: vec![0.2],
             per_source,
             task_rates: vec![],
+            worker_alive: vec![true],
+            metrics_ok: true,
         }
     }
 

@@ -5,19 +5,30 @@
 # dependencies (everything external was replaced by crates/util —
 # see DESIGN.md "Hermetic build"). This script is the contract:
 #
-#   1. dependency guard — no non-capsys-* dependency may appear in any
+#   1. tree guard — no build artifacts (target/) may be tracked;
+#   2. dependency guard — no non-capsys-* dependency may appear in any
 #      Cargo.toml (including dev-dependencies and benches);
-#   2. release build of every target;
-#   3. full test suite (debug), including the determinism golden test;
-#   4. determinism golden test again in release (debug/release parity);
-#   5. one smoke bench end-to-end, emitting a timing result.
+#   3. release build of every target;
+#   4. full test suite (debug), including the determinism golden test;
+#   5. determinism golden test again in release (debug/release parity);
+#   6. one smoke bench end-to-end, emitting a timing result;
+#   7. chaos smoke — seeded fault injection + self-healing recovery,
+#      including its own same-seed replay check.
 #
 # Usage: scripts/ci.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/5] dependency guard: workspace-internal crates only"
+echo "==> [1/7] tree guard: no tracked build artifacts"
+if git ls-files | grep -q '^target/'; then
+    echo "FORBIDDEN: build artifacts under target/ are tracked" >&2
+    echo "(run: git rm -r --cached target)" >&2
+    exit 1
+fi
+echo "    ok: target/ is untracked"
+
+echo "==> [2/7] dependency guard: workspace-internal crates only"
 # Collect every dependency key from every manifest. Dependency lines are
 # `name = ...` or `name.workspace = true` inside a [*dependencies*]
 # section; only capsys-* names are allowed.
@@ -46,16 +57,19 @@ if [ "$violations" -ne 0 ]; then
 fi
 echo "    ok: all dependencies are capsys-* path crates"
 
-echo "==> [2/5] cargo build --release (all targets)"
+echo "==> [3/7] cargo build --release (all targets)"
 cargo build --release --workspace --all-targets
 
-echo "==> [3/5] cargo test (debug, full workspace)"
+echo "==> [4/7] cargo test (debug, full workspace)"
 cargo test -q --workspace
 
-echo "==> [4/5] determinism golden test (release)"
+echo "==> [5/7] determinism golden test (release)"
 cargo test -q --release --test golden_determinism
 
-echo "==> [5/5] smoke bench (quick mode, end-to-end)"
+echo "==> [6/7] smoke bench (quick mode, end-to-end)"
 CAPSYS_BENCH_QUICK=1 cargo bench -p capsys-bench --bench caps_search
+
+echo "==> [7/7] chaos smoke (fault injection + recovery, seed 7)"
+cargo run --release -p capsys-bench --bin exp_chaos -- --seed 7 --quick
 
 echo "CI green."

@@ -6,10 +6,12 @@
 //! the `free_slots` search extension.
 
 use capsys::caps::{CapsSearch, SearchConfig};
-use capsys::model::{Cluster, WorkerId, WorkerSpec};
+use capsys::controller::{ClosedLoop, ClosedLoopTrace, LadderRung, RecoveryConfig};
+use capsys::ds2::Ds2Config;
+use capsys::model::{Cluster, RateSchedule, WorkerId, WorkerSpec};
 use capsys::placement::{CapsStrategy, PlacementContext, PlacementStrategy};
 use capsys::queries::q1_sliding;
-use capsys::sim::{SimConfig, Simulation};
+use capsys::sim::{FaultEvent, FaultKind, FaultPlan, SimConfig, Simulation};
 use capsys_util::rng::SmallRng;
 use capsys_util::rng::SeedableRng;
 
@@ -102,6 +104,87 @@ fn caps_replacement_recovers_from_worker_failure() {
         recovered.avg_throughput,
         rate
     );
+}
+
+/// Runs the self-healing closed loop against a scripted crash of the
+/// worker hosting task 0 and returns (victim, target rate, trace).
+fn chaos_loop_run(seed: u64) -> (WorkerId, f64, ClosedLoopTrace) {
+    let query = q1_sliding();
+    let cluster = Cluster::homogeneous(6, WorkerSpec::r5d_xlarge(4)).unwrap();
+    let target = query.capacity_rate(&cluster, 0.5).unwrap();
+    let strategy = CapsStrategy::default();
+    let loop_ = ClosedLoop::new(
+        &query,
+        &cluster,
+        &strategy,
+        Ds2Config {
+            activation_period: 60.0,
+            policy_interval: 5.0,
+            max_parallelism: 8,
+            headroom: 1.0,
+        },
+        SimConfig {
+            duration: 1.0,
+            warmup: 0.0,
+            ..SimConfig::default()
+        },
+        RateSchedule::Constant(target),
+        seed,
+    )
+    .unwrap();
+    // Crash a worker the initial placement actually uses, 60s in.
+    let victim = loop_.placement().worker_of(capsys::model::TaskId(0));
+    let plan = FaultPlan {
+        events: vec![FaultEvent {
+            time: 60.0,
+            kind: FaultKind::Crash(victim),
+        }],
+        metric_noise: 0.0,
+    };
+    let trace = loop_
+        .with_fault_plan(plan)
+        .unwrap()
+        .with_recovery(RecoveryConfig::default())
+        .run(300.0)
+        .expect("closed loop survives a worker crash");
+    (victim, target, trace)
+}
+
+#[test]
+fn closed_loop_detects_crash_and_recovers_throughput() {
+    let (victim, target, trace) = chaos_loop_run(7);
+
+    // The detector declared exactly the crashed worker down and the
+    // ladder's first rung (full CAPS) re-placed the job.
+    assert_eq!(trace.recovery_events.len(), 1, "expected one recovery");
+    let ev = &trace.recovery_events[0];
+    assert_eq!(ev.worker, victim);
+    assert!(
+        ev.detected_at > 60.0 && ev.detected_at <= 90.0,
+        "detection at {} outside (60, 90]",
+        ev.detected_at
+    );
+    assert_eq!(ev.rung, LadderRung::Caps);
+    assert!(ev.time_to_recover >= ev.detection_lag);
+
+    // After recovery settles the job tracks >= 95% of its target.
+    let from = ev.recovered_at + 60.0;
+    let tp = trace.avg_throughput(from, 300.0);
+    assert!(
+        tp >= 0.95 * target,
+        "post-recovery throughput {tp} below 95% of {target}"
+    );
+    // The outage itself was visible: some throughput was lost.
+    assert!(trace.throughput_loss_area(0.0, 300.0) > 0.0);
+}
+
+#[test]
+fn closed_loop_chaos_runs_replay_identically() {
+    let (_, _, a) = chaos_loop_run(7);
+    let (_, _, b) = chaos_loop_run(7);
+    assert_eq!(a.recovery_events, b.recovery_events);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.points, b.points);
 }
 
 #[test]

@@ -240,6 +240,89 @@ fn simulation_conserves_records() {
 }
 
 #[test]
+fn fault_plans_are_pure_functions_of_their_seed() {
+    use capsys::sim::{ChaosConfig, FaultPlan};
+    forall!(cases(), (
+        seed in ints(0u64..100_000),
+        workers in ints(2usize..=8),
+        crashes in ints(0usize..=3),
+        stragglers in ints(0usize..=3),
+    ) => {
+        let cfg = ChaosConfig {
+            seed: *seed,
+            crashes: *crashes,
+            stragglers: *stragglers,
+            metric_noise: 0.05,
+            ..ChaosConfig::default()
+        };
+        let a = FaultPlan::generate(&cfg, *workers).expect("plan generates");
+        let b = FaultPlan::generate(&cfg, *workers).expect("plan generates");
+        assert_eq!(a, b, "same seed must yield the same schedule");
+        a.validate(*workers).expect("generated plan is valid");
+        for w in a.events.windows(2) {
+            assert!(w[0].time <= w[1].time, "events must be time-sorted");
+        }
+        // Shifting past the horizon leaves only the noise.
+        let empty = a.shifted(1e9);
+        assert!(empty.events.is_empty());
+    });
+}
+
+#[test]
+fn chaos_recovery_replays_identically_per_seed() {
+    use capsys::controller::{ClosedLoop, RecoveryConfig};
+    use capsys::ds2::Ds2Config;
+    use capsys::queries::q1_sliding;
+    use capsys::sim::{ChaosConfig, FaultPlan};
+
+    // Full closed-loop runs are comparatively expensive; a few seeds
+    // suffice to catch nondeterminism in the detect/re-place path.
+    forall!(Config::default().cases(3), (
+        seed in ints(0u64..1_000),
+    ) => {
+        let query = q1_sliding();
+        let cluster = Cluster::homogeneous(6, WorkerSpec::r5d_xlarge(4)).expect("cluster");
+        let target = query.capacity_rate(&cluster, 0.5).expect("rate");
+        let chaos = ChaosConfig {
+            seed: *seed,
+            horizon: 200.0,
+            crash_downtime: (200.0, 200.0),
+            metric_noise: 0.02,
+            ..ChaosConfig::default()
+        };
+        let strategy = capsys::placement::CapsStrategy::default();
+        let run = || {
+            let plan = FaultPlan::generate(&chaos, cluster.num_workers()).expect("fault plan");
+            ClosedLoop::new(
+                &query,
+                &cluster,
+                &strategy,
+                Ds2Config {
+                    activation_period: 60.0,
+                    policy_interval: 5.0,
+                    max_parallelism: 8,
+                    headroom: 1.0,
+                },
+                SimConfig { duration: 1.0, warmup: 0.0, ..SimConfig::default() },
+                RateSchedule::Constant(target),
+                *seed,
+            )
+            .expect("closed loop")
+            .with_fault_plan(plan)
+            .expect("fault plan installs")
+            .with_recovery(RecoveryConfig::default())
+            .run(200.0)
+            .expect("loop survives chaos")
+        };
+        let t1 = run();
+        let t2 = run();
+        assert_eq!(t1.recovery_events, t2.recovery_events, "recovery events diverged");
+        assert_eq!(t1.events, t2.events, "scaling events diverged");
+        assert_eq!(t1.points, t2.points, "metric traces diverged");
+    });
+}
+
+#[test]
 fn canonical_key_invariant_under_worker_permutation() {
     forall!(cases(), (
         ops in arb_ops(),
