@@ -1,0 +1,312 @@
+//! Search-performance trajectory: nodes/sec, wall time, thread scaling,
+//! and auto-tune warm-start gains, recorded PR-over-PR.
+//!
+//! Runs the CAPS search on a Table-2-scale topology (Q3-inf ×2 on an
+//! 8-worker cluster; `--smoke` shrinks to Q3-inf on 5 workers) across
+//! `threads ∈ {1, 2, 4, 8}`, then times threshold auto-tuning with the
+//! warm-start probe cache on and off. Results are written to
+//! `BENCH_search.json` at the repository root so successive PRs leave a
+//! comparable perf record.
+//!
+//! The smoke mode sanity-checks the run: the feasible plan count must be
+//! identical across thread counts, the warm-started tuner must not
+//! launch more probe searches than the cold one, and — when the machine
+//! actually has ≥ 4 hardware threads — the 4-thread search must be at
+//! least 1.5× faster than 1 thread. On smaller machines (CI containers
+//! are often single-core) the speedup is recorded but only a bounded
+//! overhead is asserted, with a note in the output.
+
+use std::time::Instant;
+
+use capsys_bench::banner;
+use capsys_core::{AutoTuneConfig, AutoTuner, CapsSearch, SearchConfig, Thresholds};
+use capsys_model::{Cluster, WorkerSpec};
+use capsys_queries::q3_inf;
+use capsys_util::json::{obj, Json};
+
+/// Hard floor on the 4-thread speedup when ≥ 4 hardware threads exist.
+const MIN_SPEEDUP_4T: f64 = 1.5;
+
+/// On machines with fewer hardware threads a real speedup is physically
+/// unattainable; assert only that the work-stealing runtime's overhead
+/// stays bounded (time-sliced threads should not cost 2× wall clock).
+const MIN_SPEEDUP_OVERSUBSCRIBED: f64 = 0.45;
+
+fn parse_args() -> bool {
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument: {other} (supported: --smoke)");
+                std::process::exit(2);
+            }
+        }
+    }
+    smoke
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let smoke = parse_args();
+    banner(
+        "Search perf",
+        "nodes/sec, thread scaling, auto-tune warm-start",
+        "§5.1-5.2",
+    );
+
+    let (query, num_workers, alpha, reps) = if smoke {
+        (q3_inf(), 5usize, Thresholds::new(0.5, 0.5, f64::INFINITY), 3)
+    } else {
+        (
+            q3_inf().scaled(2).expect("scaling"),
+            8usize,
+            Thresholds::new(0.35, f64::INFINITY, f64::INFINITY),
+            2,
+        )
+    };
+    let cluster = Cluster::homogeneous(num_workers, WorkerSpec::r5d_xlarge(4)).expect("cluster");
+    let physical = query.physical();
+    let loads = query.load_model(&physical).expect("loads");
+    let search = CapsSearch::new(query.logical(), &physical, &cluster, &loads).expect("search");
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "{}: {} tasks on {} workers x {} slots, alpha=({}, {}, {}), {} hardware threads\n",
+        if smoke { "Q3-inf (smoke)" } else { "Q3-inf x2" },
+        physical.num_tasks(),
+        cluster.num_workers(),
+        cluster.slots_per_worker(),
+        alpha.cpu,
+        alpha.io,
+        alpha.net,
+        hardware_threads,
+    );
+
+    // --- Thread-scaling sweep -------------------------------------------
+    let header = format!(
+        "{:<8} {:>10} {:>12} {:>14} {:>10}",
+        "threads", "wall_ms", "nodes", "nodes/sec", "plans"
+    );
+    println!("{header}");
+    capsys_bench::rule(&header);
+
+    let mut scaling = Vec::new();
+    let mut wall_by_threads = std::collections::HashMap::new();
+    let mut plan_counts = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        // A realistic cap: CAPS deployments keep a shortlist of the best
+        // plans, not every feasible leaf. The capped store also exercises
+        // the schedule-independent truncation path under load.
+        let config = SearchConfig {
+            threads,
+            max_plans: 64,
+            ..SearchConfig::with_thresholds(alpha)
+        };
+        let mut walls = Vec::new();
+        let mut last = None;
+        for _ in 0..reps {
+            let out = search.run(&config).expect("search runs");
+            assert!(!out.stats.aborted, "scaling run must complete");
+            walls.push(out.stats.elapsed.as_secs_f64() * 1e3);
+            last = Some(out);
+        }
+        let out = last.expect("at least one rep");
+        let wall_ms = median(walls);
+        let nodes_per_sec = out.stats.nodes as f64 / (wall_ms / 1e3);
+        println!(
+            "{:<8} {:>10.1} {:>12} {:>14.0} {:>10}",
+            threads, wall_ms, out.stats.nodes, nodes_per_sec, out.stats.plans_found
+        );
+        wall_by_threads.insert(threads, wall_ms);
+        plan_counts.push(out.stats.plans_found);
+        scaling.push(obj(vec![
+            ("threads", Json::Num(threads as f64)),
+            ("wall_ms", Json::Num(wall_ms)),
+            ("nodes", Json::Num(out.stats.nodes as f64)),
+            ("nodes_per_sec", Json::Num(nodes_per_sec)),
+            ("plans_found", Json::Num(out.stats.plans_found as f64)),
+        ]));
+    }
+
+    let identical = plan_counts.iter().all(|&c| c == plan_counts[0]);
+    assert!(
+        identical,
+        "plan counts diverged across thread counts: {plan_counts:?}"
+    );
+    let speedup = |t: usize| wall_by_threads[&1] / wall_by_threads[&t];
+    println!(
+        "\nspeedup: 2t {:.2}x, 4t {:.2}x, 8t {:.2}x",
+        speedup(2),
+        speedup(4),
+        speedup(8)
+    );
+
+    // --- Auto-tune warm-start -------------------------------------------
+    let tune_base = SearchConfig::auto_tuned();
+    let cold_cfg = AutoTuneConfig {
+        warm_start: false,
+        ..AutoTuneConfig::default()
+    };
+    let t0 = Instant::now();
+    let warm = AutoTuner::new(&tune_base.auto_tune)
+        .tune(&search, &tune_base)
+        .expect("warm tune");
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let cold = AutoTuner::new(&cold_cfg)
+        .tune(&search, &tune_base)
+        .expect("cold tune");
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        warm.thresholds, cold.thresholds,
+        "warm-start must not change the tuned thresholds"
+    );
+    assert!(
+        warm.probe_searches <= cold.probe_searches,
+        "warm-start launched more searches ({}) than cold ({})",
+        warm.probe_searches,
+        cold.probe_searches
+    );
+    println!(
+        "auto-tune: warm {:.1} ms ({} searches + {} cache hits), cold {:.1} ms ({} searches)",
+        warm_ms, warm.probe_searches, warm.cache_hits, cold_ms, cold.probe_searches
+    );
+
+    // --- Speedup gates ---------------------------------------------------
+    if hardware_threads >= 4 {
+        assert!(
+            speedup(4) >= MIN_SPEEDUP_4T,
+            "4-thread speedup {:.2}x below the {MIN_SPEEDUP_4T}x floor",
+            speedup(4)
+        );
+    } else {
+        println!(
+            "note: only {hardware_threads} hardware thread(s) — a 4-thread speedup is \
+             unattainable here; asserting bounded overhead instead"
+        );
+        assert!(
+            speedup(4) >= MIN_SPEEDUP_OVERSUBSCRIBED,
+            "4-thread oversubscription overhead too high: {:.2}x",
+            speedup(4)
+        );
+    }
+
+    // --- Record ----------------------------------------------------------
+    let generated_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let record = obj(vec![
+        ("schema", Json::Str("capsys/bench-search/v1".into())),
+        (
+            "mode",
+            Json::Str(if smoke { "smoke" } else { "full" }.into()),
+        ),
+        ("generated_unix", Json::Num(generated_unix as f64)),
+        ("hardware_threads", Json::Num(hardware_threads as f64)),
+        (
+            "topology",
+            obj(vec![
+                ("query", Json::Str(query.name().into())),
+                ("tasks", Json::Num(physical.num_tasks() as f64)),
+                ("workers", Json::Num(cluster.num_workers() as f64)),
+                (
+                    "slots_per_worker",
+                    Json::Num(cluster.slots_per_worker() as f64),
+                ),
+            ]),
+        ),
+        (
+            "alpha",
+            obj(vec![
+                ("cpu", Json::Num(alpha.cpu)),
+                ("io", Json::Num(alpha.io)),
+                ("net", Json::Num(alpha.net)),
+            ]),
+        ),
+        ("scaling", Json::Arr(scaling)),
+        (
+            "speedup",
+            obj(vec![
+                ("t2", Json::Num(speedup(2))),
+                ("t4", Json::Num(speedup(4))),
+                ("t8", Json::Num(speedup(8))),
+            ]),
+        ),
+        (
+            "autotune",
+            obj(vec![
+                ("warm_ms", Json::Num(warm_ms)),
+                ("cold_ms", Json::Num(cold_ms)),
+                ("speedup", Json::Num(cold_ms / warm_ms)),
+                (
+                    "warm_probe_searches",
+                    Json::Num(warm.probe_searches as f64),
+                ),
+                ("warm_cache_hits", Json::Num(warm.cache_hits as f64)),
+                (
+                    "cold_probe_searches",
+                    Json::Num(cold.probe_searches as f64),
+                ),
+                (
+                    "thresholds",
+                    obj(vec![
+                        ("cpu", Json::Num(warm.thresholds.cpu)),
+                        ("io", Json::Num(warm.thresholds.io)),
+                        ("net", Json::Num(warm.thresholds.net)),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "determinism",
+            obj(vec![
+                ("plans_found", Json::Num(plan_counts[0] as f64)),
+                ("identical_across_threads", Json::Bool(identical)),
+            ]),
+        ),
+    ]);
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_search.json");
+    std::fs::write(path, record.to_pretty() + "\n").expect("write BENCH_search.json");
+
+    // Validate what landed on disk: a malformed record must fail the run.
+    let raw = std::fs::read_to_string(path).expect("re-read BENCH_search.json");
+    let parsed = Json::parse(&raw).expect("BENCH_search.json must parse");
+    for key in [
+        "schema",
+        "mode",
+        "hardware_threads",
+        "topology",
+        "alpha",
+        "scaling",
+        "speedup",
+        "autotune",
+        "determinism",
+    ] {
+        assert!(
+            parsed.get(key).is_some(),
+            "BENCH_search.json is missing key {key:?}"
+        );
+    }
+    assert_eq!(
+        parsed.get("schema").and_then(Json::as_str),
+        Some("capsys/bench-search/v1")
+    );
+    assert_eq!(
+        parsed
+            .get("scaling")
+            .and_then(Json::as_array)
+            .map(|a| a.len()),
+        Some(4)
+    );
+
+    println!("\nwrote {path}");
+}

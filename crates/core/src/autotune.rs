@@ -16,11 +16,19 @@
 //!
 //! A configurable timeout bounds the total tuning time; hitting it
 //! returns [`CapsError::AutoTuneTimeout`].
+//!
+//! Both phases are **warm-started** (on by default): every feasibility
+//! probe that finds a witness plan caches the witness's cost vector, and
+//! every probe that comes up empty caches the threshold vector it failed
+//! under. Feasibility is monotone in `α⃗`, so a later probe whose
+//! thresholds admit a cached witness is feasible without searching, and
+//! one whose thresholds are component-wise tighter than a cached failure
+//! is infeasible without searching. Each cache hit replaces an entire
+//! first-feasible search with an O(1) check.
 
 use std::time::{Duration, Instant};
 
-
-use crate::cost::Thresholds;
+use crate::cost::{CostVector, Thresholds};
 use crate::error::CapsError;
 use crate::search::{CapsSearch, SearchConfig};
 
@@ -48,6 +56,11 @@ pub struct AutoTuneConfig {
     /// threshold is relaxed further — a conservative early exit that
     /// keeps tuning fast on very large plan spaces.
     pub probe_node_budget: usize,
+    /// Re-validate cached witness plans (and cached infeasible threshold
+    /// vectors) before launching a probe search. Monotonicity of
+    /// feasibility in `α⃗` makes both reuses exact, so this changes the
+    /// probe *cost*, never the tuned thresholds.
+    pub warm_start: bool,
 }
 
 impl Default for AutoTuneConfig {
@@ -59,6 +72,7 @@ impl Default for AutoTuneConfig {
             timeout: Duration::from_secs(5),
             min_pressure: 0.05,
             probe_node_budget: 2_000_000,
+            warm_start: true,
         }
     }
 }
@@ -70,10 +84,67 @@ pub struct AutoTuneReport {
     pub thresholds: Thresholds,
     /// Phase-1 per-dimension minima `[α_cpu, α_io, α_net]`.
     pub per_dimension: [f64; 3],
-    /// Total feasibility probes performed.
+    /// Total feasibility probes performed (searches plus cache hits).
     pub iterations: usize,
+    /// Probes answered by an actual first-feasible search.
+    pub probe_searches: usize,
+    /// Probes answered from the warm-start caches without searching.
+    pub cache_hits: usize,
     /// Total tuning time.
     pub elapsed: Duration,
+}
+
+/// Warm-start state shared by all probes of one tuning run.
+#[derive(Default)]
+struct ProbeCache {
+    /// Cost vectors of witness plans found by earlier probes. Any
+    /// thresholds a cached witness satisfies are feasible.
+    witnesses: Vec<CostVector>,
+    /// Threshold vectors earlier probes failed under. Any thresholds
+    /// component-wise tighter than a cached failure are infeasible.
+    infeasible: Vec<[f64; 3]>,
+    searches: usize,
+    hits: usize,
+}
+
+impl ProbeCache {
+    /// Answers a feasibility probe, from cache when possible.
+    fn probe(
+        &mut self,
+        search: &CapsSearch<'_>,
+        th: &Thresholds,
+        base: &SearchConfig,
+        deadline: Instant,
+        warm: bool,
+    ) -> Result<bool, CapsError> {
+        if warm {
+            if self.witnesses.iter().any(|w| w.within(th)) {
+                self.hits += 1;
+                return Ok(true);
+            }
+            let tightens = |u: &[f64; 3]| {
+                [th.cpu, th.io, th.net]
+                    .iter()
+                    .zip(u)
+                    .all(|(a, b)| *a <= b + 1e-12)
+            };
+            if self.infeasible.iter().any(|u| tightens(u)) {
+                self.hits += 1;
+                return Ok(false);
+            }
+        }
+        self.searches += 1;
+        match search.find_witness(th, base, Some(deadline))? {
+            Some(w) => {
+                self.witnesses.push(w.cost);
+                Ok(true)
+            }
+            None => {
+                self.infeasible.push([th.cpu, th.io, th.net]);
+                Ok(false)
+            }
+        }
+    }
 }
 
 /// The threshold auto-tuner.
@@ -107,6 +178,8 @@ impl<'a> AutoTuner<'a> {
         let start = Instant::now();
         let deadline = start + self.config.timeout;
         let mut iterations = 0usize;
+        let mut cache = ProbeCache::default();
+        let warm = self.config.warm_start;
         let probe_base = SearchConfig {
             node_budget: Some(
                 base.node_budget
@@ -128,7 +201,7 @@ impl<'a> AutoTuner<'a> {
             loop {
                 let th = Thresholds::unbounded().with(crate::cost::Dimension::ALL[dim], alpha);
                 iterations += 1;
-                if search.is_feasible(&th, base, Some(deadline))? {
+                if cache.probe(search, &th, base, deadline, warm)? {
                     per_dimension[dim] = alpha;
                     break;
                 }
@@ -161,7 +234,7 @@ impl<'a> AutoTuner<'a> {
         };
         loop {
             iterations += 1;
-            if search.is_feasible(&th, base, Some(deadline))? {
+            if cache.probe(search, &th, base, deadline, warm)? {
                 break;
             }
             let active_maxed = [th.cpu, th.io, th.net]
@@ -186,6 +259,8 @@ impl<'a> AutoTuner<'a> {
             thresholds: th,
             per_dimension,
             iterations,
+            probe_searches: cache.searches,
+            cache_hits: cache.hits,
             elapsed: start.elapsed(),
         })
     }
@@ -304,6 +379,59 @@ mod tests {
         assert!(report.thresholds.cpu >= report.per_dimension[0] - 1e-12);
         assert!(report.thresholds.io >= report.per_dimension[1] - 1e-12);
         assert!(report.thresholds.net >= report.per_dimension[2] - 1e-12);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_thresholds_with_fewer_searches() {
+        // Warm-starting reuses exact monotonicity facts, so it must land
+        // on the same thresholds as a cold run while launching no more
+        // probe searches.
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let warm_base = SearchConfig::auto_tuned();
+        let cold_base = SearchConfig {
+            auto_tune: AutoTuneConfig {
+                warm_start: false,
+                ..AutoTuneConfig::default()
+            },
+            ..SearchConfig::auto_tuned()
+        };
+        let warm = AutoTuner::new(&warm_base.auto_tune)
+            .tune(&search, &warm_base)
+            .unwrap();
+        let cold = AutoTuner::new(&cold_base.auto_tune)
+            .tune(&search, &cold_base)
+            .unwrap();
+        assert_eq!(warm.thresholds, cold.thresholds);
+        assert_eq!(warm.per_dimension, cold.per_dimension);
+        assert_eq!(warm.iterations, cold.iterations);
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(cold.probe_searches, cold.iterations);
+        assert!(warm.probe_searches <= cold.probe_searches);
+        assert_eq!(warm.probe_searches + warm.cache_hits, warm.iterations);
+    }
+
+    #[test]
+    fn probe_cache_reuses_witnesses_and_failures() {
+        let (g, p, c, lm) = fixture();
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let base = SearchConfig::auto_tuned();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut cache = ProbeCache::default();
+        let feasible = Thresholds::new(1.0, 1.0, 1.0);
+        let infeasible = Thresholds::new(0.0, 0.0, 0.0);
+        assert!(cache.probe(&search, &feasible, &base, deadline, true).unwrap());
+        assert!(!cache.probe(&search, &infeasible, &base, deadline, true).unwrap());
+        assert_eq!(cache.searches, 2);
+        // A looser vector than a known witness: answered from cache.
+        assert!(cache.probe(&search, &feasible, &base, deadline, true).unwrap());
+        // A tighter vector than a known failure: answered from cache.
+        assert!(!cache.probe(&search, &infeasible, &base, deadline, true).unwrap());
+        assert_eq!(cache.searches, 2);
+        assert_eq!(cache.hits, 2);
+        // Warm-start off: both go back to the search.
+        assert!(cache.probe(&search, &feasible, &base, deadline, false).unwrap());
+        assert_eq!(cache.searches, 3);
     }
 
     #[test]

@@ -318,6 +318,23 @@ impl CostModel {
         bound
     }
 
+    /// Inverts [`CostModel::load_to_cost`]: the raw per-worker load that a
+    /// normalized cost value corresponds to along `dim`.
+    ///
+    /// Degenerate dimensions (`L_max = L_min`) and non-finite costs yield
+    /// an infinite load (no pruning along that dimension) — the same
+    /// convention as [`CostModel::load_bound`]. The parallel search uses
+    /// this to turn the shared incumbent `max_component` cost into
+    /// per-dimension load limits it can check incrementally.
+    pub fn cost_to_load(&self, dim: usize, cost: f64) -> f64 {
+        let denom = self.bounds.max[dim] - self.bounds.min[dim];
+        if cost.is_finite() && denom.abs() >= EPS {
+            self.bounds.min[dim] + cost * denom
+        } else {
+            f64::INFINITY
+        }
+    }
+
     /// The tightest integral lower bound on the achievable cost along a
     /// dimension, used by the auto-tuner as a starting point.
     ///
@@ -475,6 +492,23 @@ mod tests {
             let within_cost = m.cost(&p, &f).within(&th);
             assert_eq!(within_loads, within_cost, "Eq. 10 equivalence violated");
         }
+    }
+
+    #[test]
+    fn cost_to_load_inverts_load_to_cost() {
+        let (p, c, lm) = fixture();
+        let m = CostModel::new(&p, &c, &lm).unwrap();
+        for f in capsys_model::enumerate_plans(&p, &c, usize::MAX).unwrap() {
+            let loads = m.plan_loads(&p, &f);
+            for dim in 0..3 {
+                let cost = m.load_to_cost(dim, loads[dim]);
+                let back = m.cost_to_load(dim, cost);
+                if back.is_finite() {
+                    assert!((back - loads[dim]).abs() < 1e-9);
+                }
+            }
+        }
+        assert!(m.cost_to_load(0, f64::INFINITY).is_infinite());
     }
 
     #[test]

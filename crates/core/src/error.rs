@@ -22,6 +22,10 @@ pub enum CapsError {
     /// plan was found. Unlike [`CapsError::NoFeasiblePlan`] this does not
     /// prove infeasibility — a larger budget might still find a plan.
     BudgetExhausted,
+    /// A worker thread of the parallel search panicked. The remaining
+    /// workers were stopped cleanly and joined; partial results are
+    /// discarded because the panicking thread's subtree is incomplete.
+    SearchPanicked,
 }
 
 impl fmt::Display for CapsError {
@@ -37,6 +41,9 @@ impl fmt::Display for CapsError {
             CapsError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CapsError::BudgetExhausted => {
                 write!(f, "search budget exhausted before a feasible plan was found")
+            }
+            CapsError::SearchPanicked => {
+                write!(f, "a parallel search worker thread panicked")
             }
         }
     }
@@ -76,5 +83,6 @@ mod tests {
             .to_string()
             .contains("x"));
         assert!(CapsError::BudgetExhausted.to_string().contains("budget"));
+        assert!(CapsError::SearchPanicked.to_string().contains("panicked"));
     }
 }

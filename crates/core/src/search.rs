@@ -29,6 +29,14 @@ use crate::pareto::pareto_front;
 /// Numerical slack when comparing accumulated loads against Eq. 10 bounds.
 const BOUND_EPS: f64 = 1e-9;
 
+/// Slack for the full-store screen in [`CapsVisitor::record`]: a
+/// candidate whose *incremental* `max_component` exceeds the worst
+/// stored plan's exact cost by more than this can be discarded without
+/// computing its exact cost. Costs live in the unit interval and the
+/// accumulator's drift is a few ulps (≈1e-13 after the longest paths),
+/// so 1e-9 is conservative by four orders of magnitude.
+const RECORD_SCREEN_MARGIN: f64 = 1e-9;
+
 /// How often (in `place` calls) the deadline is polled.
 const TIME_CHECK_MASK: usize = 0x3FF;
 
@@ -57,6 +65,16 @@ pub struct SearchConfig {
     pub free_slots: Option<Vec<usize>>,
     /// Auto-tuner settings used when `thresholds` is `None`.
     pub auto_tune: AutoTuneConfig,
+    /// Prune against the best `max_component` cost found so far (shared
+    /// across all threads in the parallel search §5.1). Branches whose
+    /// partial cost already exceeds the incumbent cannot contain a new
+    /// best plan, so cutting them is sound for *optimization* — but it
+    /// changes what "feasible" means for the stored set and the
+    /// `plans_found` statistic, so it is opt-in. When enabled, `feasible`
+    /// is filtered to the minimum-cost plans (every tie is kept, up to
+    /// `max_plans`) and `plans_found`/`nodes`/`pruned` become
+    /// schedule-dependent.
+    pub incumbent_prune: bool,
 }
 
 impl SearchConfig {
@@ -80,6 +98,7 @@ impl SearchConfig {
             time_budget: None,
             free_slots: None,
             auto_tune: AutoTuneConfig::default(),
+            incumbent_prune: false,
         }
     }
 
@@ -99,6 +118,25 @@ impl SearchConfig {
         self.first_feasible = true;
         self
     }
+
+    /// Enables incumbent-bound pruning (best-so-far `max_component`
+    /// shared across threads), returning the modified config.
+    pub fn incumbent_pruned(mut self) -> Self {
+        self.incumbent_prune = true;
+        self
+    }
+}
+
+/// Total order on scored plans: `max_component` cost first, then the
+/// plan's assignment vector as a deterministic tie-break. Using this
+/// everywhere plans are ranked or truncated makes the stored plan set
+/// independent of thread count and steal schedule.
+pub(crate) fn cmp_scored(a: &ScoredPlan, b: &ScoredPlan) -> std::cmp::Ordering {
+    a.cost
+        .max_component()
+        .partial_cmp(&b.cost.max_component())
+        .expect("costs are finite")
+        .then_with(|| a.plan.assignment().cmp(b.plan.assignment()))
 }
 
 /// A feasible plan together with its cost vector.
@@ -262,7 +300,12 @@ pub(crate) struct CapsVisitor<'a> {
     cnt: Vec<Vec<usize>>,
     subtask_worker: Vec<Vec<usize>>,
     load: Vec<[f64; 3]>,
-    undo: Vec<Vec<(usize, [f64; 3])>>,
+    /// Flat arena of pending load deltas. Each `place` appends its deltas
+    /// here and pushes the previous arena length onto `undo_marks`;
+    /// `unplace` truncates back to the popped mark. One growing buffer
+    /// instead of a `Vec<Vec<_>>` allocating per tree node.
+    delta_arena: Vec<(usize, [f64; 3])>,
+    undo_marks: Vec<usize>,
     // Results.
     found: Vec<ScoredPlan>,
     max_plans: usize,
@@ -276,7 +319,19 @@ pub(crate) struct CapsVisitor<'a> {
     nodes: usize,
     node_budget: usize,
     deadline: Option<Instant>,
+    /// Shared deadline flag for the parallel search: one watchdog thread
+    /// polls the clock and raises this, so workers never call
+    /// `Instant::now` themselves.
+    deadline_flag: Option<&'a std::sync::atomic::AtomicBool>,
     stop_flag: Option<&'a std::sync::atomic::AtomicBool>,
+    /// Shared best-so-far `max_component` cost (f64 bits), for
+    /// incumbent-bound pruning across threads.
+    incumbent: Option<&'a std::sync::atomic::AtomicU64>,
+    /// Cached incumbent bits, to avoid re-deriving load limits when the
+    /// shared value has not moved.
+    incumbent_bits: u64,
+    /// Per-dimension load limits implied by the incumbent cost.
+    incumbent_limit: [f64; 3],
     aborted: bool,
 }
 
@@ -301,7 +356,8 @@ impl<'a> CapsVisitor<'a> {
             cnt: vec![vec![0; num_workers]; n_ops],
             subtask_worker: vec![Vec::new(); n_ops],
             load: vec![[0.0; 3]; num_workers],
-            undo: Vec::new(),
+            delta_arena: Vec::with_capacity(256),
+            undo_marks: Vec::with_capacity(64),
             found: Vec::new(),
             max_plans: config.max_plans,
             first_feasible: config.first_feasible,
@@ -310,8 +366,43 @@ impl<'a> CapsVisitor<'a> {
             nodes: 0,
             node_budget: config.node_budget.unwrap_or(usize::MAX),
             deadline,
+            deadline_flag: None,
             stop_flag,
+            incumbent: None,
+            incumbent_bits: f64::INFINITY.to_bits(),
+            incumbent_limit: [f64::INFINITY; 3],
             aborted: false,
+        }
+    }
+
+    /// Installs a shared deadline flag (set by a watchdog thread) in
+    /// place of per-thread `Instant::now` polling.
+    pub(crate) fn set_deadline_flag(&mut self, flag: &'a std::sync::atomic::AtomicBool) {
+        self.deadline_flag = Some(flag);
+        self.deadline = None;
+    }
+
+    /// Installs a shared incumbent cell (best `max_component` cost so
+    /// far, stored as f64 bits) and enables pruning against it.
+    pub(crate) fn set_incumbent(&mut self, cell: &'a std::sync::atomic::AtomicU64) {
+        self.incumbent = Some(cell);
+        self.refresh_incumbent();
+    }
+
+    /// Re-derives the per-dimension load limits from the shared incumbent
+    /// if it has improved since the last look.
+    fn refresh_incumbent(&mut self) {
+        let Some(cell) = self.incumbent else {
+            return;
+        };
+        let bits = cell.load(std::sync::atomic::Ordering::Relaxed);
+        if bits == self.incumbent_bits {
+            return;
+        }
+        self.incumbent_bits = bits;
+        let cost = f64::from_bits(bits);
+        for dim in 0..3 {
+            self.incumbent_limit[dim] = self.model.cost_to_load(dim, cost);
         }
     }
 
@@ -343,15 +434,16 @@ impl<'a> CapsVisitor<'a> {
     /// accounting stays exact.
     pub(crate) fn seed_counts(&mut self, op: OperatorId, row: &[usize]) {
         for (w, &c) in row.iter().enumerate() {
-            let deltas = self.deltas(w, op.0, c);
-            for &(dw, d) in &deltas {
+            let start = self.append_deltas(w, op.0, c);
+            for i in start..self.delta_arena.len() {
+                let (dw, d) = self.delta_arena[i];
                 for (load, add) in self.load[dw].iter_mut().zip(&d) {
                     *load += add;
                 }
             }
             self.cnt[op.0][w] += c;
             self.subtask_worker[op.0].extend(std::iter::repeat_n(w, c));
-            self.undo.push(deltas);
+            self.undo_marks.push(start);
         }
     }
 
@@ -392,6 +484,12 @@ impl<'a> CapsVisitor<'a> {
                     return true;
                 }
             }
+            if let Some(f) = self.deadline_flag {
+                if f.load(std::sync::atomic::Ordering::Relaxed) {
+                    self.aborted = true;
+                    return true;
+                }
+            }
             if let Some(f) = self.stop_flag {
                 if f.load(std::sync::atomic::Ordering::Relaxed) {
                     self.aborted = true;
@@ -408,19 +506,24 @@ impl<'a> CapsVisitor<'a> {
     }
 
     /// Computes the load deltas of placing `count` tasks of `op` on
-    /// worker `w`, covering subtasks `[prefix, prefix + count)`.
-    fn deltas(&self, w: usize, op: usize, count: usize) -> Vec<(usize, [f64; 3])> {
-        let mut deltas: Vec<(usize, [f64; 3])> = Vec::with_capacity(4);
+    /// worker `w`, covering subtasks `[prefix, prefix + count)`, and
+    /// appends them to the delta arena. Returns the arena index where
+    /// this placement's deltas start.
+    fn append_deltas(&mut self, w: usize, op: usize, count: usize) -> usize {
+        // Take the arena out of `self` so the appending closure can hold
+        // it mutably while the delta computation reads `self` fields.
+        let mut arena = std::mem::take(&mut self.delta_arena);
+        let start = arena.len();
         let mut add = |worker: usize, dim: usize, amount: f64| {
             if amount == 0.0 {
                 return;
             }
-            if let Some(entry) = deltas.iter_mut().find(|(dw, _)| *dw == worker) {
+            if let Some(entry) = arena[start..].iter_mut().find(|(dw, _)| *dw == worker) {
                 entry.1[dim] += amount;
             } else {
                 let mut d = [0.0; 3];
                 d[dim] = amount;
-                deltas.push((worker, d));
+                arena.push((worker, d));
             }
         };
 
@@ -479,12 +582,32 @@ impl<'a> CapsVisitor<'a> {
             }
         }
 
-        deltas
+        drop(add);
+        self.delta_arena = arena;
+        start
     }
 
     /// Records a feasible plan, respecting the storage cap.
     fn record(&mut self, counts: &[Vec<usize>]) {
         let cost = self.current_cost();
+        if let Some(cell) = self.incumbent {
+            // CAS-min on the shared incumbent. Bit patterns of
+            // non-negative f64s order like the floats themselves, so a
+            // min on bits is a min on costs.
+            let bits = cost.max_component().max(0.0).to_bits();
+            let mut cur = cell.load(std::sync::atomic::Ordering::Relaxed);
+            while bits < cur {
+                match cell.compare_exchange_weak(
+                    cur,
+                    bits,
+                    std::sync::atomic::Ordering::Relaxed,
+                    std::sync::atomic::Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
         if self.capture_raw {
             let better = match &self.best_raw {
                 Some((_, best)) => self.weighted_key(&cost) < self.weighted_key(best),
@@ -495,27 +618,51 @@ impl<'a> CapsVisitor<'a> {
             }
             return;
         }
+        // When the store is full, screen with the incremental cost first:
+        // a candidate clearly worse than the worst stored plan can skip
+        // the `Placement` allocation and the exact cost below. The margin
+        // absorbs the accumulator's float drift (ulps; see below), so a
+        // skipped candidate is never one the exact order would have kept.
+        let worst = if self.found.len() < self.max_plans {
+            None
+        } else {
+            match (0..self.found.len())
+                .max_by(|&i, &j| cmp_scored(&self.found[i], &self.found[j]))
+            {
+                Some(idx) => {
+                    if cost.max_component()
+                        > self.found[idx].cost.max_component() + RECORD_SCREEN_MARGIN
+                    {
+                        return;
+                    }
+                    Some(idx)
+                }
+                None => return, // max_plans == 0: nothing is ever stored
+            }
+        };
         let plan = match Placement::from_op_counts(self.physical, counts) {
             Ok(p) => p,
             Err(_) => return,
         };
+        // Store the model's from-scratch cost, not the incremental one.
+        // The accumulator reaches a leaf through schedule-dependent
+        // place/unplace sequences, so its float rounding drifts by ulps
+        // across thread counts and steal schedules; symmetric plans tie
+        // on `max_component`, and a capped store truncating inside such
+        // a tie group would keep different plans per schedule. The
+        // from-scratch cost has one fixed summation order, making
+        // `cmp_scored` a schedule-independent total order.
+        let cost = self.model.cost(self.physical, &plan);
         let scored = ScoredPlan { plan, cost };
-        if self.found.len() < self.max_plans {
-            self.found.push(scored);
-        } else if let Some((idx, worst)) = self
-            .found
-            .iter()
-            .enumerate()
-            .max_by(|a, b| {
-                a.1.cost
-                    .max_component()
-                    .partial_cmp(&b.1.cost.max_component())
-                    .expect("costs are finite")
-            })
-            .map(|(i, s)| (i, s.cost.max_component()))
-        {
-            if scored.cost.max_component() < worst {
-                self.found[idx] = scored;
+        match worst {
+            None => self.found.push(scored),
+            Some(idx) => {
+                // Keep the `max_plans` smallest plans under the total
+                // order, so a capped store is a deterministic function of
+                // the set of plans seen, not of the order seen in.
+                if cmp_scored(&scored, &self.found[idx]) == std::cmp::Ordering::Less {
+                    self.found[idx] = scored;
+                }
             }
         }
     }
@@ -527,33 +674,51 @@ impl PlanVisitor for CapsVisitor<'_> {
         if self.should_stop() {
             return false;
         }
-        let deltas = self.deltas(worker, op.0, count);
-        // Check Eq. 10 on every worker the deltas touch.
-        for &(w, d) in &deltas {
-            for ((load, add), limit) in self.load[w].iter().zip(&d).zip(&self.bound) {
-                if *add > 0.0 && load + add > limit + BOUND_EPS {
-                    return false;
+        if self.incumbent.is_some() {
+            self.refresh_incumbent();
+        }
+        let start = self.append_deltas(worker, op.0, count);
+        // Check Eq. 10 — and, when enabled, the incumbent bound — on
+        // every worker the deltas touch. The incumbent check is strict
+        // (beyond BOUND_EPS), so plans tying the best cost still survive.
+        for &(w, d) in &self.delta_arena[start..] {
+            for dim in 0..3 {
+                let add = d[dim];
+                if add > 0.0 {
+                    let next = self.load[w][dim] + add;
+                    if next > self.bound[dim] + BOUND_EPS
+                        || next > self.incumbent_limit[dim] + BOUND_EPS
+                    {
+                        self.delta_arena.truncate(start);
+                        return false;
+                    }
                 }
             }
         }
-        for &(w, d) in &deltas {
+        for i in start..self.delta_arena.len() {
+            let (w, d) = self.delta_arena[i];
             for (load, add) in self.load[w].iter_mut().zip(&d) {
                 *load += add;
             }
         }
         self.cnt[op.0][worker] += count;
         self.subtask_worker[op.0].extend(std::iter::repeat_n(worker, count));
-        self.undo.push(deltas);
+        self.undo_marks.push(start);
         true
     }
 
     fn unplace(&mut self, worker: usize, op: OperatorId, count: usize) {
-        let deltas = self.undo.pop().expect("unplace without matching place");
-        for (w, d) in deltas {
+        let start = self
+            .undo_marks
+            .pop()
+            .expect("unplace without matching place");
+        for i in start..self.delta_arena.len() {
+            let (w, d) = self.delta_arena[i];
             for (load, sub) in self.load[w].iter_mut().zip(&d) {
                 *load -= sub;
             }
         }
+        self.delta_arena.truncate(start);
         self.cnt[op.0][worker] -= count;
         let len = self.subtask_worker[op.0].len();
         self.subtask_worker[op.0].truncate(len - count);
@@ -709,8 +874,9 @@ impl<'a> CapsSearch<'a> {
             enumerator = enumerator.with_free_slots(free.clone())?;
         }
 
-        let (found, stats) = if config.threads <= 1 {
+        let (mut found, stats) = if config.threads <= 1 {
             let stop = std::sync::atomic::AtomicBool::new(false);
+            let incumbent = std::sync::atomic::AtomicU64::new(f64::INFINITY.to_bits());
             let mut visitor = CapsVisitor::new(
                 self.physical,
                 &self.model,
@@ -720,6 +886,9 @@ impl<'a> CapsSearch<'a> {
                 deadline,
                 Some(&stop),
             );
+            if config.incumbent_prune {
+                visitor.set_incumbent(&incumbent);
+            }
             let s = enumerator.explore(&mut visitor);
             let aborted = visitor.was_aborted();
             (
@@ -743,8 +912,20 @@ impl<'a> CapsSearch<'a> {
                 config,
                 deadline,
                 start,
-            )
+            )?
         };
+
+        if config.incumbent_prune {
+            // Under incumbent pruning only the minimum-cost plans are
+            // guaranteed to survive every schedule; filter the store down
+            // to exactly that set so the outcome is deterministic.
+            let min = found
+                .iter()
+                .map(|s| s.cost.max_component())
+                .fold(f64::INFINITY, f64::min);
+            found.retain(|s| s.cost.max_component() <= min + BOUND_EPS);
+            found.sort_by(cmp_scored);
+        }
 
         let pareto = pareto_front(&found);
         Ok(SearchOutcome {
@@ -758,19 +939,22 @@ impl<'a> CapsSearch<'a> {
         })
     }
 
-    /// Returns true if at least one plan satisfies `thresholds`.
+    /// Runs a first-feasible probe and returns the witness plan, if any.
     ///
-    /// Used by the auto-tuner; runs a first-feasible search.
-    pub fn is_feasible(
+    /// Used by the auto-tuner (§5.2): the witness's cost vector lets
+    /// later probes re-validate it against relaxed thresholds in
+    /// O(plan-size) instead of launching a new search.
+    pub fn find_witness(
         &self,
         thresholds: &Thresholds,
         config: &SearchConfig,
         deadline: Option<Instant>,
-    ) -> Result<bool, CapsError> {
+    ) -> Result<Option<ScoredPlan>, CapsError> {
         let mut probe = SearchConfig {
             thresholds: Some(*thresholds),
             first_feasible: true,
             max_plans: 1,
+            incumbent_prune: false,
             ..config.clone()
         };
         if let Some(d) = deadline {
@@ -783,7 +967,19 @@ impl<'a> CapsSearch<'a> {
             probe.time_budget = Some(remaining);
         }
         let outcome = self.run_with_thresholds(thresholds, &probe)?;
-        Ok(!outcome.feasible.is_empty())
+        Ok(outcome.feasible.into_iter().next())
+    }
+
+    /// Returns true if at least one plan satisfies `thresholds`.
+    ///
+    /// Used by the auto-tuner; runs a first-feasible search.
+    pub fn is_feasible(
+        &self,
+        thresholds: &Thresholds,
+        config: &SearchConfig,
+        deadline: Option<Instant>,
+    ) -> Result<bool, CapsError> {
+        Ok(self.find_witness(thresholds, config, deadline)?.is_some())
     }
 
     /// The logical graph this search was built from.

@@ -58,6 +58,7 @@ pub struct SearchStats {
 }
 
 /// Depth-first enumerator over distinct placement plans.
+#[derive(Clone)]
 pub struct PlanEnumerator {
     num_workers: usize,
     slots: usize,
@@ -207,42 +208,39 @@ impl PlanEnumerator {
     /// Each returned prefix is a list of per-layer rows: `prefix[k][w]` is
     /// the number of tasks of `order()[k]` placed on worker `w`.
     pub fn prefixes(&self, depth: usize) -> Vec<Vec<Vec<usize>>> {
-        struct Collect {
-            order: Vec<OperatorId>,
-            depth: usize,
-            out: Vec<Vec<Vec<usize>>>,
-        }
-        impl PlanVisitor for Collect {
-            fn place(&mut self, _: usize, _: OperatorId, _: usize) -> bool {
-                true
-            }
-            fn unplace(&mut self, _: usize, _: OperatorId, _: usize) {}
-            fn leaf(&mut self, counts: &[Vec<usize>]) -> bool {
-                let prefix: Vec<Vec<usize>> = self.order[..self.depth]
-                    .iter()
-                    .map(|op| counts.iter().map(|row| row[op.0]).collect())
-                    .collect();
-                self.out.push(prefix);
-                true
-            }
-        }
         let depth = depth.min(self.op_order.len());
-        let limited = PlanEnumerator {
-            num_workers: self.num_workers,
-            slots: self.slots,
-            parallelism: self.parallelism.clone(),
-            op_order: self.op_order.clone(),
-            symmetry: self.symmetry,
-            depth_limit: Some(depth),
-            free_slots: self.free_slots.clone(),
-            initial_groups: self.initial_groups.clone(),
-        };
-        let mut v = Collect {
+        let mut limited = self.clone();
+        limited.depth_limit = Some(depth);
+        let mut v = PrefixCollect {
             order: self.op_order.clone(),
             depth,
             out: Vec::new(),
         };
         limited.explore(&mut v);
+        v.out
+    }
+
+    /// Enumerates the child prefixes of `prefix`: every assignment of the
+    /// next outer layer with the given layers fixed.
+    ///
+    /// Together the children partition exactly the subtree under
+    /// `prefix`, so a work-stealing search can split one coarse work unit
+    /// into finer stealable units mid-run without visiting any leaf twice
+    /// or skipping one. A prefix that already fixes every layer is
+    /// returned unchanged as its own single child.
+    pub fn expand_prefix(&self, prefix: &[Vec<usize>]) -> Vec<Vec<Vec<usize>>> {
+        if prefix.len() >= self.op_order.len() {
+            return vec![prefix.to_vec()];
+        }
+        let depth = prefix.len() + 1;
+        let mut limited = self.clone();
+        limited.depth_limit = Some(depth);
+        let mut v = PrefixCollect {
+            order: self.op_order.clone(),
+            depth,
+            out: Vec::new(),
+        };
+        limited.explore_with_prefix(prefix, &mut v);
         v.out
     }
 
@@ -257,13 +255,7 @@ impl PlanEnumerator {
         prefix: &[Vec<usize>],
         visitor: &mut V,
     ) -> SearchStats {
-        let mut st = ExploreState {
-            remaining: self.free_slots.clone(),
-            counts: vec![vec![0usize; self.parallelism.len()]; self.num_workers],
-            group: self.initial_groups.clone(),
-            stats: SearchStats::default(),
-            stopped: false,
-        };
+        let mut st = self.new_state();
         let mut applied: Vec<(usize, OperatorId, usize)> = Vec::new();
         let mut pruned = false;
         'apply: for (layer, row) in prefix.iter().enumerate() {
@@ -333,15 +325,47 @@ impl PlanEnumerator {
 
     /// Runs the traversal, reporting every node and leaf to `visitor`.
     pub fn explore<V: PlanVisitor>(&self, visitor: &mut V) -> SearchStats {
-        let mut state = ExploreState {
+        let mut state = self.new_state();
+        self.outer(0, &mut state, visitor);
+        state.stats
+    }
+
+    /// Fresh traversal state with all per-layer scratch buffers
+    /// pre-allocated; the hot recursion below never allocates.
+    fn new_state(&self) -> ExploreState {
+        let layers = self.op_order.len();
+        ExploreState {
             remaining: self.free_slots.clone(),
             counts: vec![vec![0usize; self.parallelism.len()]; self.num_workers],
             group: self.initial_groups.clone(),
+            rows: vec![vec![0usize; self.num_workers]; layers],
+            saved_groups: vec![vec![0usize; self.num_workers]; layers],
             stats: SearchStats::default(),
             stopped: false,
-        };
-        self.outer(0, &mut state, visitor);
-        state.stats
+        }
+    }
+}
+
+/// Collects the leaves of a depth-limited traversal as prefix rows; used
+/// by [`PlanEnumerator::prefixes`] and [`PlanEnumerator::expand_prefix`].
+struct PrefixCollect {
+    order: Vec<OperatorId>,
+    depth: usize,
+    out: Vec<Vec<Vec<usize>>>,
+}
+
+impl PlanVisitor for PrefixCollect {
+    fn place(&mut self, _: usize, _: OperatorId, _: usize) -> bool {
+        true
+    }
+    fn unplace(&mut self, _: usize, _: OperatorId, _: usize) {}
+    fn leaf(&mut self, counts: &[Vec<usize>]) -> bool {
+        let prefix: Vec<Vec<usize>> = self.order[..self.depth]
+            .iter()
+            .map(|op| counts.iter().map(|row| row[op.0]).collect())
+            .collect();
+        self.out.push(prefix);
+        true
     }
 }
 
@@ -350,6 +374,11 @@ struct ExploreState {
     counts: Vec<Vec<usize>>,
     /// Group id per worker; workers with equal ids are interchangeable.
     group: Vec<usize>,
+    /// Per-outer-layer scratch row (task counts per worker), reused
+    /// across the whole traversal instead of allocated per layer visit.
+    rows: Vec<Vec<usize>>,
+    /// Per-outer-layer saved symmetry groups, restored on backtrack.
+    saved_groups: Vec<Vec<usize>>,
     stats: SearchStats,
     stopped: bool,
 }
@@ -369,19 +398,18 @@ impl PlanEnumerator {
         }
         let op = self.op_order[layer];
         let tasks = self.parallelism[op.0];
-        let mut row = vec![0usize; self.num_workers];
-        self.inner(layer, op, 0, tasks, &mut row, st, visitor);
+        self.inner(layer, op, 0, tasks, st, visitor);
     }
 
-    /// Inner search: one worker per layer, with symmetry breaking.
-    #[allow(clippy::too_many_arguments)]
+    /// Inner search: one worker per layer, with symmetry breaking. The
+    /// per-layer row lives in `st.rows[layer]` (all-zero on entry and on
+    /// exit), so recursion allocates nothing.
     fn inner<V: PlanVisitor>(
         &self,
         layer: usize,
         op: OperatorId,
         w: usize,
         tasks_left: usize,
-        row: &mut [usize],
         st: &mut ExploreState,
         visitor: &mut V,
     ) {
@@ -391,23 +419,24 @@ impl PlanEnumerator {
         if w == self.num_workers {
             if tasks_left == 0 {
                 // Refine groups by this operator's counts and recurse.
-                let saved_group = st.group.clone();
-                refine_groups(&mut st.group, row);
-                for (worker, &c) in row.iter().enumerate() {
-                    st.counts[worker][op.0] = c;
+                st.saved_groups[layer].copy_from_slice(&st.group);
+                refine_groups(&mut st.group, &st.rows[layer]);
+                for worker in 0..self.num_workers {
+                    st.counts[worker][op.0] = st.rows[layer][worker];
                 }
                 self.outer(layer + 1, st, visitor);
-                for (worker, _) in row.iter().enumerate() {
+                for worker in 0..self.num_workers {
                     st.counts[worker][op.0] = 0;
                 }
-                st.group = saved_group;
+                let (group, saved) = (&mut st.group, &st.saved_groups);
+                group.copy_from_slice(&saved[layer]);
             }
             return;
         }
 
         // Symmetry cap: within a group, counts must be non-increasing.
         let group_cap = if self.symmetry && w > 0 && st.group[w] == st.group[w - 1] {
-            row[w - 1]
+            st.rows[layer][w - 1]
         } else {
             usize::MAX
         };
@@ -449,9 +478,9 @@ impl PlanEnumerator {
                 }
                 st.stats.nodes += 1;
                 st.remaining[w] -= c;
-                row[w] = c;
-                self.inner(layer, op, w + 1, tasks_left - c, row, st, visitor);
-                row[w] = 0;
+                st.rows[layer][w] = c;
+                self.inner(layer, op, w + 1, tasks_left - c, st, visitor);
+                st.rows[layer][w] = 0;
                 st.remaining[w] += c;
                 visitor.unplace(w, op, c);
                 if st.stopped {
@@ -482,11 +511,12 @@ fn candidate_pair(
 /// Splits groups so workers remain grouped only if they received the same
 /// count for the operator just placed.
 fn refine_groups(group: &mut [usize], row: &[usize]) {
+    // In-place: `group[w]` is read before being overwritten and later
+    // positions are untouched, so no scratch copy is needed.
     let mut next = 0usize;
     let mut prev_key: Option<(usize, usize)> = None;
-    let old = group.to_vec();
     for w in 0..group.len() {
-        let key = (old[w], row[w]);
+        let key = (group[w], row[w]);
         match prev_key {
             Some(pk) if pk == key => {}
             _ => {
@@ -784,6 +814,36 @@ mod tests {
             sum += stats.plans;
         }
         assert_eq!(sum, total);
+    }
+
+    #[test]
+    fn expand_prefix_partitions_the_subtree() {
+        // Children of a prefix must partition exactly its subtree: the
+        // plan counts under the children sum to the count under the
+        // parent, recursively down to full depth.
+        let p = chain(&[2, 3, 1]);
+        let c = cluster(3, 3);
+        let e = PlanEnumerator::new(&p, &c).unwrap();
+        let total = count_plans(&p, &c).unwrap();
+        let mut sum = 0;
+        for pre in e.prefixes(1) {
+            for child in e.expand_prefix(&pre) {
+                assert_eq!(child.len(), 2);
+                assert_eq!(child[0], pre[0]);
+                sum += e.explore_with_prefix(&child, &mut CountOnly).plans;
+            }
+        }
+        assert_eq!(sum, total);
+    }
+
+    #[test]
+    fn expand_prefix_at_full_depth_is_identity() {
+        let p = chain(&[2, 2]);
+        let c = cluster(2, 2);
+        let e = PlanEnumerator::new(&p, &c).unwrap();
+        for pre in e.prefixes(2) {
+            assert_eq!(e.expand_prefix(&pre), vec![pre.clone()]);
+        }
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //! * [`json`] — a JSON value type with parser, compact + pretty
 //!   encoders, and [`json::ToJson`] / [`json::FromJson`] traits
 //!   (replaces `serde` + `serde_json`).
-//! * [`queue`] — an `Injector`-style MPMC work queue for the parallel
-//!   search (replaces `crossbeam::deque`).
+//! * [`queue`] — an `Injector`-style MPMC work queue (replaces
+//!   `crossbeam::deque`'s global injector).
+//! * [`deque`] — per-thread LIFO worker deques with FIFO stealers for
+//!   the work-stealing parallel search (replaces `crossbeam-deque`'s
+//!   `Worker`/`Stealer`).
 //! * [`sync`] — poison-free `Mutex` / `RwLock` wrappers over
 //!   `std::sync` (replaces `parking_lot`).
 //! * [`prop`] — a mini property-testing harness with seeded case
@@ -28,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod deque;
 pub mod json;
 pub mod prop;
 pub mod queue;

@@ -1,0 +1,39 @@
+//! A panicking search worker must surface as `CapsError::SearchPanicked`
+//! — not hang the sibling threads or poison the process.
+//!
+//! This lives in its own integration-test binary (own process) because
+//! it sets the `CAPSYS_TEST_PANIC_SEARCH` fault-injection variable,
+//! which would make *every* concurrently running multi-threaded search
+//! in the same process panic.
+
+use capsys::caps::{CapsError, CapsSearch, SearchConfig};
+use capsys::model::{Cluster, WorkerSpec};
+use capsys::queries::q3_inf;
+
+#[test]
+fn worker_panic_propagates_as_error() {
+    // Safety note: the test binary is single-test, so no other thread
+    // races this env write.
+    std::env::set_var("CAPSYS_TEST_PANIC_SEARCH", "1");
+
+    let query = q3_inf();
+    let cluster = Cluster::homogeneous(4, WorkerSpec::r5d_xlarge(4)).expect("cluster");
+    let physical = query.physical();
+    let loads = query.load_model(&physical).expect("loads");
+    let search = CapsSearch::new(query.logical(), &physical, &cluster, &loads).expect("search");
+
+    let config = SearchConfig {
+        threads: 4,
+        ..SearchConfig::exhaustive()
+    };
+    match search.run(&config) {
+        Err(CapsError::SearchPanicked) => {}
+        other => panic!("expected SearchPanicked, got {other:?}"),
+    }
+
+    // The search object survives a worker panic: with the fault cleared
+    // the very next run completes normally (no poisoned shared state).
+    std::env::remove_var("CAPSYS_TEST_PANIC_SEARCH");
+    let out = search.run(&config).expect("search recovers after a panic");
+    assert!(out.stats.plans_found > 0);
+}
