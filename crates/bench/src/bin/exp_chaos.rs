@@ -60,6 +60,7 @@ fn chaos_config(seed: u64, horizon: f64) -> ChaosConfig {
         blackouts: 1,
         blackout_duration: (5.0, 10.0),
         metric_noise: 0.02,
+        controller_kills: 0,
     }
 }
 

@@ -6,6 +6,23 @@
 //! changes (and the activation period has elapsed since the last action),
 //! the job is reconfigured — a new physical graph is expanded and the
 //! configured placement strategy computes a new plan.
+//!
+//! # Durability
+//!
+//! The loop is a *durable* controller: every decision it takes can be
+//! journaled to a write-ahead [`DecisionJournal`], reconfigurations run
+//! a two-phase protocol (`Prepare` journaled before the cluster is
+//! touched, `Commit` after), and deployments are fenced by a
+//! monotonically increasing epoch ([`capsys_sim::EpochFence`]). A
+//! controller killed at any decision point — including *between*
+//! `Prepare` and `Commit` — is rebuilt by
+//! [`ClosedLoop::recover_from_journal`], which re-simulates from t=0,
+//! re-applying journaled decisions instead of re-running placement
+//! searches, and goes live past the journal tail. The recovered run's
+//! trace is byte-identical to the uninterrupted run's. A pre-crash
+//! zombie controller that tries to reconfigure after being superseded
+//! fails deterministically with [`ControllerError::FencedEpoch`],
+//! leaving the cluster untouched.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -13,10 +30,14 @@ use capsys_ds2::{Ds2Config, Ds2Controller};
 use capsys_model::{Cluster, OperatorId, PhysicalGraph, Placement, RateSchedule, WorkerId};
 use capsys_placement::{PlacementContext, PlacementStrategy};
 use capsys_queries::Query;
-use capsys_sim::{FaultPlan, MetricPoint, SimConfig, Simulation, TaskRateStats};
-use capsys_util::rng::SmallRng;
+use capsys_sim::{
+    EpochFence, FaultPlan, KillPoint, MetricPoint, SimConfig, SimError, Simulation, TaskRateStats,
+};
+use capsys_util::json::{Json, ToJson};
 use capsys_util::rng::SeedableRng;
+use capsys_util::rng::SmallRng;
 
+use crate::journal::{DecisionJournal, DecisionRecord, RedeployReason};
 use crate::recovery::{place_with_ladder, FailureDetector, LadderRung, RecoveryConfig, RecoveryEvent};
 use crate::ControllerError;
 
@@ -29,6 +50,19 @@ pub struct ScalingEvent {
     pub parallelism: Vec<usize>,
     /// Total slots after the action.
     pub slots: usize,
+}
+
+impl ToJson for ScalingEvent {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("time".into(), Json::Num(self.time)),
+            (
+                "parallelism".into(),
+                Json::Arr(self.parallelism.iter().map(|&p| Json::Num(p as f64)).collect()),
+            ),
+            ("slots".into(), Json::Num(self.slots as f64)),
+        ])
+    }
 }
 
 /// The trace of a closed-loop run.
@@ -120,6 +154,22 @@ impl ClosedLoopTrace {
         }
         max
     }
+
+    /// Serializes the full trace as canonical JSON. Two traces are equal
+    /// iff their serializations are byte-identical (`Json` encodes floats
+    /// shortest-roundtrip), which is what the crash-recovery sweep diffs
+    /// against its golden run.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("points".into(), self.points.to_json()),
+            ("events".into(), self.events.to_json()),
+            ("recovery_events".into(), self.recovery_events.to_json()),
+            (
+                "final_parallelism".into(),
+                Json::Arr(self.final_parallelism.iter().map(|&p| Json::Num(p as f64)).collect()),
+            ),
+        ])
+    }
 }
 
 /// A closed-loop DS2 + placement runner.
@@ -148,6 +198,28 @@ pub struct ClosedLoop<'a> {
     fault_plan: Option<FaultPlan>,
     /// Self-healing state when recovery is enabled.
     recovery: Option<RecoveryState>,
+    // Durability state.
+    /// Epoch of the current deployment (0 = initial). Burned (advanced)
+    /// by every `Prepare`, even one whose deployment later fails, so
+    /// each `Prepare` in a journal carries a distinct epoch.
+    epoch: u64,
+    /// The cluster-side fence live deployments must win. Share one fence
+    /// between two controllers (see [`ClosedLoop::with_fence`]) to model
+    /// a zombie racing its replacement.
+    fence: EpochFence,
+    /// Every decision taken so far, in order; the journal's in-memory
+    /// twin. `log.len()` is the next record's sequence number.
+    log: Vec<DecisionRecord>,
+    /// Write-ahead sink; `None` runs without durability.
+    sink: Option<DecisionJournal>,
+    /// Decisions still to be replayed (crash recovery). Empty = live.
+    replay: VecDeque<DecisionRecord>,
+    /// Time of the last journaled decision at recovery (`-inf` for a
+    /// fresh run); disarms wall-clock kill points the crashed run
+    /// already survived or died to.
+    resume_time: f64,
+    /// Injected controller-kill point, taken from the fault plan.
+    kill: Option<KillPoint>,
 }
 
 /// Live state of the self-healing policy.
@@ -173,6 +245,26 @@ struct PendingRecovery {
 
 /// How many policy windows the metrics average spans.
 const METRICS_WINDOWS: usize = 12;
+
+/// Slack when matching journaled decision times against the replaying
+/// loop's clock. Both sides derive from identical float arithmetic, so
+/// this guards only against encoding bugs, not real drift.
+const REPLAY_TIME_EPS: f64 = 1e-6;
+
+fn replay_due(record_time: f64, now: f64) -> bool {
+    (record_time - now).abs() <= REPLAY_TIME_EPS
+}
+
+/// Whether a failed re-placement should be retried with backoff rather
+/// than aborting the run. Fencing, injected kills, and journal faults
+/// must propagate — retrying them would mask a superseded or dead
+/// controller.
+fn retryable(e: &ControllerError) -> bool {
+    matches!(
+        e,
+        ControllerError::Placement(_) | ControllerError::Model(_) | ControllerError::Sim(_)
+    )
+}
 
 /// Time-weighted average of task metrics across windows.
 fn average_rates(recent: &VecDeque<(f64, Vec<TaskRateStats>)>) -> Vec<TaskRateStats> {
@@ -235,6 +327,17 @@ impl<'a> ClosedLoop<'a> {
             sim_config.clone(),
         )
         .map_err(ControllerError::Sim)?;
+        // Decision zero: the initial deployment, with the RNG state
+        // after the initial search — recovery rebuilds the loop from
+        // this record without re-running the search.
+        let init = DecisionRecord::Init {
+            seed,
+            query: query.name().to_string(),
+            workers: cluster.num_workers(),
+            parallelism: query.logical().parallelism_vector(),
+            assignment: placement.assignment().iter().map(|w| w.0).collect(),
+            rng: rng.state(),
+        };
         Ok(ClosedLoop {
             query: query.clone(),
             cluster,
@@ -253,17 +356,135 @@ impl<'a> ClosedLoop<'a> {
             recent: VecDeque::new(),
             fault_plan: None,
             recovery: None,
+            epoch: 0,
+            fence: EpochFence::new(),
+            log: vec![init],
+            sink: None,
+            replay: VecDeque::new(),
+            resume_time: f64::NEG_INFINITY,
+            kill: None,
+        })
+    }
+
+    /// Rebuilds a controller from a crashed run's journal.
+    ///
+    /// The caller supplies the same inputs the crashed run was
+    /// constructed with — the journal records decisions, not the whole
+    /// world. The recovered loop re-simulates from t=0, re-applying
+    /// journaled decisions (restoring the journaled RNG state) instead
+    /// of re-running placement searches, and goes live past the journal
+    /// tail; with the same seeds and fault plan, its full trace is
+    /// byte-identical to the uninterrupted run's. An in-doubt
+    /// reconfiguration (a `Prepare` at the tail — the crash hit between
+    /// `Prepare` and `Commit`) is rolled forward; one the crashed run
+    /// abandoned (a `Retry` follows it) is not deployed. Re-attach the
+    /// fault plan and recovery config after this call, exactly as for a
+    /// fresh loop; a wall-clock kill point at or before the resume time
+    /// is automatically disarmed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recover_from_journal(
+        query: &Query,
+        cluster: &'a Cluster,
+        strategy: &'a dyn PlacementStrategy,
+        ds2_config: Ds2Config,
+        sim_config: SimConfig,
+        schedule: RateSchedule,
+        journal_text: &str,
+    ) -> Result<ClosedLoop<'a>, ControllerError> {
+        let parsed = crate::journal::parse_journal(journal_text)?;
+        let resume_time = parsed.records.last().map(|r| r.time()).unwrap_or(0.0);
+        let mut replay: VecDeque<DecisionRecord> = parsed.records.into_iter().collect();
+        let Some(init) = replay.pop_front() else {
+            return Err(ControllerError::JournalReplay(
+                "journal is empty — nothing to recover".into(),
+            ));
+        };
+        let DecisionRecord::Init {
+            seed: _,
+            query: ref journal_query,
+            workers,
+            ref parallelism,
+            ref assignment,
+            rng: rng_state,
+        } = init
+        else {
+            return Err(ControllerError::JournalReplay(
+                "journal does not start with an init record".into(),
+            ));
+        };
+        if journal_query != query.name() {
+            return Err(ControllerError::JournalReplay(format!(
+                "journal was written for query `{journal_query}`, not `{}`",
+                query.name()
+            )));
+        }
+        if workers != cluster.num_workers() {
+            return Err(ControllerError::JournalReplay(format!(
+                "journal expects {workers} workers, cluster has {}",
+                cluster.num_workers()
+            )));
+        }
+        if *parallelism != query.logical().parallelism_vector() {
+            return Err(ControllerError::JournalReplay(format!(
+                "journal starts at parallelism {parallelism:?}, query is at {:?}",
+                query.logical().parallelism_vector()
+            )));
+        }
+        let rng = SmallRng::try_from_state(rng_state).ok_or_else(|| {
+            ControllerError::JournalReplay("journaled RNG state is invalid (all zero)".into())
+        })?;
+        let physical = query.physical();
+        let placement = Placement::new(assignment.iter().map(|&w| WorkerId(w)).collect());
+        placement.validate(&physical, cluster).map_err(|e| {
+            ControllerError::JournalReplay(format!("journaled initial placement is invalid: {e}"))
+        })?;
+        let sim = Simulation::new(
+            query.logical(),
+            &physical,
+            cluster,
+            &placement,
+            &query.schedules_from(&schedule),
+            sim_config.clone(),
+        )
+        .map_err(ControllerError::Sim)?;
+        Ok(ClosedLoop {
+            query: query.clone(),
+            cluster,
+            strategy,
+            ds2: Ds2Controller::new(ds2_config),
+            sim_config,
+            schedule,
+            rng,
+            time: 0.0,
+            physical,
+            placement,
+            sim,
+            last_action: f64::NEG_INFINITY,
+            events: Vec::new(),
+            points: Vec::new(),
+            recent: VecDeque::new(),
+            fault_plan: None,
+            recovery: None,
+            epoch: 0,
+            fence: EpochFence::new(),
+            log: vec![init],
+            sink: None,
+            replay,
+            resume_time,
+            kill: None,
         })
     }
 
     /// Installs a deterministic fault schedule (global simulated time).
     /// The schedule survives reconfigurations: every replacement
     /// simulation gets the not-yet-fired suffix, shifted to its local
-    /// clock, plus the chaos state accumulated so far.
+    /// clock, plus the chaos state accumulated so far. A
+    /// [`KillPoint`] in the plan arms the controller-kill switch.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Result<Self, ControllerError> {
         self.sim
             .install_faults(plan.clone())
             .map_err(ControllerError::Sim)?;
+        self.kill = plan.controller_kill;
         self.fault_plan = Some(plan);
         Ok(self)
     }
@@ -279,6 +500,36 @@ impl<'a> ClosedLoop<'a> {
         self
     }
 
+    /// Attaches a write-ahead decision journal. Decisions already taken
+    /// (at minimum the initial deployment; for a recovered loop, the
+    /// whole replayed history as it is consumed) are written through, so
+    /// the sink must be fresh. Attach before [`ClosedLoop::run`].
+    pub fn with_journal(mut self, mut sink: DecisionJournal) -> Result<Self, ControllerError> {
+        if sink.next_seq() != 0 {
+            return Err(ControllerError::InvalidConfig(
+                "journal sink already holds records; a recovered loop re-journals \
+                 its whole history into a fresh sink itself"
+                    .into(),
+            ));
+        }
+        for rec in &self.log {
+            sink.append(rec)?;
+        }
+        self.sink = Some(sink);
+        Ok(self)
+    }
+
+    /// Shares an external epoch fence — the cluster-side "who may
+    /// reconfigure" state. Deployments from this loop must advance the
+    /// fence past its current epoch or fail with
+    /// [`ControllerError::FencedEpoch`]. Hand clones of one fence to two
+    /// controllers to model a zombie racing the controller that
+    /// superseded it.
+    pub fn with_fence(mut self, fence: EpochFence) -> Self {
+        self.fence = fence;
+        self
+    }
+
     /// Current simulated time.
     pub fn time(&self) -> f64 {
         self.time
@@ -287,6 +538,16 @@ impl<'a> ClosedLoop<'a> {
     /// The current placement plan.
     pub fn placement(&self) -> &Placement {
         &self.placement
+    }
+
+    /// The fencing epoch of the current deployment (0 = initial).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch fence this controller deploys through.
+    pub fn fence(&self) -> &EpochFence {
+        &self.fence
     }
 
     /// Workers the failure detector currently considers down (empty when
@@ -309,6 +570,43 @@ impl<'a> ClosedLoop<'a> {
         free
     }
 
+    /// Journals a live decision, enforcing any armed controller-kill
+    /// point. The record reaches the sink (and is flushed) *before* the
+    /// kill fires: a killed controller's last decision is exactly the
+    /// last line of its journal.
+    fn record(&mut self, rec: DecisionRecord) -> Result<(), ControllerError> {
+        let seq = self.log.len() as u64;
+        if let Some(sink) = &mut self.sink {
+            sink.append(&rec)?;
+        }
+        let killed = match self.kill {
+            Some(KillPoint::AfterRecord(k)) => seq == k,
+            Some(KillPoint::MidReconfig(e)) => {
+                matches!(&rec, DecisionRecord::Prepare { epoch, .. } if *epoch == e)
+            }
+            _ => false,
+        };
+        self.log.push(rec);
+        if killed {
+            return Err(ControllerError::ControllerKilled {
+                seq: self.log.len() as u64,
+                time: self.time,
+            });
+        }
+        Ok(())
+    }
+
+    /// Re-journals a decision consumed from the replay cursor. Replayed
+    /// records never trip kill points — the controller that wrote them
+    /// already survived past them.
+    fn record_replayed(&mut self, rec: DecisionRecord) -> Result<(), ControllerError> {
+        if let Some(sink) = &mut self.sink {
+            sink.append(&rec)?;
+        }
+        self.log.push(rec);
+        Ok(())
+    }
+
     /// Runs the loop for `duration` simulated seconds.
     pub fn run(mut self, duration: f64) -> Result<ClosedLoopTrace, ControllerError> {
         let interval = self.ds2.config.policy_interval.max(self.sim_config.tick);
@@ -317,6 +615,21 @@ impl<'a> ClosedLoop<'a> {
             let window = interval.min(end - self.time);
             let report = self.sim.advance(window, 0.0);
             self.time += window;
+
+            // Injected wall-clock controller kill: the process dies at
+            // the next window boundary. Replayed spans are immune (the
+            // crashed controller survived them up to its journal tail),
+            // as is anything at or before a recovered loop's resume
+            // point.
+            if let Some(KillPoint::AtTime(t)) = self.kill {
+                if self.replay.is_empty() && self.time + 1e-9 >= t && t > self.resume_time {
+                    return Err(ControllerError::ControllerKilled {
+                        seq: self.log.len() as u64,
+                        time: self.time,
+                    });
+                }
+            }
+
             for mut p in report.points.clone() {
                 p.time = self.time;
                 self.points.push(p);
@@ -358,7 +671,11 @@ impl<'a> ClosedLoop<'a> {
                 .and_then(|r| r.pending.as_ref())
                 .is_some_and(|p| self.time + 1e-9 >= p.next_attempt_at);
             if attempt_due {
-                self.attempt_recovery();
+                if self.replay.is_empty() {
+                    self.attempt_recovery()?;
+                } else {
+                    self.replay_recovery_step()?;
+                }
             }
 
             // DS2 policy evaluation. A pending recovery takes priority:
@@ -367,6 +684,12 @@ impl<'a> ClosedLoop<'a> {
                 continue;
             }
             if self.time - self.last_action < self.ds2.config.activation_period {
+                continue;
+            }
+            if !self.replay.is_empty() {
+                // Replay stands in for the DS2 evaluation: the journal
+                // already says whether (and how) this step scaled.
+                self.replay_scaling_step()?;
                 continue;
             }
             let rates = average_rates(&self.recent);
@@ -391,6 +714,15 @@ impl<'a> ClosedLoop<'a> {
             }
             self.redeploy(decision.parallelism, rate_now, true)?;
         }
+        if !self.replay.is_empty() {
+            // The journal records decisions from beyond this run's end:
+            // the caller replayed with a shorter horizon. Surface it
+            // rather than silently dropping journaled decisions.
+            return Err(ControllerError::JournalReplay(format!(
+                "{} journaled decision(s) left unreplayed at the end of the run",
+                self.replay.len()
+            )));
+        }
         Ok(ClosedLoopTrace {
             points: self.points,
             events: self.events,
@@ -400,71 +732,97 @@ impl<'a> ClosedLoop<'a> {
     }
 
     /// Runs one re-placement attempt for the pending recovery. Success
-    /// records a [`RecoveryEvent`] per covered worker; failure backs off
-    /// exponentially and, once `max_retries` attempts are spent, gives up
-    /// and lets the job continue degraded — the loop never crashes on an
-    /// unplaceable cluster.
-    fn attempt_recovery(&mut self) {
+    /// records a [`RecoveryEvent`] per covered worker; a retryable
+    /// failure backs off exponentially (journaled as a `Retry`) and,
+    /// once `max_retries` attempts are spent, gives up and lets the job
+    /// continue degraded — the loop never crashes on an unplaceable
+    /// cluster. Fencing and injected kills propagate.
+    fn attempt_recovery(&mut self) -> Result<(), ControllerError> {
         let parallelism = self.query.logical().parallelism_vector();
         let rate_now = self.schedule.rate_at(self.time).max(1.0);
         match self.redeploy(parallelism, rate_now, false) {
             Ok(rung) => {
-                if let Some(rec) = &mut self.recovery {
-                    if let Some(p) = rec.pending.take() {
-                        for &(w, since) in &p.workers {
-                            rec.events.push(RecoveryEvent {
-                                worker: w,
-                                stale_since: since,
-                                detected_at: p.detected_at,
-                                detection_lag: p.detected_at - since,
-                                recovered_at: self.time,
-                                time_to_recover: self.time - since,
-                                plans_tried: p.attempts + 1,
-                                rung,
-                            });
-                        }
-                    }
-                }
+                self.finish_recovery(rung);
+                Ok(())
             }
-            Err(_) => {
+            Err(e) if retryable(&e) => {
+                let mut bookkeeping = None;
                 if let Some(rec) = &mut self.recovery {
                     if let Some(p) = &mut rec.pending {
                         p.attempts += 1;
                         if p.attempts > rec.config.max_retries {
+                            bookkeeping = Some((p.attempts, true, None));
                             rec.pending = None;
                         } else {
                             p.next_attempt_at = self.time + rec.config.backoff(p.attempts);
+                            bookkeeping = Some((p.attempts, false, Some(p.next_attempt_at)));
                         }
                     }
+                }
+                if let Some((attempts, gave_up, next_attempt_at)) = bookkeeping {
+                    self.record(DecisionRecord::Retry {
+                        time: self.time,
+                        attempts,
+                        gave_up,
+                        next_attempt_at,
+                        rng: self.rng.state(),
+                    })?;
+                }
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Resolves the pending recovery into trace events.
+    fn finish_recovery(&mut self, rung: LadderRung) {
+        if let Some(rec) = &mut self.recovery {
+            if let Some(p) = rec.pending.take() {
+                for &(w, since) in &p.workers {
+                    rec.events.push(RecoveryEvent {
+                        worker: w,
+                        stale_since: since,
+                        detected_at: p.detected_at,
+                        detection_lag: p.detected_at - since,
+                        recovered_at: self.time,
+                        time_to_recover: self.time - since,
+                        plans_tried: p.attempts + 1,
+                        rung,
+                    });
                 }
             }
         }
     }
 
-    /// Applies a parallelism vector: new physical graph, new plan, fresh
-    /// simulation (the restart-from-savepoint analogue). When the
-    /// detector knows of down workers, the plan comes from the
-    /// degradation ladder restricted to the survivors' slots; otherwise
-    /// the configured strategy places as usual. Chaos state and the
-    /// unfired fault-schedule suffix carry over to the new simulation.
+    /// Applies a parallelism vector through the two-phase protocol.
+    ///
+    /// Phase 0 computes the whole plan (new physical graph, placement
+    /// from the degradation ladder when workers are down, otherwise the
+    /// configured strategy) into locals, so a failed search leaves the
+    /// running deployment intact. Phase 1 journals a `Prepare` with the
+    /// plan and post-search RNG state *before* anything is touched.
+    /// Phase 2 deploys under the epoch fence and journals the `Commit`.
+    /// A crash between the phases leaves the `Prepare` at the journal
+    /// tail; recovery rolls it forward. A deployment failure after the
+    /// `Prepare` is followed (on the recovery path) by a journaled
+    /// `Retry`, which marks the `Prepare` abandoned.
     fn redeploy(
         &mut self,
         parallelism: Vec<usize>,
         rate_now: f64,
         record_scaling: bool,
     ) -> Result<LadderRung, ControllerError> {
-        self.query = self
+        let query = self
             .query
             .with_parallelism(&parallelism)
             .map_err(ControllerError::Model)?;
-        self.physical = self.query.physical();
-        let loads = self
-            .query
-            .load_model_at(&self.physical, rate_now)
+        let physical = query.physical();
+        let loads = query
+            .load_model_at(&physical, rate_now)
             .map_err(ControllerError::Model)?;
         let ctx = PlacementContext {
-            logical: self.query.logical(),
-            physical: &self.physical,
+            logical: query.logical(),
+            physical: &physical,
             cluster: self.cluster,
             loads: &loads,
         };
@@ -483,7 +841,55 @@ impl<'a> ClosedLoop<'a> {
                 LadderRung::Caps,
             ),
         };
-        self.placement = placement;
+
+        let epoch = self.epoch + 1;
+        self.epoch = epoch;
+        let reason = if record_scaling {
+            RedeployReason::Scaling
+        } else {
+            RedeployReason::Recovery
+        };
+        self.record(DecisionRecord::Prepare {
+            epoch,
+            time: self.time,
+            reason,
+            parallelism: parallelism.clone(),
+            assignment: placement.assignment().iter().map(|w| w.0).collect(),
+            rung,
+            rate: rate_now,
+            rng: self.rng.state(),
+        })?;
+
+        self.deploy(query, physical, placement, epoch, true)?;
+        self.record(DecisionRecord::Commit {
+            epoch,
+            time: self.time,
+        })?;
+        if record_scaling {
+            self.events.push(ScalingEvent {
+                time: self.time,
+                parallelism,
+                slots: self.physical.num_tasks(),
+            });
+        }
+        Ok(rung)
+    }
+
+    /// Swaps in a new deployment: a fresh simulation (the
+    /// restart-from-savepoint analogue) with the chaos state accumulated
+    /// so far and the unfired fault-schedule suffix carried over. With
+    /// `fenced`, the new simulation must win the epoch fence first — a
+    /// stale epoch leaves the current deployment untouched and surfaces
+    /// as [`ControllerError::FencedEpoch`]. Replay deploys unfenced: the
+    /// journal, not the fence, is the authority on what was deployed.
+    fn deploy(
+        &mut self,
+        query: Query,
+        physical: PhysicalGraph,
+        placement: Placement,
+        epoch: u64,
+        fenced: bool,
+    ) -> Result<(), ControllerError> {
         // Chaos state accumulated before the restart must survive it.
         let failed: Vec<bool> = self.sim.failed_workers().to_vec();
         let slowdowns: Vec<f64> = self.sim.slowdowns().to_vec();
@@ -493,11 +899,11 @@ impl<'a> ClosedLoop<'a> {
         let offset = self.time;
         let shifted = shift_schedule(&self.schedule, offset);
         let mut sim = Simulation::new(
-            self.query.logical(),
-            &self.physical,
+            query.logical(),
+            &physical,
             self.cluster,
-            &self.placement,
-            &self.query.schedules_from(&shifted),
+            &placement,
+            &query.schedules_from(&shifted),
             self.sim_config.clone(),
         )
         .map_err(ControllerError::Sim)?;
@@ -516,17 +922,232 @@ impl<'a> ClosedLoop<'a> {
             sim.install_faults(plan.shifted(offset))
                 .map_err(ControllerError::Sim)?;
         }
+        if fenced {
+            sim.bind_epoch(&self.fence, epoch).map_err(|e| match e {
+                SimError::StaleEpoch { attempted, current } => {
+                    ControllerError::FencedEpoch { attempted, current }
+                }
+                other => ControllerError::Sim(other),
+            })?;
+        } else {
+            sim.stamp_epoch(epoch);
+        }
+        self.query = query;
+        self.physical = physical;
+        self.placement = placement;
         self.sim = sim;
         self.last_action = self.time;
         self.recent.clear();
-        if record_scaling {
+        Ok(())
+    }
+
+    /// Replay counterpart of [`ClosedLoop::attempt_recovery`]: consumes
+    /// the journal's record of what this attempt did — a `Retry`
+    /// (failed attempt: restore backoff bookkeeping) or a recovery
+    /// `Prepare` (apply its fate). An exhausted cursor means the crashed
+    /// run died before this attempt: take it live.
+    fn replay_recovery_step(&mut self) -> Result<(), ControllerError> {
+        let front = match self.replay.front().cloned() {
+            None => return self.attempt_recovery(),
+            Some(r) => r,
+        };
+        match front {
+            DecisionRecord::Retry { time, .. } if replay_due(time, self.time) => {
+                self.replay.pop_front();
+                self.apply_replayed_retry(front)
+            }
+            DecisionRecord::Prepare {
+                reason: RedeployReason::Recovery,
+                time,
+                ..
+            } if replay_due(time, self.time) => {
+                match self.apply_replayed_redeploy()? {
+                    Some(rung) => {
+                        self.finish_recovery(rung);
+                        Ok(())
+                    }
+                    // Abandoned prepare: the crashed run failed to
+                    // deploy it; the following Retry carries the
+                    // backoff bookkeeping.
+                    None => match self.replay.front().cloned() {
+                        Some(r @ DecisionRecord::Retry { .. }) => {
+                            self.replay.pop_front();
+                            self.apply_replayed_retry(r)
+                        }
+                        _ => Err(ControllerError::JournalReplay(
+                            "abandoned prepare not followed by a retry".into(),
+                        )),
+                    },
+                }
+            }
+            other => Err(ControllerError::JournalReplay(format!(
+                "recovery attempt due at t={:.3}, but the journal's next decision is from t={:.3}: \
+                 the replay diverged from the run that wrote the journal",
+                self.time,
+                other.time()
+            ))),
+        }
+    }
+
+    /// Replay counterpart of a DS2 evaluation step: applies the
+    /// journal's scaling `Prepare` when one is due now; otherwise (the
+    /// live run decided nothing here) does nothing. A journaled decision
+    /// strictly in the past means the replay diverged.
+    fn replay_scaling_step(&mut self) -> Result<(), ControllerError> {
+        let Some(front) = self.replay.front() else {
+            return Ok(());
+        };
+        if front.time() < self.time - REPLAY_TIME_EPS {
+            return Err(ControllerError::JournalReplay(format!(
+                "journaled decision at t={:.3} was never replayed (clock is at t={:.3}): \
+                 the replay diverged from the run that wrote the journal",
+                front.time(),
+                self.time
+            )));
+        }
+        let due_scaling = matches!(
+            front,
+            DecisionRecord::Prepare {
+                reason: RedeployReason::Scaling,
+                time,
+                ..
+            } if replay_due(*time, self.time)
+        );
+        if due_scaling && self.apply_replayed_redeploy()?.is_none() {
+            // A scaling redeploy that fails to deploy aborts the live
+            // run — it can never leave an abandoned Prepare behind.
+            return Err(ControllerError::JournalReplay(
+                "a journaled scaling reconfiguration was abandoned mid-flight".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Restores one journaled `Retry`: the crashed run's failed
+    /// re-placement attempt, with its post-search RNG state and backoff
+    /// bookkeeping.
+    fn apply_replayed_retry(&mut self, rec: DecisionRecord) -> Result<(), ControllerError> {
+        let DecisionRecord::Retry {
+            attempts,
+            gave_up,
+            next_attempt_at,
+            rng,
+            ..
+        } = rec
+        else {
+            return Err(ControllerError::JournalReplay(
+                "expected a retry record".into(),
+            ));
+        };
+        self.rng = SmallRng::try_from_state(rng).ok_or_else(|| {
+            ControllerError::JournalReplay("journaled RNG state is invalid (all zero)".into())
+        })?;
+        if let Some(state) = &mut self.recovery {
+            if gave_up {
+                state.pending = None;
+            } else if let Some(p) = &mut state.pending {
+                p.attempts = attempts;
+                if let Some(t) = next_attempt_at {
+                    p.next_attempt_at = t;
+                }
+            }
+        }
+        self.record_replayed(DecisionRecord::Retry {
+            time: self.time,
+            attempts,
+            gave_up,
+            next_attempt_at,
+            rng,
+        })
+    }
+
+    /// Consumes the journal's front `Prepare` and settles its fate:
+    ///
+    /// * followed by its `Commit` — the reconfiguration was applied;
+    ///   deploy the journaled plan (no search, RNG restored from the
+    ///   record) and consume the `Commit`;
+    /// * followed by a `Retry` — the crashed run failed to deploy it;
+    ///   do **not** deploy (returns `None`, the `Retry` stays for the
+    ///   caller);
+    /// * at the journal tail — in doubt: the crash hit between the
+    ///   phases. Roll forward: deploy and journal the `Commit` live,
+    ///   finishing the protocol the dead controller started.
+    ///
+    /// Replayed deploys stamp their epoch without consulting the fence —
+    /// the journal is the authority on what was deployed.
+    fn apply_replayed_redeploy(&mut self) -> Result<Option<LadderRung>, ControllerError> {
+        let Some(rec) = self.replay.pop_front() else {
+            return Err(ControllerError::JournalReplay("no prepare to replay".into()));
+        };
+        let DecisionRecord::Prepare {
+            epoch,
+            reason,
+            parallelism,
+            assignment,
+            rung,
+            rng,
+            ..
+        } = rec.clone()
+        else {
+            return Err(ControllerError::JournalReplay(
+                "expected a prepare record".into(),
+            ));
+        };
+        self.rng = SmallRng::try_from_state(rng).ok_or_else(|| {
+            ControllerError::JournalReplay("journaled RNG state is invalid (all zero)".into())
+        })?;
+        self.epoch = epoch;
+        self.record_replayed(rec)?;
+
+        let committed = match self.replay.front() {
+            Some(DecisionRecord::Commit { epoch: e, .. }) if *e == epoch => true,
+            Some(DecisionRecord::Commit { epoch: e, .. }) => {
+                return Err(ControllerError::JournalReplay(format!(
+                    "commit epoch {e} does not match prepare epoch {epoch}"
+                )));
+            }
+            Some(DecisionRecord::Retry { .. }) => return Ok(None),
+            Some(other) => {
+                return Err(ControllerError::JournalReplay(format!(
+                    "prepare (epoch {epoch}) followed by a decision from t={:.3} \
+                     that is neither its commit nor a retry",
+                    other.time()
+                )));
+            }
+            None => false,
+        };
+
+        let query = self.query.with_parallelism(&parallelism).map_err(|e| {
+            ControllerError::JournalReplay(format!(
+                "journaled parallelism does not fit the query: {e}"
+            ))
+        })?;
+        let physical = query.physical();
+        let placement = Placement::new(assignment.iter().map(|&w| WorkerId(w)).collect());
+        placement.validate(&physical, self.cluster).map_err(|e| {
+            ControllerError::JournalReplay(format!("journaled placement is invalid: {e}"))
+        })?;
+        self.deploy(query, physical, placement, epoch, false)?;
+        if committed {
+            if let Some(c) = self.replay.pop_front() {
+                self.record_replayed(c)?;
+            }
+        } else {
+            // In doubt, rolled forward: we are the surviving controller
+            // now — journal the commit live.
+            self.record(DecisionRecord::Commit {
+                epoch,
+                time: self.time,
+            })?;
+        }
+        if matches!(reason, RedeployReason::Scaling) {
             self.events.push(ScalingEvent {
                 time: self.time,
                 parallelism,
                 slots: self.physical.num_tasks(),
             });
         }
-        Ok(rung)
+        Ok(Some(rung))
     }
 }
 
@@ -578,6 +1199,8 @@ mod tests {
     use capsys_placement::{CapsStrategy, FlinkDefault};
     use capsys_queries::q1_sliding;
     use capsys_sim::{FaultEvent, FaultKind};
+    use capsys_util::forall;
+    use capsys_util::prop::{ints, vec_of, Config};
     use std::time::Duration;
 
     fn small_cluster() -> Cluster {
@@ -610,6 +1233,55 @@ mod tests {
         assert_eq!(ws.rate_at(0.0), 40.0);
         assert_eq!(ws.rate_at(29.0), 40.0);
         assert_eq!(ws.rate_at(30.0), 100.0);
+    }
+
+    /// Builds a sorted integer-valued step schedule from generated
+    /// pairs. Integer-valued times keep float subtraction exact, so the
+    /// shift properties below can assert strict equality: for reals,
+    /// `(t - a) - b` and `t - (a + b)` differ by an ulp.
+    fn steps_from(pairs: &[(u32, u32)]) -> RateSchedule {
+        let mut s: Vec<(f64, f64)> = pairs
+            .iter()
+            .map(|&(t, r)| (t as f64, (r + 1) as f64))
+            .collect();
+        s.sort_by(|a, b| a.0.total_cmp(&b.0));
+        RateSchedule::Steps(s)
+    }
+
+    #[test]
+    fn prop_shift_by_zero_is_identity() {
+        forall!(Config::default().cases(64), (
+            pairs in vec_of((ints(0u32..400), ints(0u32..1000)), 1..=6),
+            probe in ints(0u32..500),
+        ) => {
+            let sched = steps_from(pairs);
+            let shifted = shift_schedule(&sched, 0.0);
+            assert_eq!(
+                sched.rate_at(*probe as f64),
+                shifted.rate_at(*probe as f64),
+                "shift-by-0 changed the rate at t={probe} for {sched:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn prop_shifts_compose() {
+        forall!(Config::default().cases(64), (
+            pairs in vec_of((ints(0u32..400), ints(0u32..1000)), 1..=6),
+            a in ints(0u32..200),
+            b in ints(0u32..200),
+            probe in ints(0u32..500),
+        ) => {
+            let sched = steps_from(pairs);
+            let twice = shift_schedule(&shift_schedule(&sched, *a as f64), *b as f64);
+            let once = shift_schedule(&sched, (*a + *b) as f64);
+            assert_eq!(
+                twice.rate_at(*probe as f64),
+                once.rate_at(*probe as f64),
+                "shift {a} then {b} != shift {} at t={probe} for {sched:?}",
+                a + b
+            );
+        });
     }
 
     #[test]
@@ -807,5 +1479,279 @@ mod tests {
         let trace = loop_.run(120.0).unwrap();
         // Only the very first evaluation can fire.
         assert!(trace.num_scalings() <= 1);
+    }
+
+    // ---- durability ----------------------------------------------------
+
+    /// The chaos scenario of `chaos_run` with a journal attached and an
+    /// optional controller kill. Returns the run outcome and the journal
+    /// text (which survives the loop's death).
+    fn journaled_chaos_run(
+        kill: Option<KillPoint>,
+    ) -> (Result<ClosedLoopTrace, ControllerError>, String) {
+        let query = q1_sliding();
+        let cluster = Cluster::homogeneous(6, WorkerSpec::r5d_xlarge(4)).unwrap();
+        let target = q1_sliding().capacity_rate(&cluster, 0.5).unwrap();
+        let strategy = CapsStrategy::default();
+        let loop_ = ClosedLoop::new(
+            &query,
+            &cluster,
+            &strategy,
+            Ds2Config {
+                activation_period: 60.0,
+                ..fast_ds2()
+            },
+            SimConfig {
+                duration: 1.0,
+                warmup: 0.0,
+                ..SimConfig::default()
+            },
+            RateSchedule::Constant(target),
+            7,
+        )
+        .unwrap();
+        let victim = loop_.placement().worker_of(TaskId(0));
+        let mut plan = FaultPlan::new(vec![FaultEvent {
+            time: 60.0,
+            kind: FaultKind::Crash(victim),
+        }])
+        .unwrap();
+        if let Some(k) = kill {
+            plan = plan.with_controller_kill(k).unwrap();
+        }
+        let (journal, buf) = DecisionJournal::in_memory();
+        let result = loop_
+            .with_fault_plan(plan)
+            .unwrap()
+            .with_recovery(RecoveryConfig::default())
+            .with_journal(journal)
+            .unwrap()
+            .run(300.0);
+        (result, buf.text())
+    }
+
+    /// Recovers from `journal_text` and runs to the scenario's end,
+    /// returning the trace and the recovered run's (fresh) journal.
+    fn recover_and_finish(journal_text: &str) -> (ClosedLoopTrace, String) {
+        let query = q1_sliding();
+        let cluster = Cluster::homogeneous(6, WorkerSpec::r5d_xlarge(4)).unwrap();
+        let target = q1_sliding().capacity_rate(&cluster, 0.5).unwrap();
+        let strategy = CapsStrategy::default();
+        let loop_ = ClosedLoop::recover_from_journal(
+            &query,
+            &cluster,
+            &strategy,
+            Ds2Config {
+                activation_period: 60.0,
+                ..fast_ds2()
+            },
+            SimConfig {
+                duration: 1.0,
+                warmup: 0.0,
+                ..SimConfig::default()
+            },
+            RateSchedule::Constant(target),
+            journal_text,
+        )
+        .unwrap();
+        // The same fault plan the crashed run had, minus its kill.
+        let victim = loop_.placement().worker_of(TaskId(0));
+        let plan = FaultPlan::new(vec![FaultEvent {
+            time: 60.0,
+            kind: FaultKind::Crash(victim),
+        }])
+        .unwrap();
+        let (journal, buf) = DecisionJournal::in_memory();
+        let trace = loop_
+            .with_fault_plan(plan)
+            .unwrap()
+            .with_recovery(RecoveryConfig::default())
+            .with_journal(journal)
+            .unwrap()
+            .run(300.0)
+            .unwrap();
+        (trace, buf.text())
+    }
+
+    #[test]
+    fn journal_records_prepare_commit_pairs() {
+        let (result, text) = journaled_chaos_run(None);
+        result.unwrap();
+        let parsed = crate::journal::parse_journal(&text).unwrap();
+        assert!(!parsed.torn);
+        assert!(matches!(parsed.records[0], DecisionRecord::Init { .. }));
+        let mut last_epoch = 0u64;
+        let mut prepares = 0;
+        let mut i = 1;
+        while i < parsed.records.len() {
+            match &parsed.records[i] {
+                DecisionRecord::Prepare { epoch, .. } => {
+                    prepares += 1;
+                    assert!(*epoch > last_epoch, "epochs must increase strictly");
+                    last_epoch = *epoch;
+                    // Every applied prepare is immediately committed.
+                    match parsed.records.get(i + 1) {
+                        Some(DecisionRecord::Commit { epoch: e, .. }) => assert_eq!(e, epoch),
+                        Some(DecisionRecord::Retry { .. }) => {} // abandoned
+                        other => panic!("prepare followed by {other:?}"),
+                    }
+                    i += 2;
+                }
+                DecisionRecord::Retry { .. } => i += 1,
+                other => panic!("unexpected record {other:?}"),
+            }
+        }
+        assert!(prepares >= 1, "the crash recovery must journal a prepare");
+    }
+
+    #[test]
+    fn kill_at_each_decision_recovers_byte_identically() {
+        // The headline property, sampled at three decision points (the
+        // exhaustive sweep lives in exp_recovery): a controller killed
+        // right after journaling record k, then recovered from the
+        // journal, finishes with a byte-identical trace — and writes a
+        // byte-identical journal.
+        let (baseline, golden_journal) = journaled_chaos_run(None);
+        let golden = baseline.unwrap().to_json().to_string();
+        let n = golden_journal.lines().count() as u64;
+        assert!(n >= 3, "scenario too quiet to test kills ({n} records)");
+        // First prepare's sequence number: killing there is a kill
+        // between Prepare and Commit.
+        let parsed = crate::journal::parse_journal(&golden_journal).unwrap();
+        let prepare_seq = parsed
+            .records
+            .iter()
+            .position(|r| matches!(r, DecisionRecord::Prepare { .. }))
+            .expect("no prepare in golden journal") as u64;
+        for k in [1, prepare_seq, n - 1] {
+            let (result, partial) = journaled_chaos_run(Some(KillPoint::AfterRecord(k)));
+            match result {
+                Err(ControllerError::ControllerKilled { seq, .. }) => assert_eq!(seq, k + 1),
+                other => panic!("kill at record {k} did not fire: {other:?}"),
+            }
+            assert_eq!(
+                partial.lines().count() as u64,
+                k + 1,
+                "journal must hold exactly the records up to the kill"
+            );
+            let (trace, rewritten) = recover_and_finish(&partial);
+            assert_eq!(
+                trace.to_json().to_string(),
+                golden,
+                "recovered trace diverged after kill at record {k}"
+            );
+            assert_eq!(
+                rewritten, golden_journal,
+                "recovered journal diverged after kill at record {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn kill_between_prepare_and_commit_rolls_forward() {
+        let (baseline, golden_journal) = journaled_chaos_run(None);
+        let golden = baseline.unwrap().to_json().to_string();
+        let parsed = crate::journal::parse_journal(&golden_journal).unwrap();
+        let first_epoch = parsed
+            .records
+            .iter()
+            .find_map(|r| match r {
+                DecisionRecord::Prepare { epoch, .. } => Some(*epoch),
+                _ => None,
+            })
+            .expect("no prepare in golden journal");
+        let (result, partial) = journaled_chaos_run(Some(KillPoint::MidReconfig(first_epoch)));
+        assert!(
+            matches!(result, Err(ControllerError::ControllerKilled { .. })),
+            "mid-reconfiguration kill did not fire"
+        );
+        // The journal tail is the in-doubt Prepare.
+        let tail = crate::journal::parse_journal(&partial).unwrap();
+        assert!(
+            matches!(tail.records.last(), Some(DecisionRecord::Prepare { epoch, .. }) if *epoch == first_epoch),
+            "journal tail is not the prepared epoch"
+        );
+        // Recovery rolls it forward and the run finishes identically.
+        let (trace, rewritten) = recover_and_finish(&partial);
+        assert_eq!(trace.to_json().to_string(), golden);
+        assert_eq!(rewritten, golden_journal);
+    }
+
+    #[test]
+    fn stale_epoch_deployment_is_fenced() {
+        // A controller whose fence has been advanced from outside (a
+        // newer controller superseded it) must fail its next deployment
+        // with FencedEpoch, not retry or deploy.
+        let query = q1_sliding().with_parallelism(&[1, 1, 1, 1]).unwrap();
+        let cluster = small_cluster();
+        let target = q1_sliding().capacity_rate(&cluster, 0.5).unwrap();
+        let strategy = CapsStrategy::default();
+        let loop_ = ClosedLoop::new(
+            &query,
+            &cluster,
+            &strategy,
+            fast_ds2(),
+            SimConfig {
+                duration: 1.0,
+                warmup: 0.0,
+                ..SimConfig::default()
+            },
+            RateSchedule::Constant(target),
+            7,
+        )
+        .unwrap();
+        let fence = loop_.fence().clone();
+        fence.advance_to(1000).unwrap();
+        match loop_.run(300.0) {
+            Err(ControllerError::FencedEpoch { attempted, current }) => {
+                assert!(attempted <= 1000);
+                assert_eq!(current, 1000);
+            }
+            other => panic!("expected FencedEpoch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_validates_journal_against_inputs() {
+        let (result, text) = journaled_chaos_run(None);
+        result.unwrap();
+        let cluster = Cluster::homogeneous(6, WorkerSpec::r5d_xlarge(4)).unwrap();
+        let small = small_cluster();
+        let strategy = CapsStrategy::default();
+        let cfg = Ds2Config {
+            activation_period: 60.0,
+            ..fast_ds2()
+        };
+        let sim_cfg = SimConfig {
+            duration: 1.0,
+            warmup: 0.0,
+            ..SimConfig::default()
+        };
+        // Wrong worker count.
+        let err = ClosedLoop::recover_from_journal(
+            &q1_sliding(),
+            &small,
+            &strategy,
+            cfg.clone(),
+            sim_cfg.clone(),
+            RateSchedule::Constant(1000.0),
+            &text,
+        )
+        .err()
+        .expect("recovery on the wrong cluster must fail");
+        assert!(matches!(err, ControllerError::JournalReplay(_)), "{err}");
+        // Wrong starting parallelism.
+        let err = ClosedLoop::recover_from_journal(
+            &q1_sliding().with_parallelism(&[1, 1, 1, 1]).unwrap(),
+            &cluster,
+            &strategy,
+            cfg,
+            sim_cfg,
+            RateSchedule::Constant(1000.0),
+            &text,
+        )
+        .err()
+        .expect("recovery with the wrong parallelism must fail");
+        assert!(matches!(err, ControllerError::JournalReplay(_)), "{err}");
     }
 }

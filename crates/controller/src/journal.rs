@@ -1,0 +1,498 @@
+//! The controller's write-ahead decision journal.
+//!
+//! Every decision the closed loop takes — the initial deployment, each
+//! two-phase reconfiguration (`Prepare` then `Commit`), and each failed
+//! recovery attempt (`Retry`) — is journaled *before* it takes effect,
+//! using the checksummed JSON-lines framing of `capsys_util::journal`.
+//! Records carry everything replay needs to reproduce the decision
+//! without re-running the placement search: the chosen parallelism and
+//! assignment, the ladder rung, the schedule offset (as the decision
+//! time), and the controller RNG state *after* the search.
+//!
+//! The protocol invariants replay relies on:
+//!
+//! * records appear in decision order with contiguous frame numbers;
+//! * the first record is always [`DecisionRecord::Init`];
+//! * every applied reconfiguration is a `Prepare(epoch)` immediately
+//!   followed by `Commit(epoch)`; a `Prepare` followed by a `Retry` was
+//!   *abandoned* (the deployment step failed and the controller backed
+//!   off); a `Prepare` at the journal tail is *in doubt* and is rolled
+//!   forward on recovery (deploying it is idempotent and deterministic);
+//! * epochs increase strictly: `Init` is epoch 0, the first
+//!   reconfiguration epoch 1, and so on.
+//!
+//! RNG state and the run seed are encoded as 16-digit hex strings, not
+//! JSON numbers: the JSON layer stores numbers as `f64`, which is exact
+//! only to 2^53, and a single flipped low bit in restored RNG state
+//! would silently fork the replayed run.
+
+use std::io::Write;
+
+use capsys_util::journal::{read_journal, JournalWriter, SharedBuf};
+use capsys_util::json::Json;
+
+use crate::recovery::LadderRung;
+use crate::ControllerError;
+
+/// Why a reconfiguration was initiated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedeployReason {
+    /// DS2 changed the parallelism recommendation.
+    Scaling,
+    /// The failure detector demanded a re-placement on the survivors.
+    Recovery,
+}
+
+impl RedeployReason {
+    fn name(&self) -> &'static str {
+        match self {
+            RedeployReason::Scaling => "scaling",
+            RedeployReason::Recovery => "recovery",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<RedeployReason> {
+        match name {
+            "scaling" => Some(RedeployReason::Scaling),
+            "recovery" => Some(RedeployReason::Recovery),
+            _ => None,
+        }
+    }
+}
+
+/// One journaled controller decision.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecisionRecord {
+    /// The initial deployment (epoch 0): enough to rebuild the loop
+    /// without re-running the initial placement search.
+    Init {
+        /// The run's RNG seed.
+        seed: u64,
+        /// Query name, to reject replay against the wrong job.
+        query: String,
+        /// Cluster worker count, likewise.
+        workers: usize,
+        /// Initial per-operator parallelism.
+        parallelism: Vec<usize>,
+        /// Initial task-to-worker assignment.
+        assignment: Vec<usize>,
+        /// RNG state after the initial placement search.
+        rng: [u64; 4],
+    },
+    /// Phase one of a reconfiguration: journaled before the simulator
+    /// is touched.
+    Prepare {
+        /// The reconfiguration's fencing epoch.
+        epoch: u64,
+        /// Simulated decision time (doubles as the schedule offset of
+        /// the replacement simulation).
+        time: f64,
+        /// Why the reconfiguration happened.
+        reason: RedeployReason,
+        /// The new per-operator parallelism.
+        parallelism: Vec<usize>,
+        /// The new task-to-worker assignment.
+        assignment: Vec<usize>,
+        /// The ladder rung that produced the plan.
+        rung: LadderRung,
+        /// The aggregate input rate the plan was sized for.
+        rate: f64,
+        /// RNG state after the placement search.
+        rng: [u64; 4],
+    },
+    /// Phase two: the reconfiguration of `epoch` was applied.
+    Commit {
+        /// The epoch being committed.
+        epoch: u64,
+        /// Simulated commit time.
+        time: f64,
+    },
+    /// A recovery re-placement attempt failed; the controller backed
+    /// off (or gave up).
+    Retry {
+        /// Simulated time of the failed attempt.
+        time: f64,
+        /// Failed attempts so far for the pending recovery.
+        attempts: usize,
+        /// Whether the controller gave up (retry budget exhausted).
+        gave_up: bool,
+        /// When the next attempt is due, unless it gave up.
+        next_attempt_at: Option<f64>,
+        /// RNG state after the failed placement search.
+        rng: [u64; 4],
+    },
+}
+
+fn hex_u64(v: u64) -> Json {
+    Json::Str(format!("{v:016x}"))
+}
+
+fn u64_from_hex(v: Option<&Json>, what: &str) -> Result<u64, ControllerError> {
+    let s = v
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad(format!("missing hex field `{what}`")))?;
+    u64::from_str_radix(s, 16).map_err(|_| bad(format!("field `{what}` is not a hex u64: {s}")))
+}
+
+fn rng_to_json(s: [u64; 4]) -> Json {
+    Json::Arr(s.iter().map(|&w| hex_u64(w)).collect())
+}
+
+fn rng_from_json(v: Option<&Json>) -> Result<[u64; 4], ControllerError> {
+    let arr = v
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad("missing `rng` state"))?;
+    if arr.len() != 4 {
+        return Err(bad(format!("rng state has {} words, expected 4", arr.len())));
+    }
+    let mut out = [0u64; 4];
+    for (i, w) in arr.iter().enumerate() {
+        out[i] = u64_from_hex(Some(w), "rng")?;
+    }
+    Ok(out)
+}
+
+fn usizes_to_json(v: &[usize]) -> Json {
+    Json::Arr(v.iter().map(|&x| Json::Num(x as f64)).collect())
+}
+
+fn usizes_from_json(v: Option<&Json>, what: &str) -> Result<Vec<usize>, ControllerError> {
+    let arr = v
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad(format!("missing array field `{what}`")))?;
+    arr.iter()
+        .map(|x| {
+            let n = x
+                .as_f64()
+                .ok_or_else(|| bad(format!("non-numeric entry in `{what}`")))?;
+            if n < 0.0 || n.fract() != 0.0 || n > u32::MAX as f64 {
+                return Err(bad(format!("entry {n} in `{what}` is not a small integer")));
+            }
+            Ok(n as usize)
+        })
+        .collect()
+}
+
+fn num(v: Option<&Json>, what: &str) -> Result<f64, ControllerError> {
+    v.and_then(Json::as_f64)
+        .ok_or_else(|| bad(format!("missing numeric field `{what}`")))
+}
+
+fn integer(v: Option<&Json>, what: &str) -> Result<u64, ControllerError> {
+    let n = num(v, what)?;
+    if n < 0.0 || n.fract() != 0.0 || n > 2f64.powi(53) {
+        return Err(bad(format!("field `{what}` is not a non-negative integer: {n}")));
+    }
+    Ok(n as u64)
+}
+
+fn text<'j>(v: Option<&'j Json>, what: &str) -> Result<&'j str, ControllerError> {
+    v.and_then(Json::as_str)
+        .ok_or_else(|| bad(format!("missing string field `{what}`")))
+}
+
+fn bad(msg: impl Into<String>) -> ControllerError {
+    ControllerError::Journal(msg.into())
+}
+
+impl DecisionRecord {
+    /// The simulated time the decision was taken (`Init` is 0).
+    pub fn time(&self) -> f64 {
+        match self {
+            DecisionRecord::Init { .. } => 0.0,
+            DecisionRecord::Prepare { time, .. }
+            | DecisionRecord::Commit { time, .. }
+            | DecisionRecord::Retry { time, .. } => *time,
+        }
+    }
+
+    /// Encodes the record as a JSON payload (the `data` of one journal
+    /// frame).
+    pub fn to_json(&self) -> Json {
+        match self {
+            DecisionRecord::Init {
+                seed,
+                query,
+                workers,
+                parallelism,
+                assignment,
+                rng,
+            } => Json::Obj(vec![
+                ("type".into(), Json::Str("init".into())),
+                ("seed".into(), hex_u64(*seed)),
+                ("query".into(), Json::Str(query.clone())),
+                ("workers".into(), Json::Num(*workers as f64)),
+                ("parallelism".into(), usizes_to_json(parallelism)),
+                ("assignment".into(), usizes_to_json(assignment)),
+                ("rng".into(), rng_to_json(*rng)),
+            ]),
+            DecisionRecord::Prepare {
+                epoch,
+                time,
+                reason,
+                parallelism,
+                assignment,
+                rung,
+                rate,
+                rng,
+            } => Json::Obj(vec![
+                ("type".into(), Json::Str("prepare".into())),
+                ("epoch".into(), Json::Num(*epoch as f64)),
+                ("time".into(), Json::Num(*time)),
+                ("reason".into(), Json::Str(reason.name().into())),
+                ("parallelism".into(), usizes_to_json(parallelism)),
+                ("assignment".into(), usizes_to_json(assignment)),
+                ("rung".into(), Json::Str(rung.name().into())),
+                ("rate".into(), Json::Num(*rate)),
+                ("rng".into(), rng_to_json(*rng)),
+            ]),
+            DecisionRecord::Commit { epoch, time } => Json::Obj(vec![
+                ("type".into(), Json::Str("commit".into())),
+                ("epoch".into(), Json::Num(*epoch as f64)),
+                ("time".into(), Json::Num(*time)),
+            ]),
+            DecisionRecord::Retry {
+                time,
+                attempts,
+                gave_up,
+                next_attempt_at,
+                rng,
+            } => Json::Obj(vec![
+                ("type".into(), Json::Str("retry".into())),
+                ("time".into(), Json::Num(*time)),
+                ("attempts".into(), Json::Num(*attempts as f64)),
+                ("gave_up".into(), Json::Bool(*gave_up)),
+                (
+                    "next_attempt_at".into(),
+                    match next_attempt_at {
+                        Some(t) => Json::Num(*t),
+                        None => Json::Null,
+                    },
+                ),
+                ("rng".into(), rng_to_json(*rng)),
+            ]),
+        }
+    }
+
+    /// Decodes a record from a journal frame payload.
+    pub fn from_json(v: &Json) -> Result<DecisionRecord, ControllerError> {
+        match text(v.get("type"), "type")? {
+            "init" => Ok(DecisionRecord::Init {
+                seed: u64_from_hex(v.get("seed"), "seed")?,
+                query: text(v.get("query"), "query")?.to_string(),
+                workers: integer(v.get("workers"), "workers")? as usize,
+                parallelism: usizes_from_json(v.get("parallelism"), "parallelism")?,
+                assignment: usizes_from_json(v.get("assignment"), "assignment")?,
+                rng: rng_from_json(v.get("rng"))?,
+            }),
+            "prepare" => Ok(DecisionRecord::Prepare {
+                epoch: integer(v.get("epoch"), "epoch")?,
+                time: num(v.get("time"), "time")?,
+                reason: RedeployReason::from_name(text(v.get("reason"), "reason")?)
+                    .ok_or_else(|| bad("unknown redeploy reason"))?,
+                parallelism: usizes_from_json(v.get("parallelism"), "parallelism")?,
+                assignment: usizes_from_json(v.get("assignment"), "assignment")?,
+                rung: LadderRung::from_name(text(v.get("rung"), "rung")?)
+                    .ok_or_else(|| bad("unknown ladder rung"))?,
+                rate: num(v.get("rate"), "rate")?,
+                rng: rng_from_json(v.get("rng"))?,
+            }),
+            "commit" => Ok(DecisionRecord::Commit {
+                epoch: integer(v.get("epoch"), "epoch")?,
+                time: num(v.get("time"), "time")?,
+            }),
+            "retry" => Ok(DecisionRecord::Retry {
+                time: num(v.get("time"), "time")?,
+                attempts: integer(v.get("attempts"), "attempts")? as usize,
+                gave_up: v
+                    .get("gave_up")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| bad("missing bool field `gave_up`"))?,
+                next_attempt_at: match v.get("next_attempt_at") {
+                    Some(Json::Null) | None => None,
+                    Some(t) => Some(t.as_f64().ok_or_else(|| bad("bad `next_attempt_at`"))?),
+                },
+                rng: rng_from_json(v.get("rng"))?,
+            }),
+            other => Err(bad(format!("unknown decision record type `{other}`"))),
+        }
+    }
+}
+
+/// A decision journal parsed back from its serialized text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedJournal {
+    /// The decision records, in order. The first is always `Init`.
+    pub records: Vec<DecisionRecord>,
+    /// Whether a torn final frame was dropped.
+    pub torn: bool,
+}
+
+/// The write side of the decision journal: checksummed frames over any
+/// `Write` sink, flushed per record.
+pub struct DecisionJournal {
+    writer: JournalWriter,
+}
+
+impl DecisionJournal {
+    /// A journal writing to `out`, starting at frame 0.
+    pub fn writing_to(out: Box<dyn Write + Send>) -> DecisionJournal {
+        DecisionJournal {
+            writer: JournalWriter::new(out),
+        }
+    }
+
+    /// A journal writing to a fresh in-memory buffer; the returned
+    /// [`SharedBuf`] stays readable after the journal (and the loop
+    /// holding it) is gone — the test analogue of a surviving file.
+    pub fn in_memory() -> (DecisionJournal, SharedBuf) {
+        let buf = SharedBuf::new();
+        (DecisionJournal::writing_to(Box::new(buf.clone())), buf)
+    }
+
+    /// A journal appending to the file at `path` (created or truncated).
+    pub fn create(path: &std::path::Path) -> Result<DecisionJournal, ControllerError> {
+        let file = std::fs::File::create(path)
+            .map_err(|e| bad(format!("cannot create journal {}: {e}", path.display())))?;
+        Ok(DecisionJournal::writing_to(Box::new(file)))
+    }
+
+    /// Appends one decision, flushing the sink. Returns the frame's
+    /// sequence number.
+    pub fn append(&mut self, rec: &DecisionRecord) -> Result<u64, ControllerError> {
+        Ok(self.writer.append(&rec.to_json())?)
+    }
+
+    /// The sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.writer.next_seq()
+    }
+}
+
+impl std::fmt::Debug for DecisionJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecisionJournal")
+            .field("next_seq", &self.next_seq())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Parses a serialized decision journal, tolerating a torn tail.
+pub fn parse_journal(textual: &str) -> Result<ParsedJournal, ControllerError> {
+    let outcome = read_journal(textual)?;
+    let records = outcome
+        .records
+        .iter()
+        .map(DecisionRecord::from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    if let Some(first) = records.first() {
+        if !matches!(first, DecisionRecord::Init { .. }) {
+            return Err(bad("journal does not start with an init record"));
+        }
+    }
+    Ok(ParsedJournal {
+        records,
+        torn: outcome.torn,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<DecisionRecord> {
+        vec![
+            DecisionRecord::Init {
+                seed: u64::MAX - 3,
+                query: "q1-sliding".into(),
+                workers: 6,
+                parallelism: vec![1, 2, 3, 1],
+                assignment: vec![0, 1, 1, 2, 3, 4, 5],
+                rng: [u64::MAX, 1, 0x0123_4567_89AB_CDEF, 42],
+            },
+            DecisionRecord::Prepare {
+                epoch: 1,
+                time: 65.0,
+                reason: RedeployReason::Recovery,
+                parallelism: vec![1, 2, 3, 1],
+                assignment: vec![1, 1, 2, 2, 3, 4, 5],
+                rung: LadderRung::RelaxedCaps,
+                rate: 1234.56,
+                rng: [9, 8, 7, 6],
+            },
+            DecisionRecord::Commit {
+                epoch: 1,
+                time: 65.0,
+            },
+            DecisionRecord::Retry {
+                time: 70.0,
+                attempts: 2,
+                gave_up: false,
+                next_attempt_at: Some(80.0),
+                rng: [5, 5, 5, 5],
+            },
+            DecisionRecord::Retry {
+                time: 90.0,
+                attempts: 4,
+                gave_up: true,
+                next_attempt_at: None,
+                rng: [1, 2, 3, 4],
+            },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        for rec in samples() {
+            let back = DecisionRecord::from_json(&rec.to_json()).unwrap();
+            assert_eq!(rec, back);
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_through_text() {
+        let (mut j, buf) = DecisionJournal::in_memory();
+        for (i, rec) in samples().iter().enumerate() {
+            assert_eq!(j.append(rec).unwrap(), i as u64);
+        }
+        let parsed = parse_journal(&buf.text()).unwrap();
+        assert!(!parsed.torn);
+        assert_eq!(parsed.records, samples());
+    }
+
+    #[test]
+    fn u64_values_survive_exactly() {
+        // f64 would corrupt these; hex framing must not.
+        let rec = DecisionRecord::Init {
+            seed: (1u64 << 53) + 1,
+            query: "q".into(),
+            workers: 1,
+            parallelism: vec![1],
+            assignment: vec![0],
+            rng: [u64::MAX, u64::MAX - 1, 1u64 << 63, (1u64 << 53) + 1],
+        };
+        let back = DecisionRecord::from_json(&rec.to_json()).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn journal_must_start_with_init() {
+        let (mut j, buf) = DecisionJournal::in_memory();
+        j.append(&DecisionRecord::Commit {
+            epoch: 1,
+            time: 5.0,
+        })
+        .unwrap();
+        assert!(parse_journal(&buf.text()).is_err());
+    }
+
+    #[test]
+    fn garbage_payload_is_rejected() {
+        assert!(DecisionRecord::from_json(&Json::Obj(vec![(
+            "type".into(),
+            Json::Str("mystery".into())
+        )]))
+        .is_err());
+        assert!(DecisionRecord::from_json(&Json::Null).is_err());
+    }
+}

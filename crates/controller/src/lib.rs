@@ -20,12 +20,14 @@
 #![warn(missing_docs)]
 pub mod closed_loop;
 pub mod controller;
+pub mod journal;
 pub mod online;
 pub mod profiler;
 pub mod recovery;
 
 pub use closed_loop::{ClosedLoop, ClosedLoopTrace, ScalingEvent};
 pub use controller::{CapsysConfig, CapsysController, Deployment};
+pub use journal::{DecisionJournal, DecisionRecord, ParsedJournal, RedeployReason};
 pub use online::{OnlineProfiler, OnlineProfilerConfig};
 pub use profiler::{profile_query, ProfileReport, ProfilerConfig};
 pub use recovery::{
@@ -49,6 +51,33 @@ pub enum ControllerError {
     Ds2(Ds2Error),
     /// A placement-strategy error.
     Placement(PlacementError),
+    /// A reconfiguration carried a stale epoch and was fenced off: this
+    /// controller is a zombie — another instance (typically one
+    /// recovered from the journal) has deployed a newer epoch.
+    FencedEpoch {
+        /// The epoch this controller attempted to deploy.
+        attempted: u64,
+        /// The epoch the cluster fence already holds.
+        current: u64,
+    },
+    /// The controller process was killed by an injected
+    /// [`capsys_sim::KillPoint`]. The journal written so far survives;
+    /// resume with [`ClosedLoop::recover_from_journal`].
+    ControllerKilled {
+        /// Journal records written before death (the next record would
+        /// have had this sequence number).
+        seq: u64,
+        /// Simulated time of death.
+        time: f64,
+    },
+    /// The write-ahead journal could not be written or read back.
+    Journal(String),
+    /// A journal replay diverged from the live run it claims to record
+    /// (wrong query, mismatched decision times, an impossible record
+    /// sequence).
+    JournalReplay(String),
+    /// A configuration value failed validation.
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for ControllerError {
@@ -58,7 +87,25 @@ impl std::fmt::Display for ControllerError {
             ControllerError::Sim(e) => write!(f, "simulation error: {e}"),
             ControllerError::Ds2(e) => write!(f, "DS2 error: {e}"),
             ControllerError::Placement(e) => write!(f, "placement error: {e}"),
+            ControllerError::FencedEpoch { attempted, current } => write!(
+                f,
+                "reconfiguration fenced: epoch {attempted} is stale (cluster is at {current}); \
+                 this controller has been superseded"
+            ),
+            ControllerError::ControllerKilled { seq, time } => write!(
+                f,
+                "controller killed at t={time}s after {seq} journal record(s)"
+            ),
+            ControllerError::Journal(msg) => write!(f, "journal error: {msg}"),
+            ControllerError::JournalReplay(msg) => write!(f, "journal replay error: {msg}"),
+            ControllerError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
+    }
+}
+
+impl From<capsys_util::journal::JournalError> for ControllerError {
+    fn from(e: capsys_util::journal::JournalError) -> Self {
+        ControllerError::Journal(e.to_string())
     }
 }
 

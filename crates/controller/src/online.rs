@@ -19,6 +19,8 @@
 use capsys_model::{OperatorId, PhysicalGraph, ResourceProfile};
 use capsys_sim::TaskRateStats;
 
+use crate::ControllerError;
+
 /// Configuration of the online profiler.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OnlineProfilerConfig {
@@ -39,6 +41,36 @@ impl Default for OnlineProfilerConfig {
             drift_threshold: 0.25,
             min_rate: 1.0,
         }
+    }
+}
+
+impl OnlineProfilerConfig {
+    /// Validates the configuration. `alpha` must lie in `(0, 1]`,
+    /// `drift_threshold` must be finite and non-negative, and `min_rate`
+    /// must be finite and strictly positive — `min_rate` is the sole
+    /// guard on the divisions in [`OnlineProfiler::observe`], so a zero
+    /// or negative value would let `busy / rate` and `out / in` divide
+    /// by zero.
+    pub fn validate(&self) -> Result<(), ControllerError> {
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(ControllerError::InvalidConfig(format!(
+                "online profiler alpha must be in (0, 1], got {}",
+                self.alpha
+            )));
+        }
+        if !self.drift_threshold.is_finite() || self.drift_threshold < 0.0 {
+            return Err(ControllerError::InvalidConfig(format!(
+                "online profiler drift_threshold must be finite and >= 0, got {}",
+                self.drift_threshold
+            )));
+        }
+        if !self.min_rate.is_finite() || self.min_rate <= 0.0 {
+            return Err(ControllerError::InvalidConfig(format!(
+                "online profiler min_rate must be finite and > 0, got {}",
+                self.min_rate
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -66,6 +98,16 @@ impl OnlineProfiler {
             ema_selectivity: vec![None; n],
             observations: 0,
         }
+    }
+
+    /// Like [`OnlineProfiler::new`], but validates the configuration
+    /// first.
+    pub fn checked(
+        baseline: Vec<ResourceProfile>,
+        config: OnlineProfilerConfig,
+    ) -> Result<OnlineProfiler, ControllerError> {
+        config.validate()?;
+        Ok(OnlineProfiler::new(baseline, config))
     }
 
     /// Number of metric windows observed so far.
@@ -100,7 +142,9 @@ impl OnlineProfiler {
                 };
                 in_sum += m.observed_rate;
                 out_sum += m.observed_output_rate;
-                if m.observed_rate >= self.config.min_rate {
+                // The `> 0.0` guard is belt-and-braces for callers that
+                // bypassed `validate()` with a non-positive `min_rate`.
+                if m.observed_rate >= self.config.min_rate && m.observed_rate > 0.0 {
                     let cost = m.busy_fraction / m.observed_rate;
                     best_cost = Some(best_cost.map_or(cost, |b: f64| b.min(cost)));
                 }
@@ -110,7 +154,7 @@ impl OnlineProfiler {
                 self.ema_cpu[op_idx] =
                     Some(self.ema_cpu[op_idx].map_or(cost, |e| e * (1.0 - a) + cost * a));
             }
-            if in_sum >= self.config.min_rate {
+            if in_sum >= self.config.min_rate && in_sum > 0.0 {
                 let sel = out_sum / in_sum;
                 let a = self.config.alpha;
                 self.ema_selectivity[op_idx] =
@@ -278,6 +322,47 @@ mod tests {
             (cpu - 1e-3).abs() < 1e-9,
             "expected clean estimate, got {cpu}"
         );
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_values() {
+        let ok = OnlineProfilerConfig::default();
+        assert!(ok.validate().is_ok());
+        for bad in [
+            OnlineProfilerConfig { alpha: 0.0, ..ok.clone() },
+            OnlineProfilerConfig { alpha: 1.5, ..ok.clone() },
+            OnlineProfilerConfig { alpha: f64::NAN, ..ok.clone() },
+            OnlineProfilerConfig { drift_threshold: -0.1, ..ok.clone() },
+            OnlineProfilerConfig { drift_threshold: f64::INFINITY, ..ok.clone() },
+            OnlineProfilerConfig { min_rate: 0.0, ..ok.clone() },
+            OnlineProfilerConfig { min_rate: -5.0, ..ok.clone() },
+            OnlineProfilerConfig { min_rate: f64::NAN, ..ok.clone() },
+        ] {
+            let err = OnlineProfiler::checked(baseline(), bad.clone())
+                .err()
+                .unwrap_or_else(|| panic!("config {bad:?} must be rejected"));
+            assert!(matches!(err, crate::ControllerError::InvalidConfig(_)));
+        }
+    }
+
+    #[test]
+    fn zero_min_rate_never_divides_by_zero() {
+        // Even with a bypassed validation (min_rate = 0), idle tasks
+        // must not poison the EMAs with NaN/inf.
+        let p = graph();
+        let cfg = OnlineProfilerConfig {
+            min_rate: 0.0,
+            ..OnlineProfilerConfig::default()
+        };
+        let mut prof = OnlineProfiler::new(baseline(), cfg);
+        let rates = vec![
+            stats(1000.0, 0.01, 1.0),
+            stats(0.0, 0.0, 0.5),
+            stats(0.0, 0.0, 0.5),
+        ];
+        prof.observe(&p, &rates);
+        assert!(prof.effective_cpu(capsys_model::OperatorId(1)).is_none());
+        assert!(prof.drifted_profiles().is_none());
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::time::Duration;
 use capsys_core::{CapsError, SearchConfig, Thresholds};
 use capsys_model::{ModelError, Placement, WorkerId};
 use capsys_placement::{CapsStrategy, PlacementContext, PlacementError, PlacementStrategy};
+use capsys_util::json::{Json, ToJson};
 use capsys_util::rng::SmallRng;
 
 /// Failure-detector settings.
@@ -161,6 +162,16 @@ impl LadderRung {
             LadderRung::RoundRobin => "round-robin",
         }
     }
+
+    /// The inverse of [`LadderRung::name`], for journal decoding.
+    pub fn from_name(name: &str) -> Option<LadderRung> {
+        match name {
+            "caps" => Some(LadderRung::Caps),
+            "relaxed-caps" => Some(LadderRung::RelaxedCaps),
+            "round-robin" => Some(LadderRung::RoundRobin),
+            _ => None,
+        }
+    }
 }
 
 /// Recovery-policy settings.
@@ -225,6 +236,21 @@ pub struct RecoveryEvent {
     pub plans_tried: usize,
     /// The ladder rung that produced the deployed plan.
     pub rung: LadderRung,
+}
+
+impl ToJson for RecoveryEvent {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("worker".into(), Json::Num(self.worker.0 as f64)),
+            ("stale_since".into(), Json::Num(self.stale_since)),
+            ("detected_at".into(), Json::Num(self.detected_at)),
+            ("detection_lag".into(), Json::Num(self.detection_lag)),
+            ("recovered_at".into(), Json::Num(self.recovered_at)),
+            ("time_to_recover".into(), Json::Num(self.time_to_recover)),
+            ("plans_tried".into(), Json::Num(self.plans_tried as f64)),
+            ("rung".into(), Json::Str(self.rung.name().to_string())),
+        ])
+    }
 }
 
 /// Places the job via the graceful-degradation ladder.
@@ -402,6 +428,55 @@ mod tests {
         assert_eq!(d.stale_since(WorkerId(0)), Some(5.0));
         let det = d.observe(&[false], true, 20.0);
         assert_eq!(det.newly_down, vec![WorkerId(0)]);
+    }
+
+    #[test]
+    fn blackout_exactly_at_threshold_window_defers_declaration() {
+        // The worker's miss count stands one short of the threshold and
+        // the window that would tip it over is a blackout: the
+        // declaration must wait for the next *observed* window, and the
+        // staleness clock must still point at the first missed
+        // heartbeat, not at the blackout or the declaration window.
+        let mut d = FailureDetector::new(1, DetectorConfig { miss_threshold: 2 });
+        let det = d.observe(&[false], true, 5.0);
+        assert!(det.newly_down.is_empty());
+        assert_eq!(d.staleness(WorkerId(0)), 1);
+        // This window would have been miss #2 == threshold, but it is
+        // unobserved.
+        let det = d.observe(&[false], false, 10.0);
+        assert!(det.newly_down.is_empty());
+        assert!(!d.is_down(WorkerId(0)));
+        assert_eq!(d.staleness(WorkerId(0)), 1);
+        // The first observed window after the blackout declares it.
+        let det = d.observe(&[false], true, 15.0);
+        assert_eq!(det.newly_down, vec![WorkerId(0)]);
+        assert_eq!(d.stale_since(WorkerId(0)), Some(5.0));
+    }
+
+    #[test]
+    fn restore_resets_staleness_clock_for_next_outage() {
+        // A worker that comes back after being declared down must start
+        // its next outage with a fresh staleness clock: the second
+        // declaration's stale_since belongs to the second outage, and
+        // the full threshold must elapse again.
+        let mut d = FailureDetector::new(1, DetectorConfig { miss_threshold: 2 });
+        d.observe(&[false], true, 5.0);
+        let det = d.observe(&[false], true, 10.0);
+        assert_eq!(det.newly_down, vec![WorkerId(0)]);
+        assert_eq!(d.stale_since(WorkerId(0)), Some(5.0));
+        // Heartbeat returns: fully healthy again.
+        let det = d.observe(&[true], true, 15.0);
+        assert_eq!(det.newly_up, vec![WorkerId(0)]);
+        assert_eq!(d.staleness(WorkerId(0)), 0);
+        assert_eq!(d.stale_since(WorkerId(0)), None);
+        // Second outage: one miss is again not enough...
+        let det = d.observe(&[false], true, 20.0);
+        assert!(det.newly_down.is_empty());
+        assert!(!d.is_down(WorkerId(0)));
+        // ...and the new streak's clock starts at the new first miss.
+        let det = d.observe(&[false], true, 25.0);
+        assert_eq!(det.newly_down, vec![WorkerId(0)]);
+        assert_eq!(d.stale_since(WorkerId(0)), Some(20.0));
     }
 
     #[test]

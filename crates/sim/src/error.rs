@@ -15,6 +15,14 @@ pub enum SimError {
     MissingSchedule(String),
     /// A fault plan or chaos configuration is malformed.
     InvalidFaultPlan(String),
+    /// A reconfiguration carried an epoch at or below the cluster's
+    /// current one and was fenced off (see `epoch::EpochFence`).
+    StaleEpoch {
+        /// The epoch the reconfiguration attempted to deploy.
+        attempted: u64,
+        /// The epoch the fence already holds.
+        current: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -26,6 +34,10 @@ impl fmt::Display for SimError {
                 write!(f, "source operator `{name}` has no rate schedule")
             }
             SimError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            SimError::StaleEpoch { attempted, current } => write!(
+                f,
+                "stale reconfiguration epoch {attempted} rejected (cluster is at epoch {current})"
+            ),
         }
     }
 }
@@ -63,5 +75,10 @@ mod tests {
         assert!(SimError::InvalidFaultPlan("negative time".into())
             .to_string()
             .contains("fault plan"));
+        let stale = SimError::StaleEpoch {
+            attempted: 3,
+            current: 5,
+        };
+        assert!(stale.to_string().contains('3') && stale.to_string().contains('5'));
     }
 }

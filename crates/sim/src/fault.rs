@@ -50,6 +50,24 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
+/// Where a controller-crash fault fires. The simulator itself ignores
+/// kill points — they target the *controller process* driving it; the
+/// closed loop reads them from its installed plan and dies
+/// deterministically at the designated point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KillPoint {
+    /// Die at the first policy window whose end time reaches `t`
+    /// seconds (checked before any decision of that window).
+    AtTime(f64),
+    /// Die immediately after appending journal record number `seq`
+    /// (zero-based). Landing on a `Prepare` record kills the controller
+    /// *between* Prepare and Commit — the torn-reconfiguration case.
+    AfterRecord(u64),
+    /// Die after journaling the `Prepare` of reconfiguration `epoch`,
+    /// before its `Commit` — the targeted mid-reconfiguration crash.
+    MidReconfig(u64),
+}
+
 /// A deterministic, replayable schedule of faults.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultPlan {
@@ -58,6 +76,9 @@ pub struct FaultPlan {
     /// Relative multiplicative noise applied to reported task rates, in
     /// `[0, 1)`. Zero reports exact metrics.
     pub metric_noise: f64,
+    /// Optional controller-crash point. Ignored by the simulation
+    /// engine; honored by the closed loop driving it.
+    pub controller_kill: Option<KillPoint>,
 }
 
 impl FaultPlan {
@@ -83,6 +104,7 @@ impl FaultPlan {
         Ok(FaultPlan {
             events,
             metric_noise: 0.0,
+            controller_kill: None,
         })
     }
 
@@ -100,6 +122,27 @@ impl FaultPlan {
         }
         self.metric_noise = noise;
         Ok(self)
+    }
+
+    /// Sets the controller-crash point, returning the modified plan.
+    pub fn with_controller_kill(mut self, kill: KillPoint) -> Result<FaultPlan, SimError> {
+        if let KillPoint::AtTime(t) = kill {
+            if !t.is_finite() || t < 0.0 {
+                return Err(SimError::InvalidFaultPlan(format!(
+                    "controller kill time {t} is not a finite non-negative number"
+                )));
+            }
+        }
+        self.controller_kill = Some(kill);
+        Ok(self)
+    }
+
+    /// Removes the controller-crash point. A recovered controller that
+    /// already died at an [`KillPoint::AtTime`] point must strip it
+    /// before resuming, or the same deterministic kill fires again.
+    pub fn without_controller_kill(mut self) -> FaultPlan {
+        self.controller_kill = None;
+        self
     }
 
     /// Generates a plan from a seeded RNG: same config and worker count,
@@ -154,8 +197,16 @@ impl FaultPlan {
                 kind: FaultKind::BlackoutEnd,
             });
         }
-        let plan = FaultPlan::new(events)?;
-        plan.with_metric_noise(config.metric_noise)
+        let mut plan = FaultPlan::new(events)?.with_metric_noise(config.metric_noise)?;
+        if config.controller_kills > 0 {
+            // One seeded controller crash inside the observable window.
+            // (The crash point is a single process death; "how many
+            // kills" beyond one only makes sense across successive
+            // recovered runs, which re-draw their own plans.)
+            let at = rng.gen_range(0.0..config.horizon * 0.7);
+            plan = plan.with_controller_kill(KillPoint::AtTime(at))?;
+        }
+        Ok(plan)
     }
 
     /// The plan seen from a simulation restarted at global time
@@ -174,12 +225,17 @@ impl FaultPlan {
                 })
                 .collect(),
             metric_noise: self.metric_noise,
+            // A kill point in the past has already fired (the
+            // controller died); one in the future stays armed on the
+            // global clock, which the controller — not the restarted
+            // simulation — tracks.
+            controller_kill: self.controller_kill,
         }
     }
 
     /// Whether the plan injects nothing at all.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty() && self.metric_noise == 0.0
+        self.events.is_empty() && self.metric_noise == 0.0 && self.controller_kill.is_none()
     }
 
     /// Checks that every referenced worker exists.
@@ -229,6 +285,10 @@ pub struct ChaosConfig {
     pub blackout_duration: (f64, f64),
     /// Relative metric noise amplitude in `[0, 1)`.
     pub metric_noise: f64,
+    /// Number of controller crashes (0 or 1; the generated plan holds
+    /// at most one [`KillPoint`], drawn in the first 70% of the
+    /// horizon — a process dies once per run).
+    pub controller_kills: usize,
 }
 
 impl Default for ChaosConfig {
@@ -244,6 +304,7 @@ impl Default for ChaosConfig {
             blackouts: 1,
             blackout_duration: (5.0, 15.0),
             metric_noise: 0.0,
+            controller_kills: 0,
         }
     }
 }
@@ -285,6 +346,12 @@ impl ChaosConfig {
             return Err(SimError::InvalidFaultPlan(format!(
                 "metric_noise must be in [0,1), got {}",
                 self.metric_noise
+            )));
+        }
+        if self.controller_kills > 1 {
+            return Err(SimError::InvalidFaultPlan(format!(
+                "controller_kills must be 0 or 1, got {}",
+                self.controller_kills
             )));
         }
         Ok(())
@@ -414,6 +481,47 @@ mod tests {
         assert!(inj.due(1.5).is_empty());
         assert_eq!(inj.due(10.0).len(), 1);
         assert!(inj.due(20.0).is_empty());
+    }
+
+    #[test]
+    fn controller_kill_generation_and_shifting() {
+        let cfg = ChaosConfig {
+            controller_kills: 1,
+            ..ChaosConfig::default()
+        };
+        let plan = FaultPlan::generate(&cfg, 4).unwrap();
+        let Some(KillPoint::AtTime(t)) = plan.controller_kill else {
+            panic!("expected a seeded AtTime kill, got {:?}", plan.controller_kill);
+        };
+        assert!((0.0..cfg.horizon * 0.7).contains(&t));
+        // Same seed, same kill point.
+        assert_eq!(FaultPlan::generate(&cfg, 4).unwrap().controller_kill, plan.controller_kill);
+        // Adding a kill must not perturb the rest of the schedule.
+        let base = FaultPlan::generate(&ChaosConfig::default(), 4).unwrap();
+        assert_eq!(base.events, plan.events);
+        // Kill points ride `shifted` unchanged (the controller tracks
+        // the global clock) and count toward non-emptiness.
+        assert_eq!(plan.shifted(50.0).controller_kill, plan.controller_kill);
+        assert!(!FaultPlan::none()
+            .with_controller_kill(KillPoint::AfterRecord(3))
+            .unwrap()
+            .is_empty());
+        assert!(FaultPlan::none()
+            .with_controller_kill(KillPoint::MidReconfig(1))
+            .unwrap()
+            .without_controller_kill()
+            .is_empty());
+        assert!(FaultPlan::none()
+            .with_controller_kill(KillPoint::AtTime(-3.0))
+            .is_err());
+        assert!(FaultPlan::generate(
+            &ChaosConfig {
+                controller_kills: 2,
+                ..ChaosConfig::default()
+            },
+            4
+        )
+        .is_err());
     }
 
     #[test]

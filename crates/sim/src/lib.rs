@@ -21,12 +21,14 @@
 #![warn(missing_docs)]
 pub mod config;
 pub mod engine;
+pub mod epoch;
 pub mod error;
 pub mod fault;
 pub mod metrics;
 
 pub use config::SimConfig;
 pub use engine::Simulation;
+pub use epoch::EpochFence;
 pub use error::SimError;
-pub use fault::{ChaosConfig, FaultEvent, FaultInjector, FaultKind, FaultPlan};
+pub use fault::{ChaosConfig, FaultEvent, FaultInjector, FaultKind, FaultPlan, KillPoint};
 pub use metrics::{MetricPoint, SimulationReport, SourceStats, TaskRateStats};

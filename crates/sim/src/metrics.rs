@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use capsys_model::OperatorId;
+use capsys_util::json::{Json, ToJson};
 
 /// One metrics sample aggregated over a reporting interval.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +25,21 @@ pub struct MetricPoint {
     pub worker_io_util: Vec<f64>,
     /// Per-worker outbound network utilization in `[0, 1]`.
     pub worker_net_util: Vec<f64>,
+}
+
+impl ToJson for MetricPoint {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("time".into(), Json::Num(self.time)),
+            ("source_throughput".into(), Json::Num(self.source_throughput)),
+            ("target_rate".into(), Json::Num(self.target_rate)),
+            ("backpressure".into(), Json::Num(self.backpressure)),
+            ("latency".into(), Json::Num(self.latency)),
+            ("worker_cpu_util".into(), self.worker_cpu_util.to_json()),
+            ("worker_io_util".into(), self.worker_io_util.to_json()),
+            ("worker_net_util".into(), self.worker_net_util.to_json()),
+        ])
+    }
 }
 
 /// Throughput statistics of one source operator.

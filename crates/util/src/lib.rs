@@ -17,6 +17,8 @@
 //!   `Worker`/`Stealer`).
 //! * [`sync`] — poison-free `Mutex` / `RwLock` wrappers over
 //!   `std::sync` (replaces `parking_lot`).
+//! * [`journal`] — append-only, checksummed JSON-lines journal framing
+//!   (CRC-32 frames, torn-tail-tolerant reads) for write-ahead logs.
 //! * [`prop`] — a mini property-testing harness with seeded case
 //!   generation, failing-seed reporting, and input shrinking
 //!   (replaces `proptest`).
@@ -32,6 +34,7 @@
 
 pub mod bench;
 pub mod deque;
+pub mod journal;
 pub mod json;
 pub mod prop;
 pub mod queue;

@@ -68,6 +68,25 @@ impl SeedableRng for SmallRng {
     }
 }
 
+impl SmallRng {
+    /// The raw xoshiro256++ state, for checkpointing. Restore with
+    /// [`SmallRng::try_from_state`] to resume the exact stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a checkpointed state. `None` for the
+    /// all-zero state, which xoshiro256++ can never leave (and
+    /// [`SeedableRng::seed_from_u64`] can never produce).
+    pub fn try_from_state(s: [u64; 4]) -> Option<SmallRng> {
+        if s == [0; 4] {
+            None
+        } else {
+            Some(SmallRng { s })
+        }
+    }
+}
+
 impl RngCore for SmallRng {
     #[inline]
     fn next_u64(&mut self) -> u64 {
@@ -295,6 +314,20 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
         assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn state_checkpoint_resumes_exact_stream() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..17 {
+            rng.next_u64();
+        }
+        let snap = rng.state();
+        let expected: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        let mut resumed = SmallRng::try_from_state(snap).unwrap();
+        let actual: Vec<u64> = (0..8).map(|_| resumed.next_u64()).collect();
+        assert_eq!(expected, actual);
+        assert!(SmallRng::try_from_state([0; 4]).is_none());
     }
 
     #[test]

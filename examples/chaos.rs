@@ -34,6 +34,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         blackouts: 1,
         blackout_duration: (5.0, 10.0),
         metric_noise: 0.02,
+        controller_kills: 0,
     };
     let plan = FaultPlan::generate(&chaos, cluster.num_workers())?;
     println!("fault schedule (seed {}):", chaos.seed);

@@ -17,14 +17,19 @@
 #   8. search perf smoke — thread-scaling + auto-tune warm-start run that
 #      writes BENCH_search.json and self-asserts (identical plan counts
 #      across thread counts, warm tune never probing more than cold, and
-#      a speedup floor gated on the machine's hardware threads).
+#      a speedup floor gated on the machine's hardware threads);
+#   9. recovery sweep — kill the controller after every journaled
+#      decision (including between Prepare and Commit), recover from the
+#      write-ahead journal, and diff the recovered trace and journal
+#      byte-for-byte against the uninterrupted golden run; also checks
+#      zombie fencing.
 #
 # Usage: scripts/ci.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/8] tree guard: no tracked build artifacts"
+echo "==> [1/9] tree guard: no tracked build artifacts"
 if git ls-files | grep -q '^target/'; then
     echo "FORBIDDEN: build artifacts under target/ are tracked" >&2
     echo "(run: git rm -r --cached target)" >&2
@@ -32,7 +37,7 @@ if git ls-files | grep -q '^target/'; then
 fi
 echo "    ok: target/ is untracked"
 
-echo "==> [2/8] dependency guard: workspace-internal crates only"
+echo "==> [2/9] dependency guard: workspace-internal crates only"
 # Collect every dependency key from every manifest. Dependency lines are
 # `name = ...` or `name.workspace = true` inside a [*dependencies*]
 # section; only capsys-* names are allowed.
@@ -61,25 +66,32 @@ if [ "$violations" -ne 0 ]; then
 fi
 echo "    ok: all dependencies are capsys-* path crates"
 
-echo "==> [3/8] cargo build --release (all targets)"
+echo "==> [3/9] cargo build --release (all targets)"
 cargo build --release --workspace --all-targets
 
-echo "==> [4/8] cargo test (debug, full workspace)"
+echo "==> [4/9] cargo test (debug, full workspace)"
 cargo test -q --workspace
 
-echo "==> [5/8] determinism golden test (release)"
+echo "==> [5/9] determinism golden test (release)"
 cargo test -q --release --test golden_determinism
 
-echo "==> [6/8] smoke bench (quick mode, end-to-end)"
+echo "==> [6/9] smoke bench (quick mode, end-to-end)"
 CAPSYS_BENCH_QUICK=1 cargo bench -p capsys-bench --bench caps_search
 
-echo "==> [7/8] chaos smoke (fault injection + recovery, seed 7)"
+echo "==> [7/9] chaos smoke (fault injection + recovery, seed 7)"
 cargo run --release -p capsys-bench --bin exp_chaos -- --seed 7 --quick
 
-echo "==> [8/8] search perf smoke (thread scaling + warm-start, BENCH_search.json)"
+echo "==> [8/9] search perf smoke (thread scaling + warm-start, BENCH_search.json)"
 # exp_perf asserts its own invariants (determinism across thread counts,
 # warm-start probe economy, hardware-gated speedup floor) and validates
 # the JSON it wrote; a malformed record fails this step.
 cargo run --release -p capsys-bench --bin exp_perf -- --smoke
+
+echo "==> [9/9] recovery sweep (kill-at-every-decision crash recovery, seed 7)"
+# exp_recovery self-asserts: every kill point recovers to a
+# byte-identical trace AND journal, the mid-reconfiguration kill rolls
+# forward, a chaos-drawn wall-clock kill recovers, and a zombie
+# controller is fenced.
+cargo run --release -p capsys-bench --bin exp_recovery -- --seed 7 --smoke
 
 echo "CI green."

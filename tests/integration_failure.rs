@@ -140,6 +140,7 @@ fn chaos_loop_run(seed: u64) -> (WorkerId, f64, ClosedLoopTrace) {
             kind: FaultKind::Crash(victim),
         }],
         metric_noise: 0.0,
+        controller_kill: None,
     };
     let trace = loop_
         .with_fault_plan(plan)
