@@ -61,6 +61,8 @@ fn chaos_config(seed: u64, horizon: f64) -> ChaosConfig {
         blackout_duration: (5.0, 10.0),
         metric_noise: 0.02,
         controller_kills: 0,
+        model_skews: 0,
+        skew_factor: (2.0, 4.0),
     }
 }
 

@@ -8,7 +8,9 @@
 //! baseline run's journal of n records, it re-runs the scenario killed
 //! right after each record k, recovers from the partial journal, and
 //! diffs both the finished trace and the recovered run's journal
-//! byte-for-byte against the baseline. It then checks the two
+//! byte-for-byte against the baseline — including a scenario whose
+//! journal holds governor `Rollback` records, with an explicit kill
+//! between a rollback and its commit. It then checks the two
 //! remaining failure modes: a wall-clock kill drawn from a seeded
 //! `ChaosConfig`, and a zombie controller racing the instance that
 //! superseded it (which must die with a fenced epoch, not deploy).
@@ -17,14 +19,14 @@
 
 use capsys_bench::banner;
 use capsys_controller::{
-    ClosedLoop, ClosedLoopTrace, ControllerError, DecisionRecord, RecoveryConfig,
+    ClosedLoop, ClosedLoopTrace, ControllerError, DecisionRecord, GuardConfig, RecoveryConfig,
 };
 use capsys_ds2::Ds2Config;
 use capsys_model::{Cluster, RateSchedule, TaskId, WorkerSpec};
 use capsys_placement::CapsStrategy;
 use capsys_queries::Query;
 use capsys_sim::{
-    ChaosConfig, EpochFence, FaultEvent, FaultKind, FaultPlan, KillPoint, SimConfig,
+    ChaosConfig, EpochFence, FaultEvent, FaultKind, FaultPlan, KillPoint, ModelSkew, SimConfig,
 };
 
 /// Minimal std-only flag parsing: `--seed N` and `--smoke`.
@@ -55,10 +57,15 @@ struct Scenario {
     name: &'static str,
     query: Query,
     cluster: Cluster,
-    target: f64,
+    schedule: RateSchedule,
     activation_period: f64,
     /// Crash the worker hosting task 0 at this time (None = no faults).
     crash_at: Option<f64>,
+    /// Make the plan model go stale mid-run (None = model stays true).
+    skew: Option<ModelSkew>,
+    /// Attach the safety governor, so the journal can hold `Rollback`
+    /// records.
+    guard: bool,
     duration: f64,
     seed: u64,
 }
@@ -92,23 +99,31 @@ impl Scenario {
             strategy,
             self.ds2(),
             self.sim(),
-            RateSchedule::Constant(self.target),
+            self.schedule.clone(),
             self.seed,
         )
     }
 
     /// The scenario's fault schedule (without any controller kill).
     fn fault_plan(&self, loop_: &ClosedLoop<'_>) -> Result<Option<FaultPlan>, Box<dyn std::error::Error>> {
-        match self.crash_at {
-            None => Ok(None),
+        let mut plan = match self.crash_at {
+            None => None,
             Some(t) => {
                 let victim = loop_.placement().worker_of(TaskId(0));
-                Ok(Some(FaultPlan::new(vec![FaultEvent {
+                Some(FaultPlan::new(vec![FaultEvent {
                     time: t,
                     kind: FaultKind::Crash(victim),
-                }])?))
+                }])?)
             }
+        };
+        if let Some(skew) = self.skew {
+            let base = match plan {
+                Some(p) => p,
+                None => FaultPlan::new(vec![])?,
+            };
+            plan = Some(base.with_model_skew(skew)?);
         }
+        Ok(plan)
     }
 
     /// Runs the scenario with a journal and an optional kill; returns
@@ -129,6 +144,9 @@ impl Scenario {
         }
         if let Some(p) = plan {
             loop_ = loop_.with_fault_plan(p)?;
+        }
+        if self.guard {
+            loop_ = loop_.with_guard(GuardConfig::default())?;
         }
         let (journal, buf) = capsys_controller::DecisionJournal::in_memory();
         let result = loop_
@@ -151,11 +169,14 @@ impl Scenario {
             &strategy,
             self.ds2(),
             self.sim(),
-            RateSchedule::Constant(self.target),
+            self.schedule.clone(),
             journal_text,
         )?;
         if let Some(p) = self.fault_plan(&loop_)? {
             loop_ = loop_.with_fault_plan(p)?;
+        }
+        if self.guard {
+            loop_ = loop_.with_guard(GuardConfig::default())?;
         }
         let (journal, buf) = capsys_controller::DecisionJournal::in_memory();
         let trace = loop_
@@ -168,8 +189,9 @@ impl Scenario {
 
 /// Kills the scenario after every journal record of its baseline run
 /// and asserts byte-identical recovery each time. Returns the number of
-/// kill points that landed on a `Prepare` (i.e. between the phases).
-fn sweep(scenario: &Scenario) -> Result<usize, Box<dyn std::error::Error>> {
+/// kill points that landed on a `Prepare` and on a `Rollback` (i.e.
+/// between the phases of a reconfiguration).
+fn sweep(scenario: &Scenario) -> Result<(usize, usize), Box<dyn std::error::Error>> {
     let (baseline, golden_journal) = scenario.run_journaled(None)?;
     let golden = baseline?.to_json().to_string();
     let parsed = capsys_controller::journal::parse_journal(&golden_journal)?;
@@ -188,6 +210,7 @@ fn sweep(scenario: &Scenario) -> Result<usize, Box<dyn std::error::Error>> {
     }
 
     let mut prepares_hit = 0usize;
+    let mut rollbacks_hit = 0usize;
     for k in 0..n {
         let partial = if k == 0 {
             // Kill "before the first decision": only the init record
@@ -228,11 +251,10 @@ fn sweep(scenario: &Scenario) -> Result<usize, Box<dyn std::error::Error>> {
             }
             partial
         };
-        if matches!(
-            parsed.records.get(k as usize),
-            Some(DecisionRecord::Prepare { .. })
-        ) {
-            prepares_hit += 1;
+        match parsed.records.get(k as usize) {
+            Some(DecisionRecord::Prepare { .. }) => prepares_hit += 1,
+            Some(DecisionRecord::Rollback { .. }) => rollbacks_hit += 1,
+            _ => {}
         }
         let (trace, rewritten) = scenario.recover_and_finish(&partial)?;
         if trace.to_json().to_string() != golden {
@@ -252,7 +274,8 @@ fn sweep(scenario: &Scenario) -> Result<usize, Box<dyn std::error::Error>> {
     }
     println!(
         "[{}] kill-at-every-record sweep: {n}/{n} recoveries byte-identical \
-         ({prepares_hit} landed between Prepare and Commit)",
+         ({prepares_hit} landed between Prepare and Commit, {rollbacks_hit} \
+         between Rollback and Commit)",
         scenario.name
     );
 
@@ -292,7 +315,44 @@ fn sweep(scenario: &Scenario) -> Result<usize, Box<dyn std::error::Error>> {
             scenario.name
         );
     }
-    Ok(prepares_hit)
+
+    // Same in-doubt treatment for a governor rollback: die on the first
+    // `Rollback`, leaving it at the journal tail; recovery must finish
+    // the rollback the dead controller started and match the baseline.
+    let first_rollback = parsed.records.iter().find_map(|r| match r {
+        DecisionRecord::Rollback { epoch, .. } => Some(*epoch),
+        _ => None,
+    });
+    if let Some(e) = first_rollback {
+        let (result, partial) = scenario.run_journaled(Some(KillPoint::MidReconfig(e)))?;
+        if !matches!(result, Err(ControllerError::ControllerKilled { .. })) {
+            return Err(format!("[{}] mid-rollback kill did not fire", scenario.name).into());
+        }
+        let tail = capsys_controller::journal::parse_journal(&partial)?;
+        if !matches!(
+            tail.records.last(),
+            Some(DecisionRecord::Rollback { epoch, .. }) if *epoch == e
+        ) {
+            return Err(format!(
+                "[{}] mid-rollback kill's journal does not end at the in-doubt rollback",
+                scenario.name
+            )
+            .into());
+        }
+        let (trace, rewritten) = scenario.recover_and_finish(&partial)?;
+        if trace.to_json().to_string() != golden || rewritten != golden_journal {
+            return Err(format!(
+                "[{}] roll-forward after mid-rollback kill DIVERGED",
+                scenario.name
+            )
+            .into());
+        }
+        println!(
+            "[{}] kill between Rollback(epoch {e}) and Commit: rolled forward, byte-identical",
+            scenario.name
+        );
+    }
+    Ok((prepares_hit, rollbacks_hit))
 }
 
 /// A wall-clock controller kill drawn from a seeded `ChaosConfig`:
@@ -303,10 +363,14 @@ fn chaos_kill_case(seed: u64, duration: f64) -> Result<(), Box<dyn std::error::E
         name: "chaos-kill",
         query: capsys_queries::q1_sliding(),
         cluster: Cluster::homogeneous(6, WorkerSpec::r5d_xlarge(4))?,
-        target: capsys_queries::q1_sliding()
-            .capacity_rate(&Cluster::homogeneous(6, WorkerSpec::r5d_xlarge(4))?, 0.5)?,
+        schedule: RateSchedule::Constant(
+            capsys_queries::q1_sliding()
+                .capacity_rate(&Cluster::homogeneous(6, WorkerSpec::r5d_xlarge(4))?, 0.5)?,
+        ),
         activation_period: 60.0,
         crash_at: None,
+        skew: None,
+        guard: false,
         duration,
         seed,
     };
@@ -322,6 +386,8 @@ fn chaos_kill_case(seed: u64, duration: f64) -> Result<(), Box<dyn std::error::E
         blackout_duration: (5.0, 10.0),
         metric_noise: 0.02,
         controller_kills: 1,
+        model_skews: 0,
+        skew_factor: (2.0, 4.0),
     };
     let plan = FaultPlan::generate(&chaos, scenario.cluster.num_workers())?;
     let kill = plan
@@ -340,7 +406,7 @@ fn chaos_kill_case(seed: u64, duration: f64) -> Result<(), Box<dyn std::error::E
                 &strategy,
                 scenario.ds2(),
                 scenario.sim(),
-                RateSchedule::Constant(scenario.target),
+                scenario.schedule.clone(),
                 t,
             )?,
         };
@@ -382,9 +448,11 @@ fn zombie_case(seed: u64, duration: f64) -> Result<(), Box<dyn std::error::Error
         name: "zombie",
         query,
         cluster,
-        target,
+        schedule: RateSchedule::Constant(target),
         activation_period: 20.0,
         crash_at: None,
+        skew: None,
+        guard: false,
         duration,
         seed,
     };
@@ -412,7 +480,7 @@ fn zombie_case(seed: u64, duration: f64) -> Result<(), Box<dyn std::error::Error
         &strategy,
         scenario.ds2(),
         scenario.sim(),
-        RateSchedule::Constant(scenario.target),
+        scenario.schedule.clone(),
         &journal_text,
     )?
     .with_fence(fence.clone())
@@ -433,7 +501,7 @@ fn zombie_case(seed: u64, duration: f64) -> Result<(), Box<dyn std::error::Error
         &strategy,
         scenario.ds2(),
         scenario.sim(),
-        RateSchedule::Constant(scenario.target),
+        scenario.schedule.clone(),
         &journal_text,
     )?
     .with_fence(fence.clone())
@@ -475,9 +543,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         name: "crash-recovery",
         query: capsys_queries::q1_sliding(),
         cluster: chaos_cluster,
-        target: chaos_target,
+        schedule: RateSchedule::Constant(chaos_target),
         activation_period: 60.0,
         crash_at: Some(60.0),
+        skew: None,
+        guard: false,
         duration,
         seed,
     };
@@ -490,18 +560,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         name: "scaling",
         query: capsys_queries::q1_sliding().with_parallelism(&[1, 1, 1, 1])?,
         cluster: scale_cluster,
-        target: scale_target,
+        schedule: RateSchedule::Constant(scale_target),
         activation_period: 20.0,
         crash_at: None,
+        skew: None,
+        guard: false,
+        duration,
+        seed,
+    };
+
+    // Scenario 3: the model goes stale, a rate step goads DS2 onto the
+    // stale model, and the governor rolls the regression back — the
+    // journal holds `Rollback` records.
+    let guard_cluster = Cluster::homogeneous(6, WorkerSpec::r5d_xlarge(4))?;
+    let guard_target = capsys_queries::q1_sliding().capacity_rate(&guard_cluster, 0.5)?;
+    let guard = Scenario {
+        name: "guard-rollback",
+        query: capsys_queries::q1_sliding(),
+        cluster: guard_cluster,
+        schedule: RateSchedule::Steps(vec![
+            (0.0, guard_target),
+            (80.0, 1.8 * guard_target),
+        ]),
+        activation_period: 60.0,
+        crash_at: None,
+        skew: Some(ModelSkew {
+            time: 70.0,
+            factor: 3.5,
+        }),
+        guard: true,
         duration,
         seed,
     };
 
     let mut prepares_hit = 0;
-    prepares_hit += sweep(&chaos)?;
-    prepares_hit += sweep(&scaling)?;
+    let mut rollbacks_hit = 0;
+    for scenario in [&chaos, &scaling, &guard] {
+        let (p, r) = sweep(scenario)?;
+        prepares_hit += p;
+        rollbacks_hit += r;
+    }
     if prepares_hit == 0 {
         return Err("no kill point landed between Prepare and Commit across the sweep".into());
+    }
+    if rollbacks_hit == 0 {
+        return Err("no kill point landed between Rollback and Commit across the sweep".into());
     }
 
     chaos_kill_case(seed, duration)?;

@@ -31,12 +31,14 @@ use capsys_model::{Cluster, OperatorId, PhysicalGraph, Placement, RateSchedule, 
 use capsys_placement::{PlacementContext, PlacementStrategy};
 use capsys_queries::Query;
 use capsys_sim::{
-    EpochFence, FaultPlan, KillPoint, MetricPoint, SimConfig, SimError, Simulation, TaskRateStats,
+    sanitize_rates, EpochFence, FaultPlan, KillPoint, MetricPoint, ModelSkew, SimConfig, SimError,
+    Simulation, TaskRateStats,
 };
 use capsys_util::json::{Json, ToJson};
 use capsys_util::rng::SeedableRng;
 use capsys_util::rng::SmallRng;
 
+use crate::guard::{GuardConfig, PlanSnapshot, RollbackEvent, RollbackRequest, SafetyGovernor};
 use crate::journal::{DecisionJournal, DecisionRecord, RedeployReason};
 use crate::recovery::{place_with_ladder, FailureDetector, LadderRung, RecoveryConfig, RecoveryEvent};
 use crate::ControllerError;
@@ -75,6 +77,12 @@ pub struct ClosedLoopTrace {
     /// Completed failure recoveries (empty unless recovery was enabled
     /// via [`ClosedLoop::with_recovery`]).
     pub recovery_events: Vec<RecoveryEvent>,
+    /// Governor rollbacks (empty unless the safety governor was enabled
+    /// via [`ClosedLoop::with_guard`]).
+    pub rollback_events: Vec<RollbackEvent>,
+    /// Task-rate samples the metrics-ingestion sanitizer clamped before
+    /// they could reach DS2 or the governor.
+    pub sanitized_samples: u64,
     /// Final per-operator parallelism.
     pub final_parallelism: Vec<usize>,
 }
@@ -122,6 +130,18 @@ impl ClosedLoopTrace {
         Some(sum / self.recovery_events.len() as f64)
     }
 
+    /// Number of governor rollbacks — the oscillation counter a bounded
+    /// churn guarantee is stated over.
+    pub fn oscillations(&self) -> usize {
+        self.rollback_events.len()
+    }
+
+    /// Total simulated seconds spent running regressed canary plans:
+    /// for each rollback, deploy of the canary to its restoration.
+    pub fn time_in_degraded(&self) -> f64 {
+        self.rollback_events.iter().map(|e| e.degraded_for).sum()
+    }
+
     /// Integral of the throughput shortfall `max(0, target - throughput)`
     /// over samples in `[from, to)`, in records. Each sample is weighted
     /// by the gap to the previous sample, so the first sample in range
@@ -164,6 +184,8 @@ impl ClosedLoopTrace {
             ("points".into(), self.points.to_json()),
             ("events".into(), self.events.to_json()),
             ("recovery_events".into(), self.recovery_events.to_json()),
+            ("rollback_events".into(), self.rollback_events.to_json()),
+            ("sanitized_samples".into(), Json::Num(self.sanitized_samples as f64)),
             (
                 "final_parallelism".into(),
                 Json::Arr(self.final_parallelism.iter().map(|&p| Json::Num(p as f64)).collect()),
@@ -198,6 +220,14 @@ pub struct ClosedLoop<'a> {
     fault_plan: Option<FaultPlan>,
     /// Self-healing state when recovery is enabled.
     recovery: Option<RecoveryState>,
+    /// The reconfiguration safety governor, when enabled.
+    guard: Option<SafetyGovernor>,
+    /// Applied governor rollbacks, for the trace.
+    rollback_events: Vec<RollbackEvent>,
+    /// Deploy-time view of the fault plan's model-skew fault.
+    skew: Option<SkewState>,
+    /// Task-rate samples clamped by the ingestion sanitizer so far.
+    sanitized: u64,
     // Durability state.
     /// Epoch of the current deployment (0 = initial). Burned (advanced)
     /// by every `Prepare`, even one whose deployment later fails, so
@@ -228,6 +258,17 @@ struct RecoveryState {
     detector: FailureDetector,
     pending: Option<PendingRecovery>,
     events: Vec<RecoveryEvent>,
+}
+
+/// Controller-side state of a [`ModelSkew`] fault.
+struct SkewState {
+    fault: ModelSkew,
+    /// The `(parallelism, assignment)` live when the skew began. That
+    /// plan's behavior has been *measured*, so re-deploying it (a
+    /// rollback) is unskewed; anything else deployed after the onset is
+    /// a prediction of a stale model and runs skewed. Captured at the
+    /// first window boundary past the onset.
+    trusted: Option<(Vec<usize>, Vec<usize>)>,
 }
 
 /// A detected failure awaiting a successful re-placement.
@@ -356,6 +397,10 @@ impl<'a> ClosedLoop<'a> {
             recent: VecDeque::new(),
             fault_plan: None,
             recovery: None,
+            guard: None,
+            rollback_events: Vec::new(),
+            skew: None,
+            sanitized: 0,
             epoch: 0,
             fence: EpochFence::new(),
             log: vec![init],
@@ -465,6 +510,10 @@ impl<'a> ClosedLoop<'a> {
             recent: VecDeque::new(),
             fault_plan: None,
             recovery: None,
+            guard: None,
+            rollback_events: Vec::new(),
+            skew: None,
+            sanitized: 0,
             epoch: 0,
             fence: EpochFence::new(),
             log: vec![init],
@@ -485,7 +534,25 @@ impl<'a> ClosedLoop<'a> {
             .install_faults(plan.clone())
             .map_err(ControllerError::Sim)?;
         self.kill = plan.controller_kill;
+        self.skew = plan.model_skew.map(|fault| SkewState {
+            fault,
+            trusted: None,
+        });
         self.fault_plan = Some(plan);
+        Ok(self)
+    }
+
+    /// Enables the reconfiguration safety governor: every scaling
+    /// redeploy becomes a canary judged against the pre-deploy baseline,
+    /// regressions roll back to the last-known-good plan (journaled as
+    /// `Rollback` records), regressed plans are quarantined, and a
+    /// growing cooldown damps churn. The current deployment is the
+    /// first trusted plan. Re-attach with the same config to a loop
+    /// built by [`ClosedLoop::recover_from_journal`] — replay drives
+    /// the governor through the same transitions the crashed run took.
+    pub fn with_guard(mut self, config: GuardConfig) -> Result<Self, ControllerError> {
+        let initial = self.snapshot();
+        self.guard = Some(SafetyGovernor::new(config, initial)?);
         Ok(self)
     }
 
@@ -550,6 +617,15 @@ impl<'a> ClosedLoop<'a> {
         &self.fence
     }
 
+    /// The current deployment, frozen for the governor.
+    fn snapshot(&self) -> PlanSnapshot {
+        PlanSnapshot {
+            parallelism: self.query.logical().parallelism_vector(),
+            assignment: self.placement.assignment().iter().map(|w| w.0).collect(),
+            epoch: self.epoch,
+        }
+    }
+
     /// Workers the failure detector currently considers down (empty when
     /// recovery is disabled).
     fn known_down(&self) -> Vec<WorkerId> {
@@ -582,7 +658,11 @@ impl<'a> ClosedLoop<'a> {
         let killed = match self.kill {
             Some(KillPoint::AfterRecord(k)) => seq == k,
             Some(KillPoint::MidReconfig(e)) => {
-                matches!(&rec, DecisionRecord::Prepare { epoch, .. } if *epoch == e)
+                matches!(
+                    &rec,
+                    DecisionRecord::Prepare { epoch, .. }
+                    | DecisionRecord::Rollback { epoch, .. } if *epoch == e
+                )
             }
             _ => false,
         };
@@ -634,9 +714,25 @@ impl<'a> ClosedLoop<'a> {
                 p.time = self.time;
                 self.points.push(p);
             }
-            self.recent.push_back((window, report.task_rates.clone()));
+            // Ingestion sanitizer: clamp poisoned samples before the
+            // rates can reach DS2 or the online profiler.
+            let mut task_rates = report.task_rates.clone();
+            self.sanitized += sanitize_rates(&mut task_rates) as u64;
+            self.recent.push_back((window, task_rates));
             while self.recent.len() > METRICS_WINDOWS {
                 self.recent.pop_front();
+            }
+
+            // A model-skew fault makes the *plan model* stale, not the
+            // cluster: the plan live at the onset keeps its measured
+            // behavior, so remember it as the trusted rollback target.
+            if let Some(skew) = &mut self.skew {
+                if skew.trusted.is_none() && self.time + 1e-9 >= skew.fault.time {
+                    skew.trusted = Some((
+                        self.query.logical().parallelism_vector(),
+                        self.placement.assignment().iter().map(|w| w.0).collect(),
+                    ));
+                }
             }
 
             // Failure detection: heartbeats ride the metrics report.
@@ -683,6 +779,34 @@ impl<'a> ClosedLoop<'a> {
             if self.recovery.as_ref().is_some_and(|r| r.pending.is_some()) {
                 continue;
             }
+
+            // Safety governor: judge the current probation window before
+            // the policy decides anything. A rollback verdict preempts
+            // DS2 and is exempt from the activation period — a regressed
+            // canary must not linger because the loop just acted.
+            let verdict = match &mut self.guard {
+                Some(gov) => gov.observe_window(
+                    self.time,
+                    report.avg_throughput,
+                    report.avg_target,
+                    report.avg_backpressure,
+                ),
+                None => None,
+            };
+            if let Some(req) = verdict {
+                if self.replay.is_empty() {
+                    self.rollback_redeploy(&req)?;
+                } else {
+                    self.replay_rollback_step(&req)?;
+                }
+                continue;
+            }
+            // Hysteresis: no reconfiguration of any kind inside the
+            // post-rollback cooldown.
+            if self.guard.as_ref().is_some_and(|g| g.in_cooldown(self.time)) {
+                continue;
+            }
+
             if self.time - self.last_action < self.ds2.config.activation_period {
                 continue;
             }
@@ -712,6 +836,16 @@ impl<'a> ClosedLoop<'a> {
                 // Cannot deploy the recommendation; skip this action.
                 continue;
             }
+            // Quarantine veto *before* the placement search: vetoing
+            // after it would consume RNG with no journal record and fork
+            // any replay of this run.
+            if self
+                .guard
+                .as_ref()
+                .is_some_and(|g| g.is_quarantined(&decision.parallelism, self.time))
+            {
+                continue;
+            }
             self.redeploy(decision.parallelism, rate_now, true)?;
         }
         if !self.replay.is_empty() {
@@ -727,6 +861,8 @@ impl<'a> ClosedLoop<'a> {
             points: self.points,
             events: self.events,
             recovery_events: self.recovery.map(|r| r.events).unwrap_or_default(),
+            rollback_events: self.rollback_events,
+            sanitized_samples: self.sanitized,
             final_parallelism: self.query.logical().parallelism_vector(),
         })
     }
@@ -791,6 +927,12 @@ impl<'a> ClosedLoop<'a> {
                     });
                 }
             }
+        }
+        // A recovery redeploy is forced, never canaried: the governor
+        // aborts any probation and adopts the forced plan as trusted.
+        let snap = self.snapshot();
+        if let Some(gov) = &mut self.guard {
+            gov.on_recovery_deploy(self.time, snap);
         }
     }
 
@@ -871,6 +1013,10 @@ impl<'a> ClosedLoop<'a> {
                 parallelism,
                 slots: self.physical.num_tasks(),
             });
+            let snap = self.snapshot();
+            if let Some(gov) = &mut self.guard {
+                gov.on_scaling_deploy(self.time, snap);
+            }
         }
         Ok(rung)
     }
@@ -921,6 +1067,19 @@ impl<'a> ClosedLoop<'a> {
         if let Some(plan) = &self.fault_plan {
             sim.install_faults(plan.shifted(offset))
                 .map_err(ControllerError::Sim)?;
+        }
+        // Deploys after the model-skew onset run on the stale model
+        // unless they restore the trusted (measured) plan.
+        if let Some(skew) = &self.skew {
+            if self.time + 1e-9 >= skew.fault.time {
+                let key = (
+                    query.logical().parallelism_vector(),
+                    placement.assignment().iter().map(|w| w.0).collect::<Vec<_>>(),
+                );
+                if skew.trusted.as_ref() != Some(&key) {
+                    sim.set_model_skew(skew.fault.factor);
+                }
+            }
         }
         if fenced {
             sim.bind_epoch(&self.fence, epoch).map_err(|e| match e {
@@ -1146,8 +1305,164 @@ impl<'a> ClosedLoop<'a> {
                 parallelism,
                 slots: self.physical.num_tasks(),
             });
+            let snap = self.snapshot();
+            if let Some(gov) = &mut self.guard {
+                gov.on_scaling_deploy(self.time, snap);
+            }
         }
         Ok(Some(rung))
+    }
+
+    /// Rolls the deployment back to the governor's last-known-good plan
+    /// through the two-phase protocol: journal the `Rollback` (restored
+    /// plan plus pre-deploy RNG state), deploy under the epoch fence,
+    /// journal the `Commit`. A crash between the phases leaves the
+    /// `Rollback` at the journal tail; recovery rolls it forward exactly
+    /// like an in-doubt `Prepare`.
+    fn rollback_redeploy(&mut self, req: &RollbackRequest) -> Result<(), ControllerError> {
+        let query = self
+            .query
+            .with_parallelism(&req.to.parallelism)
+            .map_err(|e| {
+                ControllerError::InvalidConfig(format!(
+                    "rollback target plan is no longer deployable: {e}"
+                ))
+            })?;
+        let physical = query.physical();
+        let placement = Placement::new(req.to.assignment.iter().map(|&w| WorkerId(w)).collect());
+        placement.validate(&physical, self.cluster).map_err(|e| {
+            ControllerError::InvalidConfig(format!(
+                "rollback target plan is no longer deployable: {e}"
+            ))
+        })?;
+        let epoch = self.epoch + 1;
+        self.epoch = epoch;
+        self.record(DecisionRecord::Rollback {
+            epoch,
+            time: self.time,
+            from_epoch: req.regressed.epoch,
+            parallelism: req.to.parallelism.clone(),
+            assignment: req.to.assignment.clone(),
+            rng: self.rng.state(),
+        })?;
+        self.deploy(query, physical, placement, epoch, true)?;
+        self.record(DecisionRecord::Commit {
+            epoch,
+            time: self.time,
+        })?;
+        self.finish_rollback(req, epoch);
+        Ok(())
+    }
+
+    /// Settles a completed rollback: quarantine and cooldown bookkeeping
+    /// in the governor, plus a [`RollbackEvent`] on the trace.
+    fn finish_rollback(&mut self, req: &RollbackRequest, to_epoch: u64) {
+        let cooldown_until = match &mut self.guard {
+            Some(gov) => gov.on_rollback(self.time, req),
+            None => self.time,
+        };
+        self.rollback_events.push(RollbackEvent {
+            time: self.time,
+            from_epoch: req.regressed.epoch,
+            to_epoch,
+            deployed_at: req.deployed_at,
+            degraded_for: self.time - req.deployed_at,
+            baseline_tracking: req.baseline_tracking,
+            observed_tracking: req.observed_tracking,
+            cooldown_until,
+        });
+    }
+
+    /// Replay counterpart of [`ClosedLoop::rollback_redeploy`]: the
+    /// governor re-derived the same verdict the crashed run journaled, so
+    /// the cursor's front must be the matching `Rollback`. Deploys
+    /// unfenced from the record; a `Rollback` at the journal tail is
+    /// rolled forward — its `Commit` is journaled live. An exhausted
+    /// cursor means the crashed run died before this verdict: take it
+    /// live.
+    fn replay_rollback_step(&mut self, req: &RollbackRequest) -> Result<(), ControllerError> {
+        let Some(front) = self.replay.front().cloned() else {
+            return self.rollback_redeploy(req);
+        };
+        let DecisionRecord::Rollback {
+            epoch,
+            time,
+            from_epoch,
+            parallelism,
+            assignment,
+            rng,
+        } = front.clone()
+        else {
+            return Err(ControllerError::JournalReplay(format!(
+                "governor rollback due at t={:.3}, but the journal's next decision is from \
+                 t={:.3}: the replay diverged from the run that wrote the journal",
+                self.time,
+                front.time()
+            )));
+        };
+        if !replay_due(time, self.time) {
+            return Err(ControllerError::JournalReplay(format!(
+                "governor rollback due at t={:.3}, but the journaled rollback is from t={time:.3}: \
+                 the replay diverged from the run that wrote the journal",
+                self.time
+            )));
+        }
+        if parallelism != req.to.parallelism
+            || assignment != req.to.assignment
+            || from_epoch != req.regressed.epoch
+        {
+            return Err(ControllerError::JournalReplay(
+                "journaled rollback does not match the re-derived governor verdict".into(),
+            ));
+        }
+        self.replay.pop_front();
+        self.rng = SmallRng::try_from_state(rng).ok_or_else(|| {
+            ControllerError::JournalReplay("journaled RNG state is invalid (all zero)".into())
+        })?;
+        self.epoch = epoch;
+        self.record_replayed(front)?;
+
+        let committed = match self.replay.front() {
+            Some(DecisionRecord::Commit { epoch: e, .. }) if *e == epoch => true,
+            Some(DecisionRecord::Commit { epoch: e, .. }) => {
+                return Err(ControllerError::JournalReplay(format!(
+                    "commit epoch {e} does not match rollback epoch {epoch}"
+                )));
+            }
+            Some(other) => {
+                return Err(ControllerError::JournalReplay(format!(
+                    "rollback (epoch {epoch}) followed by a decision from t={:.3} \
+                     that is not its commit",
+                    other.time()
+                )));
+            }
+            None => false,
+        };
+        let query = self.query.with_parallelism(&parallelism).map_err(|e| {
+            ControllerError::JournalReplay(format!(
+                "journaled parallelism does not fit the query: {e}"
+            ))
+        })?;
+        let physical = query.physical();
+        let placement = Placement::new(assignment.iter().map(|&w| WorkerId(w)).collect());
+        placement.validate(&physical, self.cluster).map_err(|e| {
+            ControllerError::JournalReplay(format!("journaled placement is invalid: {e}"))
+        })?;
+        self.deploy(query, physical, placement, epoch, false)?;
+        if committed {
+            if let Some(c) = self.replay.pop_front() {
+                self.record_replayed(c)?;
+            }
+        } else {
+            // In doubt, rolled forward: we are the surviving controller
+            // now — journal the commit live.
+            self.record(DecisionRecord::Commit {
+                epoch,
+                time: self.time,
+            })?;
+        }
+        self.finish_rollback(req, epoch);
+        Ok(())
     }
 }
 
@@ -1753,5 +2068,271 @@ mod tests {
         .err()
         .expect("recovery with the wrong parallelism must fail");
         assert!(matches!(err, ControllerError::JournalReplay(_)), "{err}");
+    }
+
+    /// A governed scenario that reliably rolls back: the model goes
+    /// stale at t=70, a rate step at t=80 goads DS2 onto the stale
+    /// model, and the governor restores the trusted plan. Returns the
+    /// trace and the journal text.
+    fn guard_run(seed: u64, guard: bool) -> (ClosedLoopTrace, String) {
+        let query = q1_sliding();
+        let cluster = Cluster::homogeneous(6, WorkerSpec::r5d_xlarge(4)).unwrap();
+        let base = q1_sliding().capacity_rate(&cluster, 0.5).unwrap();
+        let strategy = CapsStrategy::default();
+        let plan = FaultPlan::new(vec![])
+            .unwrap()
+            .with_model_skew(ModelSkew {
+                time: 70.0,
+                factor: 3.5,
+            })
+            .unwrap();
+        let mut loop_ = ClosedLoop::new(
+            &query,
+            &cluster,
+            &strategy,
+            Ds2Config {
+                activation_period: 60.0,
+                ..fast_ds2()
+            },
+            SimConfig {
+                duration: 1.0,
+                warmup: 0.0,
+                ..SimConfig::default()
+            },
+            RateSchedule::Steps(vec![(0.0, base), (80.0, 1.8 * base)]),
+            seed,
+        )
+        .unwrap()
+        .with_fault_plan(plan)
+        .unwrap();
+        if guard {
+            loop_ = loop_.with_guard(GuardConfig::default()).unwrap();
+        }
+        let (journal, buf) = DecisionJournal::in_memory();
+        let trace = loop_.with_journal(journal).unwrap().run(200.0).unwrap();
+        (trace, buf.text())
+    }
+
+    #[test]
+    fn prop_rollback_keeps_epochs_monotonic_and_seqs_contiguous() {
+        forall!(Config::default().cases(6), (
+            seed in ints(0u64..1000),
+        ) => {
+            let (trace, text) = guard_run(*seed, true);
+            assert!(
+                !trace.rollback_events.is_empty(),
+                "scenario must roll back (seed {seed})"
+            );
+            // Frame level: sequence numbers are contiguous from 0.
+            for (i, line) in text.lines().enumerate() {
+                let frame = Json::parse(line).unwrap();
+                assert_eq!(
+                    frame.get("seq").and_then(Json::as_f64),
+                    Some(i as f64),
+                    "sequence gap at journal line {i} (seed {seed})"
+                );
+            }
+            // Record level: every epoch-burning record — Prepare or
+            // Rollback alike — uses a strictly increasing epoch.
+            let parsed = crate::journal::parse_journal(&text).unwrap();
+            assert!(!parsed.torn);
+            let mut last = 0u64;
+            let mut saw_rollback = false;
+            for rec in &parsed.records {
+                let e = match rec {
+                    DecisionRecord::Prepare { epoch, .. } => *epoch,
+                    DecisionRecord::Rollback { epoch, .. } => {
+                        saw_rollback = true;
+                        *epoch
+                    }
+                    _ => continue,
+                };
+                assert!(
+                    e > last,
+                    "epoch {e} did not increase past {last} (seed {seed})"
+                );
+                last = e;
+            }
+            assert!(saw_rollback, "journal holds no rollback record (seed {seed})");
+        });
+    }
+
+    #[test]
+    fn prop_no_redeploy_inside_cooldown() {
+        forall!(Config::default().cases(6), (
+            seed in ints(0u64..1000),
+        ) => {
+            let (trace, _) = guard_run(*seed, true);
+            assert!(!trace.rollback_events.is_empty(), "scenario must roll back");
+            for rb in &trace.rollback_events {
+                for ev in &trace.events {
+                    assert!(
+                        ev.time <= rb.time + 1e-9 || ev.time + 1e-9 >= rb.cooldown_until,
+                        "scaling redeploy at t={} inside cooldown ({}, {}) (seed {seed})",
+                        ev.time,
+                        rb.time,
+                        rb.cooldown_until
+                    );
+                }
+                for other in &trace.rollback_events {
+                    assert!(
+                        other.time <= rb.time + 1e-9 || other.time + 1e-9 >= rb.cooldown_until,
+                        "rollback at t={} inside another rollback's cooldown (seed {seed})",
+                        other.time
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn prop_quarantined_plan_never_redeployed_before_ttl() {
+        forall!(Config::default().cases(6), (
+            seed in ints(0u64..1000),
+        ) => {
+            let (trace, text) = guard_run(*seed, true);
+            let parsed = crate::journal::parse_journal(&text).unwrap();
+            let ttl = GuardConfig::default().quarantine_ttl;
+            for rb in &trace.rollback_events {
+                // The regressed plan is the Prepare that burned the
+                // rollback's from_epoch.
+                let regressed = parsed
+                    .records
+                    .iter()
+                    .find_map(|r| match r {
+                        DecisionRecord::Prepare {
+                            epoch, parallelism, ..
+                        } if *epoch == rb.from_epoch => Some(parallelism.clone()),
+                        _ => None,
+                    })
+                    .expect("rollback's from_epoch has a journaled prepare");
+                for ev in &trace.events {
+                    if ev.time > rb.time && ev.time < rb.time + ttl {
+                        assert_ne!(
+                            ev.parallelism, regressed,
+                            "quarantined plan redeployed at t={} before its TTL (seed {seed})",
+                            ev.time
+                        );
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn idle_guard_leaves_the_trace_byte_identical() {
+        // Healthy scenario (no skew): every canary commits, so the
+        // governed run must behave — and serialize — exactly like the
+        // unguarded one.
+        let run = |guard: bool| {
+            let query = q1_sliding().with_parallelism(&[1, 1, 1, 1]).unwrap();
+            let cluster = small_cluster();
+            let target = q1_sliding().capacity_rate(&cluster, 0.5).unwrap();
+            let strategy = CapsStrategy::default();
+            let mut loop_ = ClosedLoop::new(
+                &query,
+                &cluster,
+                &strategy,
+                fast_ds2(),
+                SimConfig {
+                    duration: 1.0,
+                    warmup: 0.0,
+                    ..SimConfig::default()
+                },
+                RateSchedule::Constant(target),
+                7,
+            )
+            .unwrap();
+            if guard {
+                loop_ = loop_.with_guard(GuardConfig::default()).unwrap();
+            }
+            loop_.run(200.0).unwrap()
+        };
+        let off = run(false);
+        let on = run(true);
+        assert!(on.num_scalings() >= 1, "scenario must actually reconfigure");
+        assert!(on.rollback_events.is_empty(), "healthy canaries must commit");
+        assert_eq!(off.to_json().to_string(), on.to_json().to_string());
+    }
+
+    #[test]
+    fn governed_crash_recovery_is_byte_identical() {
+        // Kill the governed scenario right after its first Rollback
+        // record: recovery must re-derive the same verdict, finish the
+        // interrupted rollback, and reproduce the golden trace and
+        // journal byte-for-byte.
+        let (golden_trace, golden_journal) = guard_run(7, true);
+        assert!(!golden_trace.rollback_events.is_empty());
+        let golden = golden_trace.to_json().to_string();
+        let parsed = crate::journal::parse_journal(&golden_journal).unwrap();
+        let rollback_at = parsed
+            .records
+            .iter()
+            .position(|r| matches!(r, DecisionRecord::Rollback { .. }))
+            .expect("governed journal holds a rollback") as u64;
+
+        let rerun = |kill: Option<KillPoint>,
+                     journal_text: Option<&str>|
+         -> (Result<ClosedLoopTrace, ControllerError>, String) {
+            let query = q1_sliding();
+            let cluster = Cluster::homogeneous(6, WorkerSpec::r5d_xlarge(4)).unwrap();
+            let base = q1_sliding().capacity_rate(&cluster, 0.5).unwrap();
+            let strategy = CapsStrategy::default();
+            let schedule = RateSchedule::Steps(vec![(0.0, base), (80.0, 1.8 * base)]);
+            let ds2 = Ds2Config {
+                activation_period: 60.0,
+                ..fast_ds2()
+            };
+            let sim_cfg = SimConfig {
+                duration: 1.0,
+                warmup: 0.0,
+                ..SimConfig::default()
+            };
+            let loop_ = match journal_text {
+                None => ClosedLoop::new(
+                    &query, &cluster, &strategy, ds2, sim_cfg, schedule, 7,
+                )
+                .unwrap(),
+                Some(t) => ClosedLoop::recover_from_journal(
+                    &query, &cluster, &strategy, ds2, sim_cfg, schedule, t,
+                )
+                .unwrap(),
+            };
+            let mut plan = FaultPlan::new(vec![])
+                .unwrap()
+                .with_model_skew(ModelSkew {
+                    time: 70.0,
+                    factor: 3.5,
+                })
+                .unwrap();
+            if let Some(k) = kill {
+                plan = plan.with_controller_kill(k).unwrap();
+            }
+            let (journal, buf) = DecisionJournal::in_memory();
+            let result = loop_
+                .with_fault_plan(plan)
+                .unwrap()
+                .with_guard(GuardConfig::default())
+                .unwrap()
+                .with_journal(journal)
+                .unwrap()
+                .run(200.0);
+            (result, buf.text())
+        };
+
+        // Die with the Rollback at the journal tail (in doubt).
+        let (result, partial) = rerun(Some(KillPoint::AfterRecord(rollback_at)), None);
+        assert!(
+            matches!(result, Err(ControllerError::ControllerKilled { .. })),
+            "kill after the rollback record did not fire"
+        );
+        let tail = crate::journal::parse_journal(&partial).unwrap();
+        assert!(
+            matches!(tail.records.last(), Some(DecisionRecord::Rollback { .. })),
+            "partial journal does not end at the in-doubt rollback"
+        );
+        let (recovered, rewritten) = rerun(None, Some(&partial));
+        assert_eq!(recovered.unwrap().to_json().to_string(), golden);
+        assert_eq!(rewritten, golden_journal);
     }
 }

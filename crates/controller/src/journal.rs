@@ -18,8 +18,13 @@
 //!   *abandoned* (the deployment step failed and the controller backed
 //!   off); a `Prepare` at the journal tail is *in doubt* and is rolled
 //!   forward on recovery (deploying it is idempotent and deterministic);
+//! * a governor rollback is journaled as `Rollback(epoch)` followed by
+//!   `Commit(epoch)` — structurally the prepare phase of a two-phase
+//!   reconfiguration that restores the last-known-good plan, with the
+//!   same tail semantics as `Prepare` (a tail `Rollback` rolls forward);
 //! * epochs increase strictly: `Init` is epoch 0, the first
-//!   reconfiguration epoch 1, and so on.
+//!   reconfiguration epoch 1, and so on; `Rollback` burns a fresh epoch
+//!   like any other reconfiguration.
 //!
 //! RNG state and the run seed are encoded as 16-digit hex strings, not
 //! JSON numbers: the JSON layer stores numbers as `f64`, which is exact
@@ -106,6 +111,27 @@ pub enum DecisionRecord {
         epoch: u64,
         /// Simulated commit time.
         time: f64,
+    },
+    /// Phase one of a governor rollback: the canary plan of
+    /// `from_epoch` regressed during probation, and the controller is
+    /// restoring the last-known-good plan recorded here. Journaled
+    /// before the simulator is touched, followed by a `Commit` of the
+    /// same (fresh) epoch once applied — so a kill between the two
+    /// rolls forward on recovery exactly like a torn `Prepare`.
+    Rollback {
+        /// The restore deployment's fencing epoch.
+        epoch: u64,
+        /// Simulated decision time.
+        time: f64,
+        /// Epoch of the regressed canary deployment being undone.
+        from_epoch: u64,
+        /// Per-operator parallelism of the restored plan.
+        parallelism: Vec<usize>,
+        /// Task-to-worker assignment of the restored plan.
+        assignment: Vec<usize>,
+        /// RNG state at the decision (rollback runs no search, but the
+        /// state is journaled so replay restores it unconditionally).
+        rng: [u64; 4],
     },
     /// A recovery re-placement attempt failed; the controller backed
     /// off (or gave up).
@@ -202,6 +228,7 @@ impl DecisionRecord {
             DecisionRecord::Init { .. } => 0.0,
             DecisionRecord::Prepare { time, .. }
             | DecisionRecord::Commit { time, .. }
+            | DecisionRecord::Rollback { time, .. }
             | DecisionRecord::Retry { time, .. } => *time,
         }
     }
@@ -250,6 +277,22 @@ impl DecisionRecord {
                 ("type".into(), Json::Str("commit".into())),
                 ("epoch".into(), Json::Num(*epoch as f64)),
                 ("time".into(), Json::Num(*time)),
+            ]),
+            DecisionRecord::Rollback {
+                epoch,
+                time,
+                from_epoch,
+                parallelism,
+                assignment,
+                rng,
+            } => Json::Obj(vec![
+                ("type".into(), Json::Str("rollback".into())),
+                ("epoch".into(), Json::Num(*epoch as f64)),
+                ("time".into(), Json::Num(*time)),
+                ("from_epoch".into(), Json::Num(*from_epoch as f64)),
+                ("parallelism".into(), usizes_to_json(parallelism)),
+                ("assignment".into(), usizes_to_json(assignment)),
+                ("rng".into(), rng_to_json(*rng)),
             ]),
             DecisionRecord::Retry {
                 time,
@@ -300,6 +343,14 @@ impl DecisionRecord {
             "commit" => Ok(DecisionRecord::Commit {
                 epoch: integer(v.get("epoch"), "epoch")?,
                 time: num(v.get("time"), "time")?,
+            }),
+            "rollback" => Ok(DecisionRecord::Rollback {
+                epoch: integer(v.get("epoch"), "epoch")?,
+                time: num(v.get("time"), "time")?,
+                from_epoch: integer(v.get("from_epoch"), "from_epoch")?,
+                parallelism: usizes_from_json(v.get("parallelism"), "parallelism")?,
+                assignment: usizes_from_json(v.get("assignment"), "assignment")?,
+                rng: rng_from_json(v.get("rng"))?,
             }),
             "retry" => Ok(DecisionRecord::Retry {
                 time: num(v.get("time"), "time")?,
@@ -423,6 +474,14 @@ mod tests {
             DecisionRecord::Commit {
                 epoch: 1,
                 time: 65.0,
+            },
+            DecisionRecord::Rollback {
+                epoch: 2,
+                time: 85.0,
+                from_epoch: 1,
+                parallelism: vec![1, 2, 3, 1],
+                assignment: vec![0, 1, 1, 2, 3, 4, 5],
+                rng: [11, 12, 13, u64::MAX - 7],
             },
             DecisionRecord::Retry {
                 time: 70.0,

@@ -15,11 +15,17 @@
 //! * [`recovery`] — self-healing under injected faults: heartbeat-based
 //!   failure detection, backoff re-placement on the surviving workers,
 //!   and a graceful-degradation ladder (CAPS → relaxed CAPS →
-//!   round-robin) for when the search budget runs out.
+//!   round-robin) for when the search budget runs out;
+//! * [`guard`] — the reconfiguration safety governor: canary probation
+//!   for every scaling redeploy, regression detection against the
+//!   pre-deploy baseline, journaled rollback to the last-known-good
+//!   plan, TTL-based quarantine of regressed plans, and exponential
+//!   cooldown hysteresis bounding reconfiguration churn.
 
 #![warn(missing_docs)]
 pub mod closed_loop;
 pub mod controller;
+pub mod guard;
 pub mod journal;
 pub mod online;
 pub mod profiler;
@@ -27,6 +33,7 @@ pub mod recovery;
 
 pub use closed_loop::{ClosedLoop, ClosedLoopTrace, ScalingEvent};
 pub use controller::{CapsysConfig, CapsysController, Deployment};
+pub use guard::{GuardConfig, PlanSnapshot, RollbackEvent, SafetyGovernor};
 pub use journal::{DecisionJournal, DecisionRecord, ParsedJournal, RedeployReason};
 pub use online::{OnlineProfiler, OnlineProfilerConfig};
 pub use profiler::{profile_query, ProfileReport, ProfilerConfig};

@@ -144,6 +144,11 @@ pub struct Simulation {
     failed: Vec<bool>,
     /// Per-worker CPU-cost multiplier (1.0 = healthy, > 1 = straggler).
     slowdown: Vec<f64>,
+    /// Global CPU-cost multiplier for a mispredicted deployment (1.0 =
+    /// the cost model was right; > 1 = the plan runs slower than
+    /// modeled). Set by the controller at deploy time under a
+    /// [`crate::ModelSkew`] fault.
+    model_skew: f64,
     /// Scheduled fault events, applied tick by tick.
     injector: Option<FaultInjector>,
     /// Whether a metric blackout is currently active.
@@ -304,6 +309,7 @@ impl Simulation {
             channels,
             failed: vec![false; workers.len()],
             slowdown: vec![1.0; workers.len()],
+            model_skew: 1.0,
             injector: None,
             blackout: false,
             epoch: 0,
@@ -363,6 +369,19 @@ impl Simulation {
     /// Per-worker CPU slowdown factors.
     pub fn slowdowns(&self) -> &[f64] {
         &self.slowdown
+    }
+
+    /// Sets the deployment-wide model-skew multiplier (clamped to
+    /// `>= 1`): every task's effective per-record CPU cost is scaled by
+    /// it, modeling a plan whose true service rates fall short of what
+    /// the cost model predicted.
+    pub fn set_model_skew(&mut self, factor: f64) {
+        self.model_skew = if factor.is_finite() { factor.max(1.0) } else { 1.0 };
+    }
+
+    /// The deployment-wide model-skew multiplier (1.0 = unskewed).
+    pub fn model_skew(&self) -> f64 {
+        self.model_skew
     }
 
     /// Whether a metric blackout is currently active.
@@ -530,7 +549,7 @@ impl Simulation {
         let burst_on =
             (t % self.config.burst_period) < self.config.burst_duty * self.config.burst_period;
         for (i, task) in self.tasks.iter().enumerate() {
-            let mut u = task.cpu_unit * self.slowdown[task.worker];
+            let mut u = task.cpu_unit * self.slowdown[task.worker] * self.model_skew;
             if burst_on && task.burst_amp > 0.0 {
                 u *= 1.0 + task.burst_amp;
             }

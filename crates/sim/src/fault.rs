@@ -68,6 +68,25 @@ pub enum KillPoint {
     MidReconfig(u64),
 }
 
+/// A model-skew fault: from `time` onward the cost model mispredicts,
+/// so any plan deployed *after* that moment runs with its effective
+/// per-record CPU cost multiplied by `factor`. The plan that was
+/// already running when the skew began keeps its observed (unskewed)
+/// behavior — it has been measured, not predicted — which is exactly
+/// what makes rolling back to it recover throughput.
+///
+/// Like [`KillPoint`], the simulation engine ignores this field; the
+/// closed loop reads it from its installed plan and applies the skew
+/// at deploy time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelSkew {
+    /// Global simulated time the misprediction begins, seconds.
+    pub time: f64,
+    /// Effective CPU-cost multiplier for plans deployed after `time`,
+    /// `>= 1`.
+    pub factor: f64,
+}
+
 /// A deterministic, replayable schedule of faults.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultPlan {
@@ -79,6 +98,9 @@ pub struct FaultPlan {
     /// Optional controller-crash point. Ignored by the simulation
     /// engine; honored by the closed loop driving it.
     pub controller_kill: Option<KillPoint>,
+    /// Optional model-skew fault. Ignored by the simulation engine;
+    /// honored by the closed loop at deploy time.
+    pub model_skew: Option<ModelSkew>,
 }
 
 impl FaultPlan {
@@ -105,6 +127,7 @@ impl FaultPlan {
             events,
             metric_noise: 0.0,
             controller_kill: None,
+            model_skew: None,
         })
     }
 
@@ -134,6 +157,24 @@ impl FaultPlan {
             }
         }
         self.controller_kill = Some(kill);
+        Ok(self)
+    }
+
+    /// Sets the model-skew fault, returning the modified plan.
+    pub fn with_model_skew(mut self, skew: ModelSkew) -> Result<FaultPlan, SimError> {
+        if !skew.time.is_finite() || skew.time < 0.0 {
+            return Err(SimError::InvalidFaultPlan(format!(
+                "model skew time {} is not a finite non-negative number",
+                skew.time
+            )));
+        }
+        if !skew.factor.is_finite() || skew.factor < 1.0 {
+            return Err(SimError::InvalidFaultPlan(format!(
+                "model skew factor {} must be finite and >= 1",
+                skew.factor
+            )));
+        }
+        self.model_skew = Some(skew);
         Ok(self)
     }
 
@@ -206,6 +247,13 @@ impl FaultPlan {
             let at = rng.gen_range(0.0..config.horizon * 0.7);
             plan = plan.with_controller_kill(KillPoint::AtTime(at))?;
         }
+        if config.model_skews > 0 {
+            // Drawn last so enabling the skew never perturbs the
+            // crash/straggler/blackout/kill schedule of the same seed.
+            let at = rng.gen_range(0.0..config.horizon * 0.7);
+            let factor = rng.gen_range(config.skew_factor.0..=config.skew_factor.1);
+            plan = plan.with_model_skew(ModelSkew { time: at, factor })?;
+        }
         Ok(plan)
     }
 
@@ -230,12 +278,18 @@ impl FaultPlan {
             // global clock, which the controller — not the restarted
             // simulation — tracks.
             controller_kill: self.controller_kill,
+            // Model skew also lives on the global clock: the controller
+            // decides at each deploy whether the skew is active.
+            model_skew: self.model_skew,
         }
     }
 
     /// Whether the plan injects nothing at all.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty() && self.metric_noise == 0.0 && self.controller_kill.is_none()
+        self.events.is_empty()
+            && self.metric_noise == 0.0
+            && self.controller_kill.is_none()
+            && self.model_skew.is_none()
     }
 
     /// Checks that every referenced worker exists.
@@ -289,6 +343,13 @@ pub struct ChaosConfig {
     /// at most one [`KillPoint`], drawn in the first 70% of the
     /// horizon — a process dies once per run).
     pub controller_kills: usize,
+    /// Number of model-skew faults (0 or 1; the generated plan holds at
+    /// most one [`ModelSkew`], its onset drawn in the first 70% of the
+    /// horizon — the cost model goes stale once per run).
+    pub model_skews: usize,
+    /// Model-skew CPU-cost multiplier range, each `>= 1`. Only used
+    /// when `model_skews > 0`.
+    pub skew_factor: (f64, f64),
 }
 
 impl Default for ChaosConfig {
@@ -305,6 +366,8 @@ impl Default for ChaosConfig {
             blackout_duration: (5.0, 15.0),
             metric_noise: 0.0,
             controller_kills: 0,
+            model_skews: 0,
+            skew_factor: (2.0, 4.0),
         }
     }
 }
@@ -353,6 +416,20 @@ impl ChaosConfig {
                 "controller_kills must be 0 or 1, got {}",
                 self.controller_kills
             )));
+        }
+        if self.model_skews > 1 {
+            return Err(SimError::InvalidFaultPlan(format!(
+                "model_skews must be 0 or 1, got {}",
+                self.model_skews
+            )));
+        }
+        if self.model_skews > 0 {
+            let (lo, hi) = self.skew_factor;
+            if !(lo.is_finite() && hi.is_finite() && lo >= 1.0 && lo <= hi) {
+                return Err(SimError::InvalidFaultPlan(format!(
+                    "skew_factor range ({lo}, {hi}) must satisfy 1 <= min <= max"
+                )));
+            }
         }
         Ok(())
     }
@@ -517,6 +594,59 @@ mod tests {
         assert!(FaultPlan::generate(
             &ChaosConfig {
                 controller_kills: 2,
+                ..ChaosConfig::default()
+            },
+            4
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn model_skew_generation_and_shifting() {
+        let cfg = ChaosConfig {
+            model_skews: 1,
+            skew_factor: (2.0, 3.0),
+            ..ChaosConfig::default()
+        };
+        let plan = FaultPlan::generate(&cfg, 4).unwrap();
+        let Some(skew) = plan.model_skew else {
+            panic!("expected a seeded model skew");
+        };
+        assert!((0.0..cfg.horizon * 0.7).contains(&skew.time));
+        assert!((2.0..=3.0).contains(&skew.factor));
+        // Same seed, same skew.
+        assert_eq!(FaultPlan::generate(&cfg, 4).unwrap().model_skew, plan.model_skew);
+        // Enabling the skew must not perturb the rest of the schedule
+        // (it is drawn after every other fault class).
+        let base = FaultPlan::generate(&ChaosConfig::default(), 4).unwrap();
+        assert_eq!(base.events, plan.events);
+        assert_eq!(base.controller_kill, plan.controller_kill);
+        // Skews ride `shifted` unchanged (deploy-time decision on the
+        // global clock) and count toward non-emptiness.
+        assert_eq!(plan.shifted(50.0).model_skew, plan.model_skew);
+        assert!(!FaultPlan::none()
+            .with_model_skew(ModelSkew { time: 10.0, factor: 2.0 })
+            .unwrap()
+            .is_empty());
+        // Invalid skews are rejected.
+        assert!(FaultPlan::none()
+            .with_model_skew(ModelSkew { time: -1.0, factor: 2.0 })
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_model_skew(ModelSkew { time: 0.0, factor: 0.5 })
+            .is_err());
+        assert!(FaultPlan::generate(
+            &ChaosConfig {
+                model_skews: 2,
+                ..ChaosConfig::default()
+            },
+            4
+        )
+        .is_err());
+        assert!(FaultPlan::generate(
+            &ChaosConfig {
+                model_skews: 1,
+                skew_factor: (0.5, 2.0),
                 ..ChaosConfig::default()
             },
             4

@@ -30,5 +30,5 @@ pub use config::SimConfig;
 pub use engine::Simulation;
 pub use epoch::EpochFence;
 pub use error::SimError;
-pub use fault::{ChaosConfig, FaultEvent, FaultInjector, FaultKind, FaultPlan, KillPoint};
-pub use metrics::{MetricPoint, SimulationReport, SourceStats, TaskRateStats};
+pub use fault::{ChaosConfig, FaultEvent, FaultInjector, FaultKind, FaultPlan, KillPoint, ModelSkew};
+pub use metrics::{sanitize_rates, MetricPoint, SimulationReport, SourceStats, TaskRateStats};

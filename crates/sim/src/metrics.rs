@@ -70,6 +70,52 @@ pub struct TaskRateStats {
     pub busy_fraction: f64,
 }
 
+impl TaskRateStats {
+    /// Whether every field is a finite, non-negative number (with
+    /// `busy_fraction` additionally `<= 1`). A sample failing this is
+    /// poisoned — NaN/±Inf propagates through DS2's rate algebra and a
+    /// negative rate inverts scaling decisions.
+    pub fn is_sane(&self) -> bool {
+        let rate_ok = |v: f64| v.is_finite() && v >= 0.0;
+        rate_ok(self.observed_rate)
+            && rate_ok(self.true_rate)
+            && rate_ok(self.observed_output_rate)
+            && rate_ok(self.true_output_rate)
+            && rate_ok(self.busy_fraction)
+            && self.busy_fraction <= 1.0
+    }
+
+    /// Clamps any NaN, ±Inf, or negative field to zero (and
+    /// `busy_fraction` into `[0, 1]`), returning whether anything was
+    /// clamped. A zeroed sample reads as "task idle", which at worst
+    /// delays a scaling decision one window; a poisoned sample can
+    /// corrupt it permanently.
+    pub fn sanitize(&mut self) -> bool {
+        if self.is_sane() {
+            return false;
+        }
+        let clamp = |v: &mut f64| {
+            if !v.is_finite() || *v < 0.0 {
+                *v = 0.0;
+            }
+        };
+        clamp(&mut self.observed_rate);
+        clamp(&mut self.true_rate);
+        clamp(&mut self.observed_output_rate);
+        clamp(&mut self.true_output_rate);
+        clamp(&mut self.busy_fraction);
+        self.busy_fraction = self.busy_fraction.min(1.0);
+        true
+    }
+}
+
+/// Sanitizes a collector batch in place, returning how many samples
+/// had at least one field clamped. Call this on every metrics window
+/// before the rates reach DS2 or the online profiler.
+pub fn sanitize_rates(rates: &mut [TaskRateStats]) -> usize {
+    rates.iter_mut().map(|r| usize::from(r.sanitize())).sum()
+}
+
 /// The aggregated result of a simulation window.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulationReport {
@@ -196,5 +242,47 @@ mod tests {
         let r = report();
         assert!(r.meets_target(0.9));
         assert!(!r.meets_target(0.95));
+    }
+
+    #[test]
+    fn sanitize_clamps_poisoned_samples() {
+        let clean = TaskRateStats {
+            observed_rate: 10.0,
+            true_rate: 12.0,
+            observed_output_rate: 9.0,
+            true_output_rate: 11.0,
+            busy_fraction: 0.8,
+        };
+        assert!(clean.is_sane());
+        let mut c = clean;
+        assert!(!c.sanitize());
+        assert_eq!(c, clean, "sane samples pass through untouched");
+
+        let mut nan = clean;
+        nan.observed_rate = f64::NAN;
+        assert!(!nan.is_sane());
+        assert!(nan.sanitize());
+        assert_eq!(nan.observed_rate, 0.0);
+        assert_eq!(nan.true_rate, 12.0, "other fields untouched");
+
+        let mut inf = clean;
+        inf.true_output_rate = f64::INFINITY;
+        inf.observed_output_rate = f64::NEG_INFINITY;
+        assert!(inf.sanitize());
+        assert_eq!(inf.true_output_rate, 0.0);
+        assert_eq!(inf.observed_output_rate, 0.0);
+
+        let mut neg = clean;
+        neg.true_rate = -5.0;
+        neg.busy_fraction = 1.7;
+        assert!(neg.sanitize());
+        assert_eq!(neg.true_rate, 0.0);
+        assert_eq!(neg.busy_fraction, 1.0, "busy fraction clamps to [0,1]");
+
+        let mut batch = vec![clean, nan, clean];
+        batch[1].observed_rate = f64::NAN;
+        assert_eq!(sanitize_rates(&mut batch), 1);
+        assert!(batch.iter().all(|r| r.is_sane()));
+        assert_eq!(sanitize_rates(&mut batch), 0, "idempotent");
     }
 }

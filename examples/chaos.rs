@@ -35,6 +35,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         blackout_duration: (5.0, 10.0),
         metric_noise: 0.02,
         controller_kills: 0,
+        model_skews: 0,
+        skew_factor: (2.0, 4.0),
     };
     let plan = FaultPlan::generate(&chaos, cluster.num_workers())?;
     println!("fault schedule (seed {}):", chaos.seed);

@@ -8,28 +8,35 @@
 #   1. tree guard — no build artifacts (target/) may be tracked;
 #   2. dependency guard — no non-capsys-* dependency may appear in any
 #      Cargo.toml (including dev-dependencies and benches);
-#   3. release build of every target;
-#   4. full test suite (debug), including the determinism golden test;
-#   5. determinism golden test again in release (debug/release parity);
-#   6. one smoke bench end-to-end, emitting a timing result;
-#   7. chaos smoke — seeded fault injection + self-healing recovery,
-#      including its own same-seed replay check;
-#   8. search perf smoke — thread-scaling + auto-tune warm-start run that
+#   3. panic lint — no unwrap()/expect(/panic! in non-test code under
+#      crates/, outside the justified scripts/panic_allowlist.txt;
+#   4. release build of every target;
+#   5. full test suite (debug), including the determinism golden test;
+#   6. determinism golden test again in release (debug/release parity);
+#   7. one smoke bench end-to-end, emitting a timing result;
+#   8. chaos smoke — seeded fault injection + self-healing recovery
+#      under three distinct seeds, each with a same-seed replay check;
+#   9. search perf smoke — thread-scaling + auto-tune warm-start run that
 #      writes BENCH_search.json and self-asserts (identical plan counts
 #      across thread counts, warm tune never probing more than cold, and
 #      a speedup floor gated on the machine's hardware threads);
-#   9. recovery sweep — kill the controller after every journaled
-#      decision (including between Prepare and Commit), recover from the
-#      write-ahead journal, and diff the recovered trace and journal
-#      byte-for-byte against the uninterrupted golden run; also checks
-#      zombie fencing.
+#  10. guard smoke — the reconfiguration safety governor under a
+#      model-skew fault: governor-off regresses and stays regressed,
+#      governor-on detects within one probation window, rolls back to
+#      last-known-good, bounds oscillation, and replays identically;
+#  11. recovery sweep — kill the controller after every journaled
+#      decision (including between Prepare and Commit, and between a
+#      governor Rollback and its Commit), recover from the write-ahead
+#      journal, and diff the recovered trace and journal byte-for-byte
+#      against the uninterrupted golden run, under three distinct seeds;
+#      also checks zombie fencing.
 #
 # Usage: scripts/ci.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/9] tree guard: no tracked build artifacts"
+echo "==> [1/11] tree guard: no tracked build artifacts"
 if git ls-files | grep -q '^target/'; then
     echo "FORBIDDEN: build artifacts under target/ are tracked" >&2
     echo "(run: git rm -r --cached target)" >&2
@@ -37,7 +44,7 @@ if git ls-files | grep -q '^target/'; then
 fi
 echo "    ok: target/ is untracked"
 
-echo "==> [2/9] dependency guard: workspace-internal crates only"
+echo "==> [2/11] dependency guard: workspace-internal crates only"
 # Collect every dependency key from every manifest. Dependency lines are
 # `name = ...` or `name.workspace = true` inside a [*dependencies*]
 # section; only capsys-* names are allowed.
@@ -66,32 +73,78 @@ if [ "$violations" -ne 0 ]; then
 fi
 echo "    ok: all dependencies are capsys-* path crates"
 
-echo "==> [3/9] cargo build --release (all targets)"
+echo "==> [3/11] panic lint: no unwrap/expect/panic! in non-test code"
+# Library code must surface failures as Results — a panicking controller
+# is the exact failure mode the robustness work guards against. Unit-test
+# modules (everything from the first #[cfg(test)] down) and the justified
+# files in scripts/panic_allowlist.txt are exempt.
+allow_file="scripts/panic_allowlist.txt"
+violations=0
+for file in $(git ls-files | grep -E '^crates/[^/]+/src/.*\.rs$'); do
+    skip=0
+    while IFS= read -r prefix; do
+        case "$prefix" in '' | \#*) continue ;; esac
+        case "$file" in "$prefix"*)
+            skip=1
+            break
+            ;;
+        esac
+    done <"$allow_file"
+    [ "$skip" -eq 1 ] && continue
+    hits=$(awk '/#\[cfg\(test\)\]/ { exit } { print NR": "$0 }' "$file" \
+        | grep -vE '^[0-9]+:[[:space:]]*//' \
+        | grep -E '\.unwrap\(\)|\.expect\(|panic!' || true)
+    if [ -n "$hits" ]; then
+        echo "PANIC-PRONE code in $file (not in $allow_file):" >&2
+        echo "$hits" >&2
+        violations=$((violations + 1))
+    fi
+done
+if [ "$violations" -ne 0 ]; then
+    echo "panic lint failed in $violations file(s)" >&2
+    echo "(return a Result, or justify an allowlist entry)" >&2
+    exit 1
+fi
+echo "    ok: non-test library code is panic-free"
+
+echo "==> [4/11] cargo build --release (all targets)"
 cargo build --release --workspace --all-targets
 
-echo "==> [4/9] cargo test (debug, full workspace)"
+echo "==> [5/11] cargo test (debug, full workspace)"
 cargo test -q --workspace
 
-echo "==> [5/9] determinism golden test (release)"
+echo "==> [6/11] determinism golden test (release)"
 cargo test -q --release --test golden_determinism
 
-echo "==> [6/9] smoke bench (quick mode, end-to-end)"
+echo "==> [7/11] smoke bench (quick mode, end-to-end)"
 CAPSYS_BENCH_QUICK=1 cargo bench -p capsys-bench --bench caps_search
 
-echo "==> [7/9] chaos smoke (fault injection + recovery, seed 7)"
-cargo run --release -p capsys-bench --bin exp_chaos -- --seed 7 --quick
+echo "==> [8/11] chaos smoke (fault injection + recovery, seeds 7/11/23)"
+for seed in 7 11 23; do
+    cargo run --release -p capsys-bench --bin exp_chaos -- --seed "$seed" --quick
+done
 
-echo "==> [8/9] search perf smoke (thread scaling + warm-start, BENCH_search.json)"
+echo "==> [9/11] search perf smoke (thread scaling + warm-start, BENCH_search.json)"
 # exp_perf asserts its own invariants (determinism across thread counts,
 # warm-start probe economy, hardware-gated speedup floor) and validates
 # the JSON it wrote; a malformed record fails this step.
 cargo run --release -p capsys-bench --bin exp_perf -- --smoke
 
-echo "==> [9/9] recovery sweep (kill-at-every-decision crash recovery, seed 7)"
+echo "==> [10/11] guard smoke (safety governor vs model skew, seed 7)"
+# exp_guard self-asserts: without the governor the stale-model regression
+# persists; with it, the regression is detected within one probation
+# window, rolled back to last-known-good, throughput recovers, churn
+# stays within the rollback cap, and same-seed runs replay identically.
+cargo run --release -p capsys-bench --bin exp_guard -- --seed 7 --quick
+
+echo "==> [11/11] recovery sweep (kill-at-every-decision crash recovery, seeds 7/11/23)"
 # exp_recovery self-asserts: every kill point recovers to a
 # byte-identical trace AND journal, the mid-reconfiguration kill rolls
-# forward, a chaos-drawn wall-clock kill recovers, and a zombie
-# controller is fenced.
-cargo run --release -p capsys-bench --bin exp_recovery -- --seed 7 --smoke
+# forward (for scaling Prepares and governor Rollbacks alike), a
+# chaos-drawn wall-clock kill recovers, and a zombie controller is
+# fenced.
+for seed in 7 11 23; do
+    cargo run --release -p capsys-bench --bin exp_recovery -- --seed "$seed" --smoke
+done
 
 echo "CI green."
