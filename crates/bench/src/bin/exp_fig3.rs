@@ -165,7 +165,7 @@ fn exp_c() {
     let model = CostModel::new(&physical, &cluster, &loads).expect("cost model");
     let max_net = |p: &Placement| {
         (0..cluster.num_workers())
-            .map(|w| model.worker_load(&physical, p, WorkerId(w))[2])
+            .map(|w| model.worker_load(&physical, p, WorkerId(w))[2].to_f64())
             .fold(0.0f64, f64::max)
     };
     let picked = pick_plans(

@@ -8,29 +8,66 @@
 //! `BENCH_search.json` at the repository root so successive PRs leave a
 //! comparable perf record.
 //!
+//! v2 additions: every scaling row reports the dead-state memo hits and
+//! re-verifies the exact fixed-point accumulator (stored costs must equal
+//! a from-scratch recost bit-for-bit); a dedicated section measures the
+//! memo on a 64-task symmetric topology, where cross-layer transpositions
+//! actually occur; and the 1.5× parallel-speedup gate is honest — it is
+//! *skipped with an explicit marker* (recorded in BENCH_search.json next
+//! to `hardware_threads`) when the machine cannot physically provide a
+//! speedup, instead of silently passing or failing on single-core
+//! runners.
+//!
 //! The smoke mode sanity-checks the run: the feasible plan count must be
-//! identical across thread counts, the warm-started tuner must not
-//! launch more probe searches than the cold one, and — when the machine
-//! actually has ≥ 4 hardware threads — the 4-thread search must be at
-//! least 1.5× faster than 1 thread. On smaller machines (CI containers
-//! are often single-core) the speedup is recorded but only a bounded
-//! overhead is asserted, with a note in the output.
+//! identical across thread counts and the warm-started tuner must not
+//! launch more probe searches than the cold one.
 
+use std::collections::HashMap;
 use std::time::Instant;
 
 use capsys_bench::banner;
 use capsys_core::{AutoTuneConfig, AutoTuner, CapsSearch, SearchConfig, Thresholds};
-use capsys_model::{Cluster, WorkerSpec};
+use capsys_model::{
+    Cluster, ConnectionPattern, LoadModel, LogicalGraph, OperatorId, OperatorKind, PhysicalGraph,
+    ResourceProfile, WorkerSpec,
+};
 use capsys_queries::q3_inf;
 use capsys_util::json::{obj, Json};
 
 /// Hard floor on the 4-thread speedup when ≥ 4 hardware threads exist.
 const MIN_SPEEDUP_4T: f64 = 1.5;
 
-/// On machines with fewer hardware threads a real speedup is physically
-/// unattainable; assert only that the work-stealing runtime's overhead
-/// stays bounded (time-sliced threads should not cost 2× wall clock).
-const MIN_SPEEDUP_OVERSUBSCRIBED: f64 = 0.45;
+/// Network threshold for the symmetric-topology memo section. CPU and
+/// I/O are symmetric there (every complete plan balances them exactly),
+/// so only the net dimension prunes. `0.2` sits below the first-witness
+/// cost of ~0.47 but above the best collocated plans, leaving a thin
+/// feasible set (~8.6k plans) inside a tree small enough to explore
+/// completely with the memo both on and off.
+const SYM_NET_ALPHA: f64 = 0.2;
+
+/// A 64-task chain of sixteen *identical* operators (4 tasks each)
+/// joined by hash shuffles. Every task carries the same exact load, so
+/// the search reaches equal states down many different prefixes — the
+/// cross-layer transpositions the dead-state memo exists to catch, which
+/// heterogeneous queries like Q3-inf almost never produce. The deep
+/// chain (many memoizable layer boundaries) is what makes the effect
+/// large.
+fn symmetric_query() -> (LogicalGraph, HashMap<OperatorId, f64>) {
+    let mut b = LogicalGraph::builder("sym64");
+    let profile = ResourceProfile::new(0.001, 0.0, 100.0, 1.0);
+    let src = b.operator("src", OperatorKind::Source, 4, profile);
+    let mut prev = src;
+    for i in 1..=14 {
+        let op = b.operator(&format!("map{i}"), OperatorKind::Stateless, 4, profile);
+        b.edge(prev, op, ConnectionPattern::Hash);
+        prev = op;
+    }
+    let sink = b.operator("sink", OperatorKind::Sink, 4, profile);
+    b.edge(prev, sink, ConnectionPattern::Hash);
+    let mut rates = HashMap::new();
+    rates.insert(src, 1000.0);
+    (b.build().expect("symmetric graph"), rates)
+}
 
 fn parse_args() -> bool {
     let mut smoke = false;
@@ -46,9 +83,12 @@ fn parse_args() -> bool {
     smoke
 }
 
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    xs[xs.len() / 2]
+/// Fastest of the timed reps. On a shared runner, scheduler noise only
+/// ever *adds* wall time, so the minimum is the robust estimator of what
+/// the search can actually sustain — a median would bounce with the
+/// machine's load average.
+fn best(xs: Vec<f64>) -> f64 {
+    xs.into_iter().fold(f64::INFINITY, f64::min)
 }
 
 fn main() {
@@ -60,7 +100,7 @@ fn main() {
     );
 
     let (query, num_workers, alpha, reps) = if smoke {
-        (q3_inf(), 5usize, Thresholds::new(0.5, 0.5, f64::INFINITY), 3)
+        (q3_inf(), 5usize, Thresholds::new(0.5, 0.5, f64::INFINITY), 5)
     } else {
         (
             q3_inf().scaled(2).expect("scaling"),
@@ -91,14 +131,14 @@ fn main() {
 
     // --- Thread-scaling sweep -------------------------------------------
     let header = format!(
-        "{:<8} {:>10} {:>12} {:>14} {:>10}",
-        "threads", "wall_ms", "nodes", "nodes/sec", "plans"
+        "{:<8} {:>10} {:>12} {:>14} {:>10} {:>10} {:>6}",
+        "threads", "wall_ms", "nodes", "nodes/sec", "plans", "memo_hits", "exact"
     );
     println!("{header}");
     capsys_bench::rule(&header);
 
     let mut scaling = Vec::new();
-    let mut wall_by_threads = std::collections::HashMap::new();
+    let mut wall_by_threads = HashMap::new();
     let mut plan_counts = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         // A realistic cap: CAPS deployments keep a shortlist of the best
@@ -109,6 +149,10 @@ fn main() {
             max_plans: 64,
             ..SearchConfig::with_thresholds(alpha)
         };
+        // One untimed warmup: the first run after a topology switch pays
+        // for page faults and frequency ramp-up, which would skew a
+        // small-rep median.
+        search.run(&config).expect("warmup runs");
         let mut walls = Vec::new();
         let mut last = None;
         for _ in 0..reps {
@@ -118,11 +162,35 @@ fn main() {
             last = Some(out);
         }
         let out = last.expect("at least one rep");
-        let wall_ms = median(walls);
+        // Exact-accumulator audit: every stored cost came from the
+        // incremental fixed-point accumulator; a from-scratch recost of
+        // the same plan must reproduce it bit-for-bit, not within an
+        // epsilon.
+        let exact = out.feasible.iter().all(|sp| {
+            let recost = search.cost_model().cost(&physical, &sp.plan);
+            [
+                (recost.cpu, sp.cost.cpu),
+                (recost.io, sp.cost.io),
+                (recost.net, sp.cost.net),
+            ]
+            .iter()
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+        });
+        assert!(
+            exact,
+            "incremental accumulator drifted from from-scratch recost at {threads} threads"
+        );
+        let wall_ms = best(walls);
         let nodes_per_sec = out.stats.nodes as f64 / (wall_ms / 1e3);
         println!(
-            "{:<8} {:>10.1} {:>12} {:>14.0} {:>10}",
-            threads, wall_ms, out.stats.nodes, nodes_per_sec, out.stats.plans_found
+            "{:<8} {:>10.1} {:>12} {:>14.0} {:>10} {:>10} {:>6}",
+            threads,
+            wall_ms,
+            out.stats.nodes,
+            nodes_per_sec,
+            out.stats.plans_found,
+            out.stats.memo_hits,
+            exact
         );
         wall_by_threads.insert(threads, wall_ms);
         plan_counts.push(out.stats.plans_found);
@@ -132,6 +200,8 @@ fn main() {
             ("nodes", Json::Num(out.stats.nodes as f64)),
             ("nodes_per_sec", Json::Num(nodes_per_sec)),
             ("plans_found", Json::Num(out.stats.plans_found as f64)),
+            ("memo_hits", Json::Num(out.stats.memo_hits as f64)),
+            ("exact_accumulator", Json::Bool(exact)),
         ]));
     }
 
@@ -179,24 +249,114 @@ fn main() {
         warm_ms, warm.probe_searches, warm.cache_hits, cold_ms, cold.probe_searches
     );
 
-    // --- Speedup gates ---------------------------------------------------
-    if hardware_threads >= 4 {
+    // --- Speedup gate ----------------------------------------------------
+    // The 1.5× floor only makes sense when 4 hardware threads exist; on
+    // smaller runners the gate is *skipped*, and the skip is recorded in
+    // BENCH_search.json so a passing record from a single-core CI box
+    // cannot be mistaken for a measured speedup.
+    let speedup_gate = if hardware_threads >= 4 {
         assert!(
             speedup(4) >= MIN_SPEEDUP_4T,
             "4-thread speedup {:.2}x below the {MIN_SPEEDUP_4T}x floor",
             speedup(4)
         );
+        format!("enforced: {:.2}x >= {MIN_SPEEDUP_4T}x", speedup(4))
     } else {
+        let marker = format!(
+            "skipped: {hardware_threads} hw thread{}",
+            if hardware_threads == 1 { "" } else { "s" }
+        );
+        println!("speedup gate {marker} (need >= 4 for the {MIN_SPEEDUP_4T}x floor)");
+        marker
+    };
+
+    // --- Dead-state memo on a symmetric topology ------------------------
+    // Q3-inf's heterogeneous loads almost never produce equal exact load
+    // multisets down two different prefixes, so the memo is idle there
+    // (by design — that is the honest number for realistic queries). The
+    // transpositions it exists for come from *symmetric* topologies:
+    // identical operators make states reached in different layer orders
+    // coincide exactly. This section measures that effect on a 64-task
+    // chain of identical operators and gates on the memo actually firing.
+    let (sym_query, sym_rates) = symmetric_query();
+    let sym_physical = PhysicalGraph::expand(&sym_query);
+    let sym_cluster = Cluster::homogeneous(2, WorkerSpec::r5d_xlarge(32)).expect("sym cluster");
+    let sym_loads =
+        LoadModel::derive(&sym_query, &sym_physical, &sym_rates).expect("sym loads");
+    let sym_search =
+        CapsSearch::new(&sym_query, &sym_physical, &sym_cluster, &sym_loads).expect("sym search");
+    let sym_alpha = Thresholds::new(f64::INFINITY, f64::INFINITY, SYM_NET_ALPHA);
+    println!(
+        "\nsymmetric memo: {} tasks on {} workers x {} slots, alpha.net={}",
+        sym_physical.num_tasks(),
+        sym_cluster.num_workers(),
+        sym_cluster.slots_per_worker(),
+        SYM_NET_ALPHA,
+    );
+    let mut sym_rows = Vec::new();
+    let mut sym_outcomes = Vec::new();
+    for memo_on in [true, false] {
+        let base = SearchConfig {
+            threads: 1,
+            max_plans: 64,
+            ..SearchConfig::with_thresholds(sym_alpha)
+        };
+        let config = if memo_on { base } else { base.without_memo() };
+        let t0 = Instant::now();
+        let out = sym_search.run(&config).expect("symmetric search runs");
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(!out.stats.aborted, "symmetric run must complete");
         println!(
-            "note: only {hardware_threads} hardware thread(s) — a 4-thread speedup is \
-             unattainable here; asserting bounded overhead instead"
+            "  memo {:<3}  wall {:>8.1} ms  nodes {:>9}  plans {:>6}  hits {:>7}",
+            if memo_on { "on" } else { "off" },
+            wall_ms,
+            out.stats.nodes,
+            out.stats.plans_found,
+            out.stats.memo_hits
         );
-        assert!(
-            speedup(4) >= MIN_SPEEDUP_OVERSUBSCRIBED,
-            "4-thread oversubscription overhead too high: {:.2}x",
-            speedup(4)
-        );
+        sym_rows.push(obj(vec![
+            ("memo", Json::Bool(memo_on)),
+            ("wall_ms", Json::Num(wall_ms)),
+            ("nodes", Json::Num(out.stats.nodes as f64)),
+            ("plans_found", Json::Num(out.stats.plans_found as f64)),
+            ("memo_hits", Json::Num(out.stats.memo_hits as f64)),
+        ]));
+        sym_outcomes.push(out);
     }
+    let (with_memo, without_memo) = (&sym_outcomes[0], &sym_outcomes[1]);
+    assert_eq!(
+        with_memo.stats.plans_found, without_memo.stats.plans_found,
+        "memo changed the feasible plan count"
+    );
+    assert_eq!(
+        with_memo.feasible.len(),
+        without_memo.feasible.len(),
+        "memo changed the stored plan count"
+    );
+    for (a, b) in with_memo.feasible.iter().zip(&without_memo.feasible) {
+        assert_eq!(a.plan, b.plan, "memo changed a stored plan");
+    }
+    assert!(
+        with_memo.stats.plans_found > 0,
+        "symmetric topology must have a feasible set at alpha.net={SYM_NET_ALPHA}"
+    );
+    assert!(
+        with_memo.stats.memo_hits > 0,
+        "memo never fired on the symmetric topology"
+    );
+    assert!(
+        with_memo.stats.nodes <= without_memo.stats.nodes,
+        "memo increased the node count"
+    );
+    let hit_rate = with_memo.stats.memo_hits as f64 / without_memo.stats.nodes as f64;
+    let nodes_saved = without_memo.stats.nodes - with_memo.stats.nodes;
+    println!(
+        "  {} hits pruned {} of {} nodes ({:.1}%)",
+        with_memo.stats.memo_hits,
+        nodes_saved,
+        without_memo.stats.nodes,
+        100.0 * nodes_saved as f64 / without_memo.stats.nodes as f64
+    );
 
     // --- Record ----------------------------------------------------------
     let generated_unix = std::time::SystemTime::now()
@@ -204,7 +364,7 @@ fn main() {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let record = obj(vec![
-        ("schema", Json::Str("capsys/bench-search/v1".into())),
+        ("schema", Json::Str("capsys/bench-search/v2".into())),
         (
             "mode",
             Json::Str(if smoke { "smoke" } else { "full" }.into()),
@@ -238,6 +398,18 @@ fn main() {
                 ("t2", Json::Num(speedup(2))),
                 ("t4", Json::Num(speedup(4))),
                 ("t8", Json::Num(speedup(8))),
+                ("gate", Json::Str(speedup_gate.clone())),
+            ]),
+        ),
+        (
+            "symmetric_memo",
+            obj(vec![
+                ("tasks", Json::Num(sym_physical.num_tasks() as f64)),
+                ("workers", Json::Num(sym_cluster.num_workers() as f64)),
+                ("alpha_net", Json::Num(SYM_NET_ALPHA)),
+                ("runs", Json::Arr(sym_rows)),
+                ("hit_rate", Json::Num(hit_rate)),
+                ("nodes_saved", Json::Num(nodes_saved as f64)),
             ]),
         ),
         (
@@ -288,6 +460,7 @@ fn main() {
         "alpha",
         "scaling",
         "speedup",
+        "symmetric_memo",
         "autotune",
         "determinism",
     ] {
@@ -298,7 +471,16 @@ fn main() {
     }
     assert_eq!(
         parsed.get("schema").and_then(Json::as_str),
-        Some("capsys/bench-search/v1")
+        Some("capsys/bench-search/v2")
+    );
+    // The skip marker (or enforcement record) must have landed on disk.
+    assert!(
+        parsed
+            .get("speedup")
+            .and_then(|s| s.get("gate"))
+            .and_then(Json::as_str)
+            .is_some_and(|g| g.starts_with("enforced") || g.starts_with("skipped")),
+        "speedup gate marker missing from BENCH_search.json"
     );
     assert_eq!(
         parsed

@@ -1,4 +1,5 @@
-//! The CAPS cost model (§4.2, Equations 4-8).
+//! The CAPS cost model (§4.2, Equations 4-8), on an exact fixed-point
+//! core.
 //!
 //! A placement plan is scored by a three-dimensional [`CostVector`]
 //! `[C_cpu, C_io, C_net]`. Each component measures the *resource
@@ -6,12 +7,32 @@
 //! load from the ideal (perfectly balanced) load, normalized by the
 //! worst-case distance obtained when the most resource-intensive tasks
 //! are co-located on one worker. All components lie in `[0, 1]`.
+//!
+//! ## Fixed-point internals
+//!
+//! Raw per-task loads enter once from the [`LoadModel`] as `f64` and
+//! are quantized to [`Fixed64`] (Q31.32) at construction — the model
+//! ingestion boundary. Everything downstream (per-worker accumulation,
+//! bottleneck maxima, Eq. 10 bounds) is integer arithmetic on the
+//! mantissas, so:
+//!
+//! * incremental accumulate/undo in the search equals a from-scratch
+//!   [`CostModel::worker_load`] **bit-for-bit**, in any order;
+//! * a plan's [`CostVector`] is a pure function of its exact load
+//!   mantissas (one `f64` divide of two integers per dimension), making
+//!   costs identical across schedules, thread counts, and build
+//!   profiles;
+//! * threshold and incumbent pruning invert the cost predicate into
+//!   *exact* per-dimension mantissa limits, so pruning agrees with
+//!   [`CostVector::within`] on every leaf — no epsilon slack in the
+//!   hot path.
 
 use capsys_model::{Cluster, LoadModel, PhysicalGraph, Placement, TaskId, WorkerId};
+use capsys_util::fixed::Fixed64;
 
 use crate::error::CapsError;
 
-/// Tolerance below which a load denominator is treated as degenerate.
+/// Tolerance when comparing normalized costs against thresholds.
 const EPS: f64 = 1e-12;
 
 /// The three resource dimensions of the cost model.
@@ -135,7 +156,9 @@ impl Thresholds {
     }
 }
 
-/// Per-dimension load extremes `L_min` and `L_max` (Eqs. 6-7).
+/// Per-dimension load extremes `L_min` and `L_max` (Eqs. 6-7), as `f64`
+/// views of the internal fixed-point values (reporting and auto-tuning
+/// only; the search prunes on the exact mantissas).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadBounds {
     /// Per-worker load of a perfectly balanced allocation (`L_min`).
@@ -148,19 +171,36 @@ pub struct LoadBounds {
 /// The CAPS cost model bound to a physical graph, cluster, and load model.
 #[derive(Debug, Clone)]
 pub struct CostModel {
+    /// `f64` view of the load extremes, for reporting and tuning.
     bounds: LoadBounds,
-    /// Per-task loads `[cpu, io, net]`, indexed by task id.
-    task_loads: Vec<[f64; 3]>,
+    /// Exact `L_min` mantissas per dimension.
+    fx_min: [Fixed64; 3],
+    /// Exact `L_max − L_min` mantissa per dimension; `0` marks a
+    /// degenerate dimension along which every plan costs 0.
+    fx_denom: [i64; 3],
+    /// Per-task loads `[cpu, io, net]`, quantized once on entry.
+    task_loads: Vec<[Fixed64; 3]>,
     /// Per-task per-downstream-link output rate `U_net(t) / |D(t)|`.
-    link_rates: Vec<f64>,
+    link_rates: Vec<Fixed64>,
     num_workers: usize,
     /// Aggregate demand over cluster capacity per dimension, in `[0, 1]`.
     pressure: [f64; 3],
 }
 
+/// Saturating narrowing of a widened mantissa sum.
+fn narrow(wide: i128) -> i64 {
+    if wide > i64::MAX as i128 {
+        i64::MAX
+    } else if wide < i64::MIN as i128 {
+        i64::MIN
+    } else {
+        wide as i64
+    }
+}
+
 impl CostModel {
-    /// Builds the cost model, pre-computing `L_min` and `L_max` per
-    /// dimension.
+    /// Builds the cost model, quantizing the load model to fixed point
+    /// and pre-computing `L_min` and `L_max` per dimension.
     pub fn new(
         physical: &PhysicalGraph,
         cluster: &Cluster,
@@ -168,34 +208,50 @@ impl CostModel {
     ) -> Result<CostModel, CapsError> {
         cluster.check_capacity(physical.num_tasks())?;
         let s = cluster.slots_per_worker();
-        let n_workers = cluster.num_workers() as f64;
+        let n_workers = cluster.num_workers() as i128;
 
-        let task_loads: Vec<[f64; 3]> =
-            loads.loads().iter().map(|l| [l.cpu, l.io, l.net]).collect();
-        let link_rates: Vec<f64> = (0..physical.num_tasks())
+        // Ingestion boundary: every f64 the model produced is quantized
+        // exactly once; all cost arithmetic below uses the mantissas.
+        let raw_loads: Vec<[f64; 3]> = loads.loads().iter().map(|l| [l.cpu, l.io, l.net]).collect();
+        let task_loads: Vec<[Fixed64; 3]> = raw_loads
+            .iter()
+            .map(|l| [l[0], l[1], l[2]].map(Fixed64::from_f64))
+            .collect();
+        let link_rates: Vec<Fixed64> = (0..physical.num_tasks())
             .map(|i| {
                 let d = physical.downstream_count(TaskId(i));
                 if d == 0 {
-                    0.0
+                    Fixed64::ZERO
                 } else {
-                    task_loads[i][2] / d as f64
+                    Fixed64::from_f64(raw_loads[i][2] / d as f64)
                 }
             })
             .collect();
 
-        let mut min = [0.0f64; 3];
-        let mut max = [0.0f64; 3];
+        let mut fx_min = [Fixed64::ZERO; 3];
+        let mut fx_max = [Fixed64::ZERO; 3];
         for dim in 0..3 {
-            let total: f64 = task_loads.iter().map(|l| l[dim]).sum();
+            let total: i128 = task_loads.iter().map(|l| l[dim].to_bits() as i128).sum();
             // L_min: balanced allocation; the paper sets L_net_min = 0
             // because co-locating everything incurs no network traffic.
-            min[dim] = if dim == 2 { 0.0 } else { total / n_workers };
+            fx_min[dim] = if dim == 2 {
+                Fixed64::ZERO
+            } else {
+                Fixed64::from_bits(narrow(total / n_workers))
+            };
             // L_max: co-locate the top-s most intensive tasks (T_cpu /
             // T_io / T_net with |T| = s, Table 1).
-            let mut per_task: Vec<f64> = task_loads.iter().map(|l| l[dim]).collect();
-            per_task.sort_by(|a, b| b.partial_cmp(a).expect("loads are finite"));
-            max[dim] = per_task.iter().take(s).sum();
+            let mut per_task: Vec<i64> = task_loads.iter().map(|l| l[dim].to_bits()).collect();
+            per_task.sort_unstable_by(|a, b| b.cmp(a));
+            fx_max[dim] = Fixed64::from_bits(narrow(
+                per_task.iter().take(s).map(|&m| m as i128).sum(),
+            ));
         }
+        let fx_denom = [0, 1, 2].map(|d| fx_max[d].to_bits().saturating_sub(fx_min[d].to_bits()));
+        let bounds = LoadBounds {
+            min: fx_min.map(Fixed64::to_f64),
+            max: fx_max.map(Fixed64::to_f64),
+        };
 
         // Dimension pressure: how much of the cluster's aggregate
         // capacity the workload demands per dimension. A dimension whose
@@ -206,11 +262,7 @@ impl CostModel {
         // the dimensions that matter.
         let spec = cluster.workers()[0].spec;
         let w = cluster.num_workers() as f64;
-        let totals: [f64; 3] = (0..3)
-            .map(|dim| task_loads.iter().map(|l| l[dim]).sum::<f64>())
-            .collect::<Vec<f64>>()
-            .try_into()
-            .expect("three dimensions");
+        let totals: [f64; 3] = [0, 1, 2].map(|dim| raw_loads.iter().map(|l| l[dim]).sum::<f64>());
         let remote_fraction = if w > 1.0 { (w - 1.0) / w } else { 0.0 };
         let pressure = [
             (totals[0] / (spec.cpu_cores * w)).clamp(0.0, 1.0),
@@ -219,7 +271,9 @@ impl CostModel {
         ];
 
         Ok(CostModel {
-            bounds: LoadBounds { min, max },
+            bounds,
+            fx_min,
+            fx_denom,
             task_loads,
             link_rates,
             num_workers: cluster.num_workers(),
@@ -233,7 +287,7 @@ impl CostModel {
         self.pressure
     }
 
-    /// The pre-computed load bounds.
+    /// The pre-computed load bounds (`f64` view).
     pub fn bounds(&self) -> &LoadBounds {
         &self.bounds
     }
@@ -243,34 +297,48 @@ impl CostModel {
         self.num_workers
     }
 
-    /// Per-task load vector `[U_cpu, U_io, U_net]`.
-    pub fn task_load(&self, t: TaskId) -> [f64; 3] {
+    /// Per-task load vector `[U_cpu, U_io, U_net]` (exact).
+    pub fn task_load(&self, t: TaskId) -> [Fixed64; 3] {
         self.task_loads[t.0]
     }
 
-    /// Per-downstream-link output rate of a task, `U_net(t) / |D(t)|`.
-    pub fn link_rate(&self, t: TaskId) -> f64 {
+    /// Per-downstream-link output rate of a task, `U_net(t) / |D(t)|`
+    /// (exact).
+    pub fn link_rate(&self, t: TaskId) -> Fixed64 {
         self.link_rates[t.0]
     }
 
     /// The per-worker load vector `[L_cpu, L_io, L_net]` of worker `w`
-    /// under plan `f` (Eqs. 5 and 8).
-    pub fn worker_load(&self, physical: &PhysicalGraph, plan: &Placement, w: WorkerId) -> [f64; 3] {
-        let mut load = [0.0f64; 3];
+    /// under plan `f` (Eqs. 5 and 8), computed from scratch.
+    ///
+    /// Network load is charged per cross-worker channel at the task's
+    /// link rate — the identical integer-multiple-of-rate accounting the
+    /// incremental search accumulator uses, so the two agree exactly.
+    pub fn worker_load(
+        &self,
+        physical: &PhysicalGraph,
+        plan: &Placement,
+        w: WorkerId,
+    ) -> [Fixed64; 3] {
+        let mut load = [Fixed64::ZERO; 3];
         for t in plan.tasks_on(w) {
             let tl = self.task_loads[t.0];
             load[0] += tl[0];
             load[1] += tl[1];
             // Only cross-worker downstream links contribute to outbound
             // network traffic (Eq. 8).
-            load[2] += tl[2] * plan.cross_worker_fraction(physical, t);
+            let remote = physical
+                .downstream(t)
+                .filter(|ch| plan.worker_of(ch.to) != w)
+                .count();
+            load[2] += self.link_rates[t.0].mul_int(remote as i64);
         }
         load
     }
 
     /// The bottleneck loads `[L_cpu(f), L_io(f), L_net(f)]` of a plan.
-    pub fn plan_loads(&self, physical: &PhysicalGraph, plan: &Placement) -> [f64; 3] {
-        let mut worst = [0.0f64; 3];
+    pub fn plan_loads(&self, physical: &PhysicalGraph, plan: &Placement) -> [Fixed64; 3] {
+        let mut worst = [Fixed64::ZERO; 3];
         for w in 0..self.num_workers {
             let load = self.worker_load(physical, plan, WorkerId(w));
             for dim in 0..3 {
@@ -280,20 +348,21 @@ impl CostModel {
         worst
     }
 
-    /// Converts a bottleneck load to a normalized cost value (Eq. 4).
-    pub fn load_to_cost(&self, dim: usize, load: f64) -> f64 {
-        let denom = self.bounds.max[dim] - self.bounds.min[dim];
-        if denom.abs() < EPS {
+    /// Converts a bottleneck load to a normalized cost value (Eq. 4):
+    /// one `f64` divide of two exact integers, so equal mantissas give
+    /// bit-identical costs on every platform and schedule.
+    pub fn load_to_cost(&self, dim: usize, load: Fixed64) -> f64 {
+        let denom = self.fx_denom[dim];
+        if denom == 0 {
             // All placement plans are equivalent along this dimension.
             0.0
         } else {
-            (load - self.bounds.min[dim]) / denom
+            (load.to_bits() as i128 - self.fx_min[dim].to_bits() as i128) as f64 / denom as f64
         }
     }
 
-    /// The full cost vector `C⃗(f)` of a plan.
-    pub fn cost(&self, physical: &PhysicalGraph, plan: &Placement) -> CostVector {
-        let loads = self.plan_loads(physical, plan);
+    /// The cost vector implied by exact bottleneck loads.
+    pub fn cost_from_loads(&self, loads: [Fixed64; 3]) -> CostVector {
         CostVector::new(
             self.load_to_cost(0, loads[0]),
             self.load_to_cost(1, loads[1]),
@@ -301,38 +370,76 @@ impl CostModel {
         )
     }
 
+    /// The full cost vector `C⃗(f)` of a plan.
+    pub fn cost(&self, physical: &PhysicalGraph, plan: &Placement) -> CostVector {
+        self.cost_from_loads(self.plan_loads(physical, plan))
+    }
+
+    /// The largest load mantissa whose normalized cost satisfies
+    /// `cost ≤ limit`, found by binary search on the exact boundary.
+    ///
+    /// `d ↦ (d as f64) / denom` is monotone (non-strictly), so the
+    /// satisfying set is a prefix of the integers and the returned bound
+    /// makes the integer comparison `load ≤ bound` *exactly* equivalent
+    /// to the floating-point predicate on the resulting cost.
+    fn max_load_satisfying(&self, dim: usize, limit: f64) -> Fixed64 {
+        let denom = self.fx_denom[dim];
+        if denom == 0 || !limit.is_finite() {
+            return Fixed64::MAX;
+        }
+        let df = denom as f64;
+        let ok = |d: i128| d as f64 / df <= limit;
+        let (mut lo, mut hi) = (-(1i128 << 62), 1i128 << 62);
+        if ok(hi) {
+            // Bound beyond any representable load: no pruning.
+            return Fixed64::MAX;
+        }
+        if !ok(lo) {
+            // Limit below any representable cost: prune everything.
+            return Fixed64::MIN;
+        }
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if ok(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Fixed64::from_bits(self.fx_min[dim].to_bits().saturating_add(lo as i64))
+    }
+
     /// The per-worker load bound implied by thresholds `α⃗` (Eq. 10):
     /// `L_i(f) ≤ L_i_min + α_i (L_i_max − L_i_min)`.
     ///
-    /// Degenerate dimensions (`L_max = L_min`) and infinite thresholds
-    /// yield an infinite bound (no pruning along that dimension).
-    pub fn load_bound(&self, thresholds: &Thresholds) -> [f64; 3] {
+    /// The returned mantissa bounds are exact inversions of
+    /// [`CostVector::within`]: a leaf survives the load comparison iff
+    /// its cost vector is within the thresholds. Degenerate dimensions
+    /// (`L_max = L_min`) and infinite thresholds yield [`Fixed64::MAX`]
+    /// (no pruning along that dimension).
+    pub fn load_bound(&self, thresholds: &Thresholds) -> [Fixed64; 3] {
         let alphas = [thresholds.cpu, thresholds.io, thresholds.net];
-        let mut bound = [f64::INFINITY; 3];
+        let mut bound = [Fixed64::MAX; 3];
         for dim in 0..3 {
-            let denom = self.bounds.max[dim] - self.bounds.min[dim];
-            if alphas[dim].is_finite() && denom.abs() >= EPS {
-                bound[dim] = self.bounds.min[dim] + alphas[dim] * denom;
+            if alphas[dim].is_finite() {
+                // Same expression `within` evaluates: cost ≤ α + EPS.
+                bound[dim] = self.max_load_satisfying(dim, alphas[dim] + EPS);
             }
         }
         bound
     }
 
-    /// Inverts [`CostModel::load_to_cost`]: the raw per-worker load that a
-    /// normalized cost value corresponds to along `dim`.
+    /// Inverts [`CostModel::load_to_cost`]: the largest per-worker load
+    /// whose normalized cost does not exceed `cost` along `dim`.
     ///
-    /// Degenerate dimensions (`L_max = L_min`) and non-finite costs yield
-    /// an infinite load (no pruning along that dimension) — the same
-    /// convention as [`CostModel::load_bound`]. The parallel search uses
-    /// this to turn the shared incumbent `max_component` cost into
-    /// per-dimension load limits it can check incrementally.
-    pub fn cost_to_load(&self, dim: usize, cost: f64) -> f64 {
-        let denom = self.bounds.max[dim] - self.bounds.min[dim];
-        if cost.is_finite() && denom.abs() >= EPS {
-            self.bounds.min[dim] + cost * denom
-        } else {
-            f64::INFINITY
-        }
+    /// Degenerate dimensions (`L_max = L_min`) and non-finite costs
+    /// yield [`Fixed64::MAX`] (no pruning along that dimension) — the
+    /// same convention as [`CostModel::load_bound`]. The parallel search
+    /// uses this to turn the shared incumbent `max_component` cost into
+    /// per-dimension load limits it can check incrementally; ties keep
+    /// surviving because the inversion uses `≤`.
+    pub fn cost_to_load(&self, dim: usize, cost: f64) -> Fixed64 {
+        self.max_load_satisfying(dim, cost)
     }
 
     /// The tightest integral lower bound on the achievable cost along a
@@ -342,19 +449,20 @@ impl CostModel {
     /// tasks are indivisible; the bottleneck worker must carry at least
     /// the largest single task load.
     pub fn tightest_cost(&self, dim: usize) -> f64 {
-        let denom = self.bounds.max[dim] - self.bounds.min[dim];
-        if denom.abs() < EPS {
-            return 0.0;
-        }
-        let heaviest = self.task_loads.iter().map(|l| l[dim]).fold(0.0, f64::max);
-        let floor = if dim == 2 {
+        let denom = self.fx_denom[dim];
+        if denom == 0 || dim == 2 {
             // L_net_min is 0; the cheapest conceivable bottleneck is 0
             // (everything co-located), so start from zero.
-            0.0
-        } else {
-            heaviest.max(self.bounds.min[dim])
-        };
-        ((floor - self.bounds.min[dim]) / denom).max(0.0)
+            return 0.0;
+        }
+        let heaviest = self
+            .task_loads
+            .iter()
+            .map(|l| l[dim])
+            .max()
+            .unwrap_or(Fixed64::ZERO);
+        let floor = heaviest.to_bits().max(self.fx_min[dim].to_bits());
+        ((floor - self.fx_min[dim].to_bits()) as f64 / denom as f64).max(0.0)
     }
 }
 
@@ -414,6 +522,7 @@ mod tests {
                 m.bounds().max[dim],
                 m.bounds().min[dim]
             );
+            assert!(m.fx_denom[dim] >= 0);
         }
         assert_eq!(m.bounds().min[2], 0.0, "L_net_min is zero by definition");
     }
@@ -470,32 +579,29 @@ mod tests {
         let w0 = m.worker_load(&p, &f, WorkerId(0));
         let w1 = m.worker_load(&p, &f, WorkerId(1));
         for dim in 0..3 {
-            assert!((worst[dim] - w0[dim].max(w1[dim])).abs() < 1e-9);
+            assert_eq!(worst[dim], w0[dim].max(w1[dim]), "exact bottleneck max");
         }
     }
 
     #[test]
-    fn load_bound_inverts_cost_threshold() {
+    fn load_bound_inverts_cost_threshold_exactly() {
         let (p, c, lm) = fixture();
         let m = CostModel::new(&p, &c, &lm).unwrap();
         let th = Thresholds::new(0.3, 0.4, 0.5);
         let bound = m.load_bound(&th);
-        for dim in 0..3 {
-            let alpha = [th.cpu, th.io, th.net][dim];
-            let expect = m.bounds().min[dim] + alpha * (m.bounds().max[dim] - m.bounds().min[dim]);
-            assert!((bound[dim] - expect).abs() < 1e-9);
-        }
-        // A plan whose loads satisfy the bound has cost within thresholds.
+        // The integer load comparison must agree with the float cost
+        // predicate on every plan — no epsilon, Eq. 10 as an exact
+        // inversion.
         for f in capsys_model::enumerate_plans(&p, &c, usize::MAX).unwrap() {
             let loads = m.plan_loads(&p, &f);
-            let within_loads = (0..3).all(|d| loads[d] <= bound[d] + 1e-9);
+            let within_loads = (0..3).all(|d| loads[d] <= bound[d]);
             let within_cost = m.cost(&p, &f).within(&th);
             assert_eq!(within_loads, within_cost, "Eq. 10 equivalence violated");
         }
     }
 
     #[test]
-    fn cost_to_load_inverts_load_to_cost() {
+    fn cost_to_load_is_the_exact_boundary() {
         let (p, c, lm) = fixture();
         let m = CostModel::new(&p, &c, &lm).unwrap();
         for f in capsys_model::enumerate_plans(&p, &c, usize::MAX).unwrap() {
@@ -503,12 +609,21 @@ mod tests {
             for dim in 0..3 {
                 let cost = m.load_to_cost(dim, loads[dim]);
                 let back = m.cost_to_load(dim, cost);
-                if back.is_finite() {
-                    assert!((back - loads[dim]).abs() < 1e-9);
+                // The inversion is the *largest* load at or below the
+                // cost, so the original load must be admitted...
+                assert!(back >= loads[dim], "dim {dim}: boundary excludes witness");
+                if !back.is_max() {
+                    // ...and one mantissa step past the boundary must
+                    // exceed the cost.
+                    let past = Fixed64::from_bits(back.to_bits() + 1);
+                    assert!(
+                        m.load_to_cost(dim, past) > cost,
+                        "dim {dim}: boundary not tight"
+                    );
                 }
             }
         }
-        assert!(m.cost_to_load(0, f64::INFINITY).is_infinite());
+        assert!(m.cost_to_load(0, f64::INFINITY).is_max());
     }
 
     #[test]
@@ -516,7 +631,7 @@ mod tests {
         let (p, c, lm) = fixture();
         let m = CostModel::new(&p, &c, &lm).unwrap();
         let bound = m.load_bound(&Thresholds::unbounded());
-        assert!(bound.iter().all(|b| b.is_infinite()));
+        assert!(bound.iter().all(|b| b.is_max()));
     }
 
     #[test]

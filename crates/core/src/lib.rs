@@ -45,6 +45,7 @@
 pub mod autotune;
 pub mod cost;
 pub mod error;
+mod memo;
 pub mod parallel;
 pub mod pareto;
 pub mod partitioned;

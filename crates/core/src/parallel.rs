@@ -47,9 +47,11 @@ use std::time::{Duration, Instant};
 
 use capsys_model::{PhysicalGraph, PlanEnumerator};
 use capsys_util::deque::{Steal, Stealer, Worker};
+use capsys_util::fixed::Fixed64;
 
 use crate::cost::CostModel;
 use crate::error::CapsError;
+use crate::memo::MemoSetup;
 use crate::search::{cmp_scored, CapsVisitor, OpTopology, RunStats, ScoredPlan, SearchConfig};
 
 /// Maximum prefix depth for adaptive re-splitting. Deeper splits would
@@ -98,7 +100,8 @@ pub(crate) fn run_parallel(
     model: &CostModel,
     topo: &OpTopology,
     enumerator: &PlanEnumerator,
-    bound: [f64; 3],
+    bound: [Fixed64; 3],
+    memo: Option<&MemoSetup>,
     config: &SearchConfig,
     deadline: Option<Instant>,
     start: Instant,
@@ -156,9 +159,15 @@ pub(crate) fn run_parallel(
                     if config.incumbent_prune {
                         visitor.set_incumbent(&shared.incumbent);
                     }
+                    if let Some(setup) = memo {
+                        // The table is shared: one thread proving a state
+                        // dead spares every sibling that reaches it.
+                        visitor.set_memo(setup);
+                    }
                     let mut local = RunStats::default();
                     worker_loop(idx, &my, enumerator, split_cap, threads, shared, &mut visitor, &mut local);
                     local.aborted |= visitor.was_aborted();
+                    local.memo_hits = visitor.memo_hits();
                     (visitor.into_found(), local)
                 }));
                 shared.active.fetch_sub(1, Ordering::Release);
@@ -195,6 +204,7 @@ pub(crate) fn run_parallel(
                     stats.nodes += local.nodes;
                     stats.pruned += local.pruned;
                     stats.plans_found += local.plans_found;
+                    stats.memo_hits += local.memo_hits;
                     stats.aborted |= local.aborted;
                 }
                 Ok(None) | Err(_) => {

@@ -20,22 +20,18 @@ use capsys_model::{
     Cluster, ConnectionPattern, LoadModel, LogicalGraph, OperatorId, PhysicalGraph, Placement,
     PlanEnumerator, PlanVisitor, TaskId,
 };
+use capsys_util::fixed::Fixed64;
 
 use crate::autotune::{AutoTuneConfig, AutoTuneReport, AutoTuner};
 use crate::cost::{CostModel, CostVector, Thresholds};
 use crate::error::CapsError;
+use crate::memo::{fnv1a64, MemoSetup, MemoTable};
 use crate::pareto::pareto_front;
 
-/// Numerical slack when comparing accumulated loads against Eq. 10 bounds.
+/// Slack when treating tiny `f64` denominators as degenerate in the
+/// operator-reordering heuristic (reporting-side arithmetic only; the
+/// search itself prunes on exact fixed-point mantissas).
 const BOUND_EPS: f64 = 1e-9;
-
-/// Slack for the full-store screen in [`CapsVisitor::record`]: a
-/// candidate whose *incremental* `max_component` exceeds the worst
-/// stored plan's exact cost by more than this can be discarded without
-/// computing its exact cost. Costs live in the unit interval and the
-/// accumulator's drift is a few ulps (≈1e-13 after the longest paths),
-/// so 1e-9 is conservative by four orders of magnitude.
-const RECORD_SCREEN_MARGIN: f64 = 1e-9;
 
 /// How often (in `place` calls) the deadline is polled.
 const TIME_CHECK_MASK: usize = 0x3FF;
@@ -75,6 +71,17 @@ pub struct SearchConfig {
     /// `max_plans`) and `plans_found`/`nodes`/`pruned` become
     /// schedule-dependent.
     pub incumbent_prune: bool,
+    /// Memoize dead search states across layers (transposition pruning).
+    ///
+    /// The DFS records every fully explored outer-layer state that held
+    /// zero feasible leaves, keyed by a canonical worker-multiset hash
+    /// with an exact verify key, and skips equal states reached through
+    /// other prefixes. Only *dead* subtrees are skipped, so the feasible
+    /// plan set, the stored plans, and `plans_found` are identical with
+    /// the memo on or off; `nodes` shrinks. Automatically disabled for
+    /// first-feasible and incumbent-pruned searches, whose reachability
+    /// depends on more than the state.
+    pub memo: bool,
 }
 
 impl SearchConfig {
@@ -99,6 +106,7 @@ impl SearchConfig {
             free_slots: None,
             auto_tune: AutoTuneConfig::default(),
             incumbent_prune: false,
+            memo: true,
         }
     }
 
@@ -125,12 +133,20 @@ impl SearchConfig {
         self.incumbent_prune = true;
         self
     }
+
+    /// Disables dead-state memoization, returning the modified config.
+    pub fn without_memo(mut self) -> Self {
+        self.memo = false;
+        self
+    }
 }
 
 /// Total order on scored plans: `max_component` cost first, then the
 /// plan's assignment vector as a deterministic tie-break. Using this
 /// everywhere plans are ranked or truncated makes the stored plan set
-/// independent of thread count and steal schedule.
+/// independent of thread count and steal schedule. Costs are pure
+/// functions of exact fixed-point load mantissas, so equal plans
+/// compare equal bit-for-bit no matter which schedule scored them.
 pub(crate) fn cmp_scored(a: &ScoredPlan, b: &ScoredPlan) -> std::cmp::Ordering {
     a.cost
         .max_component()
@@ -157,6 +173,10 @@ pub struct RunStats {
     pub pruned: usize,
     /// Feasible plans discovered (including ones not stored).
     pub plans_found: usize,
+    /// Subtrees skipped by the dead-state memo. Hits depend on the
+    /// exploration schedule across threads (which sibling proved a state
+    /// dead first), so this is a diagnostic, not a determinism surface.
+    pub memo_hits: usize,
     /// Wall-clock duration of the search phase.
     pub elapsed: Duration,
     /// Worker threads used.
@@ -236,10 +256,11 @@ enum EdgeShape {
 /// Static per-operator adjacency used by the incremental network model.
 #[derive(Debug, Clone)]
 pub(crate) struct OpTopology {
-    /// Per-task `[cpu, io]` load of each operator's tasks.
-    task_load: Vec<[f64; 2]>,
-    /// Per-task, per-downstream-link output rate of each operator.
-    link_rate: Vec<f64>,
+    /// Per-task `[cpu, io]` load of each operator's tasks (exact).
+    task_load: Vec<[Fixed64; 2]>,
+    /// Per-task, per-downstream-link output rate of each operator
+    /// (exact).
+    link_rate: Vec<Fixed64>,
     parallelism: Vec<usize>,
     /// `in_edges[o]` lists `(upstream op, shape)`.
     in_edges: Vec<Vec<(usize, EdgeShape)>>,
@@ -254,8 +275,8 @@ impl OpTopology {
         model: &CostModel,
     ) -> OpTopology {
         let n_ops = physical.num_operators();
-        let mut task_load = vec![[0.0; 2]; n_ops];
-        let mut link_rate = vec![0.0; n_ops];
+        let mut task_load = vec![[Fixed64::ZERO; 2]; n_ops];
+        let mut link_rate = vec![Fixed64::ZERO; n_ops];
         let parallelism = physical.parallelism_vector();
         for op in 0..n_ops {
             let range = physical.operator_tasks(OperatorId(op));
@@ -287,6 +308,45 @@ impl OpTopology {
             out_edges,
         }
     }
+
+    /// Derives the per-layer memoization gates for an operator order: for
+    /// each layer, which placed operators' counts remain *open* (read by
+    /// future mesh deltas, so part of the state key) and whether the
+    /// layer is memoizable at all (one-to-one edges into the unplaced
+    /// suffix depend on task alignment that counts cannot express).
+    pub(crate) fn memo_layout(&self, order: &[OperatorId]) -> (Vec<bool>, Vec<Vec<usize>>) {
+        let n_ops = self.parallelism.len();
+        let layers = order.len();
+        let mut layer_ok = vec![true; layers];
+        let mut open_ops = vec![Vec::new(); layers];
+        let mut future = vec![false; n_ops];
+        for l in 0..layers {
+            for f in future.iter_mut() {
+                *f = false;
+            }
+            for id in &order[l..] {
+                future[id.0] = true;
+            }
+            let mut open = std::collections::BTreeSet::new();
+            let mut ok = true;
+            for id in &order[l..] {
+                let edges = self.in_edges[id.0]
+                    .iter()
+                    .chain(self.out_edges[id.0].iter());
+                for &(peer, shape) in edges {
+                    if !future[peer] {
+                        open.insert(peer);
+                        if shape == EdgeShape::OneToOne {
+                            ok = false;
+                        }
+                    }
+                }
+            }
+            layer_ok[l] = ok;
+            open_ops[l] = open.into_iter().collect();
+        }
+        (layer_ok, open_ops)
+    }
 }
 
 /// The pruning and plan-collection visitor driving the DFS.
@@ -294,20 +354,25 @@ pub(crate) struct CapsVisitor<'a> {
     physical: &'a PhysicalGraph,
     model: &'a CostModel,
     topo: &'a OpTopology,
-    bound: [f64; 3],
+    bound: [Fixed64; 3],
     num_workers: usize,
     // Dynamic state.
     cnt: Vec<Vec<usize>>,
     subtask_worker: Vec<Vec<usize>>,
-    load: Vec<[f64; 3]>,
+    load: Vec<[Fixed64; 3]>,
     /// Flat arena of pending load deltas. Each `place` appends its deltas
     /// here and pushes the previous arena length onto `undo_marks`;
     /// `unplace` truncates back to the popped mark. One growing buffer
-    /// instead of a `Vec<Vec<_>>` allocating per tree node.
-    delta_arena: Vec<(usize, [f64; 3])>,
+    /// instead of a `Vec<Vec<_>>` allocating per tree node. Deltas are
+    /// exact fixed-point values, so apply+undo is a bit-exact no-op.
+    delta_arena: Vec<(usize, [Fixed64; 3])>,
     undo_marks: Vec<usize>,
     // Results.
     found: Vec<ScoredPlan>,
+    /// Index of the worst stored plan under [`cmp_scored`], maintained
+    /// incrementally so a full store rejects a non-improving candidate
+    /// in O(1) instead of rescanning the store per leaf.
+    worst_idx: Option<usize>,
     max_plans: usize,
     first_feasible: bool,
     /// When set, leaves are recorded as raw count matrices (partial
@@ -330,9 +395,20 @@ pub(crate) struct CapsVisitor<'a> {
     /// Cached incumbent bits, to avoid re-deriving load limits when the
     /// shared value has not moved.
     incumbent_bits: u64,
-    /// Per-dimension load limits implied by the incumbent cost.
-    incumbent_limit: [f64; 3],
+    /// Per-dimension exact load limits implied by the incumbent cost.
+    incumbent_limit: [Fixed64; 3],
     aborted: bool,
+    // Dead-state memoization.
+    memo: Option<&'a MemoSetup>,
+    /// One entry per active `enter_layer`: the state's hash and
+    /// `plans_seen` on entry (`None` for gated-off layers). A subtree is
+    /// proven dead when it exits with `plans_seen` unchanged and no
+    /// abort in flight; the verify key is rebuilt only then, because the
+    /// state at `exit_layer` is identical to the state at `enter_layer`.
+    memo_stack: Vec<Option<(u64, usize)>>,
+    /// Feasible leaves reached so far (monotone).
+    plans_seen: usize,
+    memo_hits: usize,
 }
 
 impl<'a> CapsVisitor<'a> {
@@ -340,7 +416,7 @@ impl<'a> CapsVisitor<'a> {
         physical: &'a PhysicalGraph,
         model: &'a CostModel,
         topo: &'a OpTopology,
-        bound: [f64; 3],
+        bound: [Fixed64; 3],
         config: &SearchConfig,
         deadline: Option<Instant>,
         stop_flag: Option<&'a std::sync::atomic::AtomicBool>,
@@ -355,10 +431,11 @@ impl<'a> CapsVisitor<'a> {
             num_workers,
             cnt: vec![vec![0; num_workers]; n_ops],
             subtask_worker: vec![Vec::new(); n_ops],
-            load: vec![[0.0; 3]; num_workers],
+            load: vec![[Fixed64::ZERO; 3]; num_workers],
             delta_arena: Vec::with_capacity(256),
             undo_marks: Vec::with_capacity(64),
             found: Vec::new(),
+            worst_idx: None,
             max_plans: config.max_plans,
             first_feasible: config.first_feasible,
             capture_raw: false,
@@ -370,9 +447,81 @@ impl<'a> CapsVisitor<'a> {
             stop_flag,
             incumbent: None,
             incumbent_bits: f64::INFINITY.to_bits(),
-            incumbent_limit: [f64::INFINITY; 3],
+            incumbent_limit: [Fixed64::MAX; 3],
             aborted: false,
+            memo: None,
+            memo_stack: Vec::new(),
+            plans_seen: 0,
+            memo_hits: 0,
         }
+    }
+
+    /// Installs a dead-state memo (shared across threads in the parallel
+    /// search). Only sound for searches whose subtree reachability is a
+    /// pure function of the layer state — the caller guarantees neither
+    /// first-feasible stop nor incumbent pruning is active.
+    pub(crate) fn set_memo(&mut self, setup: &'a MemoSetup) {
+        self.memo = Some(setup);
+    }
+
+    /// Subtrees this visitor skipped via the memo.
+    pub(crate) fn memo_hits(&self) -> usize {
+        self.memo_hits
+    }
+
+    /// A worker-permutation-invariant hash of the state at an outer-layer
+    /// boundary, cheap enough for the hot path: per-worker rows of (free
+    /// slots, exact loads, open operators' task counts) are hashed
+    /// individually and combined commutatively, so no allocation or sort
+    /// happens unless a table probe actually matches.
+    fn state_hash(&self, layer: usize, remaining: &[usize]) -> u64 {
+        let setup = self.memo.expect("state_hash without memo");
+        let open = &setup.open_ops[layer];
+        let mut acc = 0u64;
+        for w in 0..self.num_workers {
+            let mut h = fnv1a64(&[remaining[w] as u64]);
+            for dim in 0..3 {
+                h = crate::memo::fnv1a64_word(h, self.load[w][dim].to_bits() as u64);
+            }
+            for &q in open {
+                h = crate::memo::fnv1a64_word(h, self.cnt[q][w] as u64);
+            }
+            acc = acc.wrapping_add(h);
+        }
+        // Fold the layer in last so equal worker multisets at different
+        // depths stay apart.
+        crate::memo::fnv1a64_word(acc, layer as u64)
+    }
+
+    /// The canonical verify key for the same state: the layer, then the
+    /// *sorted* per-worker rows. Sorting makes the key invariant under
+    /// worker permutation; two equal keys have isomorphic subtrees, and
+    /// isomorphic subtrees are either both dead or both live. Only built
+    /// when a probe matches or a dead subtree is recorded.
+    fn state_verify_key(&self, layer: usize, remaining: &[usize]) -> Vec<u64> {
+        let setup = self.memo.expect("state_verify_key without memo");
+        let open = &setup.open_ops[layer];
+        let width = 4 + open.len();
+        let mut rows: Vec<Vec<u64>> = (0..self.num_workers)
+            .map(|w| {
+                let mut row = Vec::with_capacity(width);
+                row.push(remaining[w] as u64);
+                for dim in 0..3 {
+                    row.push(self.load[w][dim].to_bits() as u64);
+                }
+                for &q in open {
+                    row.push(self.cnt[q][w] as u64);
+                }
+                row
+            })
+            .collect();
+        rows.sort_unstable();
+        let mut key = Vec::with_capacity(1 + self.num_workers * width);
+        key.push(layer as u64);
+        for row in &rows {
+            key.extend_from_slice(row);
+        }
+        key
     }
 
     /// Installs a shared deadline flag (set by a watchdog thread) in
@@ -438,7 +587,7 @@ impl<'a> CapsVisitor<'a> {
             for i in start..self.delta_arena.len() {
                 let (dw, d) = self.delta_arena[i];
                 for (load, add) in self.load[dw].iter_mut().zip(&d) {
-                    *load += add;
+                    *load += *add;
                 }
             }
             self.cnt[op.0][w] += c;
@@ -457,16 +606,22 @@ impl<'a> CapsVisitor<'a> {
             .max(cost.net * p[2] / max_p)
     }
 
-    /// The cost vector implied by the current per-worker loads.
+    /// The exact bottleneck loads of the current (complete) assignment.
+    fn bottleneck_loads(&self) -> [Fixed64; 3] {
+        let mut worst = [Fixed64::ZERO; 3];
+        for l in &self.load {
+            for dim in 0..3 {
+                worst[dim] = worst[dim].max(l[dim]);
+            }
+        }
+        worst
+    }
+
+    /// The cost vector implied by the current per-worker loads. Loads
+    /// are exact mantissas, so this equals the cost model evaluated on
+    /// the materialized placement bit-for-bit — no recosting needed.
     fn current_cost(&self) -> CostVector {
-        CostVector::new(
-            self.model
-                .load_to_cost(0, self.load.iter().map(|l| l[0]).fold(0.0, f64::max)),
-            self.model
-                .load_to_cost(1, self.load.iter().map(|l| l[1]).fold(0.0, f64::max)),
-            self.model
-                .load_to_cost(2, self.load.iter().map(|l| l[2]).fold(0.0, f64::max)),
-        )
+        self.model.cost_from_loads(self.bottleneck_loads())
     }
 
     fn should_stop(&mut self) -> bool {
@@ -514,23 +669,27 @@ impl<'a> CapsVisitor<'a> {
         // it mutably while the delta computation reads `self` fields.
         let mut arena = std::mem::take(&mut self.delta_arena);
         let start = arena.len();
-        let mut add = |worker: usize, dim: usize, amount: f64| {
-            if amount == 0.0 {
+        let mut add = |worker: usize, dim: usize, amount: Fixed64| {
+            if amount == Fixed64::ZERO {
                 return;
             }
             if let Some(entry) = arena[start..].iter_mut().find(|(dw, _)| *dw == worker) {
                 entry.1[dim] += amount;
             } else {
-                let mut d = [0.0; 3];
+                let mut d = [Fixed64::ZERO; 3];
                 d[dim] = amount;
                 arena.push((worker, d));
             }
         };
 
-        let c = count as f64;
+        // Every delta is an exact integer multiple of a per-op constant
+        // (`mul_int` distributes over addition bit-exactly), so the sum
+        // of deltas along any place/unplace path equals the from-scratch
+        // per-channel accounting in `CostModel::worker_load`.
+        let c = count as i64;
         let [cpu, io] = self.topo.task_load[op];
-        add(w, 0, c * cpu);
-        add(w, 1, c * io);
+        add(w, 0, cpu.mul_int(c));
+        add(w, 1, io.mul_int(c));
 
         let prefix = self.subtask_worker[op].len();
 
@@ -543,8 +702,8 @@ impl<'a> CapsVisitor<'a> {
             let rate = self.topo.link_rate[op];
             match shape {
                 EdgeShape::Mesh => {
-                    let remote = self.topo.parallelism[down] - self.cnt[down][w];
-                    add(w, 2, c * rate * remote as f64);
+                    let remote = (self.topo.parallelism[down] - self.cnt[down][w]) as i64;
+                    add(w, 2, rate.mul_int(c * remote));
                 }
                 EdgeShape::OneToOne => {
                     for i in prefix..prefix + count {
@@ -567,7 +726,7 @@ impl<'a> CapsVisitor<'a> {
                 EdgeShape::Mesh => {
                     for w2 in 0..self.num_workers {
                         if w2 != w {
-                            add(w2, 2, self.cnt[up][w2] as f64 * rate * c);
+                            add(w2, 2, rate.mul_int(self.cnt[up][w2] as i64 * c));
                         }
                     }
                 }
@@ -618,52 +777,52 @@ impl<'a> CapsVisitor<'a> {
             }
             return;
         }
-        // When the store is full, screen with the incremental cost first:
-        // a candidate clearly worse than the worst stored plan can skip
-        // the `Placement` allocation and the exact cost below. The margin
-        // absorbs the accumulator's float drift (ulps; see below), so a
-        // skipped candidate is never one the exact order would have kept.
-        let worst = if self.found.len() < self.max_plans {
-            None
+        if self.max_plans == 0 {
+            return;
+        }
+        // The incremental accumulator IS the stored cost: fixed-point
+        // loads reach a leaf with the same mantissas on every schedule,
+        // so `cmp_scored` is a schedule-independent total order with no
+        // from-scratch recosting. When the store is full, a candidate
+        // that does not beat the cached worst entry is rejected before
+        // materializing a `Placement`.
+        if self.found.len() == self.max_plans {
+            let idx = match self.worst_idx {
+                Some(idx) => idx,
+                None => {
+                    let idx = (0..self.found.len())
+                        .max_by(|&i, &j| cmp_scored(&self.found[i], &self.found[j]))
+                        .unwrap_or(0);
+                    self.worst_idx = Some(idx);
+                    idx
+                }
+            };
+            let worst = &self.found[idx];
+            // Cheap pre-screen on cost alone before building the plan:
+            // strictly worse than the worst stored cost can never win
+            // the total order.
+            if cost.max_component() > worst.cost.max_component() {
+                return;
+            }
+            let plan = match Placement::from_op_counts(self.physical, counts) {
+                Ok(p) => p,
+                Err(_) => return,
+            };
+            let scored = ScoredPlan { plan, cost };
+            // Keep the `max_plans` smallest plans under the total order,
+            // so a capped store is a deterministic function of the set
+            // of plans seen, not of the order seen in.
+            if cmp_scored(&scored, worst) == std::cmp::Ordering::Less {
+                self.found[idx] = scored;
+                self.worst_idx = None;
+            }
         } else {
-            match (0..self.found.len())
-                .max_by(|&i, &j| cmp_scored(&self.found[i], &self.found[j]))
-            {
-                Some(idx) => {
-                    if cost.max_component()
-                        > self.found[idx].cost.max_component() + RECORD_SCREEN_MARGIN
-                    {
-                        return;
-                    }
-                    Some(idx)
-                }
-                None => return, // max_plans == 0: nothing is ever stored
-            }
-        };
-        let plan = match Placement::from_op_counts(self.physical, counts) {
-            Ok(p) => p,
-            Err(_) => return,
-        };
-        // Store the model's from-scratch cost, not the incremental one.
-        // The accumulator reaches a leaf through schedule-dependent
-        // place/unplace sequences, so its float rounding drifts by ulps
-        // across thread counts and steal schedules; symmetric plans tie
-        // on `max_component`, and a capped store truncating inside such
-        // a tie group would keep different plans per schedule. The
-        // from-scratch cost has one fixed summation order, making
-        // `cmp_scored` a schedule-independent total order.
-        let cost = self.model.cost(self.physical, &plan);
-        let scored = ScoredPlan { plan, cost };
-        match worst {
-            None => self.found.push(scored),
-            Some(idx) => {
-                // Keep the `max_plans` smallest plans under the total
-                // order, so a capped store is a deterministic function of
-                // the set of plans seen, not of the order seen in.
-                if cmp_scored(&scored, &self.found[idx]) == std::cmp::Ordering::Less {
-                    self.found[idx] = scored;
-                }
-            }
+            let plan = match Placement::from_op_counts(self.physical, counts) {
+                Ok(p) => p,
+                Err(_) => return,
+            };
+            self.found.push(ScoredPlan { plan, cost });
+            self.worst_idx = None;
         }
     }
 }
@@ -679,16 +838,15 @@ impl PlanVisitor for CapsVisitor<'_> {
         }
         let start = self.append_deltas(worker, op.0, count);
         // Check Eq. 10 — and, when enabled, the incumbent bound — on
-        // every worker the deltas touch. The incumbent check is strict
-        // (beyond BOUND_EPS), so plans tying the best cost still survive.
+        // every worker the deltas touch. Bounds are exact inversions of
+        // the cost predicate, so no epsilon is needed; the incumbent
+        // limit admits equality, so plans tying the best cost survive.
         for &(w, d) in &self.delta_arena[start..] {
             for dim in 0..3 {
                 let add = d[dim];
-                if add > 0.0 {
+                if add > Fixed64::ZERO {
                     let next = self.load[w][dim] + add;
-                    if next > self.bound[dim] + BOUND_EPS
-                        || next > self.incumbent_limit[dim] + BOUND_EPS
-                    {
+                    if next > self.bound[dim] || next > self.incumbent_limit[dim] {
                         self.delta_arena.truncate(start);
                         return false;
                     }
@@ -698,7 +856,7 @@ impl PlanVisitor for CapsVisitor<'_> {
         for i in start..self.delta_arena.len() {
             let (w, d) = self.delta_arena[i];
             for (load, add) in self.load[w].iter_mut().zip(&d) {
-                *load += add;
+                *load += *add;
             }
         }
         self.cnt[op.0][worker] += count;
@@ -715,7 +873,7 @@ impl PlanVisitor for CapsVisitor<'_> {
         for i in start..self.delta_arena.len() {
             let (w, d) = self.delta_arena[i];
             for (load, sub) in self.load[w].iter_mut().zip(&d) {
-                *load -= sub;
+                *load -= *sub;
             }
         }
         self.delta_arena.truncate(start);
@@ -728,6 +886,7 @@ impl PlanVisitor for CapsVisitor<'_> {
         if self.aborted {
             return false;
         }
+        self.plans_seen += 1;
         self.record(counts);
         if self.first_feasible {
             if let Some(f) = self.stop_flag {
@@ -736,6 +895,46 @@ impl PlanVisitor for CapsVisitor<'_> {
             return false;
         }
         true
+    }
+
+    fn enter_layer(&mut self, layer: usize, remaining: &[usize]) -> bool {
+        let Some(setup) = self.memo else {
+            return true;
+        };
+        if !setup.layer_ok[layer] {
+            self.memo_stack.push(None);
+            return true;
+        }
+        let hash = self.state_hash(layer, remaining);
+        if setup.table.maybe_contains(hash) {
+            let key = self.state_verify_key(layer, remaining);
+            if setup.table.contains(hash, &key) {
+                // An equal state was fully explored and held no feasible
+                // leaf; this subtree is dead too — skipping it drops
+                // nothing.
+                self.memo_hits += 1;
+                return false;
+            }
+        }
+        self.memo_stack.push(Some((hash, self.plans_seen)));
+        true
+    }
+
+    fn exit_layer(&mut self, layer: usize, remaining: &[usize]) {
+        let Some(setup) = self.memo else {
+            return;
+        };
+        if let Some(Some((hash, seen))) = self.memo_stack.pop() {
+            // Dead only if the subtree was *fully* explored (no abort in
+            // flight) and produced no feasible leaf. Place/unplace pairs
+            // have restored the exact entry state, so the verify key can
+            // be rebuilt here, keeping the live path allocation-free.
+            if !self.aborted && self.plans_seen == seen {
+                setup
+                    .table
+                    .insert(hash, self.state_verify_key(layer, remaining));
+            }
+        }
     }
 }
 
@@ -782,14 +981,14 @@ impl<'a> CapsSearch<'a> {
         let mut scored: Vec<(f64, usize)> = (0..n_ops)
             .map(|op| {
                 let p = self.topo.parallelism[op] as f64;
-                let [cpu, io] = self.topo.task_load[op];
+                let [cpu, io] = self.topo.task_load[op].map(Fixed64::to_f64);
                 // Approximate the operator's aggregate network demand by
                 // its full outbound rate.
                 let range = self.physical.operator_tasks(OperatorId(op));
                 let net = range
                     .clone()
                     .next()
-                    .map(|first| self.model.task_load(TaskId(first))[2])
+                    .map(|first| self.model.task_load(TaskId(first))[2].to_f64())
                     .unwrap_or(0.0);
                 let mut score = 0.0f64;
                 for (dim, load) in [(0, cpu * p), (1, io * p), (2, net * p)] {
@@ -874,6 +1073,18 @@ impl<'a> CapsSearch<'a> {
             enumerator = enumerator.with_free_slots(free.clone())?;
         }
 
+        // Dead-state memoization is sound only when subtree reachability
+        // is a pure function of the layer state: a first-feasible stop or
+        // a moving incumbent bound makes "dead" time-dependent.
+        let memo = (config.memo && !config.first_feasible && !config.incumbent_prune).then(|| {
+            let (layer_ok, open_ops) = self.topo.memo_layout(&order);
+            MemoSetup {
+                table: MemoTable::new(),
+                layer_ok,
+                open_ops,
+            }
+        });
+
         let (mut found, stats) = if config.threads <= 1 {
             let stop = std::sync::atomic::AtomicBool::new(false);
             let incumbent = std::sync::atomic::AtomicU64::new(f64::INFINITY.to_bits());
@@ -889,14 +1100,19 @@ impl<'a> CapsSearch<'a> {
             if config.incumbent_prune {
                 visitor.set_incumbent(&incumbent);
             }
+            if let Some(setup) = &memo {
+                visitor.set_memo(setup);
+            }
             let s = enumerator.explore(&mut visitor);
             let aborted = visitor.was_aborted();
+            let memo_hits = visitor.memo_hits();
             (
                 visitor.found,
                 RunStats {
                     nodes: s.nodes,
                     pruned: s.pruned,
                     plans_found: s.plans,
+                    memo_hits,
                     elapsed: start.elapsed(),
                     threads: 1,
                     aborted,
@@ -909,6 +1125,7 @@ impl<'a> CapsSearch<'a> {
                 &self.topo,
                 &enumerator,
                 bound,
+                memo.as_ref(),
                 config,
                 deadline,
                 start,
@@ -918,12 +1135,13 @@ impl<'a> CapsSearch<'a> {
         if config.incumbent_prune {
             // Under incumbent pruning only the minimum-cost plans are
             // guaranteed to survive every schedule; filter the store down
-            // to exactly that set so the outcome is deterministic.
+            // to exactly that set so the outcome is deterministic. Costs
+            // are exact, so tying plans compare bit-equal.
             let min = found
                 .iter()
                 .map(|s| s.cost.max_component())
                 .fold(f64::INFINITY, f64::min);
-            found.retain(|s| s.cost.max_component() <= min + BOUND_EPS);
+            found.retain(|s| s.cost.max_component() <= min);
             found.sort_by(cmp_scored);
         }
 
@@ -1070,13 +1288,12 @@ mod tests {
         let model = search.cost_model();
         for scored in &out.feasible {
             let exact = model.cost(&p, &scored.plan);
-            assert!(
-                (exact.cpu - scored.cost.cpu).abs() < 1e-9
-                    && (exact.io - scored.cost.io).abs() < 1e-9
-                    && (exact.net - scored.cost.net).abs() < 1e-9,
-                "incremental {:?} != exact {:?}",
-                scored.cost,
-                exact
+            // Bit-for-bit: both sides are pure functions of the same
+            // fixed-point load mantissas.
+            assert_eq!(
+                (exact.cpu, exact.io, exact.net),
+                (scored.cost.cpu, scored.cost.io, scored.cost.net),
+                "incremental cost diverged from from-scratch recost"
             );
         }
     }

@@ -10,6 +10,9 @@
 //! * [`json`] — a JSON value type with parser, compact + pretty
 //!   encoders, and [`json::ToJson`] / [`json::FromJson`] traits
 //!   (replaces `serde` + `serde_json`).
+//! * [`fixed`] — exact Q31.32 fixed-point arithmetic for the search
+//!   cost core (replaces ad-hoc `f64` accumulation and the fixed-point
+//!   crates the ecosystem would normally supply).
 //! * [`queue`] — an `Injector`-style MPMC work queue (replaces
 //!   `crossbeam::deque`'s global injector).
 //! * [`deque`] — per-thread LIFO worker deques with FIFO stealers for
@@ -34,6 +37,7 @@
 
 pub mod bench;
 pub mod deque;
+pub mod fixed;
 pub mod journal;
 pub mod json;
 pub mod prop;

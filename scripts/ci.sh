@@ -12,14 +12,19 @@
 #      crates/, outside the justified scripts/panic_allowlist.txt;
 #   4. release build of every target;
 #   5. full test suite (debug), including the determinism golden test;
+#      then the capsys-util suite again in release with
+#      -C overflow-checks=yes (the Fixed64 core must never wrap);
 #   6. determinism golden test again in release (debug/release parity);
 #   7. one smoke bench end-to-end, emitting a timing result;
 #   8. chaos smoke — seeded fault injection + self-healing recovery
 #      under three distinct seeds, each with a same-seed replay check;
-#   9. search perf smoke — thread-scaling + auto-tune warm-start run that
-#      writes BENCH_search.json and self-asserts (identical plan counts
-#      across thread counts, warm tune never probing more than cold, and
-#      a speedup floor gated on the machine's hardware threads);
+#   9. search perf smoke — thread-scaling + auto-tune warm-start +
+#      dead-state-memo run that writes BENCH_search.json and
+#      self-asserts (identical plan counts across thread counts,
+#      bit-exact stored costs, warm tune never probing more than cold,
+#      memo firing on the symmetric topology without changing the plan
+#      set, and a speedup floor that is explicitly marked skipped on
+#      machines with < 4 hardware threads);
 #  10. guard smoke — the reconfiguration safety governor under a
 #      model-skew fault: governor-off regresses and stays regressed,
 #      governor-on detects within one probation window, rolls back to
@@ -112,6 +117,15 @@ cargo build --release --workspace --all-targets
 
 echo "==> [5/11] cargo test (debug, full workspace)"
 cargo test -q --workspace
+
+echo "==> [5b/11] fixed-point overflow checks (capsys-util, release + overflow-checks)"
+# The Fixed64 core promises saturating/checked arithmetic, never a
+# silent two's-complement wrap. Release builds normally disable
+# overflow checks, so any unchecked `+`/`-`/`*` on a raw mantissa would
+# pass plain release tests and still wrap in production; this run turns
+# the checks back on so such an op aborts the suite instead.
+RUSTFLAGS="${RUSTFLAGS:-} -C overflow-checks=yes" \
+    cargo test -q --release -p capsys-util --target-dir target/overflow-checks
 
 echo "==> [6/11] determinism golden test (release)"
 cargo test -q --release --test golden_determinism
