@@ -126,6 +126,12 @@ fn report(name: &str, trace: &ClosedLoopTrace, duration: f64) {
     let tgt = trace.avg_target(duration * 0.8, duration);
     println!("throughput-loss area: {loss:.0} records");
     println!(
+        "state moved: {} bytes across {} wave(s), restore downtime {:.1} task-s",
+        trace.bytes_moved(),
+        trace.migration_waves.len(),
+        trace.downtime()
+    );
+    println!(
         "final-window tracking: {}/{} ({:.0}%)\n",
         fmt_rate(tp),
         fmt_rate(tgt),

@@ -210,10 +210,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!(
-        "  rollbacks: {}, time degraded: {:.0}s, final-window tracking {:.0}%\n",
+        "  rollbacks: {}, time degraded: {:.0}s, final-window tracking {:.0}%",
         on.oscillations(),
         on.time_in_degraded(),
         100.0 * on_tail
+    );
+    println!(
+        "  state moved: {} bytes, restore downtime {:.1} task-s\n",
+        on.bytes_moved(),
+        on.downtime()
     );
     assert!(
         !on.rollback_events.is_empty(),

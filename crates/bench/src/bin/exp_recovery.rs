@@ -19,7 +19,8 @@
 
 use capsys_bench::banner;
 use capsys_controller::{
-    ClosedLoop, ClosedLoopTrace, ControllerError, DecisionRecord, GuardConfig, RecoveryConfig,
+    ClosedLoop, ClosedLoopTrace, ControllerError, DecisionRecord, GuardConfig, MigrationConfig,
+    RecoveryConfig,
 };
 use capsys_ds2::Ds2Config;
 use capsys_model::{Cluster, RateSchedule, TaskId, WorkerSpec};
@@ -66,6 +67,12 @@ struct Scenario {
     /// Attach the safety governor, so the journal can hold `Rollback`
     /// records.
     guard: bool,
+    /// Charge reconfigurations for moving this many retained records of
+    /// operator state (None = free reconfigurations).
+    state_transfer: Option<f64>,
+    /// Recover crashes by incremental task migration, so the journal
+    /// can hold `MigratePrepare`/`MigrateStep`/`MigrateCommit` records.
+    migration: Option<MigrationConfig>,
     duration: f64,
     seed: u64,
 }
@@ -149,10 +156,14 @@ impl Scenario {
             loop_ = loop_.with_guard(GuardConfig::default())?;
         }
         let (journal, buf) = capsys_controller::DecisionJournal::in_memory();
-        let result = loop_
-            .with_recovery(RecoveryConfig::default())
-            .with_journal(journal)?
-            .run(self.duration);
+        let mut loop_ = loop_.with_recovery(RecoveryConfig::default());
+        if let Some(retained) = self.state_transfer {
+            loop_ = loop_.with_state_transfer(retained)?;
+        }
+        if let Some(m) = self.migration.clone() {
+            loop_ = loop_.with_incremental_migration(m)?;
+        }
+        let result = loop_.with_journal(journal)?.run(self.duration);
         Ok((result, buf.text()))
     }
 
@@ -179,19 +190,24 @@ impl Scenario {
             loop_ = loop_.with_guard(GuardConfig::default())?;
         }
         let (journal, buf) = capsys_controller::DecisionJournal::in_memory();
-        let trace = loop_
-            .with_recovery(RecoveryConfig::default())
-            .with_journal(journal)?
-            .run(self.duration)?;
+        let mut loop_ = loop_.with_recovery(RecoveryConfig::default());
+        if let Some(retained) = self.state_transfer {
+            loop_ = loop_.with_state_transfer(retained)?;
+        }
+        if let Some(m) = self.migration.clone() {
+            loop_ = loop_.with_incremental_migration(m)?;
+        }
+        let trace = loop_.with_journal(journal)?.run(self.duration)?;
         Ok((trace, buf.text()))
     }
 }
 
 /// Kills the scenario after every journal record of its baseline run
 /// and asserts byte-identical recovery each time. Returns the number of
-/// kill points that landed on a `Prepare` and on a `Rollback` (i.e.
-/// between the phases of a reconfiguration).
-fn sweep(scenario: &Scenario) -> Result<(usize, usize), Box<dyn std::error::Error>> {
+/// kill points that landed on a `Prepare`, on a `Rollback`, and on a
+/// migration record (`MigratePrepare` or `MigrateStep` — i.e. with an
+/// incremental migration in flight).
+fn sweep(scenario: &Scenario) -> Result<(usize, usize, usize), Box<dyn std::error::Error>> {
     let (baseline, golden_journal) = scenario.run_journaled(None)?;
     let golden = baseline?.to_json().to_string();
     let parsed = capsys_controller::journal::parse_journal(&golden_journal)?;
@@ -211,6 +227,7 @@ fn sweep(scenario: &Scenario) -> Result<(usize, usize), Box<dyn std::error::Erro
 
     let mut prepares_hit = 0usize;
     let mut rollbacks_hit = 0usize;
+    let mut migrations_hit = 0usize;
     for k in 0..n {
         let partial = if k == 0 {
             // Kill "before the first decision": only the init record
@@ -254,6 +271,9 @@ fn sweep(scenario: &Scenario) -> Result<(usize, usize), Box<dyn std::error::Erro
         match parsed.records.get(k as usize) {
             Some(DecisionRecord::Prepare { .. }) => prepares_hit += 1,
             Some(DecisionRecord::Rollback { .. }) => rollbacks_hit += 1,
+            Some(DecisionRecord::MigratePrepare { .. } | DecisionRecord::MigrateStep { .. }) => {
+                migrations_hit += 1
+            }
             _ => {}
         }
         let (trace, rewritten) = scenario.recover_and_finish(&partial)?;
@@ -275,7 +295,7 @@ fn sweep(scenario: &Scenario) -> Result<(usize, usize), Box<dyn std::error::Erro
     println!(
         "[{}] kill-at-every-record sweep: {n}/{n} recoveries byte-identical \
          ({prepares_hit} landed between Prepare and Commit, {rollbacks_hit} \
-         between Rollback and Commit)",
+         between Rollback and Commit, {migrations_hit} mid-migration)",
         scenario.name
     );
 
@@ -352,7 +372,45 @@ fn sweep(scenario: &Scenario) -> Result<(usize, usize), Box<dyn std::error::Erro
             scenario.name
         );
     }
-    Ok((prepares_hit, rollbacks_hit))
+
+    // And for an incremental migration: die on the `MigratePrepare`,
+    // leaving the whole migration in doubt at the journal tail;
+    // recovery must re-derive the waves and roll them all forward.
+    let first_migrate = parsed.records.iter().find_map(|r| match r {
+        DecisionRecord::MigratePrepare { epoch, .. } => Some(*epoch),
+        _ => None,
+    });
+    if let Some(e) = first_migrate {
+        let (result, partial) = scenario.run_journaled(Some(KillPoint::MidReconfig(e)))?;
+        if !matches!(result, Err(ControllerError::ControllerKilled { .. })) {
+            return Err(format!("[{}] mid-migration kill did not fire", scenario.name).into());
+        }
+        let tail = capsys_controller::journal::parse_journal(&partial)?;
+        if !matches!(
+            tail.records.last(),
+            Some(DecisionRecord::MigratePrepare { epoch, .. }) if *epoch == e
+        ) {
+            return Err(format!(
+                "[{}] mid-migration kill's journal does not end at the in-doubt migrate-prepare",
+                scenario.name
+            )
+            .into());
+        }
+        let (trace, rewritten) = scenario.recover_and_finish(&partial)?;
+        if trace.to_json().to_string() != golden || rewritten != golden_journal {
+            return Err(format!(
+                "[{}] roll-forward after mid-migration kill DIVERGED",
+                scenario.name
+            )
+            .into());
+        }
+        println!(
+            "[{}] kill between MigratePrepare(epoch {e}) and MigrateCommit: \
+             rolled forward, byte-identical",
+            scenario.name
+        );
+    }
+    Ok((prepares_hit, rollbacks_hit, migrations_hit))
 }
 
 /// A wall-clock controller kill drawn from a seeded `ChaosConfig`:
@@ -371,6 +429,8 @@ fn chaos_kill_case(seed: u64, duration: f64) -> Result<(), Box<dyn std::error::E
         crash_at: None,
         skew: None,
         guard: false,
+        state_transfer: None,
+        migration: None,
         duration,
         seed,
     };
@@ -453,6 +513,8 @@ fn zombie_case(seed: u64, duration: f64) -> Result<(), Box<dyn std::error::Error
         crash_at: None,
         skew: None,
         guard: false,
+        state_transfer: None,
+        migration: None,
         duration,
         seed,
     };
@@ -548,6 +610,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         crash_at: Some(60.0),
         skew: None,
         guard: false,
+        state_transfer: None,
+        migration: None,
         duration,
         seed,
     };
@@ -565,6 +629,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         crash_at: None,
         skew: None,
         guard: false,
+        state_transfer: None,
+        migration: None,
         duration,
         seed,
     };
@@ -589,22 +655,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             factor: 3.5,
         }),
         guard: true,
+        state_transfer: None,
+        migration: None,
+        duration,
+        seed,
+    };
+
+    // Scenario 4: the same crash recovered by incremental migration —
+    // the journal holds a MigratePrepare, per-wave MigrateSteps, and a
+    // MigrateCommit, and the sweep kills between every pair of them.
+    let mig_cluster = Cluster::homogeneous(6, WorkerSpec::r5d_xlarge(4))?;
+    let mig_target = capsys_queries::q1_sliding().capacity_rate(&mig_cluster, 0.5)?;
+    let migration = Scenario {
+        name: "migration",
+        query: capsys_queries::q1_sliding(),
+        cluster: mig_cluster,
+        schedule: RateSchedule::Constant(mig_target),
+        activation_period: 1000.0,
+        crash_at: Some(60.0),
+        skew: None,
+        guard: false,
+        state_transfer: Some(2e5),
+        migration: Some(MigrationConfig {
+            epsilon: 0.05,
+            wave_size: 1,
+        }),
         duration,
         seed,
     };
 
     let mut prepares_hit = 0;
     let mut rollbacks_hit = 0;
-    for scenario in [&chaos, &scaling, &guard] {
-        let (p, r) = sweep(scenario)?;
+    let mut migrations_hit = 0;
+    for scenario in [&chaos, &scaling, &guard, &migration] {
+        let (p, r, m) = sweep(scenario)?;
         prepares_hit += p;
         rollbacks_hit += r;
+        migrations_hit += m;
     }
     if prepares_hit == 0 {
         return Err("no kill point landed between Prepare and Commit across the sweep".into());
     }
     if rollbacks_hit == 0 {
         return Err("no kill point landed between Rollback and Commit across the sweep".into());
+    }
+    if migrations_hit < 3 {
+        return Err(format!(
+            "only {migrations_hit} kill point(s) landed mid-migration; expected a \
+             MigratePrepare and at least two MigrateSteps in the sweep"
+        )
+        .into());
     }
 
     chaos_kill_case(seed, duration)?;

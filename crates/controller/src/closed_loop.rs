@@ -27,12 +27,15 @@
 use std::collections::{HashMap, VecDeque};
 
 use capsys_ds2::{Ds2Config, Ds2Controller};
-use capsys_model::{Cluster, OperatorId, PhysicalGraph, Placement, RateSchedule, WorkerId};
+use capsys_model::{
+    Cluster, OperatorId, PhysicalGraph, Placement, PlanDiff, RateSchedule, StateModel, TaskId,
+    TaskMove, WorkerId,
+};
 use capsys_placement::{PlacementContext, PlacementStrategy};
 use capsys_queries::Query;
 use capsys_sim::{
     sanitize_rates, EpochFence, FaultPlan, KillPoint, MetricPoint, ModelSkew, SimConfig, SimError,
-    Simulation, TaskRateStats,
+    Simulation, TaskRateStats, TaskTransfer,
 };
 use capsys_util::json::{Json, ToJson};
 use capsys_util::rng::SeedableRng;
@@ -40,7 +43,10 @@ use capsys_util::rng::SmallRng;
 
 use crate::guard::{GuardConfig, PlanSnapshot, RollbackEvent, RollbackRequest, SafetyGovernor};
 use crate::journal::{DecisionJournal, DecisionRecord, RedeployReason};
-use crate::recovery::{place_with_ladder, FailureDetector, LadderRung, RecoveryConfig, RecoveryEvent};
+use crate::recovery::{
+    descends, place_with_ladder, place_with_movemin, FailureDetector, LadderRung, RecoveryConfig,
+    RecoveryEvent,
+};
 use crate::ControllerError;
 
 /// One reconfiguration event in a closed-loop run.
@@ -67,6 +73,62 @@ impl ToJson for ScalingEvent {
     }
 }
 
+/// Incremental-migration policy settings (see
+/// [`ClosedLoop::with_incremental_migration`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationConfig {
+    /// Absolute cost tolerance of the minimum-movement search: the
+    /// migration target may cost at most `epsilon` more (on the cost
+    /// vector's maximum component, each dimension in `[0, 1]`) than the
+    /// best plan the search found.
+    pub epsilon: f64,
+    /// Tasks moved per wave. Each wave pauses only its own tasks while
+    /// their state drains.
+    pub wave_size: usize,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            epsilon: 0.05,
+            wave_size: 2,
+        }
+    }
+}
+
+/// One completed state-transfer wave, as recorded in the trace: a wave
+/// of an incremental migration, or (wave 0) the full restore of a
+/// whole-plan redeploy when state-transfer charging is enabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationWave {
+    /// Fencing epoch of the reconfiguration the wave belongs to.
+    pub epoch: u64,
+    /// Zero-based wave index within that reconfiguration.
+    pub wave: usize,
+    /// Tasks whose state this wave transferred.
+    pub tasks_moved: usize,
+    /// State bytes transferred.
+    pub bytes: u64,
+    /// Paused-task seconds charged while the wave drained (one paused
+    /// task for one second = 1.0).
+    pub downtime: f64,
+    /// Simulated time the wave finished draining.
+    pub completed_at: f64,
+}
+
+impl ToJson for MigrationWave {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("epoch".into(), Json::Num(self.epoch as f64)),
+            ("wave".into(), Json::Num(self.wave as f64)),
+            ("tasks_moved".into(), Json::Num(self.tasks_moved as f64)),
+            ("bytes".into(), Json::Num(self.bytes as f64)),
+            ("downtime".into(), Json::Num(self.downtime)),
+            ("completed_at".into(), Json::Num(self.completed_at)),
+        ])
+    }
+}
+
 /// The trace of a closed-loop run.
 #[derive(Debug, Clone)]
 pub struct ClosedLoopTrace {
@@ -83,6 +145,9 @@ pub struct ClosedLoopTrace {
     /// Task-rate samples the metrics-ingestion sanitizer clamped before
     /// they could reach DS2 or the governor.
     pub sanitized_samples: u64,
+    /// Completed state-transfer waves (empty unless state-transfer
+    /// charging was enabled via [`ClosedLoop::with_state_transfer`]).
+    pub migration_waves: Vec<MigrationWave>,
     /// Final per-operator parallelism.
     pub final_parallelism: Vec<usize>,
 }
@@ -136,6 +201,23 @@ impl ClosedLoopTrace {
         self.rollback_events.len()
     }
 
+    /// Total paused-task seconds across all completed state-transfer
+    /// waves (one task paused for one second = 1.0). The per-wave
+    /// breakdown is in [`ClosedLoopTrace::migration_waves`].
+    pub fn downtime(&self) -> f64 {
+        // Fold from +0.0: `Iterator::sum` for f64 starts at -0.0, which
+        // leaks a negative zero into reports when no waves ran.
+        self.migration_waves
+            .iter()
+            .fold(0.0, |acc, w| acc + w.downtime)
+    }
+
+    /// Total state bytes moved across all completed state-transfer
+    /// waves.
+    pub fn bytes_moved(&self) -> u64 {
+        self.migration_waves.iter().map(|w| w.bytes).sum()
+    }
+
     /// Total simulated seconds spent running regressed canary plans:
     /// for each rollback, deploy of the canary to its restoration.
     pub fn time_in_degraded(&self) -> f64 {
@@ -186,6 +268,7 @@ impl ClosedLoopTrace {
             ("recovery_events".into(), self.recovery_events.to_json()),
             ("rollback_events".into(), self.rollback_events.to_json()),
             ("sanitized_samples".into(), Json::Num(self.sanitized_samples as f64)),
+            ("migration_waves".into(), self.migration_waves.to_json()),
             (
                 "final_parallelism".into(),
                 Json::Arr(self.final_parallelism.iter().map(|&p| Json::Num(p as f64)).collect()),
@@ -228,6 +311,17 @@ pub struct ClosedLoop<'a> {
     skew: Option<SkewState>,
     /// Task-rate samples clamped by the ingestion sanitizer so far.
     sanitized: u64,
+    /// Retained records per key group when state-transfer charging is
+    /// on: sizes every task's state for restores and migrations.
+    state_transfer: Option<f64>,
+    /// Incremental-migration policy, when enabled.
+    migration_cfg: Option<MigrationConfig>,
+    /// The in-flight incremental migration, if one is running.
+    migration: Option<MigrationState>,
+    /// Trace bookkeeping for the state-transfer wave draining right now.
+    open_wave: Option<OpenWave>,
+    /// Completed state-transfer waves, for the trace.
+    migration_waves: Vec<MigrationWave>,
     // Durability state.
     /// Epoch of the current deployment (0 = initial). Burned (advanced)
     /// by every `Prepare`, even one whose deployment later fails, so
@@ -269,6 +363,40 @@ struct SkewState {
     /// a prediction of a stale model and runs skewed. Captured at the
     /// first window boundary past the onset.
     trusted: Option<(Vec<usize>, Vec<usize>)>,
+}
+
+/// Live state of an in-flight incremental migration.
+struct MigrationState {
+    /// The migration's fencing epoch.
+    epoch: u64,
+    /// The rung reported in the recovery event at commit.
+    rung: LadderRung,
+    /// Target task-to-worker assignment; becomes `self.placement` at
+    /// commit.
+    assignment: Vec<usize>,
+    /// Every task relocation, in ascending task order; waves are
+    /// contiguous `wave_len`-sized chunks of this list.
+    moves: Vec<TaskMove>,
+    /// Tasks per wave (at least 1).
+    wave_len: usize,
+    /// Next wave to start — or, while `in_flight`, the wave draining
+    /// now.
+    next_wave: usize,
+    /// Whether a wave is currently draining in the simulator.
+    in_flight: bool,
+    /// Workers already down when the migration was planned. A *new*
+    /// death invalidates the target plan and abandons the migration.
+    known_down_at_start: Vec<WorkerId>,
+}
+
+/// Trace bookkeeping for the state-transfer wave draining right now.
+struct OpenWave {
+    epoch: u64,
+    wave: usize,
+    tasks: usize,
+    bytes: u64,
+    /// `paused_task_seconds()` of the draining simulation at wave start.
+    paused_base: f64,
 }
 
 /// A detected failure awaiting a successful re-placement.
@@ -401,6 +529,11 @@ impl<'a> ClosedLoop<'a> {
             rollback_events: Vec::new(),
             skew: None,
             sanitized: 0,
+            state_transfer: None,
+            migration_cfg: None,
+            migration: None,
+            open_wave: None,
+            migration_waves: Vec::new(),
             epoch: 0,
             fence: EpochFence::new(),
             log: vec![init],
@@ -514,6 +647,11 @@ impl<'a> ClosedLoop<'a> {
             rollback_events: Vec::new(),
             skew: None,
             sanitized: 0,
+            state_transfer: None,
+            migration_cfg: None,
+            migration: None,
+            open_wave: None,
+            migration_waves: Vec::new(),
             epoch: 0,
             fence: EpochFence::new(),
             log: vec![init],
@@ -565,6 +703,60 @@ impl<'a> ClosedLoop<'a> {
             events: Vec::new(),
         });
         self
+    }
+
+    /// Charges state movement as real simulated traffic. Every task's
+    /// state is sized by the deterministic [`StateModel`] (operator type
+    /// and key skew, `retained_records` retained records per key group),
+    /// and every whole-plan redeploy becomes a restore-from-savepoint:
+    /// all stateful tasks of the new plan pause while their state loads
+    /// from their target worker's disk. Completed restores appear as
+    /// waves in [`ClosedLoopTrace::migration_waves`]. Re-attach to a
+    /// loop built by [`ClosedLoop::recover_from_journal`] with the same
+    /// value.
+    pub fn with_state_transfer(mut self, retained_records: f64) -> Result<Self, ControllerError> {
+        if !retained_records.is_finite() || retained_records < 0.0 {
+            return Err(ControllerError::InvalidConfig(
+                "retained_records must be finite and non-negative".into(),
+            ));
+        }
+        self.state_transfer = Some(retained_records);
+        Ok(self)
+    }
+
+    /// Enables incremental task migration for recovery re-placements.
+    /// Instead of restarting the whole job on a fresh plan, the
+    /// controller picks a minimum-movement target within
+    /// `config.epsilon` of the best survivable plan and moves only the
+    /// differing tasks, in waves of `config.wave_size`, pausing only
+    /// the moving wave while its state drains. Each migration is
+    /// journaled as `MigratePrepare` / per-wave `MigrateStep`s /
+    /// `MigrateCommit` and is crash-recoverable at every record.
+    /// Requires [`ClosedLoop::with_state_transfer`]. Scalings and
+    /// governor rollbacks stay whole-plan.
+    pub fn with_incremental_migration(
+        mut self,
+        config: MigrationConfig,
+    ) -> Result<Self, ControllerError> {
+        if self.state_transfer.is_none() {
+            return Err(ControllerError::InvalidConfig(
+                "incremental migration requires state-transfer charging \
+                 (call with_state_transfer first)"
+                    .into(),
+            ));
+        }
+        if !config.epsilon.is_finite() || config.epsilon < 0.0 {
+            return Err(ControllerError::InvalidConfig(
+                "migration epsilon must be finite and non-negative".into(),
+            ));
+        }
+        if config.wave_size == 0 {
+            return Err(ControllerError::InvalidConfig(
+                "migration wave_size must be at least 1".into(),
+            ));
+        }
+        self.migration_cfg = Some(config);
+        Ok(self)
     }
 
     /// Attaches a write-ahead decision journal. Decisions already taken
@@ -661,7 +853,8 @@ impl<'a> ClosedLoop<'a> {
                 matches!(
                     &rec,
                     DecisionRecord::Prepare { epoch, .. }
-                    | DecisionRecord::Rollback { epoch, .. } if *epoch == e
+                    | DecisionRecord::Rollback { epoch, .. }
+                    | DecisionRecord::MigratePrepare { epoch, .. } if *epoch == e
                 )
             }
             _ => false,
@@ -758,6 +951,24 @@ impl<'a> ClosedLoop<'a> {
                         }
                     }
                 }
+            }
+
+            // Whole-plan restores: close the trace's open wave once the
+            // restore finishes draining.
+            if self.migration.is_none()
+                && self.open_wave.is_some()
+                && !self.sim.state_transfer_active()
+            {
+                self.close_open_wave();
+            }
+
+            // An in-flight incremental migration owns the control loop:
+            // one wave at a time, journaled as it lands. Scaling, the
+            // governor, and new recovery attempts wait for its commit
+            // (or abandonment); failure detection above keeps running.
+            if self.migration.is_some() {
+                self.advance_migration()?;
+                continue;
             }
 
             // Recovery re-placement, with bounded exponential backoff.
@@ -863,6 +1074,7 @@ impl<'a> ClosedLoop<'a> {
             recovery_events: self.recovery.map(|r| r.events).unwrap_or_default(),
             rollback_events: self.rollback_events,
             sanitized_samples: self.sanitized,
+            migration_waves: self.migration_waves,
             final_parallelism: self.query.logical().parallelism_vector(),
         })
     }
@@ -876,38 +1088,54 @@ impl<'a> ClosedLoop<'a> {
     fn attempt_recovery(&mut self) -> Result<(), ControllerError> {
         let parallelism = self.query.logical().parallelism_vector();
         let rate_now = self.schedule.rate_at(self.time).max(1.0);
+        if self.migration_cfg.is_some() {
+            match self.migrate_redeploy(rate_now) {
+                // Migration started; it commits (and resolves the
+                // pending recovery) once every wave has drained.
+                Ok(true) => return Ok(()),
+                // No tolerance band on the survivors: fall through to a
+                // whole-plan redeploy.
+                Ok(false) => {}
+                Err(e) if retryable(&e) => return self.note_failed_attempt(),
+                Err(e) => return Err(e),
+            }
+        }
         match self.redeploy(parallelism, rate_now, false) {
             Ok(rung) => {
                 self.finish_recovery(rung);
                 Ok(())
             }
-            Err(e) if retryable(&e) => {
-                let mut bookkeeping = None;
-                if let Some(rec) = &mut self.recovery {
-                    if let Some(p) = &mut rec.pending {
-                        p.attempts += 1;
-                        if p.attempts > rec.config.max_retries {
-                            bookkeeping = Some((p.attempts, true, None));
-                            rec.pending = None;
-                        } else {
-                            p.next_attempt_at = self.time + rec.config.backoff(p.attempts);
-                            bookkeeping = Some((p.attempts, false, Some(p.next_attempt_at)));
-                        }
-                    }
-                }
-                if let Some((attempts, gave_up, next_attempt_at)) = bookkeeping {
-                    self.record(DecisionRecord::Retry {
-                        time: self.time,
-                        attempts,
-                        gave_up,
-                        next_attempt_at,
-                        rng: self.rng.state(),
-                    })?;
-                }
-                Ok(())
-            }
+            Err(e) if retryable(&e) => self.note_failed_attempt(),
             Err(e) => Err(e),
         }
+    }
+
+    /// Books one failed re-placement attempt: exponential backoff (or
+    /// give-up past `max_retries`) plus a journaled `Retry`.
+    fn note_failed_attempt(&mut self) -> Result<(), ControllerError> {
+        let mut bookkeeping = None;
+        if let Some(rec) = &mut self.recovery {
+            if let Some(p) = &mut rec.pending {
+                p.attempts += 1;
+                if p.attempts > rec.config.max_retries {
+                    bookkeeping = Some((p.attempts, true, None));
+                    rec.pending = None;
+                } else {
+                    p.next_attempt_at = self.time + rec.config.backoff(p.attempts);
+                    bookkeeping = Some((p.attempts, false, Some(p.next_attempt_at)));
+                }
+            }
+        }
+        if let Some((attempts, gave_up, next_attempt_at)) = bookkeeping {
+            self.record(DecisionRecord::Retry {
+                time: self.time,
+                attempts,
+                gave_up,
+                next_attempt_at,
+                rng: self.rng.state(),
+            })?;
+        }
+        Ok(())
     }
 
     /// Resolves the pending recovery into trace events.
@@ -934,6 +1162,353 @@ impl<'a> ClosedLoop<'a> {
         if let Some(gov) = &mut self.guard {
             gov.on_recovery_deploy(self.time, snap);
         }
+    }
+
+    /// Plans and starts an incremental migration for the pending
+    /// recovery: picks a minimum-movement target within the configured
+    /// tolerance of the best survivable plan, journals a
+    /// `MigratePrepare` (phase one), binds the epoch fence, and begins
+    /// the first wave inside the *live* simulation — nothing restarts;
+    /// only the moving wave's tasks pause. Returns `Ok(false)` when the
+    /// search cannot produce a tolerance band (infeasible or budget
+    /// exhausted): the caller falls back to a whole-plan redeploy.
+    fn migrate_redeploy(&mut self, rate_now: f64) -> Result<bool, ControllerError> {
+        let Some(cfg) = self.migration_cfg.clone() else {
+            return Ok(false);
+        };
+        let Some(retained) = self.state_transfer else {
+            return Ok(false);
+        };
+        let Some(mut search) = self.recovery.as_ref().map(|r| r.config.search.clone()) else {
+            return Ok(false);
+        };
+        let down = self.known_down();
+        search.free_slots = Some(self.free_slots(&down));
+        let state = StateModel::derive(self.query.logical(), &self.physical, retained)
+            .map_err(ControllerError::Model)?;
+        let loads = self
+            .query
+            .load_model_at(&self.physical, rate_now)
+            .map_err(ControllerError::Model)?;
+        let ctx = PlacementContext {
+            logical: self.query.logical(),
+            physical: &self.physical,
+            cluster: self.cluster,
+            loads: &loads,
+        };
+        let (target, diff) =
+            match place_with_movemin(&ctx, &search, cfg.epsilon, &self.placement, &state) {
+                Ok(found) => found,
+                Err(e) if descends(&e) => return Ok(false),
+                Err(e) => return Err(ControllerError::Placement(e)),
+            };
+
+        let epoch = self.epoch + 1;
+        self.epoch = epoch;
+        self.record(DecisionRecord::MigratePrepare {
+            epoch,
+            time: self.time,
+            reason: RedeployReason::Recovery,
+            parallelism: self.query.logical().parallelism_vector(),
+            assignment: target.assignment().iter().map(|w| w.0).collect(),
+            rung: LadderRung::Caps,
+            moved: diff.moves().iter().map(|m| m.task.0).collect(),
+            wave_len: cfg.wave_size,
+            rate: rate_now,
+            rng: self.rng.state(),
+        })?;
+        // The live simulation keeps running across the migration, but
+        // the migration itself must win the fence: a superseded zombie
+        // must not move tasks around.
+        self.sim.bind_epoch(&self.fence, epoch).map_err(|e| match e {
+            SimError::StaleEpoch { attempted, current } => {
+                ControllerError::FencedEpoch { attempted, current }
+            }
+            other => ControllerError::Sim(other),
+        })?;
+        self.begin_migration(
+            epoch,
+            LadderRung::Caps,
+            target.assignment().iter().map(|w| w.0).collect(),
+            diff.moves().to_vec(),
+            cfg.wave_size,
+            down,
+        )?;
+        Ok(true)
+    }
+
+    /// Installs the migration state and starts its first wave (shared
+    /// by the live and replay paths; the caller has already journaled
+    /// or consumed the `MigratePrepare` and fenced/stamped the epoch).
+    fn begin_migration(
+        &mut self,
+        epoch: u64,
+        rung: LadderRung,
+        assignment: Vec<usize>,
+        moves: Vec<TaskMove>,
+        wave_len: usize,
+        known_down_at_start: Vec<WorkerId>,
+    ) -> Result<(), ControllerError> {
+        self.migration = Some(MigrationState {
+            epoch,
+            rung,
+            assignment,
+            moves,
+            wave_len: wave_len.max(1),
+            next_wave: 0,
+            in_flight: false,
+            known_down_at_start,
+        });
+        // Start the first wave now; an empty diff commits immediately.
+        self.advance_migration()
+    }
+
+    /// Drives the in-flight migration one window forward: abandons it
+    /// if a fresh worker death invalidated the target plan, waits while
+    /// the current wave drains, journals a `MigrateStep` when a wave
+    /// lands, starts the next wave, and commits — `MigrateCommit`,
+    /// target placement installed, pending recovery resolved — once
+    /// every wave is done.
+    fn advance_migration(&mut self) -> Result<(), ControllerError> {
+        // A worker dying *mid-migration* invalidates the target plan
+        // (it may assign tasks to the new corpse). Abandon: unpause in
+        // place, book a failed attempt. The detector has already folded
+        // the new death into the pending recovery, so the next attempt
+        // re-plans against the updated survivor set.
+        let invalidated = match &self.migration {
+            Some(mig) => {
+                let down_now = self.known_down();
+                down_now
+                    .iter()
+                    .any(|w| !mig.known_down_at_start.contains(w))
+            }
+            None => return Ok(()),
+        };
+        if invalidated {
+            self.sim.cancel_state_transfer();
+            self.migration = None;
+            self.open_wave = None;
+            return self.journal_abandoned_migration();
+        }
+        if self.sim.state_transfer_active() {
+            return Ok(()); // the current wave is still draining
+        }
+
+        // The wave that was in flight has landed: trace it, journal it.
+        if self.migration.as_ref().is_some_and(|m| m.in_flight) {
+            self.close_open_wave();
+            let mut landed = None;
+            if let Some(m) = &mut self.migration {
+                m.in_flight = false;
+                landed = Some((m.epoch, m.next_wave));
+                m.next_wave += 1;
+            }
+            if let Some((epoch, wave)) = landed {
+                self.migrate_record(DecisionRecord::MigrateStep {
+                    epoch,
+                    wave,
+                    time: self.time,
+                })?;
+            }
+        }
+
+        // Start the next wave, or commit.
+        let next = match &self.migration {
+            Some(m) if m.next_wave * m.wave_len < m.moves.len() => {
+                let start = m.next_wave * m.wave_len;
+                let end = (start + m.wave_len).min(m.moves.len());
+                Some((m.epoch, m.next_wave, m.moves[start..end].to_vec()))
+            }
+            Some(_) => None,
+            None => return Ok(()),
+        };
+        match next {
+            Some((epoch, wave, chunk)) => {
+                let transfers: Vec<TaskTransfer> = chunk
+                    .iter()
+                    .map(|m| TaskTransfer {
+                        task: m.task.0,
+                        to: m.to.0,
+                        bytes: m.bytes as f64,
+                    })
+                    .collect();
+                let paused_base = self.sim.paused_task_seconds();
+                self.sim
+                    .begin_state_transfer(&transfers, false)
+                    .map_err(ControllerError::Sim)?;
+                self.open_wave = Some(OpenWave {
+                    epoch,
+                    wave,
+                    tasks: chunk.len(),
+                    bytes: chunk.iter().map(|m| m.bytes).sum(),
+                    paused_base,
+                });
+                if let Some(m) = &mut self.migration {
+                    m.in_flight = true;
+                }
+                Ok(())
+            }
+            None => {
+                let Some(mig) = self.migration.take() else {
+                    return Ok(());
+                };
+                self.migrate_record(DecisionRecord::MigrateCommit {
+                    epoch: mig.epoch,
+                    time: self.time,
+                })?;
+                self.placement =
+                    Placement::new(mig.assignment.iter().map(|&w| WorkerId(w)).collect());
+                self.last_action = self.time;
+                self.finish_recovery(mig.rung);
+                Ok(())
+            }
+        }
+    }
+
+    /// Journals the abandonment of a migration as a failed attempt: a
+    /// live run books backoff and writes a `Retry` (which, following
+    /// the `MigratePrepare`/`MigrateStep`s, marks the migration
+    /// abandoned for any future replay); a replaying run consumes the
+    /// journaled `Retry` instead.
+    fn journal_abandoned_migration(&mut self) -> Result<(), ControllerError> {
+        let due_retry = matches!(
+            self.replay.front(),
+            Some(DecisionRecord::Retry { time, .. }) if replay_due(*time, self.time)
+        );
+        if due_retry {
+            if let Some(r) = self.replay.pop_front() {
+                return self.apply_replayed_retry(r);
+            }
+        }
+        if let Some(other) = self.replay.front() {
+            return Err(ControllerError::JournalReplay(format!(
+                "migration abandoned at t={:.3}, but the journal's next decision is from \
+                 t={:.3}: the replay diverged from the run that wrote the journal",
+                self.time,
+                other.time()
+            )));
+        }
+        self.note_failed_attempt()
+    }
+
+    /// Journals a migration step or commit, consuming the journal's
+    /// matching front record when replaying. A journal that ends
+    /// mid-migration (the crash hit between records) rolls forward:
+    /// past the tail the records are written live.
+    fn migrate_record(&mut self, rec: DecisionRecord) -> Result<(), ControllerError> {
+        let matches_front = match (self.replay.front(), &rec) {
+            (
+                Some(DecisionRecord::MigrateStep {
+                    epoch: je,
+                    wave: jw,
+                    time: jt,
+                }),
+                DecisionRecord::MigrateStep { epoch, wave, .. },
+            ) => je == epoch && jw == wave && replay_due(*jt, self.time),
+            (
+                Some(DecisionRecord::MigrateCommit {
+                    epoch: je,
+                    time: jt,
+                }),
+                DecisionRecord::MigrateCommit { epoch, .. },
+            ) => je == epoch && replay_due(*jt, self.time),
+            _ => false,
+        };
+        if matches_front {
+            if let Some(front) = self.replay.pop_front() {
+                return self.record_replayed(front);
+            }
+        }
+        if let Some(other) = self.replay.front() {
+            return Err(ControllerError::JournalReplay(format!(
+                "migration record due at t={:.3}, but the journal's next decision is from \
+                 t={:.3}: the replay diverged from the run that wrote the journal",
+                self.time,
+                other.time()
+            )));
+        }
+        self.record(rec)
+    }
+
+    /// Closes the trace's open state-transfer wave against the current
+    /// simulation's paused-seconds clock.
+    fn close_open_wave(&mut self) {
+        if let Some(w) = self.open_wave.take() {
+            self.migration_waves.push(MigrationWave {
+                epoch: w.epoch,
+                wave: w.wave,
+                tasks_moved: w.tasks,
+                bytes: w.bytes,
+                downtime: (self.sim.paused_task_seconds() - w.paused_base).max(0.0),
+                completed_at: self.time,
+            });
+        }
+    }
+
+    /// Consumes the journal's front `MigratePrepare` and restarts its
+    /// migration: RNG and epoch restored from the record, the move list
+    /// re-derived from the deterministic state model, the first wave
+    /// begun. Subsequent `MigrateStep`s and the `MigrateCommit` (or the
+    /// `Retry` of an abandoned migration) are consumed as the replaying
+    /// loop reaches them.
+    fn apply_replayed_migrate(&mut self) -> Result<(), ControllerError> {
+        let Some(rec) = self.replay.pop_front() else {
+            return Err(ControllerError::JournalReplay(
+                "no migrate-prepare to replay".into(),
+            ));
+        };
+        let DecisionRecord::MigratePrepare {
+            epoch,
+            parallelism,
+            assignment,
+            rung,
+            moved,
+            wave_len,
+            rng,
+            ..
+        } = rec.clone()
+        else {
+            return Err(ControllerError::JournalReplay(
+                "expected a migrate-prepare record".into(),
+            ));
+        };
+        self.rng = SmallRng::try_from_state(rng).ok_or_else(|| {
+            ControllerError::JournalReplay("journaled RNG state is invalid (all zero)".into())
+        })?;
+        self.epoch = epoch;
+        self.record_replayed(rec)?;
+        if parallelism != self.query.logical().parallelism_vector() {
+            return Err(ControllerError::JournalReplay(
+                "journaled migration changes parallelism — migrations move tasks, they do \
+                 not scale"
+                    .into(),
+            ));
+        }
+        let target = Placement::new(assignment.iter().map(|&w| WorkerId(w)).collect());
+        target.validate(&self.physical, self.cluster).map_err(|e| {
+            ControllerError::JournalReplay(format!("journaled migration target is invalid: {e}"))
+        })?;
+        let Some(retained) = self.state_transfer else {
+            return Err(ControllerError::JournalReplay(
+                "journal contains a migration but state-transfer charging is not configured"
+                    .into(),
+            ));
+        };
+        let state = StateModel::derive(self.query.logical(), &self.physical, retained)
+            .map_err(ControllerError::Model)?;
+        let diff = PlanDiff::between(&self.placement, &target, &state)
+            .map_err(ControllerError::Model)?;
+        let expected: Vec<usize> = diff.moves().iter().map(|m| m.task.0).collect();
+        if moved != expected {
+            return Err(ControllerError::JournalReplay(
+                "journaled move set does not match the difference between the incumbent and \
+                 target plans"
+                    .into(),
+            ));
+        }
+        self.sim.stamp_epoch(epoch);
+        let down = self.known_down();
+        self.begin_migration(epoch, rung, assignment, diff.moves().to_vec(), wave_len, down)
     }
 
     /// Applies a parallelism vector through the two-phase protocol.
@@ -1081,6 +1656,36 @@ impl<'a> ClosedLoop<'a> {
                 }
             }
         }
+        // With state-transfer charging on, a whole-plan redeploy is a
+        // restore-from-savepoint: every stateful task of the new plan
+        // pauses while its state loads from its target worker's disk.
+        let mut restore_wave = None;
+        if let Some(retained) = self.state_transfer {
+            let state = StateModel::derive(query.logical(), &physical, retained)
+                .map_err(ControllerError::Model)?;
+            let transfers: Vec<TaskTransfer> = (0..physical.num_tasks())
+                .filter_map(|t| {
+                    let bytes = state.state_bytes(TaskId(t));
+                    (bytes > 0).then(|| TaskTransfer {
+                        task: t,
+                        to: placement.worker_of(TaskId(t)).0,
+                        bytes: bytes as f64,
+                    })
+                })
+                .collect();
+            if !transfers.is_empty() {
+                let bytes: u64 = transfers.iter().map(|t| t.bytes as u64).sum();
+                sim.begin_state_transfer(&transfers, true)
+                    .map_err(ControllerError::Sim)?;
+                restore_wave = Some(OpenWave {
+                    epoch,
+                    wave: 0,
+                    tasks: transfers.len(),
+                    bytes,
+                    paused_base: 0.0,
+                });
+            }
+        }
         if fenced {
             sim.bind_epoch(&self.fence, epoch).map_err(|e| match e {
                 SimError::StaleEpoch { attempted, current } => {
@@ -1091,10 +1696,14 @@ impl<'a> ClosedLoop<'a> {
         } else {
             sim.stamp_epoch(epoch);
         }
+        // A still-draining wave of the outgoing deployment ends here:
+        // close it against the old simulation before it is dropped.
+        self.close_open_wave();
         self.query = query;
         self.physical = physical;
         self.placement = placement;
         self.sim = sim;
+        self.open_wave = restore_wave;
         self.last_action = self.time;
         self.recent.clear();
         Ok(())
@@ -1114,6 +1723,9 @@ impl<'a> ClosedLoop<'a> {
             DecisionRecord::Retry { time, .. } if replay_due(time, self.time) => {
                 self.replay.pop_front();
                 self.apply_replayed_retry(front)
+            }
+            DecisionRecord::MigratePrepare { time, .. } if replay_due(time, self.time) => {
+                self.apply_replayed_migrate()
             }
             DecisionRecord::Prepare {
                 reason: RedeployReason::Recovery,
@@ -1990,6 +2602,388 @@ mod tests {
         let (trace, rewritten) = recover_and_finish(&partial);
         assert_eq!(trace.to_json().to_string(), golden);
         assert_eq!(rewritten, golden_journal);
+    }
+
+    // ---- incremental migration -----------------------------------------
+
+    /// Retained records per key group for the migration scenarios:
+    /// sizes the sliding window's state at 100 MB per subtask.
+    const RETAINED_RECORDS: f64 = 2e5;
+
+    fn migration_ds2() -> Ds2Config {
+        // A huge activation period keeps DS2 quiet: the journal holds
+        // only the crash recovery, whichever form it takes.
+        Ds2Config {
+            activation_period: 1000.0,
+            ..fast_ds2()
+        }
+    }
+
+    fn migration_config() -> MigrationConfig {
+        MigrationConfig {
+            epsilon: 0.05,
+            wave_size: 1,
+        }
+    }
+
+    /// The chaos scenario with state-transfer charging (and optionally
+    /// incremental migration), a journal, and an optional kill.
+    fn migration_run(
+        kill: Option<KillPoint>,
+        incremental: bool,
+    ) -> (Result<ClosedLoopTrace, ControllerError>, String) {
+        let query = q1_sliding();
+        let cluster = Cluster::homogeneous(6, WorkerSpec::r5d_xlarge(4)).unwrap();
+        let target = q1_sliding().capacity_rate(&cluster, 0.5).unwrap();
+        let strategy = CapsStrategy::default();
+        let loop_ = ClosedLoop::new(
+            &query,
+            &cluster,
+            &strategy,
+            migration_ds2(),
+            SimConfig {
+                duration: 1.0,
+                warmup: 0.0,
+                ..SimConfig::default()
+            },
+            RateSchedule::Constant(target),
+            7,
+        )
+        .unwrap();
+        let victim = loop_.placement().worker_of(TaskId(0));
+        let mut plan = FaultPlan::new(vec![FaultEvent {
+            time: 60.0,
+            kind: FaultKind::Crash(victim),
+        }])
+        .unwrap();
+        if let Some(k) = kill {
+            plan = plan.with_controller_kill(k).unwrap();
+        }
+        let (journal, buf) = DecisionJournal::in_memory();
+        let mut loop_ = loop_
+            .with_fault_plan(plan)
+            .unwrap()
+            .with_recovery(RecoveryConfig::default())
+            .with_state_transfer(RETAINED_RECORDS)
+            .unwrap();
+        if incremental {
+            loop_ = loop_.with_incremental_migration(migration_config()).unwrap();
+        }
+        let result = loop_.with_journal(journal).unwrap().run(300.0);
+        (result, buf.text())
+    }
+
+    /// Recovers the incremental-migration scenario from `journal_text`
+    /// and runs to its end.
+    fn migration_recover_and_finish(journal_text: &str) -> (ClosedLoopTrace, String) {
+        let query = q1_sliding();
+        let cluster = Cluster::homogeneous(6, WorkerSpec::r5d_xlarge(4)).unwrap();
+        let target = q1_sliding().capacity_rate(&cluster, 0.5).unwrap();
+        let strategy = CapsStrategy::default();
+        let loop_ = ClosedLoop::recover_from_journal(
+            &query,
+            &cluster,
+            &strategy,
+            migration_ds2(),
+            SimConfig {
+                duration: 1.0,
+                warmup: 0.0,
+                ..SimConfig::default()
+            },
+            RateSchedule::Constant(target),
+            journal_text,
+        )
+        .unwrap();
+        let victim = loop_.placement().worker_of(TaskId(0));
+        let plan = FaultPlan::new(vec![FaultEvent {
+            time: 60.0,
+            kind: FaultKind::Crash(victim),
+        }])
+        .unwrap();
+        let (journal, buf) = DecisionJournal::in_memory();
+        let trace = loop_
+            .with_fault_plan(plan)
+            .unwrap()
+            .with_recovery(RecoveryConfig::default())
+            .with_state_transfer(RETAINED_RECORDS)
+            .unwrap()
+            .with_incremental_migration(migration_config())
+            .unwrap()
+            .with_journal(journal)
+            .unwrap()
+            .run(300.0)
+            .unwrap();
+        (trace, buf.text())
+    }
+
+    #[test]
+    fn incremental_migration_moves_less_and_pauses_less() {
+        let (whole, _) = migration_run(None, false);
+        let whole = whole.unwrap();
+        let (inc, text) = migration_run(None, true);
+        let inc = inc.unwrap();
+        // Both recovered the crash exactly once.
+        assert_eq!(whole.recovery_events.len(), 1);
+        assert_eq!(inc.recovery_events.len(), 1);
+        // The whole-plan redeploy reloads every stateful byte; the
+        // migration moves only the displaced tasks'.
+        assert!(inc.bytes_moved() > 0, "migration moved no state");
+        assert!(
+            inc.bytes_moved() < whole.bytes_moved(),
+            "incremental moved {} bytes, whole-plan restored {}",
+            inc.bytes_moved(),
+            whole.bytes_moved()
+        );
+        assert!(whole.downtime() > 0.0, "whole-plan restore paused nothing");
+        assert!(
+            inc.downtime() < whole.downtime(),
+            "incremental downtime {} not below whole-plan {}",
+            inc.downtime(),
+            whole.downtime()
+        );
+        // Per-wave accounting sums to the trace total.
+        let sum: f64 = inc.migration_waves.iter().map(|w| w.downtime).sum();
+        assert_eq!(inc.downtime(), sum);
+
+        // Journal protocol: one MigratePrepare, one MigrateStep per
+        // moved task (wave_size 1), one MigrateCommit — and the move
+        // set is exactly the tasks whose worker changed relative to the
+        // incumbent (the last whole-plan deploy before the migration).
+        let parsed = crate::journal::parse_journal(&text).unwrap();
+        let mut incumbent = match &parsed.records[0] {
+            DecisionRecord::Init { assignment, .. } => assignment.clone(),
+            other => panic!("journal does not start with init: {other:?}"),
+        };
+        let mut migrate = None;
+        for r in &parsed.records {
+            match r {
+                DecisionRecord::Prepare { assignment, .. } => incumbent = assignment.clone(),
+                DecisionRecord::MigratePrepare {
+                    epoch,
+                    assignment,
+                    moved,
+                    ..
+                } => {
+                    migrate = Some((*epoch, assignment.clone(), moved.clone()));
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let (migrate_epoch, target_assignment, moved) =
+            migrate.expect("no migrate-prepare journaled");
+        let steps = parsed
+            .records
+            .iter()
+            .filter(|r| matches!(r, DecisionRecord::MigrateStep { .. }))
+            .count();
+        assert_eq!(steps, moved.len(), "one step per task at wave_size 1");
+        assert_eq!(
+            parsed
+                .records
+                .iter()
+                .filter(|r| matches!(r, DecisionRecord::MigrateCommit { .. }))
+                .count(),
+            1
+        );
+        assert!(
+            !moved.is_empty() && moved.len() < incumbent.len(),
+            "migration should move some but not all tasks: {moved:?}"
+        );
+        assert_eq!(incumbent.len(), target_assignment.len());
+        for t in 0..incumbent.len() {
+            if moved.contains(&t) {
+                assert_ne!(
+                    incumbent[t], target_assignment[t],
+                    "task {t} journaled as moved but kept its worker"
+                );
+            } else {
+                assert_eq!(
+                    incumbent[t], target_assignment[t],
+                    "task {t} moved without being journaled"
+                );
+            }
+        }
+        // Migration waves land in order, one trace entry each. (Waves
+        // from earlier whole-plan restores carry other epochs.)
+        let wave_list: Vec<usize> = inc
+            .migration_waves
+            .iter()
+            .filter(|w| w.epoch == migrate_epoch)
+            .map(|w| w.wave)
+            .collect();
+        assert_eq!(wave_list, (0..steps).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn whole_plan_restores_are_traced_as_waves() {
+        let (whole, text) = migration_run(None, false);
+        let whole = whole.unwrap();
+        // Every whole-plan deploy — the early DS2 downscale and the
+        // crash-recovery redeploy — reloads the full state model. The
+        // operator's total state is parallelism-invariant:
+        // state_bytes_per_record (4000) x retained records.
+        let total_state = (4000.0 * RETAINED_RECORDS) as u64;
+        assert_eq!(whole.migration_waves.len(), 2);
+        for wave in &whole.migration_waves {
+            assert_eq!(wave.wave, 0, "whole-plan restores are single-wave");
+            assert_eq!(wave.bytes, total_state);
+            assert!(wave.downtime > 0.0, "restore paused nothing: {wave:?}");
+            // A restore reloads exactly the stateful tasks: the window
+            // operator's subtasks at the parallelism its deploy chose.
+            let parsed = crate::journal::parse_journal(&text).unwrap();
+            let parallelism = parsed
+                .records
+                .iter()
+                .find_map(|r| match r {
+                    DecisionRecord::Prepare {
+                        epoch, parallelism, ..
+                    } if *epoch == wave.epoch => Some(parallelism.clone()),
+                    _ => None,
+                })
+                .expect("restore wave without a matching prepare");
+            assert_eq!(wave.tasks_moved, parallelism[2]);
+        }
+        let sum: f64 = whole.migration_waves.iter().map(|w| w.downtime).sum();
+        assert_eq!(whole.downtime(), sum);
+        // The recovery restore completed after the crash at t=60.
+        assert!(whole.migration_waves[1].completed_at > 60.0);
+    }
+
+    #[test]
+    fn no_state_transfer_means_no_waves() {
+        let (_, trace) = chaos_run(RecoveryConfig::default());
+        assert!(trace.migration_waves.is_empty());
+        assert_eq!(trace.downtime(), 0.0);
+        assert_eq!(trace.bytes_moved(), 0);
+    }
+
+    #[test]
+    fn migration_kill_sweep_recovers_byte_identically() {
+        // Kill after every migration record — after the MigratePrepare
+        // (in-doubt migration rolls forward whole), after each
+        // MigrateStep (mid-wave: the remaining waves roll forward), and
+        // after the MigrateCommit — plus the journal tail. Every
+        // recovery must finish with a byte-identical trace and rewrite
+        // a byte-identical journal.
+        let (baseline, golden_journal) = migration_run(None, true);
+        let golden = baseline.unwrap().to_json().to_string();
+        let parsed = crate::journal::parse_journal(&golden_journal).unwrap();
+        let n = golden_journal.lines().count() as u64;
+        let mut kill_seqs: Vec<u64> = Vec::new();
+        let mut migrate_epoch = None;
+        for (i, r) in parsed.records.iter().enumerate() {
+            match r {
+                DecisionRecord::MigratePrepare { epoch, .. } => {
+                    migrate_epoch = Some(*epoch);
+                    kill_seqs.push(i as u64);
+                }
+                DecisionRecord::MigrateStep { .. } | DecisionRecord::MigrateCommit { .. } => {
+                    kill_seqs.push(i as u64);
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            kill_seqs.len() >= 3,
+            "migration journaled too few records to sweep: {kill_seqs:?}"
+        );
+        kill_seqs.push(n - 1);
+        for &k in &kill_seqs {
+            let (result, partial) = migration_run(Some(KillPoint::AfterRecord(k)), true);
+            match result {
+                Err(ControllerError::ControllerKilled { seq, .. }) => assert_eq!(seq, k + 1),
+                other => panic!("kill at record {k} did not fire: {other:?}"),
+            }
+            assert_eq!(
+                partial.lines().count() as u64,
+                k + 1,
+                "journal must hold exactly the records up to the kill"
+            );
+            let (trace, rewritten) = migration_recover_and_finish(&partial);
+            assert_eq!(
+                trace.to_json().to_string(),
+                golden,
+                "recovered trace diverged after kill at record {k}"
+            );
+            assert_eq!(
+                rewritten, golden_journal,
+                "recovered journal diverged after kill at record {k}"
+            );
+        }
+        // Mid-reconfiguration kill on the migration's own epoch: the
+        // controller dies at the MigratePrepare and the whole migration
+        // rolls forward in the recovered run.
+        let epoch = migrate_epoch.expect("no migrate-prepare in golden journal");
+        let (result, partial) = migration_run(Some(KillPoint::MidReconfig(epoch)), true);
+        assert!(
+            matches!(result, Err(ControllerError::ControllerKilled { .. })),
+            "mid-migration kill did not fire"
+        );
+        let tail = crate::journal::parse_journal(&partial).unwrap();
+        assert!(
+            matches!(
+                tail.records.last(),
+                Some(DecisionRecord::MigratePrepare { epoch: e, .. }) if *e == epoch
+            ),
+            "journal tail is not the in-doubt migrate-prepare"
+        );
+        let (trace, rewritten) = migration_recover_and_finish(&partial);
+        assert_eq!(trace.to_json().to_string(), golden);
+        assert_eq!(rewritten, golden_journal);
+    }
+
+    #[test]
+    fn migration_builders_validate_their_inputs() {
+        let query = q1_sliding();
+        let cluster = small_cluster();
+        let strategy = CapsStrategy::default();
+        let build = || {
+            ClosedLoop::new(
+                &query,
+                &cluster,
+                &strategy,
+                fast_ds2(),
+                SimConfig {
+                    duration: 1.0,
+                    warmup: 0.0,
+                    ..SimConfig::default()
+                },
+                RateSchedule::Constant(1000.0),
+                7,
+            )
+            .unwrap()
+        };
+        // Incremental migration without state-transfer charging would
+        // migrate zero-byte state: reject it outright.
+        assert!(matches!(
+            build().with_incremental_migration(MigrationConfig::default()),
+            Err(ControllerError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            build().with_state_transfer(f64::NAN),
+            Err(ControllerError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            build().with_state_transfer(-1.0),
+            Err(ControllerError::InvalidConfig(_))
+        ));
+        let armed = build().with_state_transfer(RETAINED_RECORDS).unwrap();
+        assert!(matches!(
+            armed.with_incremental_migration(MigrationConfig {
+                epsilon: f64::INFINITY,
+                wave_size: 1,
+            }),
+            Err(ControllerError::InvalidConfig(_))
+        ));
+        let armed = build().with_state_transfer(RETAINED_RECORDS).unwrap();
+        assert!(matches!(
+            armed.with_incremental_migration(MigrationConfig {
+                epsilon: 0.05,
+                wave_size: 0,
+            }),
+            Err(ControllerError::InvalidConfig(_))
+        ));
     }
 
     #[test]

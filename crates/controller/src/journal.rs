@@ -133,6 +133,55 @@ pub enum DecisionRecord {
         /// state is journaled so replay restores it unconditionally).
         rng: [u64; 4],
     },
+    /// Phase one of an incremental migration: the controller picked a
+    /// minimum-movement target plan and will move `moved` tasks in
+    /// waves of `wave_len`, pausing only the wave's tasks while their
+    /// state drains. Journaled before the simulator is touched. Like
+    /// `Prepare`, a `MigratePrepare` followed by a `Retry` was
+    /// abandoned, and one at the journal tail rolls forward.
+    MigratePrepare {
+        /// The migration's fencing epoch.
+        epoch: u64,
+        /// Simulated decision time.
+        time: f64,
+        /// Why the reconfiguration happened.
+        reason: RedeployReason,
+        /// Per-operator parallelism (unchanged by migration, journaled
+        /// for self-containment).
+        parallelism: Vec<usize>,
+        /// The TARGET task-to-worker assignment.
+        assignment: Vec<usize>,
+        /// The ladder rung that produced the target plan.
+        rung: LadderRung,
+        /// Task ids being moved, in ascending order. Waves are
+        /// contiguous `wave_len`-sized chunks of this list; per-task
+        /// byte counts are re-derived from the deterministic state
+        /// model, not journaled.
+        moved: Vec<usize>,
+        /// Tasks per wave.
+        wave_len: usize,
+        /// The aggregate input rate the plan was sized for.
+        rate: f64,
+        /// RNG state after the placement search.
+        rng: [u64; 4],
+    },
+    /// Wave `wave` of the migration of `epoch` finished draining and
+    /// its tasks now run on their target workers.
+    MigrateStep {
+        /// The migration's epoch.
+        epoch: u64,
+        /// Zero-based wave index.
+        wave: usize,
+        /// Simulated completion time.
+        time: f64,
+    },
+    /// Phase two: every wave of the migration of `epoch` was applied.
+    MigrateCommit {
+        /// The epoch being committed.
+        epoch: u64,
+        /// Simulated commit time.
+        time: f64,
+    },
     /// A recovery re-placement attempt failed; the controller backed
     /// off (or gave up).
     Retry {
@@ -229,6 +278,9 @@ impl DecisionRecord {
             DecisionRecord::Prepare { time, .. }
             | DecisionRecord::Commit { time, .. }
             | DecisionRecord::Rollback { time, .. }
+            | DecisionRecord::MigratePrepare { time, .. }
+            | DecisionRecord::MigrateStep { time, .. }
+            | DecisionRecord::MigrateCommit { time, .. }
             | DecisionRecord::Retry { time, .. } => *time,
         }
     }
@@ -294,6 +346,41 @@ impl DecisionRecord {
                 ("assignment".into(), usizes_to_json(assignment)),
                 ("rng".into(), rng_to_json(*rng)),
             ]),
+            DecisionRecord::MigratePrepare {
+                epoch,
+                time,
+                reason,
+                parallelism,
+                assignment,
+                rung,
+                moved,
+                wave_len,
+                rate,
+                rng,
+            } => Json::Obj(vec![
+                ("type".into(), Json::Str("migrate_prepare".into())),
+                ("epoch".into(), Json::Num(*epoch as f64)),
+                ("time".into(), Json::Num(*time)),
+                ("reason".into(), Json::Str(reason.name().into())),
+                ("parallelism".into(), usizes_to_json(parallelism)),
+                ("assignment".into(), usizes_to_json(assignment)),
+                ("rung".into(), Json::Str(rung.name().into())),
+                ("moved".into(), usizes_to_json(moved)),
+                ("wave_len".into(), Json::Num(*wave_len as f64)),
+                ("rate".into(), Json::Num(*rate)),
+                ("rng".into(), rng_to_json(*rng)),
+            ]),
+            DecisionRecord::MigrateStep { epoch, wave, time } => Json::Obj(vec![
+                ("type".into(), Json::Str("migrate_step".into())),
+                ("epoch".into(), Json::Num(*epoch as f64)),
+                ("wave".into(), Json::Num(*wave as f64)),
+                ("time".into(), Json::Num(*time)),
+            ]),
+            DecisionRecord::MigrateCommit { epoch, time } => Json::Obj(vec![
+                ("type".into(), Json::Str("migrate_commit".into())),
+                ("epoch".into(), Json::Num(*epoch as f64)),
+                ("time".into(), Json::Num(*time)),
+            ]),
             DecisionRecord::Retry {
                 time,
                 attempts,
@@ -351,6 +438,29 @@ impl DecisionRecord {
                 parallelism: usizes_from_json(v.get("parallelism"), "parallelism")?,
                 assignment: usizes_from_json(v.get("assignment"), "assignment")?,
                 rng: rng_from_json(v.get("rng"))?,
+            }),
+            "migrate_prepare" => Ok(DecisionRecord::MigratePrepare {
+                epoch: integer(v.get("epoch"), "epoch")?,
+                time: num(v.get("time"), "time")?,
+                reason: RedeployReason::from_name(text(v.get("reason"), "reason")?)
+                    .ok_or_else(|| bad("unknown redeploy reason"))?,
+                parallelism: usizes_from_json(v.get("parallelism"), "parallelism")?,
+                assignment: usizes_from_json(v.get("assignment"), "assignment")?,
+                rung: LadderRung::from_name(text(v.get("rung"), "rung")?)
+                    .ok_or_else(|| bad("unknown ladder rung"))?,
+                moved: usizes_from_json(v.get("moved"), "moved")?,
+                wave_len: integer(v.get("wave_len"), "wave_len")? as usize,
+                rate: num(v.get("rate"), "rate")?,
+                rng: rng_from_json(v.get("rng"))?,
+            }),
+            "migrate_step" => Ok(DecisionRecord::MigrateStep {
+                epoch: integer(v.get("epoch"), "epoch")?,
+                wave: integer(v.get("wave"), "wave")? as usize,
+                time: num(v.get("time"), "time")?,
+            }),
+            "migrate_commit" => Ok(DecisionRecord::MigrateCommit {
+                epoch: integer(v.get("epoch"), "epoch")?,
+                time: num(v.get("time"), "time")?,
             }),
             "retry" => Ok(DecisionRecord::Retry {
                 time: num(v.get("time"), "time")?,
@@ -483,6 +593,32 @@ mod tests {
                 assignment: vec![0, 1, 1, 2, 3, 4, 5],
                 rng: [11, 12, 13, u64::MAX - 7],
             },
+            DecisionRecord::MigratePrepare {
+                epoch: 3,
+                time: 92.5,
+                reason: RedeployReason::Recovery,
+                parallelism: vec![1, 2, 3, 1],
+                assignment: vec![0, 1, 2, 2, 3, 4, 5],
+                rung: LadderRung::Caps,
+                moved: vec![1, 3, 6],
+                wave_len: 2,
+                rate: 987.0,
+                rng: [21, 22, 23, 24],
+            },
+            DecisionRecord::MigrateStep {
+                epoch: 3,
+                wave: 0,
+                time: 93.75,
+            },
+            DecisionRecord::MigrateStep {
+                epoch: 3,
+                wave: 1,
+                time: 95.0,
+            },
+            DecisionRecord::MigrateCommit {
+                epoch: 3,
+                time: 95.0,
+            },
             DecisionRecord::Retry {
                 time: 70.0,
                 attempts: 2,
@@ -543,6 +679,79 @@ mod tests {
         })
         .unwrap();
         assert!(parse_journal(&buf.text()).is_err());
+    }
+
+    /// A structurally valid WAL frame (correct seq and CRC) around an
+    /// arbitrary payload — what a newer or buggy writer might produce.
+    fn frame(seq: u64, body: &str) -> String {
+        let crc = capsys_util::journal::crc32(body.as_bytes());
+        format!("{{\"seq\":{seq},\"crc\":{crc},\"data\":{body}}}\n")
+    }
+
+    fn init_body() -> String {
+        samples()[0].to_json().to_string()
+    }
+
+    #[test]
+    fn unknown_record_type_is_a_journal_error() {
+        // The frame passes CRC and sequencing; only the decision layer
+        // can reject it — and it must do so with an error, not a panic
+        // or a silent skip.
+        let text = frame(0, &init_body()) + &frame(1, r#"{"type":"defrag","epoch":1}"#);
+        match parse_journal(&text) {
+            Err(ControllerError::Journal(msg)) => {
+                assert!(msg.contains("unknown decision record type"), "{msg}")
+            }
+            other => panic!("expected a journal error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_error_cleanly() {
+        let cases: &[&str] = &[
+            r#"{"type":"prepare"}"#,
+            r#"{"type":"commit","epoch":-1,"time":0}"#,
+            r#"{"type":"commit","epoch":1.5,"time":0}"#,
+            r#"{"type":"migrate_step","epoch":1,"wave":"x","time":0}"#,
+            r#"{"type":"migrate_prepare","epoch":1,"time":0}"#,
+            r#"{"type":"migrate_commit","time":0}"#,
+            r#"{"type":"init","seed":"zz","query":"q","workers":1,"parallelism":[],"assignment":[],"rng":["0","0","0","0"]}"#,
+            r#"{"type":"init","seed":"0","query":"q","workers":1,"parallelism":[],"assignment":[],"rng":["0","0"]}"#,
+            r#"{"type":"retry","time":0,"attempts":1,"gave_up":"yes","next_attempt_at":null,"rng":["0","0","0","0"]}"#,
+            r#"{"type":"prepare","epoch":1,"time":0,"reason":"cosmic-rays","parallelism":[1],"assignment":[0],"rung":"caps","rate":1,"rng":["0","0","0","0"]}"#,
+            r#"{"type":null}"#,
+            "[1,2,3]",
+            "\"prepare\"",
+            "null",
+        ];
+        for body in cases {
+            let text = frame(0, &init_body()) + &frame(1, body);
+            assert!(
+                matches!(parse_journal(&text), Err(ControllerError::Journal(_))),
+                "payload {body} was not rejected as a journal error"
+            );
+        }
+    }
+
+    #[test]
+    fn fuzzed_record_types_never_panic() {
+        use capsys_util::forall;
+        use capsys_util::prop::{ints, vec_of, Config};
+        // Random lowercase tags with no fields behind them: unknown tags
+        // fail the type dispatch, known ones fail their first missing
+        // field. Either way parsing must return an error, never panic.
+        forall!(
+            Config::default().cases(64),
+            (chars in vec_of(ints(0usize..26), 1..=12)) => {
+                let tag: String = chars.iter().map(|&c| (b'a' + c as u8) as char).collect();
+                let text = frame(0, &init_body())
+                    + &frame(1, &format!("{{\"type\":\"{tag}\"}}"));
+                assert!(matches!(
+                    parse_journal(&text),
+                    Err(ControllerError::Journal(_))
+                ));
+            }
+        );
     }
 
     #[test]

@@ -31,15 +31,15 @@ pub mod online;
 pub mod profiler;
 pub mod recovery;
 
-pub use closed_loop::{ClosedLoop, ClosedLoopTrace, ScalingEvent};
+pub use closed_loop::{ClosedLoop, ClosedLoopTrace, MigrationConfig, MigrationWave, ScalingEvent};
 pub use controller::{CapsysConfig, CapsysController, Deployment};
 pub use guard::{GuardConfig, PlanSnapshot, RollbackEvent, SafetyGovernor};
 pub use journal::{DecisionJournal, DecisionRecord, ParsedJournal, RedeployReason};
 pub use online::{OnlineProfiler, OnlineProfilerConfig};
 pub use profiler::{profile_query, ProfileReport, ProfilerConfig};
 pub use recovery::{
-    place_with_ladder, round_robin_free, Detection, DetectorConfig, FailureDetector, LadderRung,
-    RecoveryConfig, RecoveryEvent,
+    place_with_ladder, place_with_movemin, round_robin_free, Detection, DetectorConfig,
+    FailureDetector, LadderRung, RecoveryConfig, RecoveryEvent,
 };
 
 use capsys_ds2::Ds2Error;

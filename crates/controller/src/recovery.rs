@@ -23,8 +23,8 @@
 
 use std::time::Duration;
 
-use capsys_core::{CapsError, SearchConfig, Thresholds};
-use capsys_model::{ModelError, Placement, WorkerId};
+use capsys_core::{min_movement_plan, CapsError, CapsSearch, SearchConfig, Thresholds};
+use capsys_model::{ModelError, Placement, PlanDiff, StateModel, WorkerId};
 use capsys_placement::{CapsStrategy, PlacementContext, PlacementError, PlacementStrategy};
 use capsys_util::json::{Json, ToJson};
 use capsys_util::rng::SmallRng;
@@ -298,9 +298,42 @@ pub fn place_with_ladder(
     round_robin_free(ctx, search.free_slots.as_deref()).map(|p| (p, LadderRung::RoundRobin))
 }
 
+/// Minimum-movement re-placement for incremental migration: runs the
+/// full CAPS search (auto-tune timeout capped by the time budget, like
+/// rung 1 of the ladder) and, among the feasible plans within `epsilon`
+/// of the optimum, picks the one cheapest to reach from `incumbent` —
+/// fewest state bytes moved, ties broken by move count, then plan cost.
+/// Errors that would descend the ladder are returned as-is; the caller
+/// falls back to a whole-plan redeploy.
+pub fn place_with_movemin(
+    ctx: &PlacementContext<'_>,
+    search: &SearchConfig,
+    epsilon: f64,
+    incumbent: &Placement,
+    state: &StateModel,
+) -> Result<(Placement, PlanDiff), PlacementError> {
+    let mut cfg = search.clone();
+    if let Some(budget) = cfg.time_budget {
+        cfg.auto_tune.timeout = cfg.auto_tune.timeout.min(budget);
+        if budget.is_zero() {
+            cfg.auto_tune.timeout = Duration::ZERO;
+        }
+    }
+    // The tolerance band needs a population of feasible plans to choose
+    // from; first-feasible or a one-plan cap would collapse the band to
+    // the optimum alone.
+    cfg.first_feasible = false;
+    cfg.max_plans = cfg.max_plans.max(4096);
+    let caps = CapsSearch::new(ctx.logical, ctx.physical, ctx.cluster, ctx.loads)
+        .map_err(PlacementError::Caps)?;
+    let outcome =
+        min_movement_plan(&caps, &cfg, epsilon, incumbent, state).map_err(PlacementError::Caps)?;
+    Ok((outcome.chosen.plan, outcome.diff))
+}
+
 /// Whether a CAPS failure should descend to the next rung instead of
 /// propagating.
-fn descends(e: &PlacementError) -> bool {
+pub(crate) fn descends(e: &PlacementError) -> bool {
     matches!(
         e,
         PlacementError::Caps(

@@ -46,6 +46,7 @@ pub mod autotune;
 pub mod cost;
 pub mod error;
 mod memo;
+pub mod movemin;
 pub mod parallel;
 pub mod pareto;
 pub mod partitioned;
@@ -54,6 +55,7 @@ pub mod search;
 pub use autotune::{AutoTuneConfig, AutoTuneReport, AutoTuner};
 pub use cost::{CostModel, CostVector, Dimension, LoadBounds, Thresholds};
 pub use error::CapsError;
+pub use movemin::{min_movement_plan, MoveMinOutcome};
 pub use pareto::pareto_front;
 pub use partitioned::PartitionedOutcome;
 pub use search::{CapsSearch, RunStats, ScoredPlan, SearchConfig, SearchOutcome};

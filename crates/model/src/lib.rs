@@ -25,6 +25,7 @@ pub mod error;
 pub mod json;
 pub mod load;
 pub mod logical;
+pub mod migration;
 pub mod operator;
 pub mod physical;
 pub mod placement;
@@ -36,6 +37,7 @@ pub use enumerate::{count_plans, enumerate_plans, PlanEnumerator, PlanVisitor, S
 pub use error::ModelError;
 pub use load::{LoadModel, TaskLoad};
 pub use logical::{ConnectionPattern, LogicalEdge, LogicalGraph, LogicalGraphBuilder};
+pub use migration::{PlanDiff, StateModel, TaskMove};
 pub use operator::{LogicalOperator, OperatorId, OperatorKind, ResourceProfile};
 pub use physical::{Channel, PhysicalGraph, Task, TaskId};
 pub use placement::Placement;

@@ -41,6 +41,10 @@ use crate::metrics::{MetricPoint, SimulationReport, SourceStats, TaskRateStats};
 /// of raw throughput deficit.
 const BACKPRESSURE_SLACK: f64 = 0.99;
 
+/// Residual bytes below which a state-transfer flow counts as drained,
+/// absorbing float round-off from per-tick bandwidth slicing.
+const TRANSFER_EPS: f64 = 1e-9;
+
 /// Static, per-task simulation state.
 #[derive(Debug, Clone)]
 struct TaskState {
@@ -65,6 +69,29 @@ struct TaskState {
 struct ChannelState {
     q: f64,
     cap: f64,
+}
+
+/// One task's state relocation (or in-place restore) within a state
+/// transfer — the unit of a migration wave.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskTransfer {
+    /// The task index (its `TaskId.0`).
+    pub task: usize,
+    /// Destination worker. Equal to the task's current worker for an
+    /// in-place restore (a whole-plan redeploy reloading every stateful
+    /// task from local disk).
+    pub to: usize,
+    /// State bytes that must drain before the task may resume.
+    pub bytes: f64,
+}
+
+/// In-flight progress of one [`TaskTransfer`].
+#[derive(Debug, Clone)]
+struct TransferFlow {
+    task: usize,
+    from: usize,
+    to: usize,
+    remaining: f64,
 }
 
 /// Extracts a task's per-record unit cost for one resource dimension.
@@ -158,6 +185,22 @@ pub struct Simulation {
     // Cumulative conservation counters.
     total_admitted: f64,
     total_sunk: f64,
+    /// Channel endpoints `(from task, to task)`, kept for re-deriving
+    /// `net_unit`s after a migration reassigns tasks.
+    channel_ends: Vec<(usize, usize)>,
+    /// Per-task `out_bytes_per_record`, kept for the same re-derivation.
+    out_bytes: Vec<f64>,
+    /// In-flight state transfer, when a migration wave (or a whole-plan
+    /// restore) is draining.
+    transfer: Option<Vec<TransferFlow>>,
+    /// Per-task paused flag: true while the task's state drains.
+    paused: Vec<bool>,
+    /// Cumulative paused task-seconds since construction.
+    paused_secs: f64,
+    /// Per-worker disk bytes charged to state draining this tick.
+    drain_io: Vec<f64>,
+    /// Per-worker NIC bytes charged to state draining this tick.
+    drain_net: Vec<f64>,
 }
 
 impl Simulation {
@@ -294,6 +337,17 @@ impl Simulation {
             worker_tasks[t.worker].push(i);
         }
 
+        let channel_ends: Vec<(usize, usize)> = physical
+            .channels()
+            .iter()
+            .map(|ch| (ch.from.0, ch.to.0))
+            .collect();
+        let out_bytes: Vec<f64> = physical
+            .tasks()
+            .iter()
+            .map(|t| logical.operator(t.operator).profile.out_bytes_per_record)
+            .collect();
+
         let n = tasks.len();
         Ok(Simulation {
             rng: SmallRng::seed_from_u64(config.seed),
@@ -319,6 +373,13 @@ impl Simulation {
             worker_tasks,
             total_admitted: 0.0,
             total_sunk: 0.0,
+            channel_ends,
+            out_bytes,
+            transfer: None,
+            paused: vec![false; n],
+            paused_secs: 0.0,
+            drain_io: vec![0.0; cluster.workers().len()],
+            drain_net: vec![0.0; cluster.workers().len()],
         })
     }
 
@@ -421,6 +482,226 @@ impl Simulation {
     /// is the authority on which reconfigurations were applied.
     pub fn stamp_epoch(&mut self, epoch: u64) {
         self.epoch = epoch;
+    }
+
+    /// Starts a state transfer: each listed task pauses and its state
+    /// drains through the involved workers' disk/NIC before the task
+    /// resumes on its destination worker. With `pause_all` every task in
+    /// the job pauses for the duration (a stop-the-world whole-plan
+    /// redeploy); otherwise only the listed tasks pause (an incremental
+    /// migration wave).
+    ///
+    /// The drain runs at the bottleneck of the live endpoints' spare
+    /// bandwidth each tick: source disk (and source NIC when the move
+    /// crosses workers) and destination disk. Moving off a failed worker
+    /// drains at the destination's disk alone — the checkpoint-restore
+    /// analogue. A flow with no live endpoint stalls until a worker
+    /// returns.
+    pub fn begin_state_transfer(
+        &mut self,
+        transfers: &[TaskTransfer],
+        pause_all: bool,
+    ) -> Result<(), SimError> {
+        if self.transfer.is_some() {
+            return Err(SimError::InvalidTransfer(
+                "a state transfer is already in progress".into(),
+            ));
+        }
+        let mut seen = vec![false; self.tasks.len()];
+        let mut flows = Vec::with_capacity(transfers.len());
+        for tr in transfers {
+            if tr.task >= self.tasks.len() {
+                return Err(SimError::InvalidTransfer(format!(
+                    "task {} out of range (job has {} tasks)",
+                    tr.task,
+                    self.tasks.len()
+                )));
+            }
+            if tr.to >= self.workers.len() {
+                return Err(SimError::InvalidTransfer(format!(
+                    "destination worker {} out of range (cluster has {} workers)",
+                    tr.to,
+                    self.workers.len()
+                )));
+            }
+            if seen[tr.task] {
+                return Err(SimError::InvalidTransfer(format!(
+                    "task {} listed twice in one transfer",
+                    tr.task
+                )));
+            }
+            if !tr.bytes.is_finite() || tr.bytes < 0.0 {
+                return Err(SimError::InvalidTransfer(format!(
+                    "task {} transfer size must be finite and non-negative, got {}",
+                    tr.task, tr.bytes
+                )));
+            }
+            seen[tr.task] = true;
+            flows.push(TransferFlow {
+                task: tr.task,
+                from: self.tasks[tr.task].worker,
+                to: tr.to,
+                remaining: tr.bytes,
+            });
+        }
+        if pause_all {
+            for p in &mut self.paused {
+                *p = true;
+            }
+        } else {
+            for f in &flows {
+                self.paused[f.task] = true;
+            }
+        }
+        self.transfer = Some(flows);
+        Ok(())
+    }
+
+    /// Abandons an in-flight state transfer: tasks unpause in place and
+    /// no move is applied. Used when a reconfiguration is rolled back
+    /// mid-wave.
+    pub fn cancel_state_transfer(&mut self) {
+        self.transfer = None;
+        for p in &mut self.paused {
+            *p = false;
+        }
+    }
+
+    /// Whether a state transfer is currently draining.
+    pub fn state_transfer_active(&self) -> bool {
+        self.transfer.is_some()
+    }
+
+    /// Cumulative paused task-seconds since construction: the sim's own
+    /// measure of migration downtime.
+    pub fn paused_task_seconds(&self) -> f64 {
+        self.paused_secs
+    }
+
+    /// Advances the in-flight transfer by one tick, charging drained
+    /// bytes against the involved workers' disk/NIC budgets. Budgets are
+    /// granted sequentially in flow order, so concurrent flows through
+    /// one worker share its bandwidth deterministically.
+    fn progress_transfer(&mut self, tick: f64) {
+        for v in self.drain_io.iter_mut() {
+            *v = 0.0;
+        }
+        for v in self.drain_net.iter_mut() {
+            *v = 0.0;
+        }
+        let Some(flows) = &mut self.transfer else {
+            return;
+        };
+        let mut budget_io: Vec<f64> = self.workers.iter().map(|w| w.io * tick).collect();
+        let mut budget_net: Vec<f64> = self.workers.iter().map(|w| w.net * tick).collect();
+        let mut all_done = true;
+        for flow in flows.iter_mut() {
+            if flow.remaining <= 0.0 {
+                continue;
+            }
+            let cross = flow.to != flow.from;
+            let mut bw = f64::INFINITY;
+            let mut constrained = false;
+            if !self.failed[flow.from] {
+                constrained = true;
+                bw = bw.min(budget_io[flow.from]);
+                if cross {
+                    bw = bw.min(budget_net[flow.from]);
+                }
+            }
+            if cross && !self.failed[flow.to] {
+                constrained = true;
+                bw = bw.min(budget_io[flow.to]);
+            }
+            if !constrained {
+                // No live endpoint: the drain stalls until one returns.
+                all_done = false;
+                continue;
+            }
+            let moved = bw.min(flow.remaining).max(0.0);
+            if moved > 0.0 {
+                if !self.failed[flow.from] {
+                    budget_io[flow.from] -= moved;
+                    self.drain_io[flow.from] += moved;
+                    if cross {
+                        budget_net[flow.from] -= moved;
+                        self.drain_net[flow.from] += moved;
+                    }
+                }
+                if cross && !self.failed[flow.to] {
+                    budget_io[flow.to] -= moved;
+                    self.drain_io[flow.to] += moved;
+                }
+                flow.remaining -= moved;
+            }
+            if flow.remaining > TRANSFER_EPS {
+                all_done = false;
+            } else {
+                flow.remaining = 0.0;
+            }
+        }
+        if all_done {
+            self.finish_transfer();
+        }
+    }
+
+    /// Applies a completed transfer: moved tasks land on their
+    /// destination workers, network units are re-derived for the new
+    /// colocations, and every paused task resumes this tick.
+    fn finish_transfer(&mut self) {
+        let Some(flows) = self.transfer.take() else {
+            return;
+        };
+        let mut changed = false;
+        for f in &flows {
+            if f.to != f.from {
+                self.tasks[f.task].worker = f.to;
+                changed = true;
+            }
+        }
+        if changed {
+            for v in &mut self.worker_tasks {
+                v.clear();
+            }
+            for (i, t) in self.tasks.iter().enumerate() {
+                self.worker_tasks[t.worker].push(i);
+            }
+            self.recompute_net_units();
+        }
+        for p in &mut self.paused {
+            *p = false;
+        }
+    }
+
+    /// Current worker index of every task, reflecting any completed
+    /// migrations.
+    pub fn task_workers(&self) -> Vec<usize> {
+        self.tasks.iter().map(|t| t.worker).collect()
+    }
+
+    #[cfg(test)]
+    fn net_units(&self) -> Vec<f64> {
+        self.tasks.iter().map(|t| t.net_unit).collect()
+    }
+
+    /// Re-derives each task's `net_unit` from its outgoing channel
+    /// shares, charging bytes only on channels that now cross workers.
+    /// Summation follows `out_pushes` order — the same order the
+    /// constructor accumulated in — so an unmoved task's unit is
+    /// bit-identical to its original.
+    fn recompute_net_units(&mut self) {
+        for i in 0..self.tasks.len() {
+            let w = self.tasks[i].worker;
+            let mut unit = 0.0;
+            for k in 0..self.tasks[i].out_pushes.len() {
+                let (ci, share) = self.tasks[i].out_pushes[k];
+                let downstream = self.channel_ends[ci].1;
+                if self.tasks[downstream].worker != w {
+                    unit += share * self.out_bytes[i];
+                }
+            }
+            self.tasks[i].net_unit = unit;
+        }
     }
 
     /// Applies every fault event due at the current time.
@@ -543,6 +824,11 @@ impl Simulation {
         self.apply_due_faults();
         let tick = self.config.tick;
         let t = self.time;
+        // State draining happens before task scheduling each tick: the
+        // bytes it moves have priority over record traffic, so the
+        // allocator below sees reduced disk/NIC caps.
+        self.progress_transfer(tick);
+        self.paused_secs += self.paused.iter().filter(|&&p| p).count() as f64 * tick;
 
         // Effective per-record CPU cost: bursts, straggler slowdown,
         // plus optional jitter.
@@ -562,6 +848,14 @@ impl Simulation {
 
         // Desired volume per task (records this tick).
         for i in 0..self.tasks.len() {
+            if self.paused[i] {
+                // Migrating: the task processes nothing while its state
+                // drains. Queued input stays put, so backpressure builds
+                // upstream exactly as during a worker failure.
+                self.desired[i] = 0.0;
+                self.avail[i] = 0.0;
+                continue;
+            }
             let task = &self.tasks[i];
             let supply = if task.is_source {
                 let sched = task.schedule_rate(&self.schedules, &self.task_schedule, i, t);
@@ -653,6 +947,11 @@ impl Simulation {
             acc.io_use[w] += x * task.io_unit / (self.workers[w].io * tick) * tick;
             acc.net_use[w] += x * task.net_unit / (self.workers[w].net * tick) * tick;
         }
+        // State draining shows up as real disk/NIC utilization.
+        for w in 0..self.workers.len() {
+            acc.io_use[w] += self.drain_io[w] / self.workers[w].io;
+            acc.net_use[w] += self.drain_net[w] / self.workers[w].net;
+        }
         acc.in_flight_time += self.in_flight() * tick;
 
         self.time += tick;
@@ -681,8 +980,12 @@ impl Simulation {
         }
         let resources: [(f64, ResourceUnitFn); 3] = [
             (caps.cpu * tick, |_t, cpu_eff| cpu_eff),
-            (caps.io * tick, |t, _| t.io_unit),
-            (caps.net * tick, |t, _| t.net_unit),
+            ((caps.io * tick - self.drain_io[w]).max(0.0), |t, _| {
+                t.io_unit
+            }),
+            ((caps.net * tick - self.drain_net[w]).max(0.0), |t, _| {
+                t.net_unit
+            }),
         ];
 
         // allowed[i] / potential[i] in records for this tick.
@@ -881,6 +1184,10 @@ fn merge_last_tick(report: &mut WindowAcc, _interval: &WindowAcc, sim: &Simulati
         report.cpu_use[w] += x * sim.cpu_eff[i] / sim.workers[w].cpu;
         report.io_use[w] += x * task.io_unit / sim.workers[w].io;
         report.net_use[w] += x * task.net_unit / sim.workers[w].net;
+    }
+    for w in 0..sim.workers.len() {
+        report.io_use[w] += sim.drain_io[w] / sim.workers[w].io;
+        report.net_use[w] += sim.drain_net[w] / sim.workers[w].net;
     }
     report.in_flight_time += sim.in_flight() * tick;
 }
@@ -1509,5 +1816,229 @@ mod tests {
         let (a, _, _) = waterfill(&[5.0, 5.0], 6.0);
         assert!((a[0] - 3.0).abs() < 1e-12);
         assert!((a[1] - 3.0).abs() < 1e-12);
+    }
+
+    /// src(w0) -> stateless x2 (w0, w1) -> sink(w1), light CPU.
+    fn transfer_fixture(
+        c: &Cluster,
+    ) -> (
+        LogicalGraph,
+        PhysicalGraph,
+        Placement,
+        HashMap<OperatorId, RateSchedule>,
+    ) {
+        build(
+            &[
+                (
+                    OperatorKind::Source,
+                    1,
+                    ResourceProfile::new(1e-5, 0.0, 100.0, 1.0),
+                ),
+                (
+                    OperatorKind::Stateless,
+                    2,
+                    ResourceProfile::new(1e-4, 0.0, 100.0, 1.0),
+                ),
+                (
+                    OperatorKind::Sink,
+                    1,
+                    ResourceProfile::new(1e-5, 0.0, 0.0, 1.0),
+                ),
+            ],
+            c,
+            &[0, 0, 1, 1],
+            1000.0,
+        )
+    }
+
+    #[test]
+    fn transfer_drains_at_disk_bottleneck_and_moves_the_task() {
+        let c = Cluster::homogeneous(2, worker(4.0)).unwrap();
+        let (g, p, plan, sch) = transfer_fixture(&c);
+        let mut sim = Simulation::new(&g, &p, &c, &plan, &sch, SimConfig::short()).unwrap();
+        // 50 MB at a 100 MB/s disk bottleneck (NIC is 10x wider) = 0.5 s
+        // = 5 ticks; the task resumes within the completing tick, so 4
+        // ticks of downtime are charged.
+        sim.begin_state_transfer(
+            &[TaskTransfer {
+                task: 1,
+                to: 1,
+                bytes: 50e6,
+            }],
+            false,
+        )
+        .unwrap();
+        assert!(sim.state_transfer_active());
+        sim.advance(1.0, 0.0);
+        assert!(!sim.state_transfer_active());
+        assert!(
+            (sim.paused_task_seconds() - 0.4).abs() < 1e-9,
+            "downtime {}",
+            sim.paused_task_seconds()
+        );
+        assert_eq!(sim.task_workers(), vec![0, 1, 1, 1]);
+        // The re-derived network units match a fresh deployment of the
+        // post-move placement bit-for-bit.
+        let moved_plan = Placement::new(vec![WorkerId(0), WorkerId(1), WorkerId(1), WorkerId(1)]);
+        let fresh = Simulation::new(&g, &p, &c, &moved_plan, &sch, SimConfig::short()).unwrap();
+        assert_eq!(sim.net_units(), fresh.net_units());
+    }
+
+    #[test]
+    fn pause_all_charges_downtime_for_every_task() {
+        let c = Cluster::homogeneous(2, worker(4.0)).unwrap();
+        let (g, p, plan, sch) = transfer_fixture(&c);
+        let mut sim = Simulation::new(&g, &p, &c, &plan, &sch, SimConfig::short()).unwrap();
+        sim.begin_state_transfer(
+            &[TaskTransfer {
+                task: 1,
+                to: 1,
+                bytes: 50e6,
+            }],
+            true,
+        )
+        .unwrap();
+        sim.advance(1.0, 0.0);
+        // Four paused ticks x all four tasks.
+        assert!(
+            (sim.paused_task_seconds() - 1.6).abs() < 1e-9,
+            "downtime {}",
+            sim.paused_task_seconds()
+        );
+    }
+
+    #[test]
+    fn moving_off_a_failed_worker_restores_at_the_target_disk() {
+        let c = Cluster::homogeneous(2, worker(4.0)).unwrap();
+        let (g, p, plan, sch) = transfer_fixture(&c);
+        let mut sim = Simulation::new(&g, &p, &c, &plan, &sch, SimConfig::short()).unwrap();
+        sim.fail_worker(WorkerId(0));
+        sim.begin_state_transfer(
+            &[TaskTransfer {
+                task: 1,
+                to: 1,
+                bytes: 50e6,
+            }],
+            false,
+        )
+        .unwrap();
+        // Only the target's disk gates the restore: still 5 ticks.
+        sim.advance(0.4, 0.0);
+        assert!(sim.state_transfer_active());
+        sim.advance(0.1, 0.0);
+        assert!(!sim.state_transfer_active());
+        assert_eq!(sim.task_workers(), vec![0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn transfer_with_no_live_endpoint_stalls_until_restore() {
+        let c = Cluster::homogeneous(2, worker(4.0)).unwrap();
+        let (g, p, plan, sch) = transfer_fixture(&c);
+        let mut sim = Simulation::new(&g, &p, &c, &plan, &sch, SimConfig::short()).unwrap();
+        sim.fail_worker(WorkerId(0));
+        sim.fail_worker(WorkerId(1));
+        sim.begin_state_transfer(
+            &[TaskTransfer {
+                task: 1,
+                to: 1,
+                bytes: 50e6,
+            }],
+            false,
+        )
+        .unwrap();
+        sim.advance(2.0, 0.0);
+        assert!(sim.state_transfer_active(), "drain progressed with no live endpoint");
+        sim.restore_worker(WorkerId(1));
+        sim.advance(0.5, 0.0);
+        assert!(!sim.state_transfer_active());
+    }
+
+    #[test]
+    fn cancel_unpauses_in_place_without_moving() {
+        let c = Cluster::homogeneous(2, worker(4.0)).unwrap();
+        let (g, p, plan, sch) = transfer_fixture(&c);
+        let mut sim = Simulation::new(&g, &p, &c, &plan, &sch, SimConfig::short()).unwrap();
+        sim.begin_state_transfer(
+            &[TaskTransfer {
+                task: 1,
+                to: 1,
+                bytes: 50e6,
+            }],
+            false,
+        )
+        .unwrap();
+        sim.advance(0.2, 0.0);
+        sim.cancel_state_transfer();
+        assert!(!sim.state_transfer_active());
+        assert_eq!(sim.task_workers(), vec![0, 0, 1, 1]);
+        let before = sim.paused_task_seconds();
+        sim.advance(1.0, 0.0);
+        assert_eq!(sim.paused_task_seconds(), before);
+    }
+
+    #[test]
+    fn invalid_transfers_are_rejected() {
+        let c = Cluster::homogeneous(2, worker(4.0)).unwrap();
+        let (g, p, plan, sch) = transfer_fixture(&c);
+        let mut sim = Simulation::new(&g, &p, &c, &plan, &sch, SimConfig::short()).unwrap();
+        // A rejected request must leave no transfer behind, so probing
+        // repeatedly on one simulation is fine.
+        let mut bad = |t: TaskTransfer| {
+            matches!(
+                sim.begin_state_transfer(&[t], false),
+                Err(SimError::InvalidTransfer(_))
+            )
+        };
+        assert!(bad(TaskTransfer {
+            task: 9,
+            to: 0,
+            bytes: 1.0
+        }));
+        assert!(bad(TaskTransfer {
+            task: 0,
+            to: 9,
+            bytes: 1.0
+        }));
+        assert!(bad(TaskTransfer {
+            task: 0,
+            to: 0,
+            bytes: f64::NAN
+        }));
+        assert!(bad(TaskTransfer {
+            task: 0,
+            to: 0,
+            bytes: -1.0
+        }));
+        let dup = TaskTransfer {
+            task: 0,
+            to: 1,
+            bytes: 1.0,
+        };
+        assert!(matches!(
+            sim.begin_state_transfer(&[dup, dup], false),
+            Err(SimError::InvalidTransfer(_))
+        ));
+        sim.begin_state_transfer(&[dup], false).unwrap();
+        assert!(matches!(
+            sim.begin_state_transfer(&[dup], false),
+            Err(SimError::InvalidTransfer(_))
+        ));
+    }
+
+    #[test]
+    fn empty_transfer_leaves_the_run_byte_identical() {
+        let c = Cluster::homogeneous(2, worker(4.0)).unwrap();
+        let (g, p, plan, sch) = transfer_fixture(&c);
+        let cfg = SimConfig::short();
+        let mut a = Simulation::new(&g, &p, &c, &plan, &sch, cfg.clone()).unwrap();
+        let mut b = Simulation::new(&g, &p, &c, &plan, &sch, cfg).unwrap();
+        b.begin_state_transfer(&[], false).unwrap();
+        let ra = a.run();
+        let rb = b.run();
+        assert_eq!(b.paused_task_seconds(), 0.0);
+        assert_eq!(ra.avg_throughput.to_bits(), rb.avg_throughput.to_bits());
+        assert_eq!(ra.avg_backpressure.to_bits(), rb.avg_backpressure.to_bits());
+        assert_eq!(a.total_admitted().to_bits(), b.total_admitted().to_bits());
+        assert_eq!(a.total_sunk().to_bits(), b.total_sunk().to_bits());
     }
 }

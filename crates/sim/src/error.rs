@@ -15,6 +15,8 @@ pub enum SimError {
     MissingSchedule(String),
     /// A fault plan or chaos configuration is malformed.
     InvalidFaultPlan(String),
+    /// A state transfer request is malformed or one is already running.
+    InvalidTransfer(String),
     /// A reconfiguration carried an epoch at or below the cluster's
     /// current one and was fenced off (see `epoch::EpochFence`).
     StaleEpoch {
@@ -34,6 +36,7 @@ impl fmt::Display for SimError {
                 write!(f, "source operator `{name}` has no rate schedule")
             }
             SimError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            SimError::InvalidTransfer(msg) => write!(f, "invalid state transfer: {msg}"),
             SimError::StaleEpoch { attempted, current } => write!(
                 f,
                 "stale reconfiguration epoch {attempted} rejected (cluster is at epoch {current})"
@@ -75,6 +78,9 @@ mod tests {
         assert!(SimError::InvalidFaultPlan("negative time".into())
             .to_string()
             .contains("fault plan"));
+        assert!(SimError::InvalidTransfer("task 7".into())
+            .to_string()
+            .contains("task 7"));
         let stale = SimError::StaleEpoch {
             attempted: 3,
             current: 5,

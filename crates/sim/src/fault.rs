@@ -540,6 +540,100 @@ mod tests {
     }
 
     #[test]
+    fn shifted_by_zero_is_identity_for_future_events() {
+        let cfg = ChaosConfig {
+            crashes: 2,
+            stragglers: 1,
+            blackouts: 1,
+            metric_noise: 0.1,
+            ..ChaosConfig::default()
+        };
+        let plan = FaultPlan::generate(&cfg, 6).unwrap();
+        // Generated event times are drawn from open-below ranges, so
+        // every event sits strictly after t=0 and survives the filter.
+        assert!(plan.events.iter().all(|e| e.time > 0.0));
+        assert_eq!(plan.shifted(0.0), plan);
+    }
+
+    #[test]
+    fn shifted_drops_events_at_or_before_the_offset() {
+        // An event exactly at the offset belongs to the *past*: its
+        // state (here, the blackout start) must be re-applied by the
+        // restarting controller, not replayed by the new simulation.
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                time: 10.0,
+                kind: FaultKind::BlackoutStart,
+            },
+            FaultEvent {
+                time: 20.0,
+                kind: FaultKind::BlackoutEnd,
+            },
+        ])
+        .unwrap();
+        let s = plan.shifted(10.0);
+        assert_eq!(s.events.len(), 1);
+        assert_eq!(s.events[0].time, 10.0);
+        assert_eq!(s.events[0].kind, FaultKind::BlackoutEnd);
+        // Shifting past the last event empties the schedule entirely.
+        assert!(plan.shifted(20.0).events.is_empty());
+    }
+
+    #[test]
+    fn shifted_plans_stay_valid() {
+        let cfg = ChaosConfig {
+            crashes: 3,
+            stragglers: 2,
+            blackouts: 1,
+            ..ChaosConfig::default()
+        };
+        let plan = FaultPlan::generate(&cfg, 5).unwrap();
+        plan.validate(5).unwrap();
+        for offset in [0.0, 25.0, 100.0, 1000.0] {
+            let s = plan.shifted(offset);
+            // Worker references and time ordering both survive the
+            // rebase, so a restarted engine can consume the plan as-is.
+            s.validate(5).unwrap();
+            for pair in s.events.windows(2) {
+                assert!(pair[0].time <= pair[1].time);
+            }
+            assert!(s.events.iter().all(|e| e.time >= 0.0));
+        }
+    }
+
+    #[test]
+    fn shifting_composes_additively() {
+        // Integer times keep `t - a - b == t - (a + b)` exact, so the
+        // two-hop restart (crash at a, crash again at a+b) must land on
+        // byte-identical plans either way.
+        let events: Vec<FaultEvent> = (1..=8)
+            .map(|k| FaultEvent {
+                time: (k * 10) as f64,
+                kind: if k % 2 == 1 {
+                    FaultKind::Crash(WorkerId(k % 3))
+                } else {
+                    FaultKind::Restore(WorkerId((k - 1) % 3))
+                },
+            })
+            .collect();
+        let plan = FaultPlan::new(events)
+            .unwrap()
+            .with_metric_noise(0.05)
+            .unwrap()
+            .with_controller_kill(KillPoint::AfterRecord(4))
+            .unwrap();
+        let a = 15.0;
+        let b = 30.0;
+        assert_eq!(plan.shifted(a).shifted(b), plan.shifted(a + b));
+        // The composed view keeps only events after a+b, rebased.
+        let s = plan.shifted(a + b);
+        assert_eq!(s.events.len(), 4);
+        assert_eq!(s.events[0].time, 50.0 - (a + b));
+        assert_eq!(s.metric_noise, 0.05);
+        assert_eq!(s.controller_kill, Some(KillPoint::AfterRecord(4)));
+    }
+
+    #[test]
     fn injector_advances_monotonically() {
         let plan = FaultPlan::new(vec![
             FaultEvent {

@@ -27,7 +27,7 @@ pub mod fault;
 pub mod metrics;
 
 pub use config::SimConfig;
-pub use engine::Simulation;
+pub use engine::{Simulation, TaskTransfer};
 pub use epoch::EpochFence;
 pub use error::SimError;
 pub use fault::{ChaosConfig, FaultEvent, FaultInjector, FaultKind, FaultPlan, KillPoint, ModelSkew};

@@ -34,14 +34,22 @@
 #      governor Rollback and its Commit), recover from the write-ahead
 #      journal, and diff the recovered trace and journal byte-for-byte
 #      against the uninterrupted golden run, under three distinct seeds;
-#      also checks zombie fencing.
+#      also checks zombie fencing; a fourth scenario journals an
+#      incremental migration and sweeps kills across its
+#      MigratePrepare/MigrateStep/MigrateCommit records;
+#  12. migration smoke — whole-plan redeploy vs minimum-movement
+#      incremental migration A/B on the same seeded crash: less state
+#      moved, less downtime, less throughput lost, the journaled
+#      target re-derived byte-identically through the exported
+#      optimizer and within epsilon of the unconstrained optimum,
+#      under three distinct seeds.
 #
 # Usage: scripts/ci.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/11] tree guard: no tracked build artifacts"
+echo "==> [1/12] tree guard: no tracked build artifacts"
 if git ls-files | grep -q '^target/'; then
     echo "FORBIDDEN: build artifacts under target/ are tracked" >&2
     echo "(run: git rm -r --cached target)" >&2
@@ -49,7 +57,7 @@ if git ls-files | grep -q '^target/'; then
 fi
 echo "    ok: target/ is untracked"
 
-echo "==> [2/11] dependency guard: workspace-internal crates only"
+echo "==> [2/12] dependency guard: workspace-internal crates only"
 # Collect every dependency key from every manifest. Dependency lines are
 # `name = ...` or `name.workspace = true` inside a [*dependencies*]
 # section; only capsys-* names are allowed.
@@ -78,7 +86,7 @@ if [ "$violations" -ne 0 ]; then
 fi
 echo "    ok: all dependencies are capsys-* path crates"
 
-echo "==> [3/11] panic lint: no unwrap/expect/panic! in non-test code"
+echo "==> [3/12] panic lint: no unwrap/expect/panic! in non-test code"
 # Library code must surface failures as Results — a panicking controller
 # is the exact failure mode the robustness work guards against. Unit-test
 # modules (everything from the first #[cfg(test)] down) and the justified
@@ -112,13 +120,13 @@ if [ "$violations" -ne 0 ]; then
 fi
 echo "    ok: non-test library code is panic-free"
 
-echo "==> [4/11] cargo build --release (all targets)"
+echo "==> [4/12] cargo build --release (all targets)"
 cargo build --release --workspace --all-targets
 
-echo "==> [5/11] cargo test (debug, full workspace)"
+echo "==> [5/12] cargo test (debug, full workspace)"
 cargo test -q --workspace
 
-echo "==> [5b/11] fixed-point overflow checks (capsys-util, release + overflow-checks)"
+echo "==> [5b/12] fixed-point overflow checks (capsys-util, release + overflow-checks)"
 # The Fixed64 core promises saturating/checked arithmetic, never a
 # silent two's-complement wrap. Release builds normally disable
 # overflow checks, so any unchecked `+`/`-`/`*` on a raw mantissa would
@@ -127,38 +135,49 @@ echo "==> [5b/11] fixed-point overflow checks (capsys-util, release + overflow-c
 RUSTFLAGS="${RUSTFLAGS:-} -C overflow-checks=yes" \
     cargo test -q --release -p capsys-util --target-dir target/overflow-checks
 
-echo "==> [6/11] determinism golden test (release)"
+echo "==> [6/12] determinism golden test (release)"
 cargo test -q --release --test golden_determinism
 
-echo "==> [7/11] smoke bench (quick mode, end-to-end)"
+echo "==> [7/12] smoke bench (quick mode, end-to-end)"
 CAPSYS_BENCH_QUICK=1 cargo bench -p capsys-bench --bench caps_search
 
-echo "==> [8/11] chaos smoke (fault injection + recovery, seeds 7/11/23)"
+echo "==> [8/12] chaos smoke (fault injection + recovery, seeds 7/11/23)"
 for seed in 7 11 23; do
     cargo run --release -p capsys-bench --bin exp_chaos -- --seed "$seed" --quick
 done
 
-echo "==> [9/11] search perf smoke (thread scaling + warm-start, BENCH_search.json)"
+echo "==> [9/12] search perf smoke (thread scaling + warm-start, BENCH_search.json)"
 # exp_perf asserts its own invariants (determinism across thread counts,
 # warm-start probe economy, hardware-gated speedup floor) and validates
 # the JSON it wrote; a malformed record fails this step.
 cargo run --release -p capsys-bench --bin exp_perf -- --smoke
 
-echo "==> [10/11] guard smoke (safety governor vs model skew, seed 7)"
+echo "==> [10/12] guard smoke (safety governor vs model skew, seed 7)"
 # exp_guard self-asserts: without the governor the stale-model regression
 # persists; with it, the regression is detected within one probation
 # window, rolled back to last-known-good, throughput recovers, churn
 # stays within the rollback cap, and same-seed runs replay identically.
 cargo run --release -p capsys-bench --bin exp_guard -- --seed 7 --quick
 
-echo "==> [11/11] recovery sweep (kill-at-every-decision crash recovery, seeds 7/11/23)"
+echo "==> [11/12] recovery sweep (kill-at-every-decision crash recovery, seeds 7/11/23)"
 # exp_recovery self-asserts: every kill point recovers to a
 # byte-identical trace AND journal, the mid-reconfiguration kill rolls
-# forward (for scaling Prepares and governor Rollbacks alike), a
-# chaos-drawn wall-clock kill recovers, and a zombie controller is
-# fenced.
+# forward (for scaling Prepares, governor Rollbacks, and mid-wave
+# migrations alike), a chaos-drawn wall-clock kill recovers, and a
+# zombie controller is fenced.
 for seed in 7 11 23; do
     cargo run --release -p capsys-bench --bin exp_recovery -- --seed "$seed" --smoke
+done
+
+echo "==> [12/12] migration smoke (incremental vs whole-plan A/B, seeds 7/11/23)"
+# exp_migrate self-asserts: the incremental arm moves strictly fewer
+# bytes, pauses strictly fewer task-seconds, and loses strictly less
+# throughput area than the whole-plan arm on the same crash; the
+# journaled two-phase wave protocol is complete and minimal; the
+# migration target re-derives byte-identically and lands within
+# epsilon of the cost optimum; same-seed runs replay identically.
+for seed in 7 11 23; do
+    cargo run --release -p capsys-bench --bin exp_migrate -- --seed "$seed" --smoke
 done
 
 echo "CI green."
