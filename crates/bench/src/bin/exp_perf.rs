@@ -211,12 +211,20 @@ fn main() {
         "plan counts diverged across thread counts: {plan_counts:?}"
     );
     let speedup = |t: usize| wall_by_threads[&1] / wall_by_threads[&t];
-    println!(
-        "\nspeedup: 2t {:.2}x, 4t {:.2}x, 8t {:.2}x",
-        speedup(2),
-        speedup(4),
-        speedup(8)
-    );
+    if hardware_threads > 1 {
+        println!(
+            "\nspeedup: 2t {:.2}x, 4t {:.2}x, 8t {:.2}x",
+            speedup(2),
+            speedup(4),
+            speedup(8)
+        );
+    } else {
+        // On a single-hardware-thread machine the per-thread ratios are
+        // pure scheduler noise around 1.0; printing or recording them
+        // would invite reading meaning into noise, so they are
+        // suppressed entirely and only the skip marker is kept.
+        println!("\nspeedup columns suppressed: 1 hardware thread");
+    }
 
     // --- Auto-tune warm-start -------------------------------------------
     let tune_base = SearchConfig::auto_tuned();
@@ -394,12 +402,16 @@ fn main() {
         ("scaling", Json::Arr(scaling)),
         (
             "speedup",
-            obj(vec![
-                ("t2", Json::Num(speedup(2))),
-                ("t4", Json::Num(speedup(4))),
-                ("t8", Json::Num(speedup(8))),
-                ("gate", Json::Str(speedup_gate.clone())),
-            ]),
+            obj(if hardware_threads > 1 {
+                vec![
+                    ("t2", Json::Num(speedup(2))),
+                    ("t4", Json::Num(speedup(4))),
+                    ("t8", Json::Num(speedup(8))),
+                    ("gate", Json::Str(speedup_gate.clone())),
+                ]
+            } else {
+                vec![("gate", Json::Str(speedup_gate.clone()))]
+            }),
         ),
         (
             "symmetric_memo",
@@ -482,6 +494,24 @@ fn main() {
             .is_some_and(|g| g.starts_with("enforced") || g.starts_with("skipped")),
         "speedup gate marker missing from BENCH_search.json"
     );
+    // On a 1-hardware-thread machine the gate must read `skipped` and
+    // the per-thread speedup columns must be absent, not merely NaN or
+    // noise-valued.
+    if hardware_threads == 1 {
+        let sp = parsed.get("speedup").expect("speedup section");
+        assert!(
+            sp.get("gate")
+                .and_then(Json::as_str)
+                .is_some_and(|g| g.starts_with("skipped")),
+            "gate must read `skipped` with 1 hardware thread"
+        );
+        for key in ["t2", "t4", "t8"] {
+            assert!(
+                sp.get(key).is_none(),
+                "speedup column {key:?} must be suppressed with 1 hardware thread"
+            );
+        }
+    }
     assert_eq!(
         parsed
             .get("scaling")

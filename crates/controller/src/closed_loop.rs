@@ -31,7 +31,7 @@ use capsys_model::{
     Cluster, OperatorId, PhysicalGraph, Placement, PlanDiff, RateSchedule, StateModel, TaskId,
     TaskMove, WorkerId,
 };
-use capsys_placement::{PlacementContext, PlacementStrategy};
+use capsys_placement::{PlacementContext, PlacementStrategy, SearchDescriptor};
 use capsys_queries::Query;
 use capsys_sim::{
     sanitize_rates, EpochFence, FaultPlan, KillPoint, MetricPoint, ModelSkew, SimConfig, SimError,
@@ -1216,6 +1216,7 @@ impl<'a> ClosedLoop<'a> {
             wave_len: cfg.wave_size,
             rate: rate_now,
             rng: self.rng.state(),
+            search: Some(SearchDescriptor::of(&search)),
         })?;
         // The live simulation keeps running across the migration, but
         // the migration itself must win the fence: a superseded zombie
@@ -1544,18 +1545,20 @@ impl<'a> ClosedLoop<'a> {
             loads: &loads,
         };
         let down = self.known_down();
-        let (placement, rung) = match (&self.recovery, down.is_empty()) {
+        let (placement, rung, search_desc) = match (&self.recovery, down.is_empty()) {
             (Some(rec), false) => {
                 let mut search = rec.config.search.clone();
                 search.free_slots = Some(self.free_slots(&down));
-                place_with_ladder(&ctx, &search, &mut self.rng)
-                    .map_err(ControllerError::Placement)?
+                let (p, r) = place_with_ladder(&ctx, &search, &mut self.rng)
+                    .map_err(ControllerError::Placement)?;
+                (p, r, Some(SearchDescriptor::of(&search)))
             }
             _ => (
                 self.strategy
                     .place(&ctx, &mut self.rng)
                     .map_err(ControllerError::Placement)?,
                 LadderRung::Caps,
+                self.strategy.search_descriptor(),
             ),
         };
 
@@ -1575,6 +1578,7 @@ impl<'a> ClosedLoop<'a> {
             rung,
             rate: rate_now,
             rng: self.rng.state(),
+            search: search_desc,
         })?;
 
         self.deploy(query, physical, placement, epoch, true)?;
@@ -2498,6 +2502,90 @@ mod tests {
             .run(300.0)
             .unwrap();
         (trace, buf.text())
+    }
+
+    #[test]
+    fn journaled_mcts_decision_rederives_byte_identically() {
+        // ISSUE acceptance: a Prepare journaled by an MCTS-backed
+        // strategy records backend + seed + budget, and re-running the
+        // search they describe re-derives the journaled assignment
+        // byte-for-byte.
+        use capsys_core::{CapsSearch, MctsConfig, SearchBackend};
+
+        let query = q1_sliding().with_parallelism(&[1, 1, 1, 1]).unwrap();
+        let cluster = small_cluster();
+        let target = q1_sliding().capacity_rate(&cluster, 0.5).unwrap();
+        let mcts_search = SearchConfig {
+            node_budget: Some(20_000),
+            backend: SearchBackend::Mcts(MctsConfig::seeded(0xFEED)),
+            ..SearchConfig::auto_tuned()
+        };
+        let strategy = CapsStrategy::new(mcts_search.clone());
+        let loop_ = ClosedLoop::new(
+            &query,
+            &cluster,
+            &strategy,
+            fast_ds2(),
+            SimConfig {
+                duration: 1.0,
+                warmup: 0.0,
+                ..SimConfig::default()
+            },
+            RateSchedule::Constant(target),
+            7,
+        )
+        .unwrap();
+        let (journal, buf) = DecisionJournal::in_memory();
+        loop_.with_journal(journal).unwrap().run(150.0).unwrap();
+
+        let parsed = crate::journal::parse_journal(&buf.text()).unwrap();
+        let mut checked = 0;
+        for rec in &parsed.records {
+            let DecisionRecord::Prepare {
+                parallelism,
+                assignment,
+                rate,
+                search,
+                ..
+            } = rec
+            else {
+                continue;
+            };
+            let desc = search
+                .as_ref()
+                .expect("the CAPS strategy must journal its search descriptor");
+            assert_eq!(desc.backend, "mcts");
+            assert_eq!(desc.seed, Some(0xFEED));
+            assert_eq!(desc.node_budget, Some(20_000));
+            // Re-run the journaled search: the descriptor pins backend,
+            // seed, and budget; the rest of the configuration comes from
+            // the strategy, exactly as recovery reconstructs the loop.
+            let q = q1_sliding().with_parallelism(parallelism).unwrap();
+            let p = q.physical();
+            let loads = q.load_model_at(&p, *rate).unwrap();
+            let config = SearchConfig {
+                node_budget: desc.node_budget,
+                backend: SearchBackend::Mcts(MctsConfig::seeded(desc.seed.unwrap())),
+                ..mcts_search.clone()
+            };
+            let outcome = CapsSearch::new(q.logical(), &p, &cluster, &loads)
+                .unwrap()
+                .run(&config)
+                .unwrap();
+            let rederived: Vec<usize> = outcome
+                .best_plan()
+                .unwrap()
+                .assignment()
+                .iter()
+                .map(|w| w.0)
+                .collect();
+            assert_eq!(
+                &rederived, assignment,
+                "journaled MCTS plan must re-derive byte-identically"
+            );
+            checked += 1;
+        }
+        assert!(checked >= 1, "scenario journaled no Prepare records");
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 use std::io::Write;
 
+use capsys_placement::SearchDescriptor;
 use capsys_util::journal::{read_journal, JournalWriter, SharedBuf};
 use capsys_util::json::Json;
 
@@ -104,6 +105,12 @@ pub enum DecisionRecord {
         rate: f64,
         /// RNG state after the placement search.
         rng: [u64; 4],
+        /// How the placement search was configured (backend, seed, node
+        /// budget), when the strategy ran one. `None` for searchless
+        /// strategies and for journals written before this field
+        /// existed; with it, an auditor can re-run the identical search
+        /// and re-derive the journaled assignment byte-for-byte.
+        search: Option<SearchDescriptor>,
     },
     /// Phase two: the reconfiguration of `epoch` was applied.
     Commit {
@@ -164,6 +171,9 @@ pub enum DecisionRecord {
         rate: f64,
         /// RNG state after the placement search.
         rng: [u64; 4],
+        /// How the placement search was configured; see
+        /// [`DecisionRecord::Prepare::search`].
+        search: Option<SearchDescriptor>,
     },
     /// Wave `wave` of the migration of `epoch` finished draining and
     /// its tasks now run on their target workers.
@@ -225,6 +235,46 @@ fn rng_from_json(v: Option<&Json>) -> Result<[u64; 4], ControllerError> {
         out[i] = u64_from_hex(Some(w), "rng")?;
     }
     Ok(out)
+}
+
+/// Encodes a search descriptor. Seeds use the hex framing (they are
+/// full-width u64s); the node budget fits a JSON number (budgets beyond
+/// 2^53 nodes are not representable and not meaningful).
+fn search_to_json(s: &SearchDescriptor) -> Json {
+    let mut fields = vec![("backend".to_string(), Json::Str(s.backend.clone()))];
+    if let Some(seed) = s.seed {
+        fields.push(("seed".into(), hex_u64(seed)));
+    }
+    if let Some(budget) = s.node_budget {
+        fields.push(("node_budget".into(), Json::Num(budget as f64)));
+    }
+    Json::Obj(fields)
+}
+
+/// Decodes the optional `search` field. Absent (including journals
+/// written before the field existed) is `None`; present-but-malformed
+/// is an error, not a silent skip.
+fn search_from_json(v: Option<&Json>) -> Result<Option<SearchDescriptor>, ControllerError> {
+    let Some(obj) = v else {
+        return Ok(None);
+    };
+    if matches!(obj, Json::Null) {
+        return Ok(None);
+    }
+    let backend = text(obj.get("backend"), "search.backend")?.to_string();
+    let seed = match obj.get("seed") {
+        Some(Json::Null) | None => None,
+        some => Some(u64_from_hex(some, "search.seed")?),
+    };
+    let node_budget = match obj.get("node_budget") {
+        Some(Json::Null) | None => None,
+        some => Some(integer(some, "search.node_budget")? as usize),
+    };
+    Ok(Some(SearchDescriptor {
+        backend,
+        seed,
+        node_budget,
+    }))
 }
 
 fn usizes_to_json(v: &[usize]) -> Json {
@@ -314,17 +364,24 @@ impl DecisionRecord {
                 rung,
                 rate,
                 rng,
-            } => Json::Obj(vec![
-                ("type".into(), Json::Str("prepare".into())),
-                ("epoch".into(), Json::Num(*epoch as f64)),
-                ("time".into(), Json::Num(*time)),
-                ("reason".into(), Json::Str(reason.name().into())),
-                ("parallelism".into(), usizes_to_json(parallelism)),
-                ("assignment".into(), usizes_to_json(assignment)),
-                ("rung".into(), Json::Str(rung.name().into())),
-                ("rate".into(), Json::Num(*rate)),
-                ("rng".into(), rng_to_json(*rng)),
-            ]),
+                search,
+            } => {
+                let mut fields = vec![
+                    ("type".into(), Json::Str("prepare".into())),
+                    ("epoch".into(), Json::Num(*epoch as f64)),
+                    ("time".into(), Json::Num(*time)),
+                    ("reason".into(), Json::Str(reason.name().into())),
+                    ("parallelism".into(), usizes_to_json(parallelism)),
+                    ("assignment".into(), usizes_to_json(assignment)),
+                    ("rung".into(), Json::Str(rung.name().into())),
+                    ("rate".into(), Json::Num(*rate)),
+                    ("rng".into(), rng_to_json(*rng)),
+                ];
+                if let Some(s) = search {
+                    fields.push(("search".into(), search_to_json(s)));
+                }
+                Json::Obj(fields)
+            }
             DecisionRecord::Commit { epoch, time } => Json::Obj(vec![
                 ("type".into(), Json::Str("commit".into())),
                 ("epoch".into(), Json::Num(*epoch as f64)),
@@ -357,19 +414,26 @@ impl DecisionRecord {
                 wave_len,
                 rate,
                 rng,
-            } => Json::Obj(vec![
-                ("type".into(), Json::Str("migrate_prepare".into())),
-                ("epoch".into(), Json::Num(*epoch as f64)),
-                ("time".into(), Json::Num(*time)),
-                ("reason".into(), Json::Str(reason.name().into())),
-                ("parallelism".into(), usizes_to_json(parallelism)),
-                ("assignment".into(), usizes_to_json(assignment)),
-                ("rung".into(), Json::Str(rung.name().into())),
-                ("moved".into(), usizes_to_json(moved)),
-                ("wave_len".into(), Json::Num(*wave_len as f64)),
-                ("rate".into(), Json::Num(*rate)),
-                ("rng".into(), rng_to_json(*rng)),
-            ]),
+                search,
+            } => {
+                let mut fields = vec![
+                    ("type".into(), Json::Str("migrate_prepare".into())),
+                    ("epoch".into(), Json::Num(*epoch as f64)),
+                    ("time".into(), Json::Num(*time)),
+                    ("reason".into(), Json::Str(reason.name().into())),
+                    ("parallelism".into(), usizes_to_json(parallelism)),
+                    ("assignment".into(), usizes_to_json(assignment)),
+                    ("rung".into(), Json::Str(rung.name().into())),
+                    ("moved".into(), usizes_to_json(moved)),
+                    ("wave_len".into(), Json::Num(*wave_len as f64)),
+                    ("rate".into(), Json::Num(*rate)),
+                    ("rng".into(), rng_to_json(*rng)),
+                ];
+                if let Some(s) = search {
+                    fields.push(("search".into(), search_to_json(s)));
+                }
+                Json::Obj(fields)
+            }
             DecisionRecord::MigrateStep { epoch, wave, time } => Json::Obj(vec![
                 ("type".into(), Json::Str("migrate_step".into())),
                 ("epoch".into(), Json::Num(*epoch as f64)),
@@ -426,6 +490,7 @@ impl DecisionRecord {
                     .ok_or_else(|| bad("unknown ladder rung"))?,
                 rate: num(v.get("rate"), "rate")?,
                 rng: rng_from_json(v.get("rng"))?,
+                search: search_from_json(v.get("search"))?,
             }),
             "commit" => Ok(DecisionRecord::Commit {
                 epoch: integer(v.get("epoch"), "epoch")?,
@@ -452,6 +517,7 @@ impl DecisionRecord {
                 wave_len: integer(v.get("wave_len"), "wave_len")? as usize,
                 rate: num(v.get("rate"), "rate")?,
                 rng: rng_from_json(v.get("rng"))?,
+                search: search_from_json(v.get("search"))?,
             }),
             "migrate_step" => Ok(DecisionRecord::MigrateStep {
                 epoch: integer(v.get("epoch"), "epoch")?,
@@ -580,6 +646,11 @@ mod tests {
                 rung: LadderRung::RelaxedCaps,
                 rate: 1234.56,
                 rng: [9, 8, 7, 6],
+                search: Some(SearchDescriptor {
+                    backend: "mcts".into(),
+                    seed: Some(u64::MAX - 17),
+                    node_budget: Some(50_000),
+                }),
             },
             DecisionRecord::Commit {
                 epoch: 1,
@@ -604,6 +675,11 @@ mod tests {
                 wave_len: 2,
                 rate: 987.0,
                 rng: [21, 22, 23, 24],
+                search: Some(SearchDescriptor {
+                    backend: "dfs".into(),
+                    seed: None,
+                    node_budget: None,
+                }),
             },
             DecisionRecord::MigrateStep {
                 epoch: 3,
@@ -668,6 +744,35 @@ mod tests {
         };
         let back = DecisionRecord::from_json(&rec.to_json()).unwrap();
         assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn prepare_without_search_field_still_parses() {
+        // Journals written before the search descriptor existed must
+        // keep parsing; the field reads back as `None`.
+        let body = r#"{"type":"prepare","epoch":1,"time":5.0,"reason":"scaling","parallelism":[1],"assignment":[0],"rung":"caps","rate":10,"rng":["0","1","2","3"]}"#;
+        let parsed = DecisionRecord::from_json(&Json::parse(body).unwrap()).unwrap();
+        match parsed {
+            DecisionRecord::Prepare { search, .. } => assert_eq!(search, None),
+            other => panic!("parsed to {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_search_descriptor_is_rejected() {
+        for body in [
+            // backend missing
+            r#"{"type":"prepare","epoch":1,"time":5.0,"reason":"scaling","parallelism":[1],"assignment":[0],"rung":"caps","rate":10,"rng":["0","1","2","3"],"search":{"seed":"07"}}"#,
+            // non-hex seed
+            r#"{"type":"prepare","epoch":1,"time":5.0,"reason":"scaling","parallelism":[1],"assignment":[0],"rung":"caps","rate":10,"rng":["0","1","2","3"],"search":{"backend":"mcts","seed":"zz"}}"#,
+            // negative budget
+            r#"{"type":"prepare","epoch":1,"time":5.0,"reason":"scaling","parallelism":[1],"assignment":[0],"rung":"caps","rate":10,"rng":["0","1","2","3"],"search":{"backend":"mcts","node_budget":-3}}"#,
+        ] {
+            assert!(
+                DecisionRecord::from_json(&Json::parse(body).unwrap()).is_err(),
+                "payload {body} was not rejected"
+            );
+        }
     }
 
     #[test]

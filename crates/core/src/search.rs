@@ -25,8 +25,10 @@ use capsys_util::fixed::Fixed64;
 use crate::autotune::{AutoTuneConfig, AutoTuneReport, AutoTuner};
 use crate::cost::{CostModel, CostVector, Thresholds};
 use crate::error::CapsError;
+use crate::mcts::MctsReport;
 use crate::memo::{fnv1a64, MemoSetup, MemoTable};
 use crate::pareto::pareto_front;
+use crate::strategy::{BackendResult, SearchBackend, SearchStrategy, StrategyContext};
 
 /// Slack when treating tiny `f64` denominators as degenerate in the
 /// operator-reordering heuristic (reporting-side arithmetic only; the
@@ -82,6 +84,11 @@ pub struct SearchConfig {
     /// first-feasible and incumbent-pruned searches, whose reachability
     /// depends on more than the state.
     pub memo: bool,
+    /// Which [`SearchStrategy`] backend explores the plan space. The
+    /// default DFS backend is exhaustive within its budget; the MCTS
+    /// backend is an anytime search for plan spaces too large to
+    /// exhaust.
+    pub backend: SearchBackend,
 }
 
 impl SearchConfig {
@@ -107,6 +114,7 @@ impl SearchConfig {
             auto_tune: AutoTuneConfig::default(),
             incumbent_prune: false,
             memo: true,
+            backend: SearchBackend::Dfs,
         }
     }
 
@@ -137,6 +145,12 @@ impl SearchConfig {
     /// Disables dead-state memoization, returning the modified config.
     pub fn without_memo(mut self) -> Self {
         self.memo = false;
+        self
+    }
+
+    /// Selects a search backend, returning the modified config.
+    pub fn with_backend(mut self, backend: SearchBackend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -188,6 +202,18 @@ pub struct RunStats {
     pub aborted: bool,
 }
 
+/// One point of an anytime-quality curve: the best feasible cost known
+/// after `nodes` assignment steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnytimePoint {
+    /// Assignment steps ((worker, operator, count) placements) spent when
+    /// the improvement was found — the same unit as [`RunStats::nodes`],
+    /// so DFS and MCTS curves are directly comparable.
+    pub nodes: usize,
+    /// The new best `max_component` cost.
+    pub cost: f64,
+}
+
 /// The result of a CAPS search.
 #[derive(Debug, Clone)]
 pub struct SearchOutcome {
@@ -205,6 +231,14 @@ pub struct SearchOutcome {
     pub order: Vec<OperatorId>,
     /// Per-dimension pressure weights used for plan selection.
     pub pressure: [f64; 3],
+    /// Best-cost-vs-nodes improvement points, monotonically decreasing in
+    /// cost. Populated by the single-threaded backends (sequential DFS
+    /// and MCTS), whose exploration order is deterministic; the parallel
+    /// DFS leaves it empty because improvement times are schedule-
+    /// dependent.
+    pub anytime: Vec<AnytimePoint>,
+    /// MCTS tree diagnostics, when the MCTS backend ran.
+    pub mcts: Option<MctsReport>,
 }
 
 impl SearchOutcome {
@@ -369,6 +403,10 @@ pub(crate) struct CapsVisitor<'a> {
     undo_marks: Vec<usize>,
     // Results.
     found: Vec<ScoredPlan>,
+    /// Improvement points of the best stored `max_component` cost;
+    /// meaningful only for single-threaded runs (deterministic order).
+    anytime: Vec<AnytimePoint>,
+    best_cost: f64,
     /// Index of the worst stored plan under [`cmp_scored`], maintained
     /// incrementally so a full store rejects a non-improving candidate
     /// in O(1) instead of rescanning the store per leaf.
@@ -435,6 +473,8 @@ impl<'a> CapsVisitor<'a> {
             delta_arena: Vec::with_capacity(256),
             undo_marks: Vec::with_capacity(64),
             found: Vec::new(),
+            anytime: Vec::new(),
+            best_cost: f64::INFINITY,
             worst_idx: None,
             max_plans: config.max_plans,
             first_feasible: config.first_feasible,
@@ -558,6 +598,11 @@ impl<'a> CapsVisitor<'a> {
     /// Consumes the visitor and returns its local plan cache.
     pub(crate) fn into_found(self) -> Vec<ScoredPlan> {
         self.found
+    }
+
+    /// Takes the recorded best-cost improvement points.
+    pub(crate) fn take_anytime(&mut self) -> Vec<AnytimePoint> {
+        std::mem::take(&mut self.anytime)
     }
 
     /// Whether this visitor stopped early on a budget or stop flag.
@@ -779,6 +824,13 @@ impl<'a> CapsVisitor<'a> {
         }
         if self.max_plans == 0 {
             return;
+        }
+        if cost.max_component() < self.best_cost {
+            self.best_cost = cost.max_component();
+            self.anytime.push(AnytimePoint {
+                nodes: self.nodes,
+                cost: self.best_cost,
+            });
         }
         // The incremental accumulator IS the stored cost: fixed-point
         // loads reach a leaf with the same mantissas on every schedule,
@@ -1064,6 +1116,8 @@ impl<'a> CapsSearch<'a> {
                 autotune: None,
                 order,
                 pressure: self.model.pressure(),
+                anytime: Vec::new(),
+                mcts: None,
             });
         }
 
@@ -1075,61 +1129,42 @@ impl<'a> CapsSearch<'a> {
 
         // Dead-state memoization is sound only when subtree reachability
         // is a pure function of the layer state: a first-feasible stop or
-        // a moving incumbent bound makes "dead" time-dependent.
-        let memo = (config.memo && !config.first_feasible && !config.incumbent_prune).then(|| {
-            let (layer_ok, open_ops) = self.topo.memo_layout(&order);
-            MemoSetup {
-                table: MemoTable::new(),
-                layer_ok,
-                open_ops,
-            }
-        });
+        // a moving incumbent bound makes "dead" time-dependent. The MCTS
+        // backend samples rather than exhausts, so it never consults the
+        // memo and the table is not built for it.
+        let memo = (config.memo
+            && !config.first_feasible
+            && !config.incumbent_prune
+            && config.backend == SearchBackend::Dfs)
+            .then(|| {
+                let (layer_ok, open_ops) = self.topo.memo_layout(&order);
+                MemoSetup {
+                    table: MemoTable::new(),
+                    layer_ok,
+                    open_ops,
+                }
+            });
 
-        let (mut found, stats) = if config.threads <= 1 {
-            let stop = std::sync::atomic::AtomicBool::new(false);
-            let incumbent = std::sync::atomic::AtomicU64::new(f64::INFINITY.to_bits());
-            let mut visitor = CapsVisitor::new(
-                self.physical,
-                &self.model,
-                &self.topo,
-                bound,
-                config,
-                deadline,
-                Some(&stop),
-            );
-            if config.incumbent_prune {
-                visitor.set_incumbent(&incumbent);
-            }
-            if let Some(setup) = &memo {
-                visitor.set_memo(setup);
-            }
-            let s = enumerator.explore(&mut visitor);
-            let aborted = visitor.was_aborted();
-            let memo_hits = visitor.memo_hits();
-            (
-                visitor.found,
-                RunStats {
-                    nodes: s.nodes,
-                    pruned: s.pruned,
-                    plans_found: s.plans,
-                    memo_hits,
-                    elapsed: start.elapsed(),
-                    threads: 1,
-                    aborted,
-                },
-            )
-        } else {
-            crate::parallel::run_parallel(
-                self.physical,
-                &self.model,
-                &self.topo,
-                &enumerator,
-                bound,
-                memo.as_ref(),
-                config,
-                deadline,
-                start,
-            )?
+        let ctx = StrategyContext {
+            physical: self.physical,
+            model: &self.model,
+            topo: &self.topo,
+            enumerator: &enumerator,
+            bound,
+            memo: memo.as_ref(),
+            config,
+            deadline,
+            start,
+        };
+        let BackendResult {
+            plans: mut found,
+            stats,
+            anytime,
+            mcts,
+        } = match &config.backend {
+            SearchBackend::Dfs if config.threads <= 1 => crate::strategy::SequentialDfs.search(&ctx)?,
+            SearchBackend::Dfs => crate::strategy::ParallelDfs.search(&ctx)?,
+            SearchBackend::Mcts(mcfg) => crate::mcts::MctsStrategy::new(mcfg.clone()).search(&ctx)?,
         };
 
         if config.incumbent_prune {
@@ -1154,6 +1189,8 @@ impl<'a> CapsSearch<'a> {
             autotune: None,
             order,
             pressure: self.model.pressure(),
+            anytime,
+            mcts,
         })
     }
 

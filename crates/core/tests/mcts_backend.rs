@@ -1,0 +1,248 @@
+//! Property tests for the MCTS search backend: convergence to the DFS
+//! optimum on small topologies and byte-identical determinism under a
+//! fixed seed and node budget.
+
+use std::collections::HashMap;
+
+use capsys_core::{CapsSearch, MctsConfig, SearchBackend, SearchConfig, SearchOutcome};
+use capsys_model::{
+    Cluster, ConnectionPattern, LoadModel, LogicalGraph, OperatorId, OperatorKind, PhysicalGraph,
+    ResourceProfile, WorkerSpec,
+};
+use capsys_util::fixed::Fixed64;
+
+/// An 8-task (2+4+2) three-operator pipeline on 2 workers x 4 slots —
+/// small enough for the DFS to exhaust instantly.
+fn fixture() -> (LogicalGraph, PhysicalGraph, Cluster, LoadModel) {
+    let mut b = LogicalGraph::builder("q");
+    let s = b.operator(
+        "src",
+        OperatorKind::Source,
+        2,
+        ResourceProfile::new(0.0005, 0.0, 100.0, 1.0),
+    );
+    let h = b.operator(
+        "heavy",
+        OperatorKind::Window,
+        4,
+        ResourceProfile::new(0.002, 500.0, 50.0, 0.5),
+    );
+    let k = b.operator(
+        "sink",
+        OperatorKind::Sink,
+        2,
+        ResourceProfile::new(0.0001, 0.0, 0.0, 1.0),
+    );
+    b.edge(s, h, ConnectionPattern::Rebalance);
+    b.edge(h, k, ConnectionPattern::Hash);
+    let g = b.build().unwrap();
+    let p = PhysicalGraph::expand(&g);
+    let c = Cluster::homogeneous(2, WorkerSpec::new(4, 4.0, 1e8, 1e9)).unwrap();
+    let mut rates = HashMap::new();
+    rates.insert(OperatorId(0), 1000.0);
+    let lm = LoadModel::derive(&g, &p, &rates).unwrap();
+    (g, p, c, lm)
+}
+
+/// A wider 16-task topology on 4 workers, still DFS-exhaustible.
+fn fixture16() -> (LogicalGraph, PhysicalGraph, Cluster, LoadModel) {
+    let mut b = LogicalGraph::builder("q16");
+    let s = b.operator(
+        "src",
+        OperatorKind::Source,
+        4,
+        ResourceProfile::new(0.0004, 0.0, 80.0, 1.0),
+    );
+    let f = b.operator(
+        "filter",
+        OperatorKind::Stateless,
+        4,
+        ResourceProfile::new(0.0008, 0.0, 10.0, 0.6),
+    );
+    let h = b.operator(
+        "agg",
+        OperatorKind::Window,
+        4,
+        ResourceProfile::new(0.0015, 400.0, 40.0, 0.5),
+    );
+    let k = b.operator(
+        "sink",
+        OperatorKind::Sink,
+        4,
+        ResourceProfile::new(0.0001, 0.0, 0.0, 1.0),
+    );
+    b.edge(s, f, ConnectionPattern::Rebalance);
+    b.edge(f, h, ConnectionPattern::Hash);
+    b.edge(h, k, ConnectionPattern::Hash);
+    let g = b.build().unwrap();
+    let p = PhysicalGraph::expand(&g);
+    let c = Cluster::homogeneous(4, WorkerSpec::new(4, 4.0, 1e8, 1e9)).unwrap();
+    let mut rates = HashMap::new();
+    rates.insert(OperatorId(0), 800.0);
+    let lm = LoadModel::derive(&g, &p, &rates).unwrap();
+    (g, p, c, lm)
+}
+
+fn best_max_component(out: &SearchOutcome) -> f64 {
+    out.feasible
+        .iter()
+        .map(|s| s.cost.max_component())
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Everything a run exposes that must be reproducible, rendered to one
+/// comparable string: stored assignments, exact cost bits, the anytime
+/// curve, and the full MCTS report (visit counts included).
+fn determinism_surface(out: &SearchOutcome) -> String {
+    let assignments: Vec<Vec<usize>> = out
+        .feasible
+        .iter()
+        .map(|s| s.plan.assignment().iter().map(|w| w.0).collect())
+        .collect();
+    let costs: Vec<[u64; 3]> = out
+        .feasible
+        .iter()
+        .map(|s| {
+            [
+                s.cost.cpu.to_bits(),
+                s.cost.io.to_bits(),
+                s.cost.net.to_bits(),
+            ]
+        })
+        .collect();
+    format!(
+        "assignments={assignments:?} costs={costs:?} anytime={:?} report={:?} nodes={} plans={}",
+        out.anytime, out.mcts, out.stats.nodes, out.stats.plans_found
+    )
+}
+
+/// ISSUE satellite 1: on <=16-task topologies, MCTS with an effectively
+/// unbounded budget reaches a best cost *exactly* equal (Fixed64 `==`,
+/// not epsilon) to the DFS optimum, for seeds 7, 11, and 23.
+#[test]
+fn mcts_converges_to_dfs_optimum_on_small_topologies() {
+    for (g, p, c, lm) in [fixture(), fixture16()] {
+        let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+        let dfs = search
+            .run(&SearchConfig {
+                max_plans: 64,
+                ..SearchConfig::exhaustive()
+            })
+            .unwrap();
+        assert!(!dfs.stats.aborted);
+        let dfs_best = best_max_component(&dfs);
+        assert!(dfs_best.is_finite());
+        for seed in [7u64, 11, 23] {
+            let mcts = search
+                .run(&SearchConfig {
+                    max_plans: 64,
+                    backend: SearchBackend::Mcts(MctsConfig {
+                        iterations: Some(40_000),
+                        greedy_bias: 0.3,
+                        ..MctsConfig::seeded(seed)
+                    }),
+                    ..SearchConfig::exhaustive()
+                })
+                .unwrap();
+            let mcts_best = best_max_component(&mcts);
+            assert_eq!(
+                mcts_best.to_bits(),
+                dfs_best.to_bits(),
+                "seed {seed}: MCTS best {mcts_best} != DFS optimum {dfs_best}"
+            );
+            // The exact fixed-point view agrees bit-for-bit as well.
+            assert_eq!(Fixed64::from_f64(mcts_best), Fixed64::from_f64(dfs_best));
+        }
+    }
+}
+
+/// ISSUE satellite 2: same seed + same node budget => byte-identical
+/// best plans, visit counts, and anytime curve — including when DFS
+/// backends (sequential and parallel) run interleaved in the same
+/// process, proving the MCTS RNG stream is private.
+#[test]
+fn mcts_is_deterministic_across_interleaved_backends() {
+    let (g, p, c, lm) = fixture16();
+    let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+    let mcts_cfg = SearchConfig {
+        max_plans: 8,
+        node_budget: Some(30_000),
+        backend: SearchBackend::Mcts(MctsConfig::seeded(42)),
+        ..SearchConfig::exhaustive()
+    };
+
+    let first = search.run(&mcts_cfg).unwrap();
+    assert!(first.mcts.is_some());
+
+    // Interleave both DFS backends before replaying the MCTS run; any
+    // shared RNG or global state would perturb the replay.
+    search
+        .run(&SearchConfig {
+            max_plans: 8,
+            ..SearchConfig::exhaustive()
+        })
+        .unwrap();
+    search
+        .run(&SearchConfig {
+            max_plans: 8,
+            threads: 2,
+            ..SearchConfig::exhaustive()
+        })
+        .unwrap();
+
+    let replay = search.run(&mcts_cfg).unwrap();
+    assert_eq!(
+        determinism_surface(&first),
+        determinism_surface(&replay),
+        "same seed + node budget must replay byte-identically"
+    );
+}
+
+/// The node budget is honored in DFS-comparable units and the anytime
+/// curve is monotonically non-increasing.
+#[test]
+fn mcts_budget_and_anytime_curve() {
+    let (g, p, c, lm) = fixture16();
+    let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+    let out = search
+        .run(&SearchConfig {
+            max_plans: 8,
+            node_budget: Some(5_000),
+            backend: SearchBackend::Mcts(MctsConfig::seeded(7)),
+            ..SearchConfig::exhaustive()
+        })
+        .unwrap();
+    // The budget check fires on the first spend past the limit, so the
+    // overshoot is bounded by one row application.
+    assert!(out.stats.nodes <= 5_000 + 4);
+    assert!(!out.anytime.is_empty(), "expected feasible plans in budget");
+    for pair in out.anytime.windows(2) {
+        assert!(pair[1].cost < pair[0].cost, "anytime curve must improve");
+        assert!(pair[1].nodes >= pair[0].nodes);
+    }
+    let report = out.mcts.as_ref().unwrap();
+    assert!(report.root_visits > 0);
+    assert!(!report.root_children.is_empty());
+}
+
+/// The sequential DFS now reports its own anytime curve; the plan set
+/// itself is unchanged by the instrumentation.
+#[test]
+fn sequential_dfs_reports_monotone_anytime_curve() {
+    let (g, p, c, lm) = fixture();
+    let search = CapsSearch::new(&g, &p, &c, &lm).unwrap();
+    let out = search
+        .run(&SearchConfig {
+            max_plans: 64,
+            ..SearchConfig::exhaustive()
+        })
+        .unwrap();
+    assert!(out.mcts.is_none());
+    assert!(!out.anytime.is_empty());
+    for pair in out.anytime.windows(2) {
+        assert!(pair[1].cost < pair[0].cost);
+        assert!(pair[1].nodes >= pair[0].nodes);
+    }
+    let curve_best = out.anytime.last().unwrap().cost;
+    assert_eq!(curve_best.to_bits(), best_max_component(&out).to_bits());
+}

@@ -375,6 +375,22 @@ impl PlanEnumerator {
         &self.op_order
     }
 
+    /// Free slots per worker at the root of the search.
+    pub fn free_slots(&self) -> &[usize] {
+        &self.free_slots
+    }
+
+    /// Initial interchangeability groups (group id = index of the
+    /// group's first worker), as refined by [`refine_groups`].
+    pub fn initial_groups(&self) -> &[usize] {
+        &self.initial_groups
+    }
+
+    /// Parallelism per operator, indexed by operator id.
+    pub fn parallelism(&self) -> &[usize] {
+        &self.parallelism
+    }
+
     /// Runs the traversal, reporting every node and leaf to `visitor`.
     pub fn explore<V: PlanVisitor>(&self, visitor: &mut V) -> SearchStats {
         let mut state = self.new_state();
@@ -581,7 +597,11 @@ fn candidate_pair(
 
 /// Splits groups so workers remain grouped only if they received the same
 /// count for the operator just placed.
-fn refine_groups(group: &mut [usize], row: &[usize]) {
+///
+/// Public so search backends that walk the prefix tree out of band (the
+/// MCTS backend in `capsys-core`) can maintain the exact symmetry state
+/// the enumerator would, keeping their sampled rows canonical.
+pub fn refine_groups(group: &mut [usize], row: &[usize]) {
     // In-place: `group[w]` is read before being overwritten and later
     // positions are untouched, so no scratch copy is needed.
     let mut next = 0usize;

@@ -69,6 +69,30 @@ impl From<CapsError> for PlacementError {
     }
 }
 
+/// How the search that produced a plan was configured — journaled with
+/// controller decisions so replay (or an auditor) can re-derive the
+/// plan by re-running the identical search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchDescriptor {
+    /// Stable backend id (`"dfs"` or `"mcts"`).
+    pub backend: String,
+    /// The backend's RNG seed, for seeded backends (MCTS).
+    pub seed: Option<u64>,
+    /// The node budget in effect, if any.
+    pub node_budget: Option<usize>,
+}
+
+impl SearchDescriptor {
+    /// The descriptor of a CAPS [`SearchConfig`].
+    pub fn of(config: &SearchConfig) -> SearchDescriptor {
+        SearchDescriptor {
+            backend: config.backend.id().to_string(),
+            seed: config.backend.seed(),
+            node_budget: config.node_budget,
+        }
+    }
+}
+
 /// A task placement policy.
 pub trait PlacementStrategy {
     /// The strategy's display name.
@@ -80,6 +104,12 @@ pub trait PlacementStrategy {
         ctx: &PlacementContext<'_>,
         rng: &mut SmallRng,
     ) -> Result<Placement, PlacementError>;
+
+    /// The search configuration behind plans this strategy produces,
+    /// for journaling. Strategies that run no search return `None`.
+    fn search_descriptor(&self) -> Option<SearchDescriptor> {
+        None
+    }
 }
 
 /// Flink's default slot-assignment policy.
@@ -185,6 +215,10 @@ impl PlacementStrategy for CapsStrategy {
             None if outcome.stats.aborted => Err(PlacementError::Caps(CapsError::BudgetExhausted)),
             None => Err(PlacementError::Caps(CapsError::NoFeasiblePlan)),
         }
+    }
+
+    fn search_descriptor(&self) -> Option<SearchDescriptor> {
+        Some(SearchDescriptor::of(&self.config))
     }
 }
 

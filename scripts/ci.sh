@@ -42,14 +42,21 @@
 #      moved, less downtime, less throughput lost, the journaled
 #      target re-derived byte-identically through the exported
 #      optimizer and within epsilon of the unconstrained optimum,
-#      under three distinct seeds.
+#      under three distinct seeds;
+#  13. anytime search smoke — DFS vs MCTS backends under a shared node
+#      budget (seeds 7/11/23), writing BENCH_anytime.json and
+#      self-asserting that MCTS matches the DFS optimum bit-for-bit at
+#      16 tasks, returns feasible plans at 256/1024 tasks where the
+#      budgeted DFS exhausts with none, keeps every anytime curve
+#      monotone non-increasing, and replays byte-identically under the
+#      same seed.
 #
 # Usage: scripts/ci.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/12] tree guard: no tracked build artifacts"
+echo "==> [1/13] tree guard: no tracked build artifacts"
 if git ls-files | grep -q '^target/'; then
     echo "FORBIDDEN: build artifacts under target/ are tracked" >&2
     echo "(run: git rm -r --cached target)" >&2
@@ -57,7 +64,7 @@ if git ls-files | grep -q '^target/'; then
 fi
 echo "    ok: target/ is untracked"
 
-echo "==> [2/12] dependency guard: workspace-internal crates only"
+echo "==> [2/13] dependency guard: workspace-internal crates only"
 # Collect every dependency key from every manifest. Dependency lines are
 # `name = ...` or `name.workspace = true` inside a [*dependencies*]
 # section; only capsys-* names are allowed.
@@ -86,7 +93,7 @@ if [ "$violations" -ne 0 ]; then
 fi
 echo "    ok: all dependencies are capsys-* path crates"
 
-echo "==> [3/12] panic lint: no unwrap/expect/panic! in non-test code"
+echo "==> [3/13] panic lint: no unwrap/expect/panic! in non-test code"
 # Library code must surface failures as Results — a panicking controller
 # is the exact failure mode the robustness work guards against. Unit-test
 # modules (everything from the first #[cfg(test)] down) and the justified
@@ -120,13 +127,13 @@ if [ "$violations" -ne 0 ]; then
 fi
 echo "    ok: non-test library code is panic-free"
 
-echo "==> [4/12] cargo build --release (all targets)"
+echo "==> [4/13] cargo build --release (all targets)"
 cargo build --release --workspace --all-targets
 
-echo "==> [5/12] cargo test (debug, full workspace)"
+echo "==> [5/13] cargo test (debug, full workspace)"
 cargo test -q --workspace
 
-echo "==> [5b/12] fixed-point overflow checks (capsys-util, release + overflow-checks)"
+echo "==> [5b/13] fixed-point overflow checks (capsys-util, release + overflow-checks)"
 # The Fixed64 core promises saturating/checked arithmetic, never a
 # silent two's-complement wrap. Release builds normally disable
 # overflow checks, so any unchecked `+`/`-`/`*` on a raw mantissa would
@@ -135,31 +142,31 @@ echo "==> [5b/12] fixed-point overflow checks (capsys-util, release + overflow-c
 RUSTFLAGS="${RUSTFLAGS:-} -C overflow-checks=yes" \
     cargo test -q --release -p capsys-util --target-dir target/overflow-checks
 
-echo "==> [6/12] determinism golden test (release)"
+echo "==> [6/13] determinism golden test (release)"
 cargo test -q --release --test golden_determinism
 
-echo "==> [7/12] smoke bench (quick mode, end-to-end)"
+echo "==> [7/13] smoke bench (quick mode, end-to-end)"
 CAPSYS_BENCH_QUICK=1 cargo bench -p capsys-bench --bench caps_search
 
-echo "==> [8/12] chaos smoke (fault injection + recovery, seeds 7/11/23)"
+echo "==> [8/13] chaos smoke (fault injection + recovery, seeds 7/11/23)"
 for seed in 7 11 23; do
     cargo run --release -p capsys-bench --bin exp_chaos -- --seed "$seed" --quick
 done
 
-echo "==> [9/12] search perf smoke (thread scaling + warm-start, BENCH_search.json)"
+echo "==> [9/13] search perf smoke (thread scaling + warm-start, BENCH_search.json)"
 # exp_perf asserts its own invariants (determinism across thread counts,
 # warm-start probe economy, hardware-gated speedup floor) and validates
 # the JSON it wrote; a malformed record fails this step.
 cargo run --release -p capsys-bench --bin exp_perf -- --smoke
 
-echo "==> [10/12] guard smoke (safety governor vs model skew, seed 7)"
+echo "==> [10/13] guard smoke (safety governor vs model skew, seed 7)"
 # exp_guard self-asserts: without the governor the stale-model regression
 # persists; with it, the regression is detected within one probation
 # window, rolled back to last-known-good, throughput recovers, churn
 # stays within the rollback cap, and same-seed runs replay identically.
 cargo run --release -p capsys-bench --bin exp_guard -- --seed 7 --quick
 
-echo "==> [11/12] recovery sweep (kill-at-every-decision crash recovery, seeds 7/11/23)"
+echo "==> [11/13] recovery sweep (kill-at-every-decision crash recovery, seeds 7/11/23)"
 # exp_recovery self-asserts: every kill point recovers to a
 # byte-identical trace AND journal, the mid-reconfiguration kill rolls
 # forward (for scaling Prepares, governor Rollbacks, and mid-wave
@@ -169,7 +176,7 @@ for seed in 7 11 23; do
     cargo run --release -p capsys-bench --bin exp_recovery -- --seed "$seed" --smoke
 done
 
-echo "==> [12/12] migration smoke (incremental vs whole-plan A/B, seeds 7/11/23)"
+echo "==> [12/13] migration smoke (incremental vs whole-plan A/B, seeds 7/11/23)"
 # exp_migrate self-asserts: the incremental arm moves strictly fewer
 # bytes, pauses strictly fewer task-seconds, and loses strictly less
 # throughput area than the whole-plan arm on the same crash; the
@@ -179,5 +186,13 @@ echo "==> [12/12] migration smoke (incremental vs whole-plan A/B, seeds 7/11/23)
 for seed in 7 11 23; do
     cargo run --release -p capsys-bench --bin exp_migrate -- --seed "$seed" --smoke
 done
+
+echo "==> [13/13] anytime search smoke (DFS vs MCTS, BENCH_anytime.json, seeds 7/11/23)"
+# exp_search self-asserts: MCTS == DFS optimum at 16 tasks (Fixed64 bit
+# equality, every seed), MCTS feasible within the budget at 256/1024
+# tasks where the DFS reports budget exhaustion with zero plans,
+# monotone anytime curves, and a byte-identical same-seed replay; it
+# also validates the BENCH_anytime.json it wrote.
+cargo run --release -p capsys-bench --bin exp_search -- --smoke
 
 echo "CI green."
