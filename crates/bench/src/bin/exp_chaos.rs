@@ -63,6 +63,7 @@ fn chaos_config(seed: u64, horizon: f64) -> ChaosConfig {
         controller_kills: 0,
         model_skews: 0,
         skew_factor: (2.0, 4.0),
+        ..ChaosConfig::default()
     }
 }
 

@@ -448,6 +448,7 @@ fn chaos_kill_case(seed: u64, duration: f64) -> Result<(), Box<dyn std::error::E
         controller_kills: 1,
         model_skews: 0,
         skew_factor: (2.0, 4.0),
+        ..ChaosConfig::default()
     };
     let plan = FaultPlan::generate(&chaos, scenario.cluster.num_workers())?;
     let kill = plan

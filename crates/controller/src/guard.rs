@@ -58,6 +58,40 @@ use crate::ControllerError;
 /// closed loop's fault-injection slack.
 const TIME_EPS: f64 = 1e-9;
 
+/// How the governor judges a canary against its pre-deploy baseline.
+///
+/// The tracking ratio (throughput / DS2 target) bakes the *offered
+/// load* into the judgment: if a flash crowd triples the sources while
+/// a canary is on probation, its tracking ratio collapses even though
+/// the plan is delivering every record the hardware can — and the
+/// absolute comparison rolls back a perfectly good plan. Drift-aware
+/// judgment normalizes by load: it asks whether the canary still
+/// delivers the *demonstrated capacity* of the trusted plan, and only
+/// treats backpressure as damning when the offered load is one the
+/// trusted plan had shown it could absorb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineMode {
+    /// Raw comparison of tracking ratio and backpressure against the
+    /// baseline averages. Vulnerable to false rollbacks under load
+    /// growth; kept for A/B experiments (`exp_hostile`).
+    Absolute,
+    /// Load-normalized comparison (the default). With `C` the rolling
+    /// mean throughput the trusted plan demonstrated, a canary is
+    /// regressed iff
+    ///
+    /// * its throughput falls below `(1-θ)·min(target, C)` — it fails
+    ///   to deliver even the demonstrated capacity, at a load where
+    ///   that capacity was expected — or
+    /// * its backpressure rises past the baseline by more than `θ`
+    ///   *while the offered load is within `C·(1+θ)`* — pressure at a
+    ///   load the trusted plan had absorbed cleanly.
+    ///
+    /// A flash crowd or organic growth pushes `target` far above `C`:
+    /// the throughput clause then only demands the demonstrated
+    /// capacity, and the backpressure clause is gated off entirely.
+    DriftAware,
+}
+
 /// Tuning knobs of the safety governor.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GuardConfig {
@@ -82,6 +116,9 @@ pub struct GuardConfig {
     /// Hard cap on rollbacks per run; beyond it the governor stops
     /// rolling back (bounding oscillation) and leaves plans unjudged.
     pub max_rollbacks: usize,
+    /// How canaries are judged: load-normalized ([`BaselineMode::DriftAware`],
+    /// the default) or raw ([`BaselineMode::Absolute`]).
+    pub baseline_mode: BaselineMode,
 }
 
 impl Default for GuardConfig {
@@ -94,6 +131,7 @@ impl Default for GuardConfig {
             cooldown: 30.0,
             cooldown_factor: 2.0,
             max_rollbacks: 3,
+            baseline_mode: BaselineMode::DriftAware,
         }
     }
 }
@@ -214,9 +252,14 @@ struct Probation {
     deployed_at: f64,
     baseline_tracking: f64,
     baseline_backpressure: f64,
+    /// Mean throughput the trusted plan demonstrated over the baseline
+    /// window — the load-normalized yardstick of `DriftAware` judgment.
+    baseline_capacity: f64,
     windows: usize,
     sum_tracking: f64,
     sum_backpressure: f64,
+    sum_throughput: f64,
+    sum_target: f64,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -236,9 +279,9 @@ struct QuarantineEntry {
 pub struct SafetyGovernor {
     config: GuardConfig,
     phase: Phase,
-    /// Rolling `(tracking ratio, backpressure)` samples of the trusted
-    /// plan; untouched while a canary is on probation.
-    baseline: VecDeque<(f64, f64)>,
+    /// Rolling `(tracking ratio, backpressure, throughput)` samples of
+    /// the trusted plan; untouched while a canary is on probation.
+    baseline: VecDeque<(f64, f64, f64)>,
     /// The most recent plan the governor trusts: the initial
     /// deployment, then every committed canary (and every forced
     /// recovery or unjudged deployment — they are running, so they are
@@ -296,7 +339,7 @@ impl SafetyGovernor {
         let backpressure = backpressure.clamp(0.0, 1.0);
         match &mut self.phase {
             Phase::Baseline => {
-                self.baseline.push_back((tracking, backpressure));
+                self.baseline.push_back((tracking, backpressure, throughput.max(0.0)));
                 while self.baseline.len() > self.config.baseline_windows {
                     self.baseline.pop_front();
                 }
@@ -306,14 +349,32 @@ impl SafetyGovernor {
                 p.windows += 1;
                 p.sum_tracking += tracking;
                 p.sum_backpressure += backpressure;
+                p.sum_throughput += throughput.max(0.0);
+                p.sum_target += target.max(0.0);
                 if p.windows < self.config.probation_windows {
                     return None;
                 }
                 let observed_tracking = p.sum_tracking / p.windows as f64;
                 let observed_bp = p.sum_backpressure / p.windows as f64;
+                let observed_throughput = p.sum_throughput / p.windows as f64;
+                let observed_target = p.sum_target / p.windows as f64;
                 let theta = self.config.regression_threshold;
-                let regressed = observed_tracking < (1.0 - theta) * p.baseline_tracking
-                    || observed_bp > p.baseline_backpressure + theta;
+                let regressed = match self.config.baseline_mode {
+                    BaselineMode::Absolute => {
+                        observed_tracking < (1.0 - theta) * p.baseline_tracking
+                            || observed_bp > p.baseline_backpressure + theta
+                    }
+                    BaselineMode::DriftAware => {
+                        // The canary only owes what the trusted plan
+                        // demonstrated it could deliver; backpressure
+                        // only convicts at a load the trusted plan had
+                        // absorbed. See `BaselineMode` docs.
+                        let sustainable = observed_target.min(p.baseline_capacity);
+                        observed_throughput < (1.0 - theta) * sustainable
+                            || (observed_bp > p.baseline_backpressure + theta
+                                && observed_target <= p.baseline_capacity * (1.0 + theta))
+                    }
+                };
                 let p = *p.clone();
                 self.phase = Phase::Baseline;
                 if !regressed {
@@ -321,7 +382,8 @@ impl SafetyGovernor {
                     self.last_known_good = p.plan;
                     self.consecutive_rollbacks = 0;
                     self.baseline.clear();
-                    self.baseline.push_back((observed_tracking, observed_bp));
+                    self.baseline
+                        .push_back((observed_tracking, observed_bp, observed_throughput));
                     return None;
                 }
                 if self.rollbacks_total >= self.config.max_rollbacks {
@@ -347,25 +409,30 @@ impl SafetyGovernor {
     /// enough baseline the canary enters probation; without, it is
     /// adopted unjudged (pre-governor behavior).
     pub fn on_scaling_deploy(&mut self, time: f64, new: PlanSnapshot) {
-        let (baseline_tracking, baseline_backpressure, enough) = match &self.phase {
-            // A canary replaced mid-probation (DS2 re-scaled before
-            // judgment): the replacement is judged against the original
-            // baseline, and the rollback target stays the plan trusted
-            // before the first canary.
-            Phase::Probation(p) => (p.baseline_tracking, p.baseline_backpressure, true),
-            Phase::Baseline => {
-                let n = self.baseline.len();
-                if n >= self.config.baseline_windows {
-                    let (st, sb) = self
-                        .baseline
-                        .iter()
-                        .fold((0.0, 0.0), |(st, sb), (t, b)| (st + t, sb + b));
-                    (st / n as f64, sb / n as f64, true)
-                } else {
-                    (0.0, 0.0, false)
+        let (baseline_tracking, baseline_backpressure, baseline_capacity, enough) =
+            match &self.phase {
+                // A canary replaced mid-probation (DS2 re-scaled before
+                // judgment): the replacement is judged against the original
+                // baseline, and the rollback target stays the plan trusted
+                // before the first canary.
+                Phase::Probation(p) => {
+                    (p.baseline_tracking, p.baseline_backpressure, p.baseline_capacity, true)
                 }
-            }
-        };
+                Phase::Baseline => {
+                    let n = self.baseline.len();
+                    if n >= self.config.baseline_windows {
+                        let (st, sb, sc) = self
+                            .baseline
+                            .iter()
+                            .fold((0.0, 0.0, 0.0), |(st, sb, sc), (t, b, c)| {
+                                (st + t, sb + b, sc + c)
+                            });
+                        (st / n as f64, sb / n as f64, sc / n as f64, true)
+                    } else {
+                        (0.0, 0.0, 0.0, false)
+                    }
+                }
+            };
         if !enough {
             self.last_known_good = new;
             self.baseline.clear();
@@ -379,9 +446,12 @@ impl SafetyGovernor {
             deployed_at: time,
             baseline_tracking,
             baseline_backpressure,
+            baseline_capacity,
             windows: 0,
             sum_tracking: 0.0,
             sum_backpressure: 0.0,
+            sum_throughput: 0.0,
+            sum_target: 0.0,
         }));
     }
 
@@ -655,6 +725,74 @@ mod tests {
         assert!(g.in_probation());
         assert!(g.observe_window(t2 + 5.0, 990.0, 1000.0, 0.01).is_none());
         assert!(!g.in_probation());
+    }
+
+    /// A governor in the given judgment mode, with a healthy baseline
+    /// at 990/1000 already fed and a canary deployed at `t`.
+    fn on_probation(mode: BaselineMode) -> (SafetyGovernor, f64) {
+        let config = GuardConfig { baseline_mode: mode, ..GuardConfig::default() };
+        let mut g = SafetyGovernor::new(config, snap(&[1, 1], 0)).unwrap();
+        let t = feed(&mut g, 0.0, 3, 990.0, 1000.0, 0.01);
+        g.on_scaling_deploy(t, snap(&[2, 2], 1));
+        (g, t)
+    }
+
+    #[test]
+    fn flash_crowd_fools_absolute_but_not_drift_aware() {
+        // Offered load triples during probation. The canary still
+        // delivers the demonstrated ~990 rec/s and queues fill
+        // (backpressure 0.6) — the hardware is saturated, the plan is
+        // fine.
+        for (mode, expect_rollback) in
+            [(BaselineMode::Absolute, true), (BaselineMode::DriftAware, false)]
+        {
+            let (mut g, t) = on_probation(mode);
+            let t2 = feed(&mut g, t, 2, 990.0, 3000.0, 0.6);
+            let verdict = g.observe_window(t2 + 5.0, 990.0, 3000.0, 0.6);
+            assert_eq!(
+                verdict.is_some(),
+                expect_rollback,
+                "{mode:?}: tracking collapsed to 0.33 from load alone"
+            );
+        }
+    }
+
+    #[test]
+    fn organic_growth_fools_absolute_but_not_drift_aware() {
+        // Load drifts up 50% during probation; throughput grows past
+        // the old capacity (the canary added parallelism) but tracking
+        // still slips below the absolute bar.
+        for (mode, expect_rollback) in
+            [(BaselineMode::Absolute, true), (BaselineMode::DriftAware, false)]
+        {
+            let (mut g, t) = on_probation(mode);
+            let t2 = feed(&mut g, t, 2, 1150.0, 1500.0, 0.05);
+            let verdict = g.observe_window(t2 + 5.0, 1150.0, 1500.0, 0.05);
+            assert_eq!(verdict.is_some(), expect_rollback, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn drift_aware_still_catches_true_regression() {
+        // Steady load, throughput halves: a genuine plan regression is
+        // judged identically in both modes — and within one probation
+        // window (judgment fires on the `probation_windows`-th sample).
+        for mode in [BaselineMode::Absolute, BaselineMode::DriftAware] {
+            let (mut g, t) = on_probation(mode);
+            let t2 = feed(&mut g, t, 2, 500.0, 1000.0, 0.4);
+            let req = g.observe_window(t2 + 5.0, 500.0, 1000.0, 0.4);
+            assert!(req.is_some(), "{mode:?} must catch a real regression");
+            assert_eq!(req.unwrap().to, snap(&[1, 1], 0));
+        }
+    }
+
+    #[test]
+    fn drift_aware_catches_backpressure_rise_at_absorbed_load() {
+        // Same load the trusted plan absorbed cleanly, but the canary
+        // builds pressure: the gated backpressure clause still fires.
+        let (mut g, t) = on_probation(BaselineMode::DriftAware);
+        let t2 = feed(&mut g, t, 2, 980.0, 1000.0, 0.3);
+        assert!(g.observe_window(t2 + 5.0, 980.0, 1000.0, 0.3).is_some());
     }
 
     #[test]

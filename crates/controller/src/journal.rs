@@ -22,6 +22,10 @@
 //!   `Commit(epoch)` — structurally the prepare phase of a two-phase
 //!   reconfiguration that restores the last-known-good plan, with the
 //!   same tail semantics as `Prepare` (a tail `Rollback` rolls forward);
+//! * an overload-shedding change is journaled as `Shed(epoch)` followed
+//!   by `Commit(epoch)` — the shed fraction is cluster state (it gates
+//!   admitted traffic at the sources), so it moves through the same
+//!   two-phase, epoch-fenced protocol; a tail `Shed` rolls forward;
 //! * epochs increase strictly: `Init` is epoch 0, the first
 //!   reconfiguration epoch 1, and so on; `Rollback` burns a fresh epoch
 //!   like any other reconfiguration.
@@ -192,6 +196,24 @@ pub enum DecisionRecord {
         /// Simulated commit time.
         time: f64,
     },
+    /// Phase one of an overload-shedding change: the admission
+    /// controller decided to shed `fraction` of offered source traffic
+    /// (0 restores full admission). Journaled before the simulator is
+    /// touched, followed by a `Commit` of the same (fresh) epoch once
+    /// applied — a kill between the two rolls forward on recovery
+    /// exactly like a torn `Prepare`.
+    Shed {
+        /// The shed change's fencing epoch.
+        epoch: u64,
+        /// Simulated decision time.
+        time: f64,
+        /// Fraction of offered traffic dropped at the sources, in
+        /// `[0, 1)`.
+        fraction: f64,
+        /// RNG state at the decision (shedding runs no search, but the
+        /// state is journaled so replay restores it unconditionally).
+        rng: [u64; 4],
+    },
     /// A recovery re-placement attempt failed; the controller backed
     /// off (or gave up).
     Retry {
@@ -331,6 +353,7 @@ impl DecisionRecord {
             | DecisionRecord::MigratePrepare { time, .. }
             | DecisionRecord::MigrateStep { time, .. }
             | DecisionRecord::MigrateCommit { time, .. }
+            | DecisionRecord::Shed { time, .. }
             | DecisionRecord::Retry { time, .. } => *time,
         }
     }
@@ -445,6 +468,18 @@ impl DecisionRecord {
                 ("epoch".into(), Json::Num(*epoch as f64)),
                 ("time".into(), Json::Num(*time)),
             ]),
+            DecisionRecord::Shed {
+                epoch,
+                time,
+                fraction,
+                rng,
+            } => Json::Obj(vec![
+                ("type".into(), Json::Str("shed".into())),
+                ("epoch".into(), Json::Num(*epoch as f64)),
+                ("time".into(), Json::Num(*time)),
+                ("fraction".into(), Json::Num(*fraction)),
+                ("rng".into(), rng_to_json(*rng)),
+            ]),
             DecisionRecord::Retry {
                 time,
                 attempts,
@@ -528,6 +563,20 @@ impl DecisionRecord {
                 epoch: integer(v.get("epoch"), "epoch")?,
                 time: num(v.get("time"), "time")?,
             }),
+            "shed" => {
+                let fraction = num(v.get("fraction"), "fraction")?;
+                if !fraction.is_finite() || !(0.0..1.0).contains(&fraction) {
+                    return Err(bad(format!(
+                        "shed fraction must be in [0, 1), got {fraction}"
+                    )));
+                }
+                Ok(DecisionRecord::Shed {
+                    epoch: integer(v.get("epoch"), "epoch")?,
+                    time: num(v.get("time"), "time")?,
+                    fraction,
+                    rng: rng_from_json(v.get("rng"))?,
+                })
+            }
             "retry" => Ok(DecisionRecord::Retry {
                 time: num(v.get("time"), "time")?,
                 attempts: integer(v.get("attempts"), "attempts")? as usize,
@@ -695,6 +744,18 @@ mod tests {
                 epoch: 3,
                 time: 95.0,
             },
+            DecisionRecord::Shed {
+                epoch: 4,
+                time: 110.25,
+                fraction: 0.375,
+                rng: [31, 32, 33, u64::MAX - 11],
+            },
+            DecisionRecord::Shed {
+                epoch: 5,
+                time: 140.0,
+                fraction: 0.0,
+                rng: [41, 42, 43, 44],
+            },
             DecisionRecord::Retry {
                 time: 70.0,
                 attempts: 2,
@@ -820,6 +881,9 @@ mod tests {
             r#"{"type":"migrate_step","epoch":1,"wave":"x","time":0}"#,
             r#"{"type":"migrate_prepare","epoch":1,"time":0}"#,
             r#"{"type":"migrate_commit","time":0}"#,
+            r#"{"type":"shed","epoch":1,"time":0,"rng":["0","0","0","0"]}"#,
+            r#"{"type":"shed","epoch":1,"time":0,"fraction":1,"rng":["0","0","0","0"]}"#,
+            r#"{"type":"shed","epoch":1,"time":0,"fraction":-0.2,"rng":["0","0","0","0"]}"#,
             r#"{"type":"init","seed":"zz","query":"q","workers":1,"parallelism":[],"assignment":[],"rng":["0","0","0","0"]}"#,
             r#"{"type":"init","seed":"0","query":"q","workers":1,"parallelism":[],"assignment":[],"rng":["0","0"]}"#,
             r#"{"type":"retry","time":0,"attempts":1,"gave_up":"yes","next_attempt_at":null,"rng":["0","0","0","0"]}"#,

@@ -18,9 +18,15 @@
 //!   round-robin) for when the search budget runs out;
 //! * [`guard`] — the reconfiguration safety governor: canary probation
 //!   for every scaling redeploy, regression detection against the
-//!   pre-deploy baseline, journaled rollback to the last-known-good
-//!   plan, TTL-based quarantine of regressed plans, and exponential
-//!   cooldown hysteresis bounding reconfiguration churn.
+//!   pre-deploy baseline (load-normalized by default, so flash crowds
+//!   and organic growth are not mistaken for plan regressions),
+//!   journaled rollback to the last-known-good plan, TTL-based
+//!   quarantine of regressed plans, and exponential cooldown hysteresis
+//!   bounding reconfiguration churn;
+//! * [`shed`] — overload protection: when measured ingest exceeds the
+//!   demonstrated sustainable capacity, a bounded fraction of offered
+//!   traffic is shed at the sources (journaled two-phase like any
+//!   reconfiguration) and restored hysteretically once the load fits.
 
 #![warn(missing_docs)]
 pub mod closed_loop;
@@ -30,11 +36,13 @@ pub mod journal;
 pub mod online;
 pub mod profiler;
 pub mod recovery;
+pub mod shed;
 
 pub use closed_loop::{ClosedLoop, ClosedLoopTrace, MigrationConfig, MigrationWave, ScalingEvent};
 pub use controller::{CapsysConfig, CapsysController, Deployment};
-pub use guard::{GuardConfig, PlanSnapshot, RollbackEvent, SafetyGovernor};
+pub use guard::{BaselineMode, GuardConfig, PlanSnapshot, RollbackEvent, SafetyGovernor};
 pub use journal::{DecisionJournal, DecisionRecord, ParsedJournal, RedeployReason};
+pub use shed::{ShedConfig, ShedController, ShedEvent, ShedRequest};
 pub use online::{OnlineProfiler, OnlineProfilerConfig};
 pub use profiler::{profile_query, ProfileReport, ProfilerConfig};
 pub use recovery::{

@@ -36,17 +36,29 @@ pub struct WorkerSpec {
     pub disk_bandwidth: f64,
     /// Outbound network bandwidth in bytes/s.
     pub network_bandwidth: f64,
+    /// One-way latency of this worker's link to the rest of the fleet,
+    /// seconds. Zero (the default) is the paper's datacenter assumption;
+    /// WAN-attached edge workers carry tens of milliseconds, which the
+    /// simulator charges to every cross-worker record they exchange.
+    pub link_latency: f64,
 }
 
 impl WorkerSpec {
-    /// Creates a new worker spec.
+    /// Creates a new worker spec (datacenter-local: zero link latency).
     pub fn new(slots: usize, cpu_cores: f64, disk_bandwidth: f64, network_bandwidth: f64) -> Self {
         WorkerSpec {
             slots,
             cpu_cores,
             disk_bandwidth,
             network_bandwidth,
+            link_latency: 0.0,
         }
+    }
+
+    /// Returns a copy with the given one-way link latency in seconds.
+    pub fn with_link_latency(mut self, seconds: f64) -> Self {
+        self.link_latency = seconds;
+        self
     }
 
     /// AWS `m5d.2xlarge` analogue used in §6.2: 4 physical cores, NVMe SSD,
@@ -72,13 +84,113 @@ impl WorkerSpec {
         self
     }
 
-    /// Returns true if all capacities are positive and finite.
+    /// Returns true if all capacities are positive and finite (link
+    /// latency may be zero).
     pub fn is_valid(&self) -> bool {
         let pos = |v: f64| v.is_finite() && v > 0.0;
         self.slots > 0
             && pos(self.cpu_cores)
             && pos(self.disk_bandwidth)
             && pos(self.network_bandwidth)
+            && self.link_latency.is_finite()
+            && self.link_latency >= 0.0
+    }
+}
+
+/// Relative hardware multipliers describing one machine class of a
+/// heterogeneous fleet. A profile is applied to a base [`WorkerSpec`]
+/// to derive that class's capacities, so a mixed cluster is written as
+/// one base instance type plus a profile per worker:
+///
+/// ```
+/// use capsys_model::{Cluster, HardwareProfile, WorkerSpec};
+/// let base = WorkerSpec::r5d_xlarge(4);
+/// let cluster = Cluster::heterogeneous(vec![
+///     HardwareProfile::baseline().apply(base),
+///     HardwareProfile::slow_cpu().apply(base),
+///     HardwareProfile::hdd().apply(base),
+///     HardwareProfile::wan(0.04).apply(base),
+/// ]).unwrap();
+/// assert_eq!(cluster.num_workers(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardwareProfile {
+    /// CPU speed multiplier (fast cores > 1, slow cores < 1).
+    pub cpu_mult: f64,
+    /// Disk bandwidth multiplier (HDD ≪ 1 vs the SSD baseline).
+    pub disk_mult: f64,
+    /// NIC bandwidth multiplier (WAN uplinks ≪ 1).
+    pub net_mult: f64,
+    /// One-way link latency to the rest of the fleet, seconds.
+    pub link_latency: f64,
+}
+
+impl HardwareProfile {
+    /// The reference machine: multipliers of 1, datacenter-local link.
+    pub fn baseline() -> Self {
+        HardwareProfile {
+            cpu_mult: 1.0,
+            disk_mult: 1.0,
+            net_mult: 1.0,
+            link_latency: 0.0,
+        }
+    }
+
+    /// A newer-generation CPU: 1.5x the base clock-for-clock throughput.
+    pub fn fast_cpu() -> Self {
+        HardwareProfile {
+            cpu_mult: 1.5,
+            ..HardwareProfile::baseline()
+        }
+    }
+
+    /// An older or thermally-throttled CPU at half the base speed.
+    pub fn slow_cpu() -> Self {
+        HardwareProfile {
+            cpu_mult: 0.5,
+            ..HardwareProfile::baseline()
+        }
+    }
+
+    /// Spinning disks instead of NVMe: a quarter of the base bandwidth.
+    pub fn hdd() -> Self {
+        HardwareProfile {
+            disk_mult: 0.25,
+            ..HardwareProfile::baseline()
+        }
+    }
+
+    /// A WAN-attached edge worker: a tenth of the base NIC bandwidth
+    /// plus the given one-way link latency in seconds.
+    pub fn wan(link_latency: f64) -> Self {
+        HardwareProfile {
+            net_mult: 0.1,
+            link_latency,
+            ..HardwareProfile::baseline()
+        }
+    }
+
+    /// Derives this class's spec from a base instance type. Slots are
+    /// unchanged: heterogeneity is speed, not slot count.
+    pub fn apply(&self, base: WorkerSpec) -> WorkerSpec {
+        WorkerSpec {
+            slots: base.slots,
+            cpu_cores: base.cpu_cores * self.cpu_mult,
+            disk_bandwidth: base.disk_bandwidth * self.disk_mult,
+            network_bandwidth: base.network_bandwidth * self.net_mult,
+            link_latency: base.link_latency + self.link_latency,
+        }
+    }
+
+    /// Whether every multiplier is finite and positive and the latency
+    /// finite and non-negative.
+    pub fn is_valid(&self) -> bool {
+        let pos = |v: f64| v.is_finite() && v > 0.0;
+        pos(self.cpu_mult)
+            && pos(self.disk_mult)
+            && pos(self.net_mult)
+            && self.link_latency.is_finite()
+            && self.link_latency >= 0.0
     }
 }
 
@@ -124,9 +236,52 @@ impl Cluster {
         })
     }
 
+    /// Creates a heterogeneous cluster, one spec per worker. Every spec
+    /// must be valid and all workers must expose the *same slot count*:
+    /// hardware heterogeneity is speed (CPU multipliers, HDD vs SSD
+    /// bandwidth, WAN links), not shape — the slot grid the placement
+    /// search enumerates stays uniform.
+    pub fn heterogeneous(specs: Vec<WorkerSpec>) -> Result<Cluster, ModelError> {
+        let Some(first) = specs.first() else {
+            return Err(ModelError::InvalidParameter(
+                "cluster needs at least one worker".into(),
+            ));
+        };
+        let slots = first.slots;
+        for (i, spec) in specs.iter().enumerate() {
+            if !spec.is_valid() {
+                return Err(ModelError::InvalidParameter(format!(
+                    "invalid worker spec for worker {i}: {spec:?}"
+                )));
+            }
+            if spec.slots != slots {
+                return Err(ModelError::InvalidParameter(format!(
+                    "heterogeneous clusters must keep a uniform slot count \
+                     (worker 0 has {slots}, worker {i} has {})",
+                    spec.slots
+                )));
+            }
+        }
+        Ok(Cluster {
+            workers: specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, spec)| Worker {
+                    id: WorkerId(i),
+                    spec,
+                })
+                .collect(),
+        })
+    }
+
     /// All workers (`V_w`).
     pub fn workers(&self) -> &[Worker] {
         &self.workers
+    }
+
+    /// Whether any worker's capacities differ from worker 0's.
+    pub fn is_heterogeneous(&self) -> bool {
+        self.workers.iter().any(|w| w.spec != self.workers[0].spec)
     }
 
     /// Number of workers `|V_w|`.
@@ -139,7 +294,9 @@ impl Cluster {
         &self.workers[id.0]
     }
 
-    /// Slots per worker (`s`); all workers are homogeneous.
+    /// Slots per worker (`s`). Uniform by construction: both
+    /// [`Cluster::homogeneous`] and [`Cluster::heterogeneous`] enforce
+    /// one slot count across the fleet.
     pub fn slots_per_worker(&self) -> usize {
         self.workers[0].spec.slots
     }
@@ -201,5 +358,59 @@ mod tests {
         assert!(WorkerSpec::m5d_2xlarge(8).is_valid());
         assert!(WorkerSpec::r5d_xlarge(4).is_valid());
         assert!(WorkerSpec::c5d_4xlarge(8).is_valid());
+    }
+
+    #[test]
+    fn heterogeneous_cluster_applies_profiles() {
+        let base = WorkerSpec::r5d_xlarge(4);
+        let c = Cluster::heterogeneous(vec![
+            HardwareProfile::baseline().apply(base),
+            HardwareProfile::fast_cpu().apply(base),
+            HardwareProfile::hdd().apply(base),
+            HardwareProfile::wan(0.04).apply(base),
+        ])
+        .unwrap();
+        assert!(c.is_heterogeneous());
+        assert_eq!(c.num_workers(), 4);
+        assert_eq!(c.slots_per_worker(), 4);
+        assert_eq!(c.worker(WorkerId(1)).spec.cpu_cores, 3.0);
+        assert_eq!(c.worker(WorkerId(2)).spec.disk_bandwidth, 75e6);
+        assert_eq!(c.worker(WorkerId(3)).spec.network_bandwidth, 125e6);
+        assert_eq!(c.worker(WorkerId(3)).spec.link_latency, 0.04);
+        assert!(!Cluster::homogeneous(3, base).unwrap().is_heterogeneous());
+    }
+
+    #[test]
+    fn heterogeneous_cluster_rejects_mixed_slot_counts() {
+        let err = Cluster::heterogeneous(vec![
+            WorkerSpec::r5d_xlarge(4),
+            WorkerSpec::r5d_xlarge(8),
+        ]);
+        assert!(err.is_err());
+        assert!(Cluster::heterogeneous(vec![]).is_err());
+        let mut bad = WorkerSpec::r5d_xlarge(4);
+        bad.link_latency = f64::NAN;
+        assert!(Cluster::heterogeneous(vec![bad]).is_err());
+    }
+
+    #[test]
+    fn hardware_profiles_validate() {
+        assert!(HardwareProfile::baseline().is_valid());
+        assert!(HardwareProfile::fast_cpu().is_valid());
+        assert!(HardwareProfile::slow_cpu().is_valid());
+        assert!(HardwareProfile::hdd().is_valid());
+        assert!(HardwareProfile::wan(0.08).is_valid());
+        assert!(!HardwareProfile::wan(f64::NAN).is_valid());
+        let mut p = HardwareProfile::baseline();
+        p.cpu_mult = 0.0;
+        assert!(!p.is_valid());
+    }
+
+    #[test]
+    fn link_latency_round_trips_through_builder() {
+        let spec = WorkerSpec::r5d_xlarge(4).with_link_latency(0.02);
+        assert_eq!(spec.link_latency, 0.02);
+        assert!(spec.is_valid());
+        assert!(!spec.with_link_latency(-1.0).is_valid());
     }
 }

@@ -19,18 +19,25 @@ impl ToJson for WorkerSpec {
             ("cpu_cores", self.cpu_cores.to_json()),
             ("disk_bandwidth", self.disk_bandwidth.to_json()),
             ("network_bandwidth", self.network_bandwidth.to_json()),
+            ("link_latency", self.link_latency.to_json()),
         ])
     }
 }
 
 impl FromJson for WorkerSpec {
     fn from_json(v: &Json) -> Result<WorkerSpec, JsonError> {
-        Ok(WorkerSpec::new(
+        let spec = WorkerSpec::new(
             req(v, "slots")?,
             req(v, "cpu_cores")?,
             req(v, "disk_bandwidth")?,
             req(v, "network_bandwidth")?,
-        ))
+        );
+        // Optional for backward compatibility: specs written before
+        // heterogeneous fleets carry no latency field (datacenter-local).
+        match v.get("link_latency") {
+            Some(_) => Ok(spec.with_link_latency(req(v, "link_latency")?)),
+            None => Ok(spec),
+        }
     }
 }
 
@@ -65,14 +72,21 @@ mod tests {
 
     #[test]
     fn worker_spec_round_trips() {
-        let spec = WorkerSpec::new(4, 4.0, 1e8, 1.25e9);
+        let spec = WorkerSpec::new(4, 4.0, 1e8, 1.25e9).with_link_latency(0.02);
         let json = spec.to_json().to_string();
         assert_eq!(
             json,
-            r#"{"slots":4,"cpu_cores":4,"disk_bandwidth":100000000,"network_bandwidth":1250000000}"#
+            r#"{"slots":4,"cpu_cores":4,"disk_bandwidth":100000000,"network_bandwidth":1250000000,"link_latency":0.02}"#
         );
         let back = WorkerSpec::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn worker_spec_without_latency_field_defaults_to_zero() {
+        let old = r#"{"slots":4,"cpu_cores":4,"disk_bandwidth":1,"network_bandwidth":1}"#;
+        let back = WorkerSpec::from_json(&Json::parse(old).unwrap()).unwrap();
+        assert_eq!(back.link_latency, 0.0);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod placement;
 pub mod rates;
 pub mod skew;
 
-pub use cluster::{Cluster, Worker, WorkerId, WorkerSpec};
+pub use cluster::{Cluster, HardwareProfile, Worker, WorkerId, WorkerSpec};
 pub use enumerate::{
     count_plans, enumerate_plans, refine_groups, PlanEnumerator, PlanVisitor, SearchStats,
 };
@@ -43,5 +43,5 @@ pub use migration::{PlanDiff, StateModel, TaskMove};
 pub use operator::{LogicalOperator, OperatorId, OperatorKind, ResourceProfile};
 pub use physical::{Channel, PhysicalGraph, Task, TaskId};
 pub use placement::Placement;
-pub use rates::RateSchedule;
+pub use rates::{FlashCrowd, RateProgram, RateSchedule};
 pub use skew::{apply_skew, SkewSpec, SkewedProblem};

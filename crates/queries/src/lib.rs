@@ -163,12 +163,29 @@ impl Query {
         let loads = self.load_model_at(&physical, probe_rate)?;
         let total = loads.total();
         let w = cluster.num_workers() as f64;
-        let spec = cluster.workers()[0].spec;
         let remote_fraction = (w - 1.0) / w;
-        let cpu_frac = total.cpu / (spec.cpu_cores * w);
-        let io_frac = total.io / (spec.disk_bandwidth * w);
-        let net_frac = total.net * remote_fraction / (spec.network_bandwidth * w);
-        let mut max_frac = cpu_frac.max(io_frac).max(net_frac);
+        let mut max_frac = if cluster.is_heterogeneous() {
+            // Heterogeneous fleet: under a uniform spread (one w-th of
+            // the load per worker) the *slowest* worker saturates first,
+            // so the sustainable rate is set by the worst per-worker
+            // resource fraction. Conservative for placements that shift
+            // load off slow workers, which is what we want a scenario
+            // base rate to be.
+            let per_cpu = total.cpu / w;
+            let per_io = total.io / w;
+            let per_net = total.net * remote_fraction / w;
+            cluster.workers().iter().fold(0.0, |acc: f64, wk| {
+                acc.max(per_cpu / wk.spec.cpu_cores)
+                    .max(per_io / wk.spec.disk_bandwidth)
+                    .max(per_net / wk.spec.network_bandwidth)
+            })
+        } else {
+            let spec = cluster.workers()[0].spec;
+            let cpu_frac = total.cpu / (spec.cpu_cores * w);
+            let io_frac = total.io / (spec.disk_bandwidth * w);
+            let net_frac = total.net * remote_fraction / (spec.network_bandwidth * w);
+            cpu_frac.max(io_frac).max(net_frac)
+        };
         // A task is a single thread and cannot exceed one core: the query
         // also saturates when any operator's per-task CPU demand reaches
         // one core, regardless of idle capacity elsewhere.
@@ -545,6 +562,41 @@ mod tests {
             (10_000.0..18_000.0).contains(&rate),
             "Q1 capacity rate {rate} out of the paper's ballpark"
         );
+    }
+
+    #[test]
+    fn heterogeneous_capacity_rate_is_bottlenecked_by_the_slow_worker() {
+        use capsys_model::HardwareProfile;
+        let base = WorkerSpec::r5d_xlarge(4);
+        let uniform = q1_sliding().capacity_rate(&r5d_4x4(), 0.92).unwrap();
+        // One slow-CPU worker drags the sustainable rate down; one
+        // fast-CPU worker cannot raise it above the uniform-spread
+        // bottleneck of the remaining baseline workers.
+        let slow = Cluster::heterogeneous(vec![
+            base,
+            base,
+            base,
+            HardwareProfile::slow_cpu().apply(base),
+        ])
+        .unwrap();
+        let slow_rate = q1_sliding().capacity_rate(&slow, 0.92).unwrap();
+        assert!(
+            slow_rate < uniform,
+            "slow worker must lower capacity: {slow_rate} vs {uniform}"
+        );
+        let fast = Cluster::heterogeneous(vec![
+            base,
+            base,
+            base,
+            HardwareProfile::fast_cpu().apply(base),
+        ])
+        .unwrap();
+        let fast_rate = q1_sliding().capacity_rate(&fast, 0.92).unwrap();
+        assert!(
+            fast_rate <= uniform + 1e-9,
+            "uniform spread cannot exceed the baseline bottleneck: {fast_rate} vs {uniform}"
+        );
+        assert!(fast_rate > 0.0);
     }
 
     #[test]

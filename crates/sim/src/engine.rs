@@ -54,6 +54,9 @@ struct TaskState {
     io_unit: f64,
     /// Outbound bytes per processed record over cross-worker channels.
     net_unit: f64,
+    /// Extra seconds of flight time per processed record from link
+    /// latency on cross-worker channels (0 for datacenter-local links).
+    lat_unit: f64,
     selectivity: f64,
     burst_amp: f64,
     is_source: bool,
@@ -171,6 +174,22 @@ pub struct Simulation {
     failed: Vec<bool>,
     /// Per-worker CPU-cost multiplier (1.0 = healthy, > 1 = straggler).
     slowdown: Vec<f64>,
+    /// Per-worker NIC-bandwidth multiplier (1.0 = healthy, < 1 = a
+    /// degraded link).
+    net_degrade: Vec<f64>,
+    /// Per-worker network-partition flags. A partitioned worker keeps
+    /// running, but its cross-worker channels freeze and its heartbeat
+    /// goes missing from reports.
+    partitioned: Vec<bool>,
+    /// Fraction of offered source load intentionally dropped at
+    /// admission, in `[0, 0.95]`. Shed records do not count as
+    /// backpressure — the overload controller chose to drop them.
+    shed_fraction: f64,
+    /// Per-worker one-way link latency, seconds (from the cluster spec).
+    link_lats: Vec<f64>,
+    /// Per-channel frozen flags for the current tick (a cross-worker
+    /// channel with a partitioned endpoint moves no records).
+    frozen: Vec<bool>,
     /// Global CPU-cost multiplier for a mispredicted deployment (1.0 =
     /// the cost model was right; > 1 = the plan runs slower than
     /// modeled). Set by the controller at deploy time under a
@@ -258,6 +277,12 @@ impl Simulation {
             channels.push(ChannelState { q: 0.0, cap });
         }
 
+        let link_lats: Vec<f64> = cluster
+            .workers()
+            .iter()
+            .map(|w| w.spec.link_latency.max(0.0))
+            .collect();
+
         let mut tasks = Vec::with_capacity(physical.num_tasks());
         let mut task_schedule = Vec::with_capacity(physical.num_tasks());
         for t in physical.tasks() {
@@ -276,6 +301,7 @@ impl Simulation {
             }
             let mut out_pushes = Vec::new();
             let mut net_unit = 0.0;
+            let mut lat_unit = 0.0;
             for (_d_op, chans) in per_edge {
                 let k = chans.len() as f64;
                 for ci in chans {
@@ -287,8 +313,10 @@ impl Simulation {
                         _ => op.profile.selectivity / k,
                     };
                     out_pushes.push((ci, share));
-                    if placement.worker_of(ch.to) != w {
+                    let dest = placement.worker_of(ch.to);
+                    if dest != w {
                         net_unit += share * op.profile.out_bytes_per_record;
+                        lat_unit += share * (link_lats[w.0] + link_lats[dest.0]);
                     }
                 }
             }
@@ -313,6 +341,7 @@ impl Simulation {
                 cpu_unit: op.profile.cpu_per_record,
                 io_unit: op.profile.state_bytes_per_record,
                 net_unit,
+                lat_unit,
                 selectivity: op.profile.selectivity,
                 burst_amp: op.profile.cpu_burst_amplitude,
                 is_source,
@@ -359,10 +388,15 @@ impl Simulation {
             capacity_rate: vec![0.0; n],
             cpu_eff: vec![0.0; n],
             deq: vec![0.0; channels.len()],
+            frozen: vec![false; channels.len()],
             tasks,
             channels,
             failed: vec![false; workers.len()],
             slowdown: vec![1.0; workers.len()],
+            net_degrade: vec![1.0; workers.len()],
+            partitioned: vec![false; workers.len()],
+            shed_fraction: 0.0,
+            link_lats,
             model_skew: 1.0,
             injector: None,
             blackout: false,
@@ -430,6 +464,57 @@ impl Simulation {
     /// Per-worker CPU slowdown factors.
     pub fn slowdowns(&self) -> &[f64] {
         &self.slowdown
+    }
+
+    /// Sets a worker's NIC-bandwidth multiplier, clamped into
+    /// `(0, 1]` (`1.0` = healthy link). Used by controllers re-applying
+    /// chaos state after a redeployment.
+    pub fn set_net_degrade(&mut self, w: capsys_model::WorkerId, factor: f64) {
+        if let Some(d) = self.net_degrade.get_mut(w.0) {
+            *d = if factor.is_finite() {
+                factor.clamp(1e-6, 1.0)
+            } else {
+                1.0
+            };
+        }
+    }
+
+    /// Per-worker NIC-bandwidth multipliers (1.0 = healthy).
+    pub fn net_degrades(&self) -> &[f64] {
+        &self.net_degrade
+    }
+
+    /// Forces a worker's network-partition flag. Used by controllers
+    /// carrying chaos state across a redeployment.
+    pub fn set_partitioned(&mut self, w: capsys_model::WorkerId, on: bool) {
+        if let Some(p) = self.partitioned.get_mut(w.0) {
+            *p = on;
+        }
+    }
+
+    /// Per-worker network-partition flags (ground truth).
+    pub fn partitioned_workers(&self) -> &[bool] {
+        &self.partitioned
+    }
+
+    /// Sets the admission shed fraction: every source admits
+    /// `offered x (1 - fraction)`. Clamped into `[0, 0.95]` — shedding
+    /// everything would starve the pipeline of the very signal that
+    /// releases the shed. Shed records are intentional drops and do not
+    /// count as backpressure; the reported target rate stays the
+    /// *offered* rate so controllers can see the load they are hiding
+    /// from the job.
+    pub fn set_shed_fraction(&mut self, fraction: f64) {
+        self.shed_fraction = if fraction.is_finite() {
+            fraction.clamp(0.0, 0.95)
+        } else {
+            0.0
+        };
+    }
+
+    /// The current admission shed fraction.
+    pub fn shed_fraction(&self) -> f64 {
+        self.shed_fraction
     }
 
     /// Sets the deployment-wide model-skew multiplier (clamped to
@@ -593,13 +678,24 @@ impl Simulation {
             return;
         };
         let mut budget_io: Vec<f64> = self.workers.iter().map(|w| w.io * tick).collect();
-        let mut budget_net: Vec<f64> = self.workers.iter().map(|w| w.net * tick).collect();
+        let mut budget_net: Vec<f64> = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(w, c)| c.net * self.net_degrade[w] * tick)
+            .collect();
         let mut all_done = true;
         for flow in flows.iter_mut() {
             if flow.remaining <= 0.0 {
                 continue;
             }
             let cross = flow.to != flow.from;
+            if cross && (self.partitioned[flow.from] || self.partitioned[flow.to]) {
+                // State cannot cross a network partition; the drain
+                // stalls until the partition heals.
+                all_done = false;
+                continue;
+            }
             let mut bw = f64::INFINITY;
             let mut constrained = false;
             if !self.failed[flow.from] {
@@ -693,14 +789,18 @@ impl Simulation {
         for i in 0..self.tasks.len() {
             let w = self.tasks[i].worker;
             let mut unit = 0.0;
+            let mut lat = 0.0;
             for k in 0..self.tasks[i].out_pushes.len() {
                 let (ci, share) = self.tasks[i].out_pushes[k];
                 let downstream = self.channel_ends[ci].1;
-                if self.tasks[downstream].worker != w {
+                let dw = self.tasks[downstream].worker;
+                if dw != w {
                     unit += share * self.out_bytes[i];
+                    lat += share * (self.link_lats[w] + self.link_lats[dw]);
                 }
             }
             self.tasks[i].net_unit = unit;
+            self.tasks[i].lat_unit = lat;
         }
     }
 
@@ -733,6 +833,26 @@ impl Simulation {
                 }
                 FaultKind::BlackoutStart => self.blackout = true,
                 FaultKind::BlackoutEnd => self.blackout = false,
+                FaultKind::LinkDegradeStart { worker, factor } => {
+                    if let Some(d) = self.net_degrade.get_mut(worker.0) {
+                        *d = factor.clamp(1e-6, 1.0);
+                    }
+                }
+                FaultKind::LinkDegradeEnd(w) => {
+                    if let Some(d) = self.net_degrade.get_mut(w.0) {
+                        *d = 1.0;
+                    }
+                }
+                FaultKind::PartitionStart(w) => {
+                    if let Some(p) = self.partitioned.get_mut(w.0) {
+                        *p = true;
+                    }
+                }
+                FaultKind::PartitionEnd(w) => {
+                    if let Some(p) = self.partitioned.get_mut(w.0) {
+                        *p = false;
+                    }
+                }
             }
         }
     }
@@ -830,6 +950,21 @@ impl Simulation {
         self.progress_transfer(tick);
         self.paused_secs += self.paused.iter().filter(|&&p| p).count() as f64 * tick;
 
+        // Cross-worker channels with a partitioned endpoint move no
+        // records this tick; intra-worker traffic on a partitioned
+        // worker keeps flowing (the worker is running, just unreachable).
+        if self.partitioned.iter().any(|&p| p) {
+            for (ci, &(from, to)) in self.channel_ends.iter().enumerate() {
+                let wf = self.tasks[from].worker;
+                let wt = self.tasks[to].worker;
+                self.frozen[ci] = wf != wt && (self.partitioned[wf] || self.partitioned[wt]);
+            }
+        } else {
+            for f in &mut self.frozen {
+                *f = false;
+            }
+        }
+
         // Effective per-record CPU cost: bursts, straggler slowdown,
         // plus optional jitter.
         let burst_on =
@@ -859,16 +994,28 @@ impl Simulation {
             let task = &self.tasks[i];
             let supply = if task.is_source {
                 let sched = task.schedule_rate(&self.schedules, &self.task_schedule, i, t);
-                sched * task.gen_share * tick
+                // Overload shedding drops a fraction of the offered
+                // load at admission, before it ever enters a queue.
+                sched * task.gen_share * tick * (1.0 - self.shed_fraction)
             } else {
-                let avail: f64 = task.in_channels.iter().map(|&c| self.channels[c].q).sum();
+                // Fold from +0.0: `Iterator::sum` on an empty input
+                // yields -0.0, and frozen inputs must look empty.
+                let avail: f64 = task
+                    .in_channels
+                    .iter()
+                    .filter(|&&c| !self.frozen[c])
+                    .fold(0.0f64, |acc, &c| acc + self.channels[c].q);
                 self.avail[i] = avail;
                 avail
             };
             let mut out_limit = f64::INFINITY;
             for &(ci, share) in &task.out_pushes {
                 if share > 0.0 {
-                    let free = (self.channels[ci].cap - self.channels[ci].q).max(0.0);
+                    let free = if self.frozen[ci] {
+                        0.0
+                    } else {
+                        (self.channels[ci].cap - self.channels[ci].q).max(0.0)
+                    };
                     out_limit = out_limit.min(free / share);
                 }
             }
@@ -893,6 +1040,9 @@ impl Simulation {
                 let avail = self.avail[i];
                 if avail > 0.0 {
                     for &c in &task.in_channels {
+                        if self.frozen[c] {
+                            continue;
+                        }
                         self.deq[c] += x * self.channels[c].q / avail;
                     }
                 }
@@ -927,13 +1077,17 @@ impl Simulation {
             let x = self.rate[i];
             let task = &self.tasks[i];
             if task.is_source {
+                // The reported target stays the *offered* rate; only
+                // the backpressure check compares against the admitted
+                // share — shed records are intentional drops.
                 let target = self.desired_target(i, t) * tick;
+                let admit_target = target * (1.0 - self.shed_fraction);
                 acc.admitted += x;
                 acc.target += target;
                 *acc.src_admitted.entry(task.op).or_default() += x;
                 *acc.src_target.entry(task.op).or_default() += target;
                 *acc.src_time.entry(task.op).or_default() += tick;
-                if target > 0.0 && x < BACKPRESSURE_SLACK * target {
+                if admit_target > 0.0 && x < BACKPRESSURE_SLACK * admit_target {
                     *acc.src_bp_time.entry(task.op).or_default() += tick;
                 }
             }
@@ -945,12 +1099,16 @@ impl Simulation {
             let w = task.worker;
             acc.cpu_use[w] += x * self.cpu_eff[i] / (self.workers[w].cpu * tick) * tick;
             acc.io_use[w] += x * task.io_unit / (self.workers[w].io * tick) * tick;
-            acc.net_use[w] += x * task.net_unit / (self.workers[w].net * tick) * tick;
+            acc.net_use[w] +=
+                x * task.net_unit / (self.workers[w].net * self.net_degrade[w] * tick) * tick;
+            // Records crossing high-latency links spend extra time in
+            // flight (0 for datacenter-local links).
+            acc.in_flight_time += x * task.lat_unit;
         }
         // State draining shows up as real disk/NIC utilization.
         for w in 0..self.workers.len() {
             acc.io_use[w] += self.drain_io[w] / self.workers[w].io;
-            acc.net_use[w] += self.drain_net[w] / self.workers[w].net;
+            acc.net_use[w] += self.drain_net[w] / (self.workers[w].net * self.net_degrade[w]);
         }
         acc.in_flight_time += self.in_flight() * tick;
 
@@ -983,9 +1141,10 @@ impl Simulation {
             ((caps.io * tick - self.drain_io[w]).max(0.0), |t, _| {
                 t.io_unit
             }),
-            ((caps.net * tick - self.drain_net[w]).max(0.0), |t, _| {
-                t.net_unit
-            }),
+            (
+                (caps.net * self.net_degrade[w] * tick - self.drain_net[w]).max(0.0),
+                |t, _| t.net_unit,
+            ),
         ];
 
         // allowed[i] / potential[i] in records for this tick.
@@ -1114,7 +1273,15 @@ impl Simulation {
             worker_net_util: acc.net_use.iter().map(|u| u / dt).collect(),
             per_source,
             task_rates,
-            worker_alive: self.failed.iter().map(|f| !f).collect(),
+            // A partitioned worker's heartbeat goes missing exactly
+            // like a crashed one's: from outside the partition the two
+            // are indistinguishable.
+            worker_alive: self
+                .failed
+                .iter()
+                .zip(&self.partitioned)
+                .map(|(f, p)| !f && !p)
+                .collect(),
             metrics_ok: !self.blackout,
         }
     }
@@ -1166,12 +1333,13 @@ fn merge_last_tick(report: &mut WindowAcc, _interval: &WindowAcc, sim: &Simulati
         let task = &sim.tasks[i];
         if task.is_source {
             let target = sim.desired_target(i, t) * tick;
+            let admit_target = target * (1.0 - sim.shed_fraction);
             report.admitted += x;
             report.target += target;
             *report.src_admitted.entry(task.op).or_default() += x;
             *report.src_target.entry(task.op).or_default() += target;
             *report.src_time.entry(task.op).or_default() += tick;
-            if target > 0.0 && x < BACKPRESSURE_SLACK * target {
+            if admit_target > 0.0 && x < BACKPRESSURE_SLACK * admit_target {
                 *report.src_bp_time.entry(task.op).or_default() += tick;
             }
         }
@@ -1183,11 +1351,12 @@ fn merge_last_tick(report: &mut WindowAcc, _interval: &WindowAcc, sim: &Simulati
         let w = task.worker;
         report.cpu_use[w] += x * sim.cpu_eff[i] / sim.workers[w].cpu;
         report.io_use[w] += x * task.io_unit / sim.workers[w].io;
-        report.net_use[w] += x * task.net_unit / sim.workers[w].net;
+        report.net_use[w] += x * task.net_unit / (sim.workers[w].net * sim.net_degrade[w]);
+        report.in_flight_time += x * task.lat_unit;
     }
     for w in 0..sim.workers.len() {
         report.io_use[w] += sim.drain_io[w] / sim.workers[w].io;
-        report.net_use[w] += sim.drain_net[w] / sim.workers[w].net;
+        report.net_use[w] += sim.drain_net[w] / (sim.workers[w].net * sim.net_degrade[w]);
     }
     report.in_flight_time += sim.in_flight() * tick;
 }
@@ -2023,6 +2192,254 @@ mod tests {
             sim.begin_state_transfer(&[dup], false),
             Err(SimError::InvalidTransfer(_))
         ));
+    }
+
+    #[test]
+    fn partition_freezes_cross_worker_traffic_and_heartbeats() {
+        let c = Cluster::homogeneous(2, worker(4.0)).unwrap();
+        let (g, p, plan, sch) = transfer_fixture(&c);
+        let mut sim = Simulation::new(&g, &p, &c, &plan, &sch, SimConfig::short()).unwrap();
+        let before = sim.advance(20.0, 5.0);
+        assert!(before.meets_target(0.95));
+        assert!(before.worker_alive.iter().all(|&a| a));
+        sim.set_partitioned(WorkerId(1), true);
+        assert!(sim.partitioned_workers()[1]);
+        let during = sim.advance(20.0, 5.0);
+        // The worker is alive but unreachable: its heartbeat is gone
+        // while global metrics stay observable, and sources choke on
+        // the frozen cross-worker channels.
+        assert!(!during.worker_alive[1]);
+        assert!(during.worker_alive[0]);
+        assert!(during.metrics_ok);
+        assert!(
+            during.avg_backpressure > 0.8,
+            "partition should backpressure the source: {}",
+            during.avg_backpressure
+        );
+        assert!(during.avg_throughput < 100.0, "tp {}", during.avg_throughput);
+        sim.set_partitioned(WorkerId(1), false);
+        let after = sim.advance(30.0, 10.0);
+        assert!(after.worker_alive[1]);
+        assert!(
+            after.avg_throughput > 0.9 * 1000.0,
+            "healed {}",
+            after.avg_throughput
+        );
+    }
+
+    #[test]
+    fn partition_fault_events_fire_and_heal_on_schedule() {
+        let c = Cluster::homogeneous(2, worker(4.0)).unwrap();
+        let (g, p, plan, sch) = transfer_fixture(&c);
+        let mut sim = Simulation::new(&g, &p, &c, &plan, &sch, SimConfig::short()).unwrap();
+        let faults = FaultPlan::new(vec![
+            crate::fault::FaultEvent {
+                time: 10.0,
+                kind: FaultKind::PartitionStart(WorkerId(1)),
+            },
+            crate::fault::FaultEvent {
+                time: 20.0,
+                kind: FaultKind::PartitionEnd(WorkerId(1)),
+            },
+        ])
+        .unwrap();
+        sim.install_faults(faults).unwrap();
+        let r1 = sim.advance(15.0, 0.0);
+        assert!(!r1.worker_alive[1], "partition should be active at t=15");
+        let r2 = sim.advance(15.0, 0.0);
+        assert!(r2.worker_alive[1], "partition should have healed by t=30");
+    }
+
+    #[test]
+    fn link_degrade_throttles_cross_worker_traffic() {
+        // 1 MB/record at 200 rec/s over a 1 GB/s NIC: uncontended until
+        // the link degrades to 10% (100 MB/s -> 100 rec/s).
+        let big = ResourceProfile::new(1e-6, 0.0, 1e6, 1.0);
+        let c = Cluster::homogeneous(2, WorkerSpec::new(4, 4.0, 1e9, 1e9)).unwrap();
+        let ops = [
+            (OperatorKind::Source, 1, big),
+            (
+                OperatorKind::Sink,
+                1,
+                ResourceProfile::new(1e-6, 0.0, 0.0, 1.0),
+            ),
+        ];
+        let (g, p, remote, sch) = build(&ops, &c, &[0, 1], 200.0);
+        let mut sim = Simulation::new(&g, &p, &c, &remote, &sch, SimConfig::short()).unwrap();
+        let before = sim.advance(20.0, 5.0);
+        assert!(before.meets_target(0.95));
+        sim.set_net_degrade(WorkerId(0), 0.1);
+        assert_eq!(sim.net_degrades()[0], 0.1);
+        let during = sim.advance(20.0, 5.0);
+        assert!(
+            (during.avg_throughput - 100.0).abs() / 100.0 < 0.15,
+            "degraded link should cap at ~100 rec/s, got {}",
+            during.avg_throughput
+        );
+        assert!(
+            during.worker_net_util[0] > 0.9,
+            "utilization is measured against the degraded cap: {}",
+            during.worker_net_util[0]
+        );
+        sim.set_net_degrade(WorkerId(0), 1.0);
+        let after = sim.advance(20.0, 5.0);
+        assert!(after.meets_target(0.95), "tp {}", after.avg_throughput);
+    }
+
+    #[test]
+    fn shedding_cuts_admission_without_backpressure() {
+        // Capacity ~500 rec/s at an offered 1000: unshedded the source
+        // backpressures; shedding 60% admits 400 < 500 and the
+        // backpressure signal clears while the reported target stays
+        // the full offered rate.
+        let c = Cluster::homogeneous(1, WorkerSpec::new(4, 1.0, 100e6, 1e9)).unwrap();
+        let ops = [
+            (
+                OperatorKind::Source,
+                1,
+                ResourceProfile::new(0.0, 0.0, 10.0, 1.0),
+            ),
+            (
+                OperatorKind::Stateless,
+                1,
+                ResourceProfile::new(0.002, 0.0, 10.0, 1.0),
+            ),
+            (
+                OperatorKind::Sink,
+                1,
+                ResourceProfile::new(0.0, 0.0, 0.0, 1.0),
+            ),
+        ];
+        let (g, p, plan, sch) = build(&ops, &c, &[0, 0, 0], 1000.0);
+        let mut sim = Simulation::new(&g, &p, &c, &plan, &sch, SimConfig::short()).unwrap();
+        sim.set_shed_fraction(0.6);
+        assert_eq!(sim.shed_fraction(), 0.6);
+        let r = sim.run();
+        assert!(
+            (r.avg_throughput - 400.0).abs() / 400.0 < 0.1,
+            "shedded admission should be ~400, got {}",
+            r.avg_throughput
+        );
+        assert!(
+            (r.avg_target - 1000.0).abs() / 1000.0 < 0.05,
+            "target stays the offered rate: {}",
+            r.avg_target
+        );
+        assert!(
+            r.avg_backpressure < 0.05,
+            "shed drops are not backpressure: {}",
+            r.avg_backpressure
+        );
+        // Releasing the shed brings the overload (and its signal) back.
+        sim.set_shed_fraction(0.0);
+        let back = sim.advance(20.0, 5.0);
+        assert!(back.avg_backpressure > 0.4, "bp {}", back.avg_backpressure);
+        // Out-of-range requests clamp instead of poisoning the engine.
+        sim.set_shed_fraction(f64::NAN);
+        assert_eq!(sim.shed_fraction(), 0.0);
+        sim.set_shed_fraction(2.0);
+        assert_eq!(sim.shed_fraction(), 0.95);
+    }
+
+    #[test]
+    fn link_latency_adds_to_reported_latency_only_across_workers() {
+        let spec = WorkerSpec::new(4, 4.0, 100e6, 1e9).with_link_latency(0.05);
+        let c = Cluster::homogeneous(2, spec).unwrap();
+        let ops = [
+            (
+                OperatorKind::Source,
+                1,
+                ResourceProfile::new(1e-6, 0.0, 10.0, 1.0),
+            ),
+            (
+                OperatorKind::Sink,
+                1,
+                ResourceProfile::new(1e-6, 0.0, 0.0, 1.0),
+            ),
+        ];
+        let (g, p, local, sch) = build(&ops, &c, &[0, 0], 100.0);
+        let r_local = Simulation::new(&g, &p, &c, &local, &sch, SimConfig::short())
+            .unwrap()
+            .run();
+        let (g2, p2, remote, sch2) = build(&ops, &c, &[0, 1], 100.0);
+        let r_remote = Simulation::new(&g2, &p2, &c, &remote, &sch2, SimConfig::short())
+            .unwrap()
+            .run();
+        // The cross-worker hop pays both endpoints' one-way latency:
+        // 0.05 + 0.05 = 0.1 s per record on top of queueing delay.
+        assert!(
+            r_remote.avg_latency > r_local.avg_latency + 0.09,
+            "remote {} vs local {}",
+            r_remote.avg_latency,
+            r_local.avg_latency
+        );
+    }
+
+    #[test]
+    fn heterogeneous_workers_differ_in_capacity() {
+        use capsys_model::HardwareProfile;
+        let base = WorkerSpec::new(4, 1.0, 100e6, 1e9);
+        let slow = HardwareProfile::slow_cpu().apply(base);
+        let c = Cluster::heterogeneous(vec![base, slow]).unwrap();
+        let ops = [
+            (
+                OperatorKind::Source,
+                1,
+                ResourceProfile::new(0.0, 0.0, 10.0, 1.0),
+            ),
+            (
+                OperatorKind::Stateless,
+                1,
+                ResourceProfile::new(0.002, 0.0, 10.0, 1.0),
+            ),
+            (
+                OperatorKind::Sink,
+                1,
+                ResourceProfile::new(0.0, 0.0, 0.0, 1.0),
+            ),
+        ];
+        // The 0.002 s/record map saturates a full core at 500 rec/s and
+        // the slow worker's half core at 250 rec/s.
+        let (g, p, on_fast, sch) = build(&ops, &c, &[0, 0, 0], 1000.0);
+        let r_fast = Simulation::new(&g, &p, &c, &on_fast, &sch, SimConfig::short())
+            .unwrap()
+            .run();
+        let (g2, p2, on_slow, sch2) = build(&ops, &c, &[0, 1, 0], 1000.0);
+        let r_slow = Simulation::new(&g2, &p2, &c, &on_slow, &sch2, SimConfig::short())
+            .unwrap()
+            .run();
+        assert!(
+            (r_fast.avg_throughput - 500.0).abs() / 500.0 < 0.1,
+            "fast {}",
+            r_fast.avg_throughput
+        );
+        assert!(
+            (r_slow.avg_throughput - 250.0).abs() / 250.0 < 0.1,
+            "slow {}",
+            r_slow.avg_throughput
+        );
+    }
+
+    #[test]
+    fn idle_hostile_knobs_leave_the_run_byte_identical() {
+        // Setting shed to zero, degrade to one, and partition to false
+        // must be arithmetic no-ops, not merely approximate ones —
+        // replay byte-determinism depends on it.
+        let c = Cluster::homogeneous(2, worker(4.0)).unwrap();
+        let (g, p, plan, sch) = transfer_fixture(&c);
+        let cfg = SimConfig::short();
+        let mut a = Simulation::new(&g, &p, &c, &plan, &sch, cfg.clone()).unwrap();
+        let mut b = Simulation::new(&g, &p, &c, &plan, &sch, cfg).unwrap();
+        b.set_shed_fraction(0.0);
+        b.set_net_degrade(WorkerId(0), 1.0);
+        b.set_partitioned(WorkerId(1), false);
+        let ra = a.run();
+        let rb = b.run();
+        assert_eq!(ra.avg_throughput.to_bits(), rb.avg_throughput.to_bits());
+        assert_eq!(ra.avg_backpressure.to_bits(), rb.avg_backpressure.to_bits());
+        assert_eq!(ra.avg_latency.to_bits(), rb.avg_latency.to_bits());
+        assert_eq!(a.total_admitted().to_bits(), b.total_admitted().to_bits());
+        assert_eq!(a.total_sunk().to_bits(), b.total_sunk().to_bits());
     }
 
     #[test]

@@ -39,6 +39,25 @@ pub enum FaultKind {
     BlackoutStart,
     /// Metric reporting resumes.
     BlackoutEnd,
+    /// The worker's NIC bandwidth is multiplied by `factor` (in
+    /// `(0, 1]`; smaller is worse) until [`FaultKind::LinkDegradeEnd`]
+    /// — a flaky or oversubscribed link rather than a dead one.
+    LinkDegradeStart {
+        /// The worker whose link degrades.
+        worker: WorkerId,
+        /// NIC-bandwidth multiplier, in `(0, 1]`.
+        factor: f64,
+    },
+    /// Ends a link-degrade episode on the worker.
+    LinkDegradeEnd(WorkerId),
+    /// The worker is cut off from the network until
+    /// [`FaultKind::PartitionEnd`]: its metric reports go stale (the
+    /// per-worker analogue of a blackout, riding the same heartbeat
+    /// path) and traffic on its cross-worker channels freezes, while
+    /// the worker itself keeps running.
+    PartitionStart(WorkerId),
+    /// Heals the network partition on the worker.
+    PartitionEnd(WorkerId),
 }
 
 /// A fault at a point in simulated time.
@@ -121,6 +140,13 @@ impl FaultPlan {
                     )));
                 }
             }
+            if let FaultKind::LinkDegradeStart { factor, .. } = e.kind {
+                if !factor.is_finite() || factor <= 0.0 || factor > 1.0 {
+                    return Err(SimError::InvalidFaultPlan(format!(
+                        "link-degrade factor {factor} must be finite and in (0, 1]"
+                    )));
+                }
+            }
         }
         events.sort_by(|a, b| a.time.total_cmp(&b.time));
         Ok(FaultPlan {
@@ -199,10 +225,12 @@ impl FaultPlan {
         // than workers) so concurrent crashes cannot stack on one victim.
         let mut victims: Vec<usize> = (0..num_workers).collect();
         victims.shuffle(&mut rng);
+        let mut crash_windows: Vec<(usize, f64, f64)> = Vec::new();
         for k in 0..config.crashes {
             let w = WorkerId(victims[k % num_workers]);
             let at = rng.gen_range(0.0..config.horizon * 0.7);
             let downtime = rng.gen_range(config.crash_downtime.0..=config.crash_downtime.1);
+            crash_windows.push((w.0, at, at + downtime));
             events.push(FaultEvent {
                 time: at,
                 kind: FaultKind::Crash(w),
@@ -248,11 +276,91 @@ impl FaultPlan {
             plan = plan.with_controller_kill(KillPoint::AtTime(at))?;
         }
         if config.model_skews > 0 {
-            // Drawn last so enabling the skew never perturbs the
-            // crash/straggler/blackout/kill schedule of the same seed.
+            // Drawn after the classes above so enabling the skew never
+            // perturbs the crash/straggler/blackout/kill schedule of
+            // the same seed.
             let at = rng.gen_range(0.0..config.horizon * 0.7);
             let factor = rng.gen_range(config.skew_factor.0..=config.skew_factor.1);
             plan = plan.with_model_skew(ModelSkew { time: at, factor })?;
+        }
+        // Link degrades and partitions are the newest classes, drawn
+        // after everything else for the same seed-stability reason.
+        // Windows are rejection-sampled so the generated plan always
+        // passes `validate`: same-kind windows never overlap on one
+        // worker, and partitions avoid crash windows entirely.
+        let overlaps = |windows: &[(usize, f64, f64)], w: usize, s: f64, e: f64| {
+            windows.iter().any(|&(ww, ws, we)| ww == w && s < we && ws < e)
+        };
+        let mut extra: Vec<FaultEvent> = Vec::new();
+        let mut degrade_windows: Vec<(usize, f64, f64)> = Vec::new();
+        for _ in 0..config.link_degrades {
+            let mut placed = false;
+            for _attempt in 0..64 {
+                let w = rng.gen_range(0..num_workers);
+                let at = rng.gen_range(0.0..config.horizon * 0.7);
+                let dur = rng.gen_range(config.degrade_duration.0..=config.degrade_duration.1);
+                let factor = rng.gen_range(config.degrade_factor.0..=config.degrade_factor.1);
+                if overlaps(&degrade_windows, w, at, at + dur) {
+                    continue;
+                }
+                degrade_windows.push((w, at, at + dur));
+                extra.push(FaultEvent {
+                    time: at,
+                    kind: FaultKind::LinkDegradeStart {
+                        worker: WorkerId(w),
+                        factor,
+                    },
+                });
+                extra.push(FaultEvent {
+                    time: at + dur,
+                    kind: FaultKind::LinkDegradeEnd(WorkerId(w)),
+                });
+                placed = true;
+                break;
+            }
+            if !placed {
+                return Err(SimError::InvalidFaultPlan(
+                    "could not place a non-overlapping link-degrade window; \
+                     lower link_degrades or widen the horizon"
+                        .into(),
+                ));
+            }
+        }
+        let mut partition_windows: Vec<(usize, f64, f64)> = Vec::new();
+        for _ in 0..config.partitions {
+            let mut placed = false;
+            for _attempt in 0..64 {
+                let w = rng.gen_range(0..num_workers);
+                let at = rng.gen_range(0.0..config.horizon * 0.7);
+                let dur = rng.gen_range(config.partition_duration.0..=config.partition_duration.1);
+                if overlaps(&partition_windows, w, at, at + dur)
+                    || overlaps(&crash_windows, w, at, at + dur)
+                {
+                    continue;
+                }
+                partition_windows.push((w, at, at + dur));
+                extra.push(FaultEvent {
+                    time: at,
+                    kind: FaultKind::PartitionStart(WorkerId(w)),
+                });
+                extra.push(FaultEvent {
+                    time: at + dur,
+                    kind: FaultKind::PartitionEnd(WorkerId(w)),
+                });
+                placed = true;
+                break;
+            }
+            if !placed {
+                return Err(SimError::InvalidFaultPlan(
+                    "could not place a partition window clear of crashes and other \
+                     partitions; lower partitions or widen the horizon"
+                        .into(),
+                ));
+            }
+        }
+        if !extra.is_empty() {
+            plan.events.extend(extra);
+            plan.events.sort_by(|a, b| a.time.total_cmp(&b.time));
         }
         Ok(plan)
     }
@@ -292,23 +400,99 @@ impl FaultPlan {
             && self.model_skew.is_none()
     }
 
-    /// Checks that every referenced worker exists.
+    /// Checks that every referenced worker exists and that no worker
+    /// carries incoherently overlapping fault windows.
+    ///
+    /// Events are time-sorted, so a single stateful scan suffices.
+    /// Orphan `Restore`/`*End` events are legal — [`FaultPlan::shifted`]
+    /// drops past `Start`s whose state the restarting controller
+    /// re-applies — and a straggler or link degrade may overlap a crash
+    /// (a slow worker can still die). What is rejected is any pair of
+    /// same-kind windows on one worker (the engine keeps one flag per
+    /// worker per kind, so the inner window's end would silently cancel
+    /// the outer one) and a crash overlapping a partition on the same
+    /// worker (a dead worker cannot also be "running but unreachable";
+    /// the two disagree about what the restore path must re-establish).
     pub fn validate(&self, num_workers: usize) -> Result<(), SimError> {
+        let mut crashed = vec![false; num_workers];
+        let mut straggling = vec![false; num_workers];
+        let mut degraded = vec![false; num_workers];
+        let mut partitioned = vec![false; num_workers];
+        let check = |w: WorkerId| {
+            if w.0 >= num_workers {
+                Err(SimError::InvalidFaultPlan(format!(
+                    "fault references worker {} but the cluster has {num_workers}",
+                    w.0
+                )))
+            } else {
+                Ok(w.0)
+            }
+        };
         for e in &self.events {
-            let w = match e.kind {
-                FaultKind::Crash(w)
-                | FaultKind::Restore(w)
-                | FaultKind::StragglerEnd(w)
-                | FaultKind::StragglerStart { worker: w, .. } => Some(w),
-                _ => None,
-            };
-            if let Some(w) = w {
-                if w.0 >= num_workers {
-                    return Err(SimError::InvalidFaultPlan(format!(
-                        "fault references worker {} but the cluster has {num_workers}",
-                        w.0
-                    )));
+            match e.kind {
+                FaultKind::Crash(w) => {
+                    let w = check(w)?;
+                    if crashed[w] {
+                        return Err(SimError::InvalidFaultPlan(format!(
+                            "worker {w} crashes at t={} while already crashed \
+                             (overlapping crash windows)",
+                            e.time
+                        )));
+                    }
+                    if partitioned[w] {
+                        return Err(SimError::InvalidFaultPlan(format!(
+                            "worker {w} crashes at t={} inside a network partition \
+                             (crash and partition windows must not overlap)",
+                            e.time
+                        )));
+                    }
+                    crashed[w] = true;
                 }
+                FaultKind::Restore(w) => crashed[check(w)?] = false,
+                FaultKind::StragglerStart { worker: w, .. } => {
+                    let w = check(w)?;
+                    if straggling[w] {
+                        return Err(SimError::InvalidFaultPlan(format!(
+                            "worker {w} starts a straggler episode at t={} while one \
+                             is already open (overlapping straggler windows)",
+                            e.time
+                        )));
+                    }
+                    straggling[w] = true;
+                }
+                FaultKind::StragglerEnd(w) => straggling[check(w)?] = false,
+                FaultKind::LinkDegradeStart { worker: w, .. } => {
+                    let w = check(w)?;
+                    if degraded[w] {
+                        return Err(SimError::InvalidFaultPlan(format!(
+                            "worker {w} starts a link degrade at t={} while one is \
+                             already open (overlapping link-degrade windows)",
+                            e.time
+                        )));
+                    }
+                    degraded[w] = true;
+                }
+                FaultKind::LinkDegradeEnd(w) => degraded[check(w)?] = false,
+                FaultKind::PartitionStart(w) => {
+                    let w = check(w)?;
+                    if partitioned[w] {
+                        return Err(SimError::InvalidFaultPlan(format!(
+                            "worker {w} is partitioned at t={} while already \
+                             partitioned (overlapping partition windows)",
+                            e.time
+                        )));
+                    }
+                    if crashed[w] {
+                        return Err(SimError::InvalidFaultPlan(format!(
+                            "worker {w} is partitioned at t={} inside a crash window \
+                             (crash and partition windows must not overlap)",
+                            e.time
+                        )));
+                    }
+                    partitioned[w] = true;
+                }
+                FaultKind::PartitionEnd(w) => partitioned[check(w)?] = false,
+                FaultKind::BlackoutStart | FaultKind::BlackoutEnd => {}
             }
         }
         Ok(())
@@ -350,6 +534,16 @@ pub struct ChaosConfig {
     /// Model-skew CPU-cost multiplier range, each `>= 1`. Only used
     /// when `model_skews > 0`.
     pub skew_factor: (f64, f64),
+    /// Number of per-worker link-degrade episodes.
+    pub link_degrades: usize,
+    /// Link-degrade NIC-bandwidth multiplier range, each in `(0, 1]`.
+    pub degrade_factor: (f64, f64),
+    /// Link-degrade episode duration range, seconds.
+    pub degrade_duration: (f64, f64),
+    /// Number of per-worker network partitions.
+    pub partitions: usize,
+    /// Partition duration range, seconds.
+    pub partition_duration: (f64, f64),
 }
 
 impl Default for ChaosConfig {
@@ -368,6 +562,11 @@ impl Default for ChaosConfig {
             controller_kills: 0,
             model_skews: 0,
             skew_factor: (2.0, 4.0),
+            link_degrades: 0,
+            degrade_factor: (0.1, 0.5),
+            degrade_duration: (20.0, 60.0),
+            partitions: 0,
+            partition_duration: (20.0, 60.0),
         }
     }
 }
@@ -430,6 +629,18 @@ impl ChaosConfig {
                     "skew_factor range ({lo}, {hi}) must satisfy 1 <= min <= max"
                 )));
             }
+        }
+        if self.link_degrades > 0 {
+            range_ok(self.degrade_duration, "degrade_duration")?;
+            let (lo, hi) = self.degrade_factor;
+            if !(lo.is_finite() && hi.is_finite() && lo > 0.0 && lo <= hi && hi <= 1.0) {
+                return Err(SimError::InvalidFaultPlan(format!(
+                    "degrade_factor range ({lo}, {hi}) must satisfy 0 < min <= max <= 1"
+                )));
+            }
+        }
+        if self.partitions > 0 {
+            range_ok(self.partition_duration, "partition_duration")?;
         }
         Ok(())
     }
@@ -741,6 +952,201 @@ mod tests {
             &ChaosConfig {
                 model_skews: 1,
                 skew_factor: (0.5, 2.0),
+                ..ChaosConfig::default()
+            },
+            4
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn link_degrade_and_partition_generation_is_deterministic_and_additive() {
+        let cfg = ChaosConfig {
+            crashes: 2,
+            link_degrades: 2,
+            partitions: 1,
+            ..ChaosConfig::default()
+        };
+        let plan = FaultPlan::generate(&cfg, 5).unwrap();
+        assert_eq!(plan, FaultPlan::generate(&cfg, 5).unwrap());
+        plan.validate(5).unwrap();
+        // Filtering out the new kinds recovers the base schedule
+        // exactly: the new classes are drawn after every older one, so
+        // enabling them never perturbs an existing seed.
+        let base = FaultPlan::generate(
+            &ChaosConfig {
+                crashes: 2,
+                ..ChaosConfig::default()
+            },
+            5,
+        )
+        .unwrap();
+        let filtered: Vec<FaultEvent> = plan
+            .events
+            .iter()
+            .copied()
+            .filter(|e| {
+                !matches!(
+                    e.kind,
+                    FaultKind::LinkDegradeStart { .. }
+                        | FaultKind::LinkDegradeEnd(_)
+                        | FaultKind::PartitionStart(_)
+                        | FaultKind::PartitionEnd(_)
+                )
+            })
+            .collect();
+        assert_eq!(filtered, base.events);
+        for e in &plan.events {
+            if let FaultKind::LinkDegradeStart { factor, .. } = e.kind {
+                assert!((cfg.degrade_factor.0..=cfg.degrade_factor.1).contains(&factor));
+            }
+        }
+        let starts = |p: &FaultPlan| {
+            p.events
+                .iter()
+                .filter(|e| matches!(e.kind, FaultKind::PartitionStart(_)))
+                .count()
+        };
+        assert_eq!(starts(&plan), 1);
+        // Shifted views stay valid even when a Start falls off the
+        // front and leaves its End orphaned.
+        for offset in [0.0, 50.0, 150.0, 400.0] {
+            plan.shifted(offset).validate(5).unwrap();
+        }
+    }
+
+    #[test]
+    fn overlapping_windows_on_one_worker_are_rejected() {
+        let w = WorkerId(0);
+        let ev = |time, kind| FaultEvent { time, kind };
+        let expect_err = |events: Vec<FaultEvent>, needle: &str| {
+            let err = FaultPlan::new(events).unwrap().validate(2).unwrap_err();
+            let msg = format!("{err}");
+            assert!(msg.contains(needle), "expected {needle:?} in {msg:?}");
+        };
+        // Crash inside a partition, and the mirror image.
+        expect_err(
+            vec![
+                ev(10.0, FaultKind::PartitionStart(w)),
+                ev(15.0, FaultKind::Crash(w)),
+                ev(20.0, FaultKind::PartitionEnd(w)),
+                ev(30.0, FaultKind::Restore(w)),
+            ],
+            "inside a network partition",
+        );
+        expect_err(
+            vec![
+                ev(10.0, FaultKind::Crash(w)),
+                ev(15.0, FaultKind::PartitionStart(w)),
+                ev(20.0, FaultKind::Restore(w)),
+                ev(30.0, FaultKind::PartitionEnd(w)),
+            ],
+            "inside a crash window",
+        );
+        // Same-kind windows nested on one worker.
+        expect_err(
+            vec![
+                ev(10.0, FaultKind::Crash(w)),
+                ev(15.0, FaultKind::Crash(w)),
+                ev(20.0, FaultKind::Restore(w)),
+                ev(30.0, FaultKind::Restore(w)),
+            ],
+            "overlapping crash windows",
+        );
+        expect_err(
+            vec![
+                ev(10.0, FaultKind::StragglerStart { worker: w, factor: 2.0 }),
+                ev(15.0, FaultKind::StragglerStart { worker: w, factor: 3.0 }),
+                ev(20.0, FaultKind::StragglerEnd(w)),
+                ev(30.0, FaultKind::StragglerEnd(w)),
+            ],
+            "overlapping straggler windows",
+        );
+        expect_err(
+            vec![
+                ev(10.0, FaultKind::LinkDegradeStart { worker: w, factor: 0.5 }),
+                ev(15.0, FaultKind::LinkDegradeStart { worker: w, factor: 0.5 }),
+                ev(20.0, FaultKind::LinkDegradeEnd(w)),
+                ev(30.0, FaultKind::LinkDegradeEnd(w)),
+            ],
+            "overlapping link-degrade windows",
+        );
+        expect_err(
+            vec![
+                ev(10.0, FaultKind::PartitionStart(w)),
+                ev(15.0, FaultKind::PartitionStart(w)),
+                ev(20.0, FaultKind::PartitionEnd(w)),
+                ev(30.0, FaultKind::PartitionEnd(w)),
+            ],
+            "overlapping partition windows",
+        );
+        // A straggler overlapping a crash stays legal (a slow worker
+        // can still die), same-kind windows on *different* workers are
+        // independent, sequential windows on one worker are fine, and
+        // orphan ends (shifted plans) never trip the scan.
+        FaultPlan::new(vec![
+            ev(10.0, FaultKind::StragglerStart { worker: w, factor: 2.0 }),
+            ev(12.0, FaultKind::Crash(w)),
+            ev(20.0, FaultKind::Restore(w)),
+            ev(25.0, FaultKind::StragglerEnd(w)),
+        ])
+        .unwrap()
+        .validate(2)
+        .unwrap();
+        FaultPlan::new(vec![
+            ev(10.0, FaultKind::PartitionStart(w)),
+            ev(12.0, FaultKind::PartitionStart(WorkerId(1))),
+            ev(20.0, FaultKind::PartitionEnd(w)),
+            ev(25.0, FaultKind::PartitionEnd(WorkerId(1))),
+        ])
+        .unwrap()
+        .validate(2)
+        .unwrap();
+        FaultPlan::new(vec![
+            ev(10.0, FaultKind::Crash(w)),
+            ev(20.0, FaultKind::Restore(w)),
+            ev(30.0, FaultKind::Crash(w)),
+            ev(40.0, FaultKind::Restore(w)),
+        ])
+        .unwrap()
+        .validate(2)
+        .unwrap();
+        FaultPlan::new(vec![
+            ev(5.0, FaultKind::Restore(w)),
+            ev(6.0, FaultKind::PartitionEnd(w)),
+            ev(7.0, FaultKind::StragglerEnd(w)),
+            ev(8.0, FaultKind::LinkDegradeEnd(w)),
+        ])
+        .unwrap()
+        .validate(2)
+        .unwrap();
+    }
+
+    #[test]
+    fn link_degrade_factors_are_validated() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(FaultPlan::new(vec![FaultEvent {
+                time: 0.0,
+                kind: FaultKind::LinkDegradeStart {
+                    worker: WorkerId(0),
+                    factor: bad,
+                },
+            }])
+            .is_err());
+        }
+        assert!(FaultPlan::generate(
+            &ChaosConfig {
+                link_degrades: 1,
+                degrade_factor: (0.5, 1.5),
+                ..ChaosConfig::default()
+            },
+            4
+        )
+        .is_err());
+        assert!(FaultPlan::generate(
+            &ChaosConfig {
+                partitions: 1,
+                partition_duration: (-1.0, 5.0),
                 ..ChaosConfig::default()
             },
             4

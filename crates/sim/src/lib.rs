@@ -25,6 +25,7 @@ pub mod epoch;
 pub mod error;
 pub mod fault;
 pub mod metrics;
+pub mod workload;
 
 pub use config::SimConfig;
 pub use engine::{Simulation, TaskTransfer};
@@ -32,3 +33,4 @@ pub use epoch::EpochFence;
 pub use error::SimError;
 pub use fault::{ChaosConfig, FaultEvent, FaultInjector, FaultKind, FaultPlan, KillPoint, ModelSkew};
 pub use metrics::{sanitize_rates, MetricPoint, SimulationReport, SourceStats, TaskRateStats};
+pub use workload::{WorkloadConfig, WorkloadEngine};

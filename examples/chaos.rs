@@ -37,6 +37,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         controller_kills: 0,
         model_skews: 0,
         skew_factor: (2.0, 4.0),
+        ..ChaosConfig::default()
     };
     let plan = FaultPlan::generate(&chaos, cluster.num_workers())?;
     println!("fault schedule (seed {}):", chaos.seed);

@@ -49,14 +49,25 @@
 #      16 tasks, returns feasible plans at 256/1024 tasks where the
 #      budgeted DFS exhausts with none, keeps every anytime curve
 #      monotone non-increasing, and replays byte-identically under the
-#      same seed.
+#      same seed;
+#  14. hostile-workload smoke — seeded adversarial traffic
+#      (seeds 7/11/23), writing BENCH_hostile.json and self-asserting
+#      that the drift-aware governor performs zero rollbacks under pure
+#      organic growth and flash crowds where the absolute-baseline
+#      governor false-rollbacks on every flash seed, an injected true
+#      regression is still rolled back within one probation window,
+#      the shedding controller engages under sustained overload,
+#      bounds backpressure, wins latency-gated goodput over the
+#      unshedded baseline, releases once the crowd decays, and a
+#      controller kill right after the first journaled Shed record
+#      recovers byte-identically.
 #
 # Usage: scripts/ci.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/13] tree guard: no tracked build artifacts"
+echo "==> [1/14] tree guard: no tracked build artifacts"
 if git ls-files | grep -q '^target/'; then
     echo "FORBIDDEN: build artifacts under target/ are tracked" >&2
     echo "(run: git rm -r --cached target)" >&2
@@ -64,7 +75,7 @@ if git ls-files | grep -q '^target/'; then
 fi
 echo "    ok: target/ is untracked"
 
-echo "==> [2/13] dependency guard: workspace-internal crates only"
+echo "==> [2/14] dependency guard: workspace-internal crates only"
 # Collect every dependency key from every manifest. Dependency lines are
 # `name = ...` or `name.workspace = true` inside a [*dependencies*]
 # section; only capsys-* names are allowed.
@@ -93,7 +104,7 @@ if [ "$violations" -ne 0 ]; then
 fi
 echo "    ok: all dependencies are capsys-* path crates"
 
-echo "==> [3/13] panic lint: no unwrap/expect/panic! in non-test code"
+echo "==> [3/14] panic lint: no unwrap/expect/panic! in non-test code"
 # Library code must surface failures as Results — a panicking controller
 # is the exact failure mode the robustness work guards against. Unit-test
 # modules (everything from the first #[cfg(test)] down) and the justified
@@ -127,13 +138,13 @@ if [ "$violations" -ne 0 ]; then
 fi
 echo "    ok: non-test library code is panic-free"
 
-echo "==> [4/13] cargo build --release (all targets)"
+echo "==> [4/14] cargo build --release (all targets)"
 cargo build --release --workspace --all-targets
 
-echo "==> [5/13] cargo test (debug, full workspace)"
+echo "==> [5/14] cargo test (debug, full workspace)"
 cargo test -q --workspace
 
-echo "==> [5b/13] fixed-point overflow checks (capsys-util, release + overflow-checks)"
+echo "==> [5b/14] fixed-point overflow checks (capsys-util, release + overflow-checks)"
 # The Fixed64 core promises saturating/checked arithmetic, never a
 # silent two's-complement wrap. Release builds normally disable
 # overflow checks, so any unchecked `+`/`-`/`*` on a raw mantissa would
@@ -142,31 +153,31 @@ echo "==> [5b/13] fixed-point overflow checks (capsys-util, release + overflow-c
 RUSTFLAGS="${RUSTFLAGS:-} -C overflow-checks=yes" \
     cargo test -q --release -p capsys-util --target-dir target/overflow-checks
 
-echo "==> [6/13] determinism golden test (release)"
+echo "==> [6/14] determinism golden test (release)"
 cargo test -q --release --test golden_determinism
 
-echo "==> [7/13] smoke bench (quick mode, end-to-end)"
+echo "==> [7/14] smoke bench (quick mode, end-to-end)"
 CAPSYS_BENCH_QUICK=1 cargo bench -p capsys-bench --bench caps_search
 
-echo "==> [8/13] chaos smoke (fault injection + recovery, seeds 7/11/23)"
+echo "==> [8/14] chaos smoke (fault injection + recovery, seeds 7/11/23)"
 for seed in 7 11 23; do
     cargo run --release -p capsys-bench --bin exp_chaos -- --seed "$seed" --quick
 done
 
-echo "==> [9/13] search perf smoke (thread scaling + warm-start, BENCH_search.json)"
+echo "==> [9/14] search perf smoke (thread scaling + warm-start, BENCH_search.json)"
 # exp_perf asserts its own invariants (determinism across thread counts,
 # warm-start probe economy, hardware-gated speedup floor) and validates
 # the JSON it wrote; a malformed record fails this step.
 cargo run --release -p capsys-bench --bin exp_perf -- --smoke
 
-echo "==> [10/13] guard smoke (safety governor vs model skew, seed 7)"
+echo "==> [10/14] guard smoke (safety governor vs model skew, seed 7)"
 # exp_guard self-asserts: without the governor the stale-model regression
 # persists; with it, the regression is detected within one probation
 # window, rolled back to last-known-good, throughput recovers, churn
 # stays within the rollback cap, and same-seed runs replay identically.
 cargo run --release -p capsys-bench --bin exp_guard -- --seed 7 --quick
 
-echo "==> [11/13] recovery sweep (kill-at-every-decision crash recovery, seeds 7/11/23)"
+echo "==> [11/14] recovery sweep (kill-at-every-decision crash recovery, seeds 7/11/23)"
 # exp_recovery self-asserts: every kill point recovers to a
 # byte-identical trace AND journal, the mid-reconfiguration kill rolls
 # forward (for scaling Prepares, governor Rollbacks, and mid-wave
@@ -176,7 +187,7 @@ for seed in 7 11 23; do
     cargo run --release -p capsys-bench --bin exp_recovery -- --seed "$seed" --smoke
 done
 
-echo "==> [12/13] migration smoke (incremental vs whole-plan A/B, seeds 7/11/23)"
+echo "==> [12/14] migration smoke (incremental vs whole-plan A/B, seeds 7/11/23)"
 # exp_migrate self-asserts: the incremental arm moves strictly fewer
 # bytes, pauses strictly fewer task-seconds, and loses strictly less
 # throughput area than the whole-plan arm on the same crash; the
@@ -187,12 +198,22 @@ for seed in 7 11 23; do
     cargo run --release -p capsys-bench --bin exp_migrate -- --seed "$seed" --smoke
 done
 
-echo "==> [13/13] anytime search smoke (DFS vs MCTS, BENCH_anytime.json, seeds 7/11/23)"
+echo "==> [13/14] anytime search smoke (DFS vs MCTS, BENCH_anytime.json, seeds 7/11/23)"
 # exp_search self-asserts: MCTS == DFS optimum at 16 tasks (Fixed64 bit
 # equality, every seed), MCTS feasible within the budget at 256/1024
 # tasks where the DFS reports budget exhaustion with zero plans,
 # monotone anytime curves, and a byte-identical same-seed replay; it
 # also validates the BENCH_anytime.json it wrote.
 cargo run --release -p capsys-bench --bin exp_search -- --smoke
+
+echo "==> [14/14] hostile-workload smoke (governor drift A/B + overload shedding, seeds 7/11/23)"
+# exp_hostile self-asserts: zero drift-aware rollbacks under pure
+# growth and flash crowds (absolute baseline false-rollbacks on every
+# flash seed), a true regression still caught within one probation
+# window, shedding engages/bounds backpressure/wins goodput/releases
+# under an 8x flash crowd, every shed change is journaled, and the
+# whole hostile run replays byte-identically after a controller kill;
+# it also validates the BENCH_hostile.json it wrote.
+cargo run --release -p capsys-bench --bin exp_hostile -- --smoke
 
 echo "CI green."
