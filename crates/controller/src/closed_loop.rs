@@ -130,6 +130,27 @@ impl ToJson for MigrationWave {
     }
 }
 
+/// What one policy window of [`ClosedLoop::step`] observed — the
+/// per-window summary a fleet-level driver consumes to compute
+/// cross-shard contention and aggregate goodput without touching the
+/// shard's internals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepReport {
+    /// Controller time at the end of the window, seconds.
+    pub time: f64,
+    /// Average admitted source throughput over the window, records/s.
+    pub avg_throughput: f64,
+    /// Average target rate over the window, records/s.
+    pub avg_target: f64,
+    /// Average source backpressure over the window, in `[0, 1]`.
+    pub avg_backpressure: f64,
+    /// Per-worker CPU utilization over the window, in `[0, 1]`
+    /// (indexed by this shard's cluster worker ids).
+    pub worker_cpu_util: Vec<f64>,
+    /// Per-worker heartbeat bits at the end of the window.
+    pub worker_alive: Vec<bool>,
+}
+
 /// The trace of a closed-loop run.
 #[derive(Debug, Clone)]
 pub struct ClosedLoopTrace {
@@ -860,6 +881,32 @@ impl<'a> ClosedLoop<'a> {
         &self.fence
     }
 
+    /// Sets a worker's cross-job contention multiplier on the live
+    /// simulation (`1.0` = uncontended). A fleet driver calls this each
+    /// window to charge the shard for the CPU its neighbours consume on
+    /// shared workers; the factor survives redeployments like the other
+    /// chaos state.
+    pub fn set_contention(&mut self, w: WorkerId, factor: f64) {
+        self.sim.set_contention(w, factor);
+    }
+
+    /// Revokes a worker from this shard's pool: the arbiter reassigned
+    /// it, so from this shard's perspective the worker fails — the
+    /// failure detector declares it down and the normal recovery
+    /// machinery re-places its tasks on the shard's remaining workers.
+    /// The revocation survives redeployments (failed-worker state is
+    /// carried across), so the shard never places tasks there again
+    /// unless the arbiter returns the worker via
+    /// [`ClosedLoop::restore_worker`].
+    pub fn revoke_worker(&mut self, w: WorkerId) {
+        self.sim.fail_worker(w);
+    }
+
+    /// Returns a previously revoked (or crashed) worker to service.
+    pub fn restore_worker(&mut self, w: WorkerId) {
+        self.sim.restore_worker(w);
+    }
+
     /// The current deployment, frozen for the governor.
     fn snapshot(&self) -> PlanSnapshot {
         PlanSnapshot {
@@ -934,12 +981,41 @@ impl<'a> ClosedLoop<'a> {
 
     /// Runs the loop for `duration` simulated seconds.
     pub fn run(mut self, duration: f64) -> Result<ClosedLoopTrace, ControllerError> {
-        let interval = self.ds2.config.policy_interval.max(self.sim_config.tick);
+        let interval = self.policy_window();
         let end = self.time + duration;
         while self.time < end - 1e-9 {
             let window = interval.min(end - self.time);
+            self.step(window)?;
+        }
+        self.into_trace()
+    }
+
+    /// The loop's natural policy window: the DS2 policy interval,
+    /// floored at one simulation tick. [`ClosedLoop::run`] advances in
+    /// windows of this size; an external driver stepping the loop via
+    /// [`ClosedLoop::step`] must use the same window for journal replay
+    /// times to line up.
+    pub fn policy_window(&self) -> f64 {
+        self.ds2.config.policy_interval.max(self.sim_config.tick)
+    }
+
+    /// Advances the loop one policy window of `window` simulated
+    /// seconds: simulate, observe, and make at most one control
+    /// decision. This is exactly one iteration of [`ClosedLoop::run`]'s
+    /// loop, exposed so a fleet-level driver can interleave many shard
+    /// controllers in lockstep on one global clock.
+    pub fn step(&mut self, window: f64) -> Result<StepReport, ControllerError> {
+        {
             let report = self.sim.advance(window, 0.0);
             self.time += window;
+            let summary = StepReport {
+                time: self.time,
+                avg_throughput: report.avg_throughput,
+                avg_target: report.avg_target,
+                avg_backpressure: report.avg_backpressure,
+                worker_cpu_util: report.worker_cpu_util.clone(),
+                worker_alive: report.worker_alive.clone(),
+            };
 
             // Injected wall-clock controller kill: the process dies at
             // the next window boundary. Replayed spans are immune (the
@@ -980,11 +1056,18 @@ impl<'a> ClosedLoop<'a> {
                 }
             }
 
-            // Failure detection: heartbeats ride the metrics report.
+            // Failure detection: heartbeats ride the metrics report,
+            // with out-of-band activity evidence so a partitioned
+            // worker (still running, fenced writes landing) is
+            // classified isolated rather than crashed — re-placing its
+            // tasks would double-place them.
             if let Some(rec) = &mut self.recovery {
-                let det = rec
-                    .detector
-                    .observe(&report.worker_alive, report.metrics_ok, self.time);
+                let det = rec.detector.observe_with_evidence(
+                    &report.worker_alive,
+                    &report.worker_activity,
+                    report.metrics_ok,
+                    self.time,
+                );
                 for w in det.newly_down {
                     let since = rec.detector.stale_since(w).unwrap_or(self.time);
                     match &mut rec.pending {
@@ -1020,7 +1103,7 @@ impl<'a> ClosedLoop<'a> {
             // (or abandonment); failure detection above keeps running.
             if self.migration.is_some() {
                 self.advance_migration()?;
-                continue;
+                return Ok(summary);
             }
 
             // Recovery re-placement, with bounded exponential backoff.
@@ -1066,7 +1149,7 @@ impl<'a> ClosedLoop<'a> {
             // DS2 policy evaluation. A pending recovery takes priority:
             // scaling decisions wait until the job is re-placed.
             if self.recovery.as_ref().is_some_and(|r| r.pending.is_some()) {
-                continue;
+                return Ok(summary);
             }
 
             // Safety governor: judge the current probation window before
@@ -1088,22 +1171,22 @@ impl<'a> ClosedLoop<'a> {
                 } else {
                     self.replay_rollback_step(&req)?;
                 }
-                continue;
+                return Ok(summary);
             }
             // Hysteresis: no reconfiguration of any kind inside the
             // post-rollback cooldown.
             if self.guard.as_ref().is_some_and(|g| g.in_cooldown(self.time)) {
-                continue;
+                return Ok(summary);
             }
 
             if self.time - self.last_action < self.ds2.config.activation_period {
-                continue;
+                return Ok(summary);
             }
             if !self.replay.is_empty() {
                 // Replay stands in for the DS2 evaluation: the journal
                 // already says whether (and how) this step scaled.
                 self.replay_scaling_step()?;
-                continue;
+                return Ok(summary);
             }
             let rates = average_rates(&self.recent);
             let rate_now = self.schedule.rate_at(self.time).max(1.0);
@@ -1113,7 +1196,7 @@ impl<'a> ClosedLoop<'a> {
                 .decide(self.query.logical(), &self.physical, &rates, &targets)
                 .map_err(ControllerError::Ds2)?;
             if !decision.changed {
-                continue;
+                return Ok(summary);
             }
             let down = self.known_down();
             let capacity_ok = if down.is_empty() {
@@ -1123,7 +1206,7 @@ impl<'a> ClosedLoop<'a> {
             };
             if !capacity_ok {
                 // Cannot deploy the recommendation; skip this action.
-                continue;
+                return Ok(summary);
             }
             // Quarantine veto *before* the placement search: vetoing
             // after it would consume RNG with no journal record and fork
@@ -1133,10 +1216,17 @@ impl<'a> ClosedLoop<'a> {
                 .as_ref()
                 .is_some_and(|g| g.is_quarantined(&decision.parallelism, self.time))
             {
-                continue;
+                return Ok(summary);
             }
             self.redeploy(decision.parallelism, rate_now, true)?;
+            Ok(summary)
         }
+    }
+
+    /// Finishes the run: checks every journaled decision was consumed
+    /// and assembles the trace. Call after the final
+    /// [`ClosedLoop::step`] (or let [`ClosedLoop::run`] do both).
+    pub fn into_trace(self) -> Result<ClosedLoopTrace, ControllerError> {
         if !self.replay.is_empty() {
             // The journal records decisions from beyond this run's end:
             // the caller replayed with a shorter horizon. Surface it
@@ -1701,6 +1791,7 @@ impl<'a> ClosedLoop<'a> {
         let shed_fraction = self.sim.shed_fraction();
         let partitioned: Vec<bool> = self.sim.partitioned_workers().to_vec();
         let net_degrades: Vec<f64> = self.sim.net_degrades().to_vec();
+        let contentions: Vec<f64> = self.sim.contentions().to_vec();
         // Shift the schedule so the new simulation continues at the
         // current wall-clock position.
         let offset = self.time;
@@ -1734,6 +1825,11 @@ impl<'a> ClosedLoop<'a> {
         for (w, f) in net_degrades.iter().enumerate() {
             if *f < 1.0 {
                 sim.set_net_degrade(WorkerId(w), *f);
+            }
+        }
+        for (w, c) in contentions.iter().enumerate() {
+            if *c > 1.0 {
+                sim.set_contention(WorkerId(w), *c);
             }
         }
         if let Some(plan) = &self.fault_plan {

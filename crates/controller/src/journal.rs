@@ -923,6 +923,73 @@ mod tests {
         );
     }
 
+    /// Satellite fuzz battery: random single-bit flips and truncations
+    /// of a valid multi-record journal. Whatever the damage, parsing
+    /// must end in exactly one of two outcomes — a clean
+    /// [`ControllerError::Journal`] error, or a successful parse whose
+    /// records are a *prefix* of the originals (a torn tail dropped).
+    /// It must never panic, and it must never accept an altered or
+    /// reordered record: a flipped bit cannot survive the CRC, and a
+    /// truncated file cannot resequence what remains.
+    #[test]
+    fn prop_corrupted_journals_error_cleanly_or_drop_a_clean_tail() {
+        use capsys_util::forall;
+        use capsys_util::prop::{ints, Config};
+        let originals = samples();
+        let (mut j, buf) = DecisionJournal::in_memory();
+        for rec in &originals {
+            j.append(rec).unwrap();
+        }
+        let pristine = buf.text();
+        let check_prefix = |damaged: &str, what: &str| {
+            match parse_journal(damaged) {
+                Err(ControllerError::Journal(_)) => {}
+                Ok(parsed) => {
+                    assert!(
+                        parsed.records.len() <= originals.len()
+                            && parsed.records == originals[..parsed.records.len()],
+                        "{what}: parse accepted a non-prefix record sequence"
+                    );
+                }
+                Err(other) => panic!("{what}: unexpected error class {other}"),
+            }
+        };
+        forall!(
+            Config::default().cases(256),
+            (
+                pos in ints(0usize..1_000_000),
+                bit in ints(0usize..8),
+                mode in ints(0usize..3),
+            ) => {
+                match mode {
+                    // Single-bit flip anywhere in the file.
+                    0 => {
+                        let mut bytes = pristine.clone().into_bytes();
+                        let at = pos % bytes.len();
+                        bytes[at] ^= 1 << bit;
+                        let damaged = String::from_utf8_lossy(&bytes).into_owned();
+                        check_prefix(&damaged, "bit flip");
+                    }
+                    // Truncation at an arbitrary byte (crash mid-write).
+                    1 => {
+                        let cut = pos % (pristine.len() + 1);
+                        check_prefix(&pristine[..cut], "truncation");
+                    }
+                    // Flip inside the torn region of an already
+                    // truncated file: damage stacked on damage.
+                    _ => {
+                        let cut = 1 + pos % pristine.len();
+                        let mut bytes = pristine[..cut].as_bytes().to_vec();
+                        let at = (pos / 7) % bytes.len();
+                        bytes[at] ^= 1 << bit;
+                        let damaged = String::from_utf8_lossy(&bytes).into_owned();
+                        check_prefix(&damaged, "truncate+flip");
+                    }
+                }
+            }
+        );
+    }
+
     #[test]
     fn garbage_payload_is_rejected() {
         assert!(DecisionRecord::from_json(&Json::Obj(vec![(

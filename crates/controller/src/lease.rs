@@ -1,0 +1,388 @@
+//! Lease-fenced shard-controller terms.
+//!
+//! Each shard of the sharded control plane is governed by exactly one
+//! controller at a time, authorized by a *lease*: a `(holder, term,
+//! expires_at)` triple held in the fleet's [`LeaseTable`]. Terms are the
+//! control-plane analogue of reconfiguration epochs — strictly
+//! monotonic per shard, so any write stamped with an old term is
+//! detectably stale:
+//!
+//! * A controller **acquires** a lease only while the shard is free or
+//!   its current lease has expired; the new lease gets `term + 1`.
+//! * The holder **renews** before expiry; renewal never changes the
+//!   term, only the deadline.
+//! * Every shard decision passes the [`LeaseTable::check`] fencing
+//!   barrier before it may touch shared state. A holder whose lease
+//!   lapsed — or was taken over by a standby — fails the check with
+//!   [`ControllerError::LeaseFenced`] and must stand down. Split-brain
+//!   is therefore impossible by construction: at most one `(holder,
+//!   term)` pair can pass the barrier at any instant, because the table
+//!   holds exactly one unexpired term per shard and terms never repeat.
+//!
+//! The table is plain deterministic state (no wall clock — callers pass
+//! simulated time), so fleet runs that consult it replay byte-for-byte.
+
+use crate::ControllerError;
+
+/// One shard's lease slot.
+#[derive(Debug, Clone, PartialEq)]
+struct LeaseSlot {
+    /// Current (or most recent) holder name.
+    holder: Option<String>,
+    /// Strictly monotonic lease term; 0 = never held.
+    term: u64,
+    /// Simulated time the current lease expires.
+    expires_at: f64,
+}
+
+/// The fleet's lease table: one slot per shard.
+#[derive(Debug, Clone)]
+pub struct LeaseTable {
+    slots: Vec<LeaseSlot>,
+    /// Lease validity per acquire/renew, simulated seconds.
+    duration: f64,
+}
+
+impl LeaseTable {
+    /// A table for `num_shards` shards whose leases last `duration`
+    /// simulated seconds. A non-finite or non-positive duration is
+    /// rejected.
+    pub fn new(num_shards: usize, duration: f64) -> Result<LeaseTable, ControllerError> {
+        if !duration.is_finite() || duration <= 0.0 {
+            return Err(ControllerError::InvalidConfig(format!(
+                "lease duration must be positive and finite, got {duration}"
+            )));
+        }
+        Ok(LeaseTable {
+            slots: vec![
+                LeaseSlot {
+                    holder: None,
+                    term: 0,
+                    expires_at: f64::NEG_INFINITY,
+                };
+                num_shards
+            ],
+            duration,
+        })
+    }
+
+    /// Number of shards the table covers.
+    pub fn num_shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Grows the table to cover `num_shards` shards (no-op when already
+    /// that large); new slots start unheld. Admission adds shards over
+    /// the fleet's lifetime, and growing never disturbs existing terms.
+    pub fn grow_to(&mut self, num_shards: usize) {
+        while self.slots.len() < num_shards {
+            self.slots.push(LeaseSlot {
+                holder: None,
+                term: 0,
+                expires_at: f64::NEG_INFINITY,
+            });
+        }
+    }
+
+    /// The lease validity duration, seconds.
+    pub fn duration(&self) -> f64 {
+        self.duration
+    }
+
+    fn slot(&self, shard: usize) -> Result<&LeaseSlot, ControllerError> {
+        self.slots.get(shard).ok_or_else(|| {
+            ControllerError::InvalidConfig(format!(
+                "shard {shard} out of range (lease table has {})",
+                self.slots.len()
+            ))
+        })
+    }
+
+    /// Acquires the lease on `shard` for `holder` at simulated time
+    /// `now`. Succeeds only while the shard is unheld or its lease has
+    /// expired; the granted term is strictly greater than every term
+    /// ever granted for this shard. Re-acquiring by the current holder
+    /// before expiry also bumps the term (a deliberate restart is a new
+    /// reign, not a renewal).
+    pub fn acquire(
+        &mut self,
+        shard: usize,
+        holder: &str,
+        now: f64,
+    ) -> Result<u64, ControllerError> {
+        let current = self.slot(shard)?.clone();
+        if current.holder.is_some()
+            && current.holder.as_deref() != Some(holder)
+            && now < current.expires_at
+        {
+            return Err(ControllerError::LeaseFenced {
+                shard,
+                attempted: current.term,
+                current: current.term,
+            });
+        }
+        let duration = self.duration;
+        let slot = &mut self.slots[shard];
+        slot.holder = Some(holder.to_string());
+        slot.term += 1;
+        slot.expires_at = now + duration;
+        Ok(slot.term)
+    }
+
+    /// Extends the lease on `shard` to `now + duration`. Only the
+    /// current holder, under the current term, with an unexpired lease
+    /// may renew; anyone else is fenced.
+    pub fn renew(
+        &mut self,
+        shard: usize,
+        holder: &str,
+        term: u64,
+        now: f64,
+    ) -> Result<(), ControllerError> {
+        self.check(shard, holder, term, now)?;
+        let duration = self.duration;
+        self.slots[shard].expires_at = now + duration;
+        Ok(())
+    }
+
+    /// The fencing barrier: whether `(holder, term)` currently
+    /// authorizes writes to `shard`. Fails with
+    /// [`ControllerError::LeaseFenced`] when the term is stale, the
+    /// holder does not match, or the lease has expired — the write of a
+    /// zombie shard controller must never reach shared state.
+    pub fn check(
+        &self,
+        shard: usize,
+        holder: &str,
+        term: u64,
+        now: f64,
+    ) -> Result<(), ControllerError> {
+        let slot = self.slot(shard)?;
+        let fenced = ControllerError::LeaseFenced {
+            shard,
+            attempted: term,
+            current: slot.term,
+        };
+        if slot.term != term || slot.holder.as_deref() != Some(holder) {
+            return Err(fenced);
+        }
+        if now >= slot.expires_at {
+            return Err(fenced);
+        }
+        Ok(())
+    }
+
+    /// The current (or most recent) holder of `shard`'s lease.
+    pub fn holder(&self, shard: usize) -> Option<&str> {
+        self.slots.get(shard).and_then(|s| s.holder.as_deref())
+    }
+
+    /// The current term of `shard` (0 = never held).
+    pub fn term(&self, shard: usize) -> u64 {
+        self.slots.get(shard).map(|s| s.term).unwrap_or(0)
+    }
+
+    /// When `shard`'s lease expires (`-inf` when never held).
+    pub fn expires_at(&self, shard: usize) -> f64 {
+        self.slots
+            .get(shard)
+            .map(|s| s.expires_at)
+            .unwrap_or(f64::NEG_INFINITY)
+    }
+
+    /// Whether `shard`'s lease has expired (or was never held) at `now`.
+    pub fn is_expired(&self, shard: usize, now: f64) -> bool {
+        now >= self.expires_at(shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsys_util::forall;
+    use capsys_util::prop::{ints, vec_of, Config};
+
+    fn fenced(e: &ControllerError) -> bool {
+        matches!(e, ControllerError::LeaseFenced { .. })
+    }
+
+    #[test]
+    fn acquire_renew_check_lifecycle() {
+        let mut t = LeaseTable::new(2, 30.0).unwrap();
+        assert!(t.is_expired(0, 0.0));
+        let term = t.acquire(0, "ctrl-a", 0.0).unwrap();
+        assert_eq!(term, 1);
+        assert_eq!(t.holder(0), Some("ctrl-a"));
+        assert_eq!(t.expires_at(0), 30.0);
+        t.check(0, "ctrl-a", 1, 10.0).unwrap();
+        // A competing acquire while the lease is live is fenced.
+        assert!(fenced(&t.acquire(0, "ctrl-b", 10.0).unwrap_err()));
+        // Renewal extends the deadline without bumping the term.
+        t.renew(0, "ctrl-a", 1, 25.0).unwrap();
+        assert_eq!(t.expires_at(0), 55.0);
+        assert_eq!(t.term(0), 1);
+        // After expiry, the old holder's writes are fenced...
+        assert!(fenced(&t.check(0, "ctrl-a", 1, 55.0).unwrap_err()));
+        assert!(fenced(&t.renew(0, "ctrl-a", 1, 60.0).unwrap_err()));
+        // ...and a standby takes over with a strictly greater term.
+        let term2 = t.acquire(0, "ctrl-b", 60.0).unwrap();
+        assert_eq!(term2, 2);
+        t.check(0, "ctrl-b", 2, 61.0).unwrap();
+        // The zombie's stale term never passes again, even though its
+        // name once held the lease.
+        assert!(fenced(&t.check(0, "ctrl-a", 1, 61.0).unwrap_err()));
+        // Other shards are untouched.
+        assert_eq!(t.term(1), 0);
+    }
+
+    #[test]
+    fn wrong_holder_or_term_is_fenced_even_before_expiry() {
+        let mut t = LeaseTable::new(1, 30.0).unwrap();
+        t.acquire(0, "a", 0.0).unwrap();
+        assert!(fenced(&t.check(0, "b", 1, 1.0).unwrap_err()));
+        assert!(fenced(&t.check(0, "a", 0, 1.0).unwrap_err()));
+        assert!(fenced(&t.check(0, "a", 2, 1.0).unwrap_err()));
+    }
+
+    #[test]
+    fn out_of_range_and_bad_duration_are_config_errors() {
+        assert!(matches!(
+            LeaseTable::new(1, 0.0),
+            Err(ControllerError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            LeaseTable::new(1, f64::NAN),
+            Err(ControllerError::InvalidConfig(_))
+        ));
+        let mut t = LeaseTable::new(1, 30.0).unwrap();
+        assert!(matches!(
+            t.acquire(5, "a", 0.0),
+            Err(ControllerError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            t.check(5, "a", 1, 0.0),
+            Err(ControllerError::InvalidConfig(_))
+        ));
+    }
+
+    /// Satellite: lease-term monotonicity and the no-two-leaseholders
+    /// invariant under arbitrary interleavings.
+    ///
+    /// Each case drives one shard with a random sequence of operations
+    /// from three actors (two named controllers and a "zombie" that
+    /// replays whatever credentials it last saw succeed), on a clock
+    /// that advances by random increments. Invariants checked after
+    /// every operation:
+    ///
+    /// 1. the shard's term never decreases, and every successful acquire
+    ///    strictly increases it;
+    /// 2. at any instant, at most one `(holder, term)` passes the
+    ///    fencing barrier — and it is always the latest granted lease;
+    /// 3. a zombie's stale credentials never pass the barrier once a
+    ///    newer term exists.
+    #[test]
+    fn prop_terms_monotonic_and_single_leaseholder() {
+        forall!(
+            Config::default().cases(128),
+            (
+                ops in vec_of(ints(0usize..6), 1..=40),
+                ticks in vec_of(ints(1usize..25), 1..=40),
+            ) => {
+                let mut t = LeaseTable::new(1, 30.0).unwrap();
+                let mut now = 0.0f64;
+                let mut last_term = 0u64;
+                // Credentials each actor most recently acquired.
+                let mut creds: Vec<Option<(String, u64)>> = vec![None, None];
+                // The latest lease actually granted by the table.
+                let mut latest: Option<(String, u64)> = None;
+                for (i, &op) in ops.iter().enumerate() {
+                    now += ticks[i % ticks.len()] as f64;
+                    let actor = op % 2;
+                    let name = if actor == 0 { "a" } else { "b" };
+                    match op {
+                        // Acquire attempts (may be fenced while the
+                        // other's lease is live).
+                        0 | 1 => {
+                            if let Ok(term) = t.acquire(0, name, now) {
+                                assert!(
+                                    term > last_term,
+                                    "acquire must strictly increase the term"
+                                );
+                                creds[actor] = Some((name.to_string(), term));
+                                latest = Some((name.to_string(), term));
+                            }
+                        }
+                        // Renew attempts with whatever credentials the
+                        // actor holds.
+                        2 | 3 => {
+                            if let Some((h, term)) = &creds[actor] {
+                                let _ = t.renew(0, h, *term, now);
+                            }
+                        }
+                        // Zombie stamps: replay stale credentials.
+                        _ => {
+                            if let Some((h, term)) = &creds[actor] {
+                                let stale = *term < t.term(0);
+                                let passed = t.check(0, h, *term, now).is_ok();
+                                assert!(
+                                    !(stale && passed),
+                                    "stale term {term} passed the barrier at term {}",
+                                    t.term(0)
+                                );
+                            }
+                        }
+                    }
+                    // Invariant 1: monotonic terms.
+                    assert!(t.term(0) >= last_term);
+                    last_term = t.term(0);
+                    // Invariant 2: at most one (holder, term) passes the
+                    // barrier, and only ever the latest granted lease.
+                    let mut passing = 0;
+                    for (h, term) in creds.iter().flatten() {
+                        if t.check(0, h, *term, now).is_ok() {
+                            passing += 1;
+                            assert_eq!(
+                                Some((h.clone(), *term)),
+                                latest,
+                                "a non-latest lease passed the barrier"
+                            );
+                        }
+                    }
+                    assert!(passing <= 1, "two leaseholders passed the barrier");
+                }
+            }
+        );
+    }
+
+    /// Expiry/takeover interleavings: however the clock jumps, a
+    /// takeover after expiry always succeeds, always bumps the term,
+    /// and always fences the previous holder.
+    #[test]
+    fn prop_takeover_after_expiry_always_fences_the_previous_holder() {
+        forall!(
+            Config::default().cases(128),
+            (
+                reigns in vec_of(ints(0usize..50), 1..=12),
+            ) => {
+                let duration = 20.0;
+                let mut t = LeaseTable::new(1, duration).unwrap();
+                let mut now = 0.0f64;
+                let mut prev: Option<(String, u64)> = None;
+                for (i, &gap) in reigns.iter().enumerate() {
+                    let name = format!("ctrl-{}", i % 3);
+                    // Wait out the previous lease, plus a random extra.
+                    now += duration + gap as f64;
+                    let term = t.acquire(0, &name, now).unwrap();
+                    assert_eq!(term, i as u64 + 1, "one term per reign");
+                    t.check(0, &name, term, now + duration * 0.5).unwrap();
+                    if let Some((ph, pt)) = &prev {
+                        assert!(fenced(
+                            &t.check(0, ph, *pt, now + duration * 0.5).unwrap_err()
+                        ));
+                    }
+                    prev = Some((name, term));
+                }
+            }
+        );
+    }
+}

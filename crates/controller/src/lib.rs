@@ -29,16 +29,27 @@
 //!   reconfiguration) and restored hysteretically once the load fits.
 
 #![warn(missing_docs)]
+pub mod arbiter;
 pub mod closed_loop;
 pub mod controller;
+pub mod fleet;
 pub mod guard;
 pub mod journal;
+pub mod lease;
 pub mod online;
 pub mod profiler;
 pub mod recovery;
 pub mod shed;
 
-pub use closed_loop::{ClosedLoop, ClosedLoopTrace, MigrationConfig, MigrationWave, ScalingEvent};
+pub use arbiter::{Arbiter, ArbiterConfig, Revocation, ShardInfo};
+pub use closed_loop::{
+    ClosedLoop, ClosedLoopTrace, MigrationConfig, MigrationWave, ScalingEvent, StepReport,
+};
+pub use fleet::{
+    replay_shard, FleetConfig, FleetController, FleetOutcome, FleetWorld, JobSpec,
+    RevocationEvent, ShardOutcome, TakeoverEvent, WindowRecord,
+};
+pub use lease::LeaseTable;
 pub use controller::{CapsysConfig, CapsysController, Deployment};
 pub use guard::{BaselineMode, GuardConfig, PlanSnapshot, RollbackEvent, SafetyGovernor};
 pub use journal::{DecisionJournal, DecisionRecord, ParsedJournal, RedeployReason};
@@ -91,6 +102,17 @@ pub enum ControllerError {
     /// (wrong query, mismatched decision times, an impossible record
     /// sequence).
     JournalReplay(String),
+    /// A shard write carried a stale lease term and was fenced off: the
+    /// writer's lease expired and a standby now holds a newer term. The
+    /// control-plane analogue of [`ControllerError::FencedEpoch`].
+    LeaseFenced {
+        /// The shard whose lease was contested.
+        shard: usize,
+        /// The term the stale holder attempted to write under.
+        attempted: u64,
+        /// The term the lease table currently holds.
+        current: u64,
+    },
     /// A configuration value failed validation.
     InvalidConfig(String),
 }
@@ -113,6 +135,15 @@ impl std::fmt::Display for ControllerError {
             ),
             ControllerError::Journal(msg) => write!(f, "journal error: {msg}"),
             ControllerError::JournalReplay(msg) => write!(f, "journal replay error: {msg}"),
+            ControllerError::LeaseFenced {
+                shard,
+                attempted,
+                current,
+            } => write!(
+                f,
+                "lease fenced: shard {shard} write under term {attempted} is stale \
+                 (lease table is at term {current}); this shard controller has been superseded"
+            ),
             ControllerError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }

@@ -51,6 +51,13 @@ pub struct Detection {
     pub newly_down: Vec<WorkerId>,
     /// Workers whose heartbeat reappeared after being declared down.
     pub newly_up: Vec<WorkerId>,
+    /// Workers newly classified as *isolated* this window: heartbeat
+    /// missing past the threshold, but out-of-band activity evidence
+    /// (fenced state-store writes still landing) proves the worker is
+    /// running behind a partition. An isolated worker is NOT declared
+    /// down — re-placing its tasks while the originals still run would
+    /// double-place them and split the job's state.
+    pub newly_isolated: Vec<WorkerId>,
 }
 
 /// Heartbeat/staleness failure detector.
@@ -64,6 +71,9 @@ pub struct FailureDetector {
     config: DetectorConfig,
     misses: Vec<usize>,
     down: Vec<bool>,
+    /// Workers currently classified as isolated (running behind a
+    /// partition) rather than down.
+    isolated: Vec<bool>,
     /// Observation time of the first missed heartbeat of the current
     /// streak, per worker.
     stale_since: Vec<Option<f64>>,
@@ -78,6 +88,7 @@ impl FailureDetector {
             },
             misses: vec![0; num_workers],
             down: vec![false; num_workers],
+            isolated: vec![false; num_workers],
             stale_since: vec![None; num_workers],
         }
     }
@@ -85,7 +96,34 @@ impl FailureDetector {
     /// Feeds one reporting window observed at simulated time `now`.
     /// `metrics_ok == false` marks the window unobserved (metric
     /// blackout): no staleness clock moves.
+    ///
+    /// Without out-of-band evidence every missing heartbeat is presumed
+    /// a crash — this is [`FailureDetector::observe_with_evidence`]
+    /// with no activity bits.
     pub fn observe(&mut self, worker_alive: &[bool], metrics_ok: bool, now: f64) -> Detection {
+        self.observe_with_evidence(worker_alive, &[], metrics_ok, now)
+    }
+
+    /// Feeds one reporting window with out-of-band activity evidence.
+    ///
+    /// `worker_activity[w] == true` means worker `w` demonstrably did
+    /// work this window even if its heartbeat is missing — its fenced
+    /// state-store writes kept arriving. Such a worker is *partitioned*,
+    /// not crashed: at the miss threshold it is classified isolated
+    /// (reported once via [`Detection::newly_isolated`]) instead of
+    /// down, so the caller never re-places tasks that are still running
+    /// on the far side of the partition. A worker whose activity
+    /// evidence disappears is handled as a crash — its accumulated
+    /// staleness declares it down on the next observed window. Workers
+    /// beyond `worker_activity.len()` are treated as showing no
+    /// activity (the legacy crash presumption).
+    pub fn observe_with_evidence(
+        &mut self,
+        worker_alive: &[bool],
+        worker_activity: &[bool],
+        metrics_ok: bool,
+        now: f64,
+    ) -> Detection {
         let mut det = Detection::default();
         if !metrics_ok {
             return det;
@@ -97,6 +135,7 @@ impl FailureDetector {
             if *alive {
                 self.misses[w] = 0;
                 self.stale_since[w] = None;
+                self.isolated[w] = false;
                 if self.down[w] {
                     self.down[w] = false;
                     det.newly_up.push(WorkerId(w));
@@ -106,9 +145,18 @@ impl FailureDetector {
                     self.stale_since[w] = Some(now);
                 }
                 self.misses[w] += 1;
-                if self.misses[w] >= self.config.miss_threshold && !self.down[w] {
-                    self.down[w] = true;
-                    det.newly_down.push(WorkerId(w));
+                let active = worker_activity.get(w).copied().unwrap_or(false);
+                if self.misses[w] >= self.config.miss_threshold {
+                    if active {
+                        if !self.isolated[w] && !self.down[w] {
+                            self.isolated[w] = true;
+                            det.newly_isolated.push(WorkerId(w));
+                        }
+                    } else if !self.down[w] {
+                        self.down[w] = true;
+                        self.isolated[w] = false;
+                        det.newly_down.push(WorkerId(w));
+                    }
                 }
             }
         }
@@ -124,6 +172,21 @@ impl FailureDetector {
     /// Whether a worker is currently considered down.
     pub fn is_down(&self, w: WorkerId) -> bool {
         self.down.get(w.0).copied().unwrap_or(false)
+    }
+
+    /// Whether a worker is currently classified as isolated (running
+    /// behind a partition, heartbeat missing, activity present).
+    pub fn is_isolated(&self, w: WorkerId) -> bool {
+        self.isolated.get(w.0).copied().unwrap_or(false)
+    }
+
+    /// Every worker currently classified as isolated.
+    pub fn isolated_workers(&self) -> Vec<WorkerId> {
+        self.isolated
+            .iter()
+            .enumerate()
+            .filter_map(|(w, i)| i.then_some(WorkerId(w)))
+            .collect()
     }
 
     /// Every worker currently considered down.
@@ -510,6 +573,60 @@ mod tests {
         let det = d.observe(&[false], true, 25.0);
         assert_eq!(det.newly_down, vec![WorkerId(0)]);
         assert_eq!(d.stale_since(WorkerId(0)), Some(20.0));
+    }
+
+    #[test]
+    fn activity_evidence_classifies_partition_not_crash() {
+        let mut d = FailureDetector::new(2, DetectorConfig { miss_threshold: 2 });
+        // Worker 0 crashes (no heartbeat, no activity); worker 1 is
+        // partitioned (no heartbeat, but its fenced writes keep landing).
+        d.observe_with_evidence(&[false, false], &[false, true], true, 5.0);
+        let det = d.observe_with_evidence(&[false, false], &[false, true], true, 10.0);
+        assert_eq!(det.newly_down, vec![WorkerId(0)]);
+        assert_eq!(det.newly_isolated, vec![WorkerId(1)]);
+        assert!(d.is_down(WorkerId(0)));
+        assert!(!d.is_down(WorkerId(1)), "isolated workers are not down");
+        assert!(d.is_isolated(WorkerId(1)));
+        assert_eq!(d.isolated_workers(), vec![WorkerId(1)]);
+        // Isolation is reported exactly once.
+        let det = d.observe_with_evidence(&[false, false], &[false, true], true, 15.0);
+        assert!(det.newly_isolated.is_empty() && det.newly_down.is_empty());
+        // The partition heals: heartbeat returns, isolation clears
+        // without ever having triggered a re-placement.
+        let det = d.observe_with_evidence(&[false, true], &[false, true], true, 20.0);
+        assert!(det.newly_up.is_empty(), "worker 1 was never declared down");
+        assert!(!d.is_isolated(WorkerId(1)));
+        assert_eq!(d.staleness(WorkerId(1)), 0);
+    }
+
+    #[test]
+    fn isolated_worker_whose_activity_stops_is_declared_down() {
+        // A partition that turns into a crash: once the activity
+        // evidence disappears, the accumulated staleness declares the
+        // worker down on the next observed window.
+        let mut d = FailureDetector::new(1, DetectorConfig { miss_threshold: 2 });
+        d.observe_with_evidence(&[false], &[true], true, 5.0);
+        let det = d.observe_with_evidence(&[false], &[true], true, 10.0);
+        assert_eq!(det.newly_isolated, vec![WorkerId(0)]);
+        let det = d.observe_with_evidence(&[false], &[false], true, 15.0);
+        assert_eq!(det.newly_down, vec![WorkerId(0)]);
+        assert!(!d.is_isolated(WorkerId(0)));
+        assert_eq!(d.stale_since(WorkerId(0)), Some(5.0), "one continuous streak");
+    }
+
+    #[test]
+    fn observe_without_evidence_keeps_legacy_crash_presumption() {
+        // The legacy entry point must behave exactly as before: a
+        // missing heartbeat with no evidence channel is a crash.
+        let mut a = FailureDetector::new(2, DetectorConfig { miss_threshold: 2 });
+        let mut b = FailureDetector::new(2, DetectorConfig { miss_threshold: 2 });
+        for (t, alive) in [(5.0, [true, false]), (10.0, [false, false]), (15.0, [false, false])] {
+            let da = a.observe(&alive, true, t);
+            let db = b.observe_with_evidence(&alive, &[], true, t);
+            assert_eq!(da, db);
+            assert!(da.newly_isolated.is_empty());
+        }
+        assert!(a.is_down(WorkerId(0)) && a.is_down(WorkerId(1)));
     }
 
     #[test]

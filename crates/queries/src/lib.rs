@@ -517,6 +517,24 @@ pub fn merge_queries(
     Ok((merged, mappings))
 }
 
+/// `n` tenant jobs for multi-tenant fleet experiments: cycles the six
+/// paper queries, renaming instance `i` to `t<i>-<query>` so two
+/// tenants running the same base query stay distinguishable in fleet
+/// journals and traces (their operators keep the `<query>/<operator>`
+/// names of [`merge_queries`], but each lives in its own graph).
+/// `scale` multiplies every operator's parallelism (1 = the paper's
+/// defaults) to grow the fleet's aggregate task count.
+pub fn tenant_jobs(n: usize, scale: usize) -> Result<Vec<Query>, ModelError> {
+    let base = all_queries();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let q = base[i % base.len()].scaled(scale)?;
+        let (renamed, _) = merge_queries(&format!("t{i}-{}", q.name()), &[(&q, 1.0)])?;
+        out.push(renamed);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -715,5 +733,28 @@ mod tests {
         let q = q3_inf();
         let inf = q.logical().operator_by_name("inference").unwrap();
         assert!(q.logical().operator(inf).profile.cpu_burst_amplitude > 0.0);
+    }
+
+    #[test]
+    fn tenant_jobs_cycle_rename_and_scale() {
+        let jobs = tenant_jobs(8, 2).unwrap();
+        assert_eq!(jobs.len(), 8);
+        assert_eq!(jobs[0].name(), "t0-Q1-sliding");
+        // The cycle wraps: tenant 6 reuses Q1 under a distinct name.
+        assert_eq!(jobs[6].name(), "t6-Q1-sliding");
+        assert_eq!(
+            jobs[0].logical().total_tasks(),
+            2 * q1_sliding().logical().total_tasks()
+        );
+        // Two tenants of the same base query can still be merged into
+        // one fleet-wide graph without operator-name collisions.
+        let (merged, maps) =
+            merge_queries("fleet", &[(&jobs[0], 1.0), (&jobs[6], 1.0)]).unwrap();
+        assert_eq!(maps.len(), 2);
+        assert_eq!(
+            merged.logical().total_tasks(),
+            jobs[0].logical().total_tasks() + jobs[6].logical().total_tasks()
+        );
+        assert!(tenant_jobs(2, 0).is_err(), "zero scale must be rejected");
     }
 }

@@ -174,6 +174,11 @@ pub struct Simulation {
     failed: Vec<bool>,
     /// Per-worker CPU-cost multiplier (1.0 = healthy, > 1 = straggler).
     slowdown: Vec<f64>,
+    /// Per-worker cross-job contention multiplier (1.0 = uncontended,
+    /// > 1 = co-located tenants are stealing cycles). Composes
+    /// multiplicatively with `slowdown`: chaos stragglers and tenant
+    /// contention are independent effects.
+    contention: Vec<f64>,
     /// Per-worker NIC-bandwidth multiplier (1.0 = healthy, < 1 = a
     /// degraded link).
     net_degrade: Vec<f64>,
@@ -393,6 +398,7 @@ impl Simulation {
             channels,
             failed: vec![false; workers.len()],
             slowdown: vec![1.0; workers.len()],
+            contention: vec![1.0; workers.len()],
             net_degrade: vec![1.0; workers.len()],
             partitioned: vec![false; workers.len()],
             shed_fraction: 0.0,
@@ -464,6 +470,23 @@ impl Simulation {
     /// Per-worker CPU slowdown factors.
     pub fn slowdowns(&self) -> &[f64] {
         &self.slowdown
+    }
+
+    /// Sets a worker's cross-job contention multiplier (`1.0` =
+    /// uncontended, `>1` = co-located tenant jobs are consuming a share
+    /// of the worker's CPU). Clamped to `>= 1`; non-finite resets to
+    /// `1.0`. Used by a fleet-level controller to charge each shard for
+    /// the load its neighbours place on shared workers, and re-applied
+    /// after a redeployment like the other chaos state.
+    pub fn set_contention(&mut self, w: capsys_model::WorkerId, factor: f64) {
+        if let Some(c) = self.contention.get_mut(w.0) {
+            *c = if factor.is_finite() { factor.max(1.0) } else { 1.0 };
+        }
+    }
+
+    /// Per-worker cross-job contention multipliers (1.0 = uncontended).
+    pub fn contentions(&self) -> &[f64] {
+        &self.contention
     }
 
     /// Sets a worker's NIC-bandwidth multiplier, clamped into
@@ -970,7 +993,10 @@ impl Simulation {
         let burst_on =
             (t % self.config.burst_period) < self.config.burst_duty * self.config.burst_period;
         for (i, task) in self.tasks.iter().enumerate() {
-            let mut u = task.cpu_unit * self.slowdown[task.worker] * self.model_skew;
+            let mut u = task.cpu_unit
+                * self.slowdown[task.worker]
+                * self.contention[task.worker]
+                * self.model_skew;
             if burst_on && task.burst_amp > 0.0 {
                 u *= 1.0 + task.burst_amp;
             }
@@ -1282,6 +1308,12 @@ impl Simulation {
                 .zip(&self.partitioned)
                 .map(|(f, p)| !f && !p)
                 .collect(),
+            // Out-of-band activity evidence: a partitioned worker keeps
+            // running (its fenced state-store writes still land), so its
+            // activity bit stays `true` even though its heartbeat is
+            // missing. A crashed worker produces nothing. The failure
+            // detector uses this to tell isolation from death.
+            worker_activity: self.failed.iter().map(|f| !f).collect(),
             metrics_ok: !self.blackout,
         }
     }
@@ -2457,5 +2489,131 @@ mod tests {
         assert_eq!(ra.avg_backpressure.to_bits(), rb.avg_backpressure.to_bits());
         assert_eq!(a.total_admitted().to_bits(), b.total_admitted().to_bits());
         assert_eq!(a.total_sunk().to_bits(), b.total_sunk().to_bits());
+    }
+
+    /// A CPU-bound single-worker pipeline saturating at ~500 rec/s.
+    fn saturated_fixture(
+        c: &Cluster,
+    ) -> (
+        LogicalGraph,
+        PhysicalGraph,
+        Placement,
+        HashMap<OperatorId, RateSchedule>,
+    ) {
+        build(
+            &[
+                (
+                    OperatorKind::Source,
+                    1,
+                    ResourceProfile::new(0.0, 0.0, 10.0, 1.0),
+                ),
+                (
+                    OperatorKind::Stateless,
+                    1,
+                    ResourceProfile::new(0.002, 0.0, 10.0, 1.0),
+                ),
+                (
+                    OperatorKind::Sink,
+                    1,
+                    ResourceProfile::new(0.0, 0.0, 0.0, 1.0),
+                ),
+            ],
+            c,
+            &[0, 0, 0],
+            1000.0,
+        )
+    }
+
+    #[test]
+    fn contention_scales_cpu_cost_like_a_slowdown() {
+        // On a saturated pipeline, contention 2.0 must halve throughput
+        // exactly like slowdown 2.0 does — both scale the same cpu_eff
+        // term, so the two runs are byte-identical.
+        let c = Cluster::homogeneous(1, WorkerSpec::new(4, 1.0, 100e6, 1e9)).unwrap();
+        let (g, p, plan, sch) = saturated_fixture(&c);
+        let cfg = SimConfig::short();
+        let mut contended = Simulation::new(&g, &p, &c, &plan, &sch, cfg.clone()).unwrap();
+        contended.set_contention(WorkerId(0), 2.0);
+        let mut slowed = Simulation::new(&g, &p, &c, &plan, &sch, cfg).unwrap();
+        slowed.set_slowdown(WorkerId(0), 2.0);
+        let rc = contended.run();
+        let rs = slowed.run();
+        assert!(
+            (rc.avg_throughput - 250.0).abs() / 250.0 < 0.1,
+            "contended throughput {} should be ~250",
+            rc.avg_throughput
+        );
+        assert_eq!(rc.avg_throughput.to_bits(), rs.avg_throughput.to_bits());
+        assert_eq!(rc.avg_backpressure.to_bits(), rs.avg_backpressure.to_bits());
+    }
+
+    #[test]
+    fn contention_composes_multiplicatively_with_slowdown() {
+        let c = Cluster::homogeneous(1, WorkerSpec::new(4, 1.0, 100e6, 1e9)).unwrap();
+        let (g, p, plan, sch) = saturated_fixture(&c);
+        let cfg = SimConfig::short();
+        let mut both = Simulation::new(&g, &p, &c, &plan, &sch, cfg.clone()).unwrap();
+        both.set_slowdown(WorkerId(0), 2.0);
+        both.set_contention(WorkerId(0), 2.0);
+        let mut quad = Simulation::new(&g, &p, &c, &plan, &sch, cfg).unwrap();
+        quad.set_slowdown(WorkerId(0), 4.0);
+        let rb = both.run();
+        let rq = quad.run();
+        assert_eq!(rb.avg_throughput.to_bits(), rq.avg_throughput.to_bits());
+    }
+
+    #[test]
+    fn contention_clamps_and_unit_factor_is_a_byte_identical_noop() {
+        let c = Cluster::homogeneous(2, worker(4.0)).unwrap();
+        let (g, p, plan, sch) = transfer_fixture(&c);
+        let cfg = SimConfig::short();
+        let mut a = Simulation::new(&g, &p, &c, &plan, &sch, cfg.clone()).unwrap();
+        let mut b = Simulation::new(&g, &p, &c, &plan, &sch, cfg).unwrap();
+        b.set_contention(WorkerId(0), 1.0);
+        b.set_contention(WorkerId(1), 0.25); // clamps up to 1.0
+        b.set_contention(WorkerId(1), f64::NAN); // resets to 1.0
+        assert!(b.contentions().iter().all(|&f| f == 1.0));
+        let ra = a.run();
+        let rb = b.run();
+        assert_eq!(ra.avg_throughput.to_bits(), rb.avg_throughput.to_bits());
+        assert_eq!(ra.avg_backpressure.to_bits(), rb.avg_backpressure.to_bits());
+        assert_eq!(a.total_admitted().to_bits(), b.total_admitted().to_bits());
+    }
+
+    #[test]
+    fn worker_activity_distinguishes_partition_from_crash() {
+        let c = Cluster::homogeneous(3, worker(4.0)).unwrap();
+        let (g, p, plan, sch) = build(
+            &[
+                (
+                    OperatorKind::Source,
+                    1,
+                    ResourceProfile::new(1e-5, 0.0, 100.0, 1.0),
+                ),
+                (
+                    OperatorKind::Stateless,
+                    1,
+                    ResourceProfile::new(1e-4, 0.0, 100.0, 1.0),
+                ),
+                (
+                    OperatorKind::Sink,
+                    1,
+                    ResourceProfile::new(1e-5, 0.0, 0.0, 1.0),
+                ),
+            ],
+            &c,
+            &[0, 1, 2],
+            1000.0,
+        );
+        let mut sim = Simulation::new(&g, &p, &c, &plan, &sch, SimConfig::short()).unwrap();
+        sim.fail_worker(WorkerId(0));
+        sim.set_partitioned(WorkerId(1), true);
+        let r = sim.run();
+        // Heartbeats: both the crashed and the partitioned worker look
+        // dead from outside.
+        assert_eq!(r.worker_alive, vec![false, false, true]);
+        // Activity evidence separates them: the partitioned worker is
+        // still running, the crashed one is not.
+        assert_eq!(r.worker_activity, vec![false, true, true]);
     }
 }

@@ -87,6 +87,47 @@ pub enum KillPoint {
     MidReconfig(u64),
 }
 
+/// Which control-plane decider a fault targets. The simulation engine
+/// ignores decider faults entirely — they aim at the processes *making*
+/// placement decisions, not at the workers executing them — and the
+/// fleet-level control plane reads them from its installed plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeciderTarget {
+    /// The shard controller governing tenant shard `index`.
+    Shard(usize),
+    /// The global arbiter reconciling cross-shard placement.
+    Arbiter,
+}
+
+/// What happens to the targeted decider.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeciderFaultKind {
+    /// The decider process dies at the kill point — the same semantics
+    /// as [`FaultPlan::controller_kill`], scoped to one decider of a
+    /// sharded control plane. A standby must take over its lease.
+    Kill(KillPoint),
+    /// The decider is cut off from the fleet between `from` and
+    /// `until` (global simulated seconds): it cannot renew its lease,
+    /// its shard sees no decisions, and any stamp the stale holder
+    /// attempts after its lease expires must be fenced — the
+    /// split-brain probe.
+    Partition {
+        /// Partition onset, seconds.
+        from: f64,
+        /// Partition heal time, seconds (`> from`).
+        until: f64,
+    },
+}
+
+/// One decider fault: a target and what befalls it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeciderFault {
+    /// Which decider.
+    pub target: DeciderTarget,
+    /// What happens to it.
+    pub kind: DeciderFaultKind,
+}
+
 /// A model-skew fault: from `time` onward the cost model mispredicts,
 /// so any plan deployed *after* that moment runs with its effective
 /// per-record CPU cost multiplied by `factor`. The plan that was
@@ -120,6 +161,10 @@ pub struct FaultPlan {
     /// Optional model-skew fault. Ignored by the simulation engine;
     /// honored by the closed loop at deploy time.
     pub model_skew: Option<ModelSkew>,
+    /// Control-plane decider faults (shard-controller / arbiter kills
+    /// and partitions). Ignored by the simulation engine; honored by a
+    /// fleet controller driving many shards.
+    pub decider_faults: Vec<DeciderFault>,
 }
 
 impl FaultPlan {
@@ -154,6 +199,7 @@ impl FaultPlan {
             metric_noise: 0.0,
             controller_kill: None,
             model_skew: None,
+            decider_faults: Vec::new(),
         })
     }
 
@@ -202,6 +248,80 @@ impl FaultPlan {
         }
         self.model_skew = Some(skew);
         Ok(self)
+    }
+
+    /// Adds a control-plane decider fault, returning the modified plan.
+    ///
+    /// Rejected: non-finite or negative kill times, partitions with
+    /// `until <= from`, a second kill on the same target (a process
+    /// dies once per run), and overlapping partitions on one target
+    /// (the fleet keeps one isolation flag per decider).
+    pub fn with_decider_fault(mut self, fault: DeciderFault) -> Result<FaultPlan, SimError> {
+        match fault.kind {
+            DeciderFaultKind::Kill(kill) => {
+                if let KillPoint::AtTime(t) = kill {
+                    if !t.is_finite() || t < 0.0 {
+                        return Err(SimError::InvalidFaultPlan(format!(
+                            "decider kill time {t} is not a finite non-negative number"
+                        )));
+                    }
+                }
+                if self.decider_faults.iter().any(|f| {
+                    f.target == fault.target && matches!(f.kind, DeciderFaultKind::Kill(_))
+                }) {
+                    return Err(SimError::InvalidFaultPlan(format!(
+                        "decider {:?} already has a kill point (a process dies once per run)",
+                        fault.target
+                    )));
+                }
+            }
+            DeciderFaultKind::Partition { from, until } => {
+                if !from.is_finite() || !until.is_finite() || from < 0.0 || until <= from {
+                    return Err(SimError::InvalidFaultPlan(format!(
+                        "decider partition window ({from}, {until}) must satisfy \
+                         0 <= from < until with both finite"
+                    )));
+                }
+                let overlaps = self.decider_faults.iter().any(|f| {
+                    f.target == fault.target
+                        && matches!(f.kind,
+                            DeciderFaultKind::Partition { from: s, until: e }
+                                if from < e && s < until)
+                });
+                if overlaps {
+                    return Err(SimError::InvalidFaultPlan(format!(
+                        "decider {:?} has overlapping partition windows",
+                        fault.target
+                    )));
+                }
+            }
+        }
+        self.decider_faults.push(fault);
+        Ok(self)
+    }
+
+    /// The kill point aimed at a decider, if any.
+    pub fn decider_kill(&self, target: DeciderTarget) -> Option<KillPoint> {
+        self.decider_faults.iter().find_map(|f| match f.kind {
+            DeciderFaultKind::Kill(k) if f.target == target => Some(k),
+            _ => None,
+        })
+    }
+
+    /// All partition windows aimed at a decider, time-sorted.
+    pub fn decider_partitions(&self, target: DeciderTarget) -> Vec<(f64, f64)> {
+        let mut windows: Vec<(f64, f64)> = self
+            .decider_faults
+            .iter()
+            .filter_map(|f| match f.kind {
+                DeciderFaultKind::Partition { from, until } if f.target == target => {
+                    Some((from, until))
+                }
+                _ => None,
+            })
+            .collect();
+        windows.sort_by(|a, b| a.0.total_cmp(&b.0));
+        windows
     }
 
     /// Removes the controller-crash point. A recovered controller that
@@ -362,6 +482,53 @@ impl FaultPlan {
             plan.events.extend(extra);
             plan.events.sort_by(|a, b| a.time.total_cmp(&b.time));
         }
+        // Decider faults are the newest class of all, drawn dead last so
+        // enabling a control-plane fault never perturbs the worker-level
+        // schedule of the same seed. Kills pick a distinct shard each
+        // (a process dies once per run); partitions rejection-sample
+        // non-overlapping windows per shard.
+        if config.decider_kills > 0 || config.decider_partitions > 0 {
+            if config.shards == 0 {
+                return Err(SimError::InvalidFaultPlan(
+                    "decider faults need shards > 0 in the chaos config".into(),
+                ));
+            }
+            let mut shard_order: Vec<usize> = (0..config.shards).collect();
+            shard_order.shuffle(&mut rng);
+            for k in 0..config.decider_kills {
+                let at = rng.gen_range(0.0..config.horizon * 0.7);
+                plan = plan.with_decider_fault(DeciderFault {
+                    target: DeciderTarget::Shard(shard_order[k % config.shards]),
+                    kind: DeciderFaultKind::Kill(KillPoint::AtTime(at)),
+                })?;
+            }
+            for _ in 0..config.decider_partitions {
+                let mut placed = false;
+                for _attempt in 0..64 {
+                    let s = rng.gen_range(0..config.shards);
+                    let at = rng.gen_range(0.0..config.horizon * 0.7);
+                    let dur = rng.gen_range(
+                        config.decider_partition_duration.0..=config.decider_partition_duration.1,
+                    );
+                    let candidate = plan.clone().with_decider_fault(DeciderFault {
+                        target: DeciderTarget::Shard(s),
+                        kind: DeciderFaultKind::Partition { from: at, until: at + dur },
+                    });
+                    if let Ok(p) = candidate {
+                        plan = p;
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    return Err(SimError::InvalidFaultPlan(
+                        "could not place a non-overlapping decider-partition window; \
+                         lower decider_partitions or widen the horizon"
+                            .into(),
+                    ));
+                }
+            }
+        }
         Ok(plan)
     }
 
@@ -389,6 +556,10 @@ impl FaultPlan {
             // Model skew also lives on the global clock: the controller
             // decides at each deploy whether the skew is active.
             model_skew: self.model_skew,
+            // Decider faults are fleet-level machinery on the global
+            // clock too — the fleet, not a restarted per-shard
+            // simulation, tracks them.
+            decider_faults: self.decider_faults.clone(),
         }
     }
 
@@ -398,6 +569,7 @@ impl FaultPlan {
             && self.metric_noise == 0.0
             && self.controller_kill.is_none()
             && self.model_skew.is_none()
+            && self.decider_faults.is_empty()
     }
 
     /// Checks that every referenced worker exists and that no worker
@@ -544,6 +716,17 @@ pub struct ChaosConfig {
     pub partitions: usize,
     /// Partition duration range, seconds.
     pub partition_duration: (f64, f64),
+    /// Number of shard controllers in the control plane that decider
+    /// faults may target. Zero (the default) means a single-controller
+    /// run with no decider fault classes.
+    pub shards: usize,
+    /// Number of shard-controller kills (each aimed at a distinct
+    /// shard; must not exceed `shards`).
+    pub decider_kills: usize,
+    /// Number of shard-controller partition episodes.
+    pub decider_partitions: usize,
+    /// Decider-partition duration range, seconds.
+    pub decider_partition_duration: (f64, f64),
 }
 
 impl Default for ChaosConfig {
@@ -567,6 +750,10 @@ impl Default for ChaosConfig {
             degrade_duration: (20.0, 60.0),
             partitions: 0,
             partition_duration: (20.0, 60.0),
+            shards: 0,
+            decider_kills: 0,
+            decider_partitions: 0,
+            decider_partition_duration: (20.0, 60.0),
         }
     }
 }
@@ -641,6 +828,20 @@ impl ChaosConfig {
         }
         if self.partitions > 0 {
             range_ok(self.partition_duration, "partition_duration")?;
+        }
+        if self.decider_kills > self.shards {
+            return Err(SimError::InvalidFaultPlan(format!(
+                "decider_kills {} exceeds shards {} (each kill needs a distinct shard)",
+                self.decider_kills, self.shards
+            )));
+        }
+        if self.decider_partitions > 0 {
+            range_ok(self.decider_partition_duration, "decider_partition_duration")?;
+            if self.shards == 0 {
+                return Err(SimError::InvalidFaultPlan(
+                    "decider_partitions need shards > 0".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -1150,6 +1351,121 @@ mod tests {
                 ..ChaosConfig::default()
             },
             4
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn decider_faults_are_validated_and_drawn_last() {
+        // Manual plans: duplicate kills and overlapping partitions on
+        // one target are rejected; distinct targets are independent.
+        let kill = |t| DeciderFault {
+            target: t,
+            kind: DeciderFaultKind::Kill(KillPoint::AfterRecord(3)),
+        };
+        let part = |t, from, until| DeciderFault {
+            target: t,
+            kind: DeciderFaultKind::Partition { from, until },
+        };
+        let plan = FaultPlan::none()
+            .with_decider_fault(kill(DeciderTarget::Shard(0)))
+            .unwrap()
+            .with_decider_fault(kill(DeciderTarget::Arbiter))
+            .unwrap()
+            .with_decider_fault(part(DeciderTarget::Shard(1), 10.0, 20.0))
+            .unwrap()
+            .with_decider_fault(part(DeciderTarget::Shard(1), 20.0, 30.0))
+            .unwrap();
+        assert!(!plan.is_empty());
+        assert_eq!(
+            plan.decider_kill(DeciderTarget::Shard(0)),
+            Some(KillPoint::AfterRecord(3))
+        );
+        assert_eq!(plan.decider_kill(DeciderTarget::Shard(1)), None);
+        assert_eq!(
+            plan.decider_partitions(DeciderTarget::Shard(1)),
+            vec![(10.0, 20.0), (20.0, 30.0)]
+        );
+        assert!(plan.decider_partitions(DeciderTarget::Arbiter).is_empty());
+        assert!(plan.clone().with_decider_fault(kill(DeciderTarget::Shard(0))).is_err());
+        assert!(plan
+            .clone()
+            .with_decider_fault(part(DeciderTarget::Shard(1), 15.0, 25.0))
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_decider_fault(part(DeciderTarget::Shard(0), 10.0, 10.0))
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_decider_fault(part(DeciderTarget::Shard(0), -1.0, 10.0))
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_decider_fault(kill(DeciderTarget::Shard(0)))
+            .unwrap()
+            .with_decider_fault(DeciderFault {
+                target: DeciderTarget::Shard(0),
+                kind: DeciderFaultKind::Kill(KillPoint::AtTime(f64::NAN)),
+            })
+            .is_err());
+        // Decider faults ride `shifted` unchanged: they live on the
+        // global fleet clock.
+        assert_eq!(plan.shifted(40.0).decider_faults, plan.decider_faults);
+
+        // Generation: decider faults are drawn after every other class,
+        // so enabling them never perturbs an existing seed's schedule.
+        let cfg = ChaosConfig {
+            crashes: 2,
+            stragglers: 1,
+            shards: 3,
+            decider_kills: 2,
+            decider_partitions: 1,
+            ..ChaosConfig::default()
+        };
+        let gen = FaultPlan::generate(&cfg, 5).unwrap();
+        assert_eq!(gen, FaultPlan::generate(&cfg, 5).unwrap());
+        let base = FaultPlan::generate(
+            &ChaosConfig {
+                crashes: 2,
+                stragglers: 1,
+                ..ChaosConfig::default()
+            },
+            5,
+        )
+        .unwrap();
+        assert_eq!(gen.events, base.events);
+        let kills: Vec<DeciderTarget> = gen
+            .decider_faults
+            .iter()
+            .filter_map(|f| match f.kind {
+                DeciderFaultKind::Kill(_) => Some(f.target),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kills.len(), 2);
+        assert_ne!(kills[0], kills[1], "kills target distinct shards");
+        assert_eq!(
+            gen.decider_faults
+                .iter()
+                .filter(|f| matches!(f.kind, DeciderFaultKind::Partition { .. }))
+                .count(),
+            1
+        );
+        // Config-level rejection: kills need distinct shards, faults
+        // need shards at all.
+        assert!(FaultPlan::generate(
+            &ChaosConfig {
+                shards: 1,
+                decider_kills: 2,
+                ..ChaosConfig::default()
+            },
+            5
+        )
+        .is_err());
+        assert!(FaultPlan::generate(
+            &ChaosConfig {
+                decider_partitions: 1,
+                ..ChaosConfig::default()
+            },
+            5
         )
         .is_err());
     }

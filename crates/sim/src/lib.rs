@@ -31,6 +31,9 @@ pub use config::SimConfig;
 pub use engine::{Simulation, TaskTransfer};
 pub use epoch::EpochFence;
 pub use error::SimError;
-pub use fault::{ChaosConfig, FaultEvent, FaultInjector, FaultKind, FaultPlan, KillPoint, ModelSkew};
+pub use fault::{
+    ChaosConfig, DeciderFault, DeciderFaultKind, DeciderTarget, FaultEvent, FaultInjector,
+    FaultKind, FaultPlan, KillPoint, ModelSkew,
+};
 pub use metrics::{sanitize_rates, MetricPoint, SimulationReport, SourceStats, TaskRateStats};
 pub use workload::{WorkloadConfig, WorkloadEngine};

@@ -142,6 +142,13 @@ pub struct SimulationReport {
     /// Per-worker liveness at the end of the window — the heartbeat a
     /// failure detector consumes (`true` = heartbeat present).
     pub worker_alive: Vec<bool>,
+    /// Per-worker out-of-band activity evidence (`true` = the worker is
+    /// still doing work somewhere — e.g. its fenced state-store writes
+    /// keep arriving — even if its heartbeat is missing). A partitioned
+    /// worker shows activity without a heartbeat; a crashed worker shows
+    /// neither. Lets a detector avoid double-placing tasks that are
+    /// still running behind a partition.
+    pub worker_activity: Vec<bool>,
     /// Whether metrics (and heartbeats) were observable at the end of
     /// the window; `false` during an injected metric blackout. A
     /// detector must treat a blackout window as *unobserved*, not as
@@ -215,6 +222,7 @@ mod tests {
             per_source,
             task_rates: vec![],
             worker_alive: vec![true],
+            worker_activity: vec![true],
             metrics_ok: true,
         }
     }

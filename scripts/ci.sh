@@ -60,22 +60,46 @@
 #      bounds backpressure, wins latency-gated goodput over the
 #      unshedded baseline, releases once the crowd decays, and a
 #      controller kill right after the first journaled Shed record
-#      recovers byte-identically.
+#      recovers byte-identically;
+#  15. fleet smoke — sharded multi-tenant control plane
+#      (seeds 7/11/23), writing BENCH_fleet.json and self-asserting
+#      that with 6 tenants on a 120-worker heterogeneous fleet, a
+#      shard controller killed mid-reconfiguration fails over to a
+#      standby within the lease MTTR bound, a controller partitioned
+#      past its lease is fenced as a zombie with zero split-brain
+#      stamps, the arbiter recovers from its own WAL mid-run, every
+#      shard's trace and journal replay byte-identically from journal
+#      + recorded history, aggregate goodput stays within 10% of the
+#      no-kill baseline, an over-subscribed tenant is rejected at
+#      admission, and a same-seed re-run is byte-identical.
+#
+# Each step prints its own wall-clock time on completion.
 #
 # Usage: scripts/ci.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/14] tree guard: no tracked build artifacts"
+CI_T0=$(date +%s)
+STEP_T0=$CI_T0
+step() {
+    STEP_T0=$(date +%s)
+    echo "==> [$1] $2"
+}
+step_done() {
+    echo "    [done in $(($(date +%s) - STEP_T0))s]"
+}
+
+step "1/15" "tree guard: no tracked build artifacts"
 if git ls-files | grep -q '^target/'; then
     echo "FORBIDDEN: build artifacts under target/ are tracked" >&2
     echo "(run: git rm -r --cached target)" >&2
     exit 1
 fi
 echo "    ok: target/ is untracked"
+step_done
 
-echo "==> [2/14] dependency guard: workspace-internal crates only"
+step "2/15" "dependency guard: workspace-internal crates only"
 # Collect every dependency key from every manifest. Dependency lines are
 # `name = ...` or `name.workspace = true` inside a [*dependencies*]
 # section; only capsys-* names are allowed.
@@ -103,8 +127,9 @@ if [ "$violations" -ne 0 ]; then
     exit 1
 fi
 echo "    ok: all dependencies are capsys-* path crates"
+step_done
 
-echo "==> [3/14] panic lint: no unwrap/expect/panic! in non-test code"
+step "3/15" "panic lint: no unwrap/expect/panic! in non-test code"
 # Library code must surface failures as Results — a panicking controller
 # is the exact failure mode the robustness work guards against. Unit-test
 # modules (everything from the first #[cfg(test)] down) and the justified
@@ -137,14 +162,17 @@ if [ "$violations" -ne 0 ]; then
     exit 1
 fi
 echo "    ok: non-test library code is panic-free"
+step_done
 
-echo "==> [4/14] cargo build --release (all targets)"
+step "4/15" "cargo build --release (all targets)"
 cargo build --release --workspace --all-targets
+step_done
 
-echo "==> [5/14] cargo test (debug, full workspace)"
+step "5/15" "cargo test (debug, full workspace)"
 cargo test -q --workspace
+step_done
 
-echo "==> [5b/14] fixed-point overflow checks (capsys-util, release + overflow-checks)"
+step "5b/15" "fixed-point overflow checks (capsys-util, release + overflow-checks)"
 # The Fixed64 core promises saturating/checked arithmetic, never a
 # silent two's-complement wrap. Release builds normally disable
 # overflow checks, so any unchecked `+`/`-`/`*` on a raw mantissa would
@@ -152,32 +180,38 @@ echo "==> [5b/14] fixed-point overflow checks (capsys-util, release + overflow-c
 # the checks back on so such an op aborts the suite instead.
 RUSTFLAGS="${RUSTFLAGS:-} -C overflow-checks=yes" \
     cargo test -q --release -p capsys-util --target-dir target/overflow-checks
+step_done
 
-echo "==> [6/14] determinism golden test (release)"
+step "6/15" "determinism golden test (release)"
 cargo test -q --release --test golden_determinism
+step_done
 
-echo "==> [7/14] smoke bench (quick mode, end-to-end)"
+step "7/15" "smoke bench (quick mode, end-to-end)"
 CAPSYS_BENCH_QUICK=1 cargo bench -p capsys-bench --bench caps_search
+step_done
 
-echo "==> [8/14] chaos smoke (fault injection + recovery, seeds 7/11/23)"
+step "8/15" "chaos smoke (fault injection + recovery, seeds 7/11/23)"
 for seed in 7 11 23; do
     cargo run --release -p capsys-bench --bin exp_chaos -- --seed "$seed" --quick
 done
+step_done
 
-echo "==> [9/14] search perf smoke (thread scaling + warm-start, BENCH_search.json)"
+step "9/15" "search perf smoke (thread scaling + warm-start, BENCH_search.json)"
 # exp_perf asserts its own invariants (determinism across thread counts,
 # warm-start probe economy, hardware-gated speedup floor) and validates
 # the JSON it wrote; a malformed record fails this step.
 cargo run --release -p capsys-bench --bin exp_perf -- --smoke
+step_done
 
-echo "==> [10/14] guard smoke (safety governor vs model skew, seed 7)"
+step "10/15" "guard smoke (safety governor vs model skew, seed 7)"
 # exp_guard self-asserts: without the governor the stale-model regression
 # persists; with it, the regression is detected within one probation
 # window, rolled back to last-known-good, throughput recovers, churn
 # stays within the rollback cap, and same-seed runs replay identically.
 cargo run --release -p capsys-bench --bin exp_guard -- --seed 7 --quick
+step_done
 
-echo "==> [11/14] recovery sweep (kill-at-every-decision crash recovery, seeds 7/11/23)"
+step "11/15" "recovery sweep (kill-at-every-decision crash recovery, seeds 7/11/23)"
 # exp_recovery self-asserts: every kill point recovers to a
 # byte-identical trace AND journal, the mid-reconfiguration kill rolls
 # forward (for scaling Prepares, governor Rollbacks, and mid-wave
@@ -186,8 +220,9 @@ echo "==> [11/14] recovery sweep (kill-at-every-decision crash recovery, seeds 7
 for seed in 7 11 23; do
     cargo run --release -p capsys-bench --bin exp_recovery -- --seed "$seed" --smoke
 done
+step_done
 
-echo "==> [12/14] migration smoke (incremental vs whole-plan A/B, seeds 7/11/23)"
+step "12/15" "migration smoke (incremental vs whole-plan A/B, seeds 7/11/23)"
 # exp_migrate self-asserts: the incremental arm moves strictly fewer
 # bytes, pauses strictly fewer task-seconds, and loses strictly less
 # throughput area than the whole-plan arm on the same crash; the
@@ -197,16 +232,18 @@ echo "==> [12/14] migration smoke (incremental vs whole-plan A/B, seeds 7/11/23)
 for seed in 7 11 23; do
     cargo run --release -p capsys-bench --bin exp_migrate -- --seed "$seed" --smoke
 done
+step_done
 
-echo "==> [13/14] anytime search smoke (DFS vs MCTS, BENCH_anytime.json, seeds 7/11/23)"
+step "13/15" "anytime search smoke (DFS vs MCTS, BENCH_anytime.json, seeds 7/11/23)"
 # exp_search self-asserts: MCTS == DFS optimum at 16 tasks (Fixed64 bit
 # equality, every seed), MCTS feasible within the budget at 256/1024
 # tasks where the DFS reports budget exhaustion with zero plans,
 # monotone anytime curves, and a byte-identical same-seed replay; it
 # also validates the BENCH_anytime.json it wrote.
 cargo run --release -p capsys-bench --bin exp_search -- --smoke
+step_done
 
-echo "==> [14/14] hostile-workload smoke (governor drift A/B + overload shedding, seeds 7/11/23)"
+step "14/15" "hostile-workload smoke (governor drift A/B + overload shedding, seeds 7/11/23)"
 # exp_hostile self-asserts: zero drift-aware rollbacks under pure
 # growth and flash crowds (absolute baseline false-rollbacks on every
 # flash seed), a true regression still caught within one probation
@@ -215,5 +252,21 @@ echo "==> [14/14] hostile-workload smoke (governor drift A/B + overload shedding
 # whole hostile run replays byte-identically after a controller kill;
 # it also validates the BENCH_hostile.json it wrote.
 cargo run --release -p capsys-bench --bin exp_hostile -- --smoke
+step_done
 
-echo "CI green."
+step "15/15" "fleet smoke (sharded control plane + lease-fenced failover, seeds 7/11/23)"
+# exp_fleet self-asserts: a shard controller killed mid-reconfiguration
+# fails over to a standby within the lease MTTR bound, a partitioned
+# controller is fenced as a zombie (zero split-brain stamps), the
+# arbiter recovers from its own WAL mid-run, every shard's trace and
+# journal replay byte-identically from journal + recorded history,
+# aggregate goodput stays within 10% of the no-kill baseline, the
+# over-subscribed tenant is rejected at admission, and a same-seed
+# re-run is byte-identical; it also validates the BENCH_fleet.json it
+# wrote.
+for seed in 7 11 23; do
+    cargo run --release -p capsys-bench --bin exp_fleet -- --seed "$seed" --smoke
+done
+step_done
+
+echo "CI green in $(($(date +%s) - CI_T0))s."

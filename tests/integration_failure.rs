@@ -142,6 +142,7 @@ fn chaos_loop_run(seed: u64) -> (WorkerId, f64, ClosedLoopTrace) {
         metric_noise: 0.0,
         controller_kill: None,
         model_skew: None,
+        decider_faults: vec![],
     };
     let trace = loop_
         .with_fault_plan(plan)
